@@ -1,0 +1,108 @@
+//===- bench/BenchCommon.h - Shared experiment-harness helpers --------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment harnesses that regenerate the paper's
+/// tables and figures. Each bench binary prints a paper-style table; the
+/// EXOCHI_BENCH_SCALE environment variable (default 0.5, "1.0" = paper
+/// input sizes) controls workload size so quick runs stay quick.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_BENCH_BENCHCOMMON_H
+#define EXOCHI_BENCH_BENCHCOMMON_H
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+#include "kernels/Workloads.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace exochi {
+namespace bench {
+
+/// Reads the bench scale from the environment (default 0.5).
+inline double benchScale() {
+  if (const char *S = std::getenv("EXOCHI_BENCH_SCALE"))
+    return std::max(0.05, std::min(1.0, std::atof(S)));
+  return 0.5;
+}
+
+/// A workload wired to a fresh platform/runtime pair.
+struct WorkloadInstance {
+  std::unique_ptr<exo::ExoPlatform> Platform;
+  std::unique_ptr<chi::Runtime> RT;
+  std::unique_ptr<kernels::MediaWorkload> Workload;
+};
+
+/// Factory type: builds the workload (fresh every call so trials are
+/// independent).
+using WorkloadFactory =
+    std::function<std::unique_ptr<kernels::MediaWorkload>()>;
+
+/// Instantiates \p Make on a fresh platform with the given memory model.
+/// Aborts on setup errors (bench tool code).
+inline WorkloadInstance
+instantiate(const WorkloadFactory &Make,
+            chi::MemoryModel Model = chi::MemoryModel::CCShared) {
+  WorkloadInstance W;
+  W.Platform = std::make_unique<exo::ExoPlatform>();
+  W.RT = std::make_unique<chi::Runtime>(*W.Platform, Model);
+  W.Workload = Make();
+  chi::ProgramBuilder PB;
+  cantFail(W.Workload->compile(PB));
+  cantFail(W.RT->loadBinary(PB.binary()));
+  cantFail(W.Workload->setup(*W.RT));
+  return W;
+}
+
+/// The ten Table 2 workload factories at \p Scale, in paper order.
+inline std::vector<std::pair<std::string, WorkloadFactory>>
+table2Factories(double Scale) {
+  using namespace kernels;
+  auto D = [Scale](uint32_t V) { return scaleDim(V, Scale); };
+  auto F = [Scale](uint32_t V) {
+    return std::max(6u, static_cast<uint32_t>(std::lround(V * Scale)));
+  };
+  std::vector<std::pair<std::string, WorkloadFactory>> Out;
+  Out.emplace_back("LinearFilter", WorkloadFactory([=] { return createLinearFilter(D(640), D(480)); }));
+  Out.emplace_back("SepiaTone", WorkloadFactory([=] { return createSepiaTone(D(640), D(480)); }));
+  Out.emplace_back("FGT", WorkloadFactory([=] { return createFGT(D(1024), D(768)); }));
+  Out.emplace_back("Bicubic", WorkloadFactory([=] { return createBicubic(D(720), D(480), F(30)); }));
+  Out.emplace_back("Kalman", WorkloadFactory([=] { return createKalman(D(512), D(256), F(30)); }));
+  Out.emplace_back("FMD", WorkloadFactory([=] { return createFMD(D(720), D(480), std::max(15u, F(60))); }));
+  Out.emplace_back("AlphaBlend", WorkloadFactory([=] { return createAlphaBlend(D(720), D(480), F(30)); }));
+  Out.emplace_back("BOB", WorkloadFactory([=] { return createBOB(D(720), D(480), F(30)); }));
+  Out.emplace_back("ADVDI", WorkloadFactory([=] { return createADVDI(D(720), D(480), F(30)); }));
+  Out.emplace_back("ProcAmp", WorkloadFactory([=] { return createProcAmp(D(720), D(480), F(30)); }));
+  return Out;
+}
+
+/// IA32-alone execution time of the full workload on a fresh CPU model.
+inline double cpuAloneNs(kernels::MediaWorkload &WL) {
+  mem::MemoryBus Bus;
+  cpu::CpuModel Cpu(cpu::CpuConfig(), Bus);
+  return Cpu.execute(0.0, WL.hostWorkFor(0, WL.totalStrips()));
+}
+
+/// Device (CC shared) execution of the full workload; returns region
+/// stats. Aborts on dispatch errors.
+inline chi::RegionStats deviceRun(WorkloadInstance &W) {
+  auto H = W.Workload->dispatchDevice(*W.RT, 0, W.Workload->totalStrips());
+  cantFail(H.takeError());
+  return *W.RT->regionStats(*H);
+}
+
+} // namespace bench
+} // namespace exochi
+
+#endif // EXOCHI_BENCH_BENCHCOMMON_H

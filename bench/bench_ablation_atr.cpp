@@ -1,0 +1,85 @@
+//===- bench/bench_ablation_atr.cpp - ATR / locality-scheduling ablation --------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation over the address-translation-remapping machinery (paper
+// Section 3.2) and the CHI runtime's locality-aware shred ordering
+// (Section 5.1: "shreds accessing adjacent or overlapping macroblocks
+// are ordered closely together in the work queue so as to take advantage
+// of spatial and temporal localities").
+//
+// With the runtime's in-order (locality) queue, the shreds' working set
+// stays within a handful of pages and ATR misses are compulsory only —
+// the TLB capacity and proxy latency barely matter. A shuffled queue
+// destroys that locality: small TLBs thrash and every miss pays the
+// proxy-execution round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Random.h"
+
+using namespace exochi;
+using namespace exochi::bench;
+
+namespace {
+
+chi::RegionStats runWithConfig(const WorkloadFactory &Make,
+                               unsigned TlbEntriesPerEu,
+                               double SignalLatencyNs, bool Shuffled) {
+  exo::PlatformConfig Config;
+  Config.Gma.TlbEntriesPerEu = TlbEntriesPerEu;
+  Config.Proxy.SignalLatencyNs = SignalLatencyNs;
+
+  auto Platform = std::make_unique<exo::ExoPlatform>(Config);
+  chi::Runtime RT(*Platform);
+  auto WL = Make();
+  chi::ProgramBuilder PB;
+  cantFail(WL->compile(PB));
+  cantFail(RT.loadBinary(PB.binary()));
+  cantFail(WL->setup(RT));
+
+  std::vector<uint64_t> Order;
+  for (uint64_t S = 0; S < WL->totalStrips(); ++S)
+    Order.push_back(S);
+  if (Shuffled) {
+    Rng R(0xabcdef);
+    for (size_t K = Order.size(); K > 1; --K)
+      std::swap(Order[K - 1], Order[R.nextBelow(K)]);
+  }
+  auto H = WL->dispatchDevicePermuted(RT, std::move(Order));
+  cantFail(H.takeError());
+  return *RT.regionStats(*H);
+}
+
+} // namespace
+
+int main() {
+  double Scale = benchScale();
+  auto Factory = table2Factories(Scale)[0].second; // LinearFilter
+  std::printf("=== Ablation: ATR (TLB capacity x proxy latency x shred "
+              "ordering), LinearFilter (scale %.2f) ===\n",
+              Scale);
+  std::printf("%-10s %-8s %-10s %10s %12s %14s\n", "ordering", "TLB/EU",
+              "proxy ns", "total ms", "TLB misses", "proxy stall ms");
+
+  const unsigned TlbSizes[] = {1, 4, 32};
+  const double Latencies[] = {250.0, 2000.0};
+  for (bool Shuffled : {false, true})
+    for (unsigned Tlb : TlbSizes)
+      for (double Lat : Latencies) {
+        chi::RegionStats S = runWithConfig(Factory, Tlb, Lat, Shuffled);
+        std::printf("%-10s %-8u %-10.0f %10.3f %12llu %14.3f\n",
+                    Shuffled ? "shuffled" : "locality", Tlb, Lat,
+                    S.totalNs() / 1e6,
+                    static_cast<unsigned long long>(S.Device.TlbMisses),
+                    S.Device.ProxyStallNs / 1e6);
+      }
+  std::printf("(the CHI runtime's locality-ordered queue keeps ATR at "
+              "compulsory misses; shuffled dispatch thrashes small TLBs "
+              "and exposes the proxy round trip)\n");
+  return 0;
+}

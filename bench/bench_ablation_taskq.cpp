@@ -1,0 +1,110 @@
+//===- bench/bench_ablation_taskq.cpp - Work-queuing ablation --------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the taskq/task work-queuing extension (paper Section 4.3):
+// the H.264-style deblocking dependency pattern (each macroblock waits on
+// its left and upper neighbours) versus the same tasks dispatched as an
+// unordered fork-join region. Dependencies force a wavefront schedule
+// whose early and late waves cannot fill the 32 exo-sequencers; the cost
+// of honouring the ordering is the gap between the two.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "chi/TaskQueue.h"
+
+using namespace exochi;
+using namespace exochi::bench;
+
+namespace {
+
+constexpr const char *GridKernel = R"(
+  ; touch the macroblock cell and its neighbours, then update it
+  mov.1.dw vr10 = 0
+  cmp.gt.1.dw p1 = x, 0
+  br !p1, noleft
+  sub.1.dw vr11 = cell, 1
+  ld.1.dw vr12 = (grid, vr11, 0)
+  max.1.dw vr10 = vr10, vr12
+noleft:
+  cmp.gt.1.dw p2 = y, 0
+  br !p2, noup
+  sub.1.dw vr13 = cell, w
+  ld.1.dw vr14 = (grid, vr13, 0)
+  max.1.dw vr10 = vr10, vr14
+noup:
+  add.1.dw vr10 = vr10, 1
+  ; simulate per-macroblock filtering work
+  mov.1.dw vr20 = 0
+busy:
+  mul.8.dw [vr24..vr31] = [vr24..vr31], 3
+  add.1.dw vr20 = vr20, 1
+  cmp.lt.1.dw p3 = vr20, 40
+  br p3, busy
+  st.1.dw (grid, cell, 0) = vr10
+  halt
+)";
+
+double runGrid(unsigned W, unsigned H, bool WithDeps, unsigned &WavesOut) {
+  exo::ExoPlatform Platform;
+  chi::Runtime RT(Platform);
+  chi::ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("grid", GridKernel, {"cell", "x", "y", "w"},
+                            {"grid"})
+               .takeError());
+  cantFail(RT.loadBinary(PB.binary()));
+  exo::SharedBuffer Grid = Platform.allocateShared(W * H * 4, "grid");
+  for (unsigned K = 0; K < W * H; ++K)
+    Platform.store<int32_t>(Grid.Base + K * 4, 0);
+  uint32_t Desc = cantFail(RT.allocDesc(
+      chi::TargetIsa::X3000, Grid.Base, chi::SurfaceMode::InputOutput, W, H));
+
+  chi::TaskQueue Q(RT, "grid");
+  Q.shared("grid", Desc);
+  std::vector<chi::TaskQueue::TaskId> Ids(W * H);
+  for (unsigned Y = 0; Y < H; ++Y)
+    for (unsigned X = 0; X < W; ++X) {
+      std::vector<chi::TaskQueue::TaskId> Deps;
+      if (WithDeps) {
+        if (X > 0)
+          Deps.push_back(Ids[Y * W + X - 1]);
+        if (Y > 0)
+          Deps.push_back(Ids[(Y - 1) * W + X]);
+      }
+      Ids[Y * W + X] = Q.task({{"cell", static_cast<int32_t>(Y * W + X)},
+                               {"x", static_cast<int32_t>(X)},
+                               {"y", static_cast<int32_t>(Y)},
+                               {"w", static_cast<int32_t>(W)}},
+                              Deps);
+    }
+  auto Stats = Q.finish();
+  cantFail(Stats.takeError());
+  WavesOut = Stats->Waves;
+  return Stats->totalNs();
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: taskq dependency ordering vs unordered "
+              "dispatch ===\n");
+  std::printf("%-12s %8s %12s %8s %12s %10s\n", "grid", "waves",
+              "deps ms", "waves", "unord ms", "overhead");
+  const unsigned Sizes[][2] = {{8, 8}, {16, 16}, {45, 30}, {90, 60}};
+  for (auto &S : Sizes) {
+    unsigned WavesDeps = 0, WavesUnordered = 0;
+    double TDeps = runGrid(S[0], S[1], /*WithDeps=*/true, WavesDeps);
+    double TUnord = runGrid(S[0], S[1], /*WithDeps=*/false, WavesUnordered);
+    std::printf("%3ux%-8u %8u %12.3f %8u %12.3f %9.2fx\n", S[0], S[1],
+                WavesDeps, TDeps / 1e6, WavesUnordered, TUnord / 1e6,
+                TDeps / TUnord);
+  }
+  std::printf("(45x30 is a 720x480 frame in 16x16 macroblocks; wavefront "
+              "ordering costs little once the diagonal exceeds the 32 "
+              "exo-sequencers)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/bench_fig8_flush_ablation.cpp - Section 5.2 flush experiment -----===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the paper's Section 5.2 intelligent-flushing experiment:
+// with an unoptimized 2 GB/s cache flush paid entirely up front,
+// LinearFilter's speedup over the IA32 sequencer drops to ~3.15x; but
+// because the first 32 shreds touch less than 1% of the input, flushing
+// just that data eagerly and overlapping the rest with execution recovers
+// performance "very close to a cache-coherent shared virtual memory
+// configuration" without coherence hardware.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace exochi;
+using namespace exochi::bench;
+
+int main() {
+  double Scale = benchScale();
+  auto Factory = table2Factories(Scale)[0].second; // LinearFilter
+
+  struct Config {
+    const char *Name;
+    chi::MemoryModel Model;
+    bool Intelligent;
+  };
+  const Config Configs[] = {
+      {"CC Shared (reference)", chi::MemoryModel::CCShared, false},
+      {"Non-CC, up-front flush", chi::MemoryModel::NonCCShared, false},
+      {"Non-CC, intelligent flush", chi::MemoryModel::NonCCShared, true},
+  };
+
+  std::printf("=== Section 5.2: cache-flush strategies, LinearFilter "
+              "(scale %.2f) ===\n",
+              Scale);
+  std::printf("%-28s %10s %10s %10s %10s\n", "configuration", "total ms",
+              "flush ms", "speedup", "rel to CC");
+
+  double CpuNs = 0, CcNs = 0;
+  for (const Config &C : Configs) {
+    WorkloadInstance W = instantiate(Factory, C.Model);
+    W.RT->setIntelligentFlush(C.Intelligent);
+    if (CpuNs == 0)
+      CpuNs = cpuAloneNs(*W.Workload);
+    chi::RegionStats S = deviceRun(W);
+    double T = S.totalNs();
+    if (CcNs == 0)
+      CcNs = T;
+    std::printf("%-28s %10.3f %10.3f %9.2fx %9.1f%%\n", C.Name, T / 1e6,
+                S.FlushNs / 1e6, CpuNs / T, 100 * CcNs / T);
+  }
+  std::printf("paper: up-front flush at 2 GB/s -> 3.15x; intelligent "
+              "flushing -> close to CC\n");
+  return 0;
+}

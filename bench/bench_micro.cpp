@@ -1,0 +1,130 @@
+//===- bench/bench_micro.cpp - Toolchain microbenchmarks -------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the toolchain itself (not the
+// simulated hardware): assembler throughput, instruction codec, fat
+// binary round trips, TLB operations, and the device simulator's
+// instruction rate. These guard against regressions that would make the
+// experiment harnesses impractically slow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+#include "isa/Encoding.h"
+#include "mem/Tlb.h"
+#include "xasm/Assembler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace exochi;
+
+namespace {
+
+constexpr const char *VecAddAsm = R"(
+  shl.1.dw vr1 = i, 3
+  ld.8.dw  [vr2..vr9]   = (A, vr1, 0)
+  ld.8.dw  [vr10..vr17] = (B, vr1, 0)
+  add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+  st.8.dw  (C, vr1, 0)  = [vr18..vr25]
+  halt
+)";
+
+xasm::SymbolBindings vecAddBindings() {
+  xasm::SymbolBindings B;
+  B.bindScalar("i", 0);
+  B.bindSurface("A", 0);
+  B.bindSurface("B", 1);
+  B.bindSurface("C", 2);
+  return B;
+}
+
+void BM_AssembleKernel(benchmark::State &State) {
+  xasm::SymbolBindings Binds = vecAddBindings();
+  for (auto _ : State) {
+    auto K = xasm::assembleKernel(VecAddAsm, Binds);
+    benchmark::DoNotOptimize(K);
+  }
+  State.SetItemsProcessed(State.iterations() * 6); // instructions
+}
+BENCHMARK(BM_AssembleKernel);
+
+void BM_EncodeDecodeProgram(benchmark::State &State) {
+  auto K = cantFail(xasm::assembleKernel(VecAddAsm, vecAddBindings()));
+  for (auto _ : State) {
+    auto Bytes = isa::encodeProgram(K.Code);
+    auto Back = isa::decodeProgram(Bytes);
+    benchmark::DoNotOptimize(Back);
+  }
+  State.SetItemsProcessed(State.iterations() * K.Code.size());
+}
+BENCHMARK(BM_EncodeDecodeProgram);
+
+void BM_FatBinaryRoundTrip(benchmark::State &State) {
+  chi::ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("vecadd", VecAddAsm, {"i"}, {"A", "B", "C"})
+               .takeError());
+  auto Bytes = PB.binary().serialize();
+  for (auto _ : State) {
+    auto FB = fatbin::FatBinary::deserialize(Bytes);
+    benchmark::DoNotOptimize(FB);
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Bytes.size()));
+}
+BENCHMARK(BM_FatBinaryRoundTrip);
+
+void BM_TlbLookupHit(benchmark::State &State) {
+  mem::Tlb Tlb(256);
+  for (uint64_t K = 0; K < 256; ++K)
+    Tlb.insert(K, mem::GpuPte::make(K, true, mem::GpuMemType::Cached));
+  uint64_t Vpn = 0;
+  for (auto _ : State) {
+    auto E = Tlb.lookup(Vpn);
+    benchmark::DoNotOptimize(E);
+    Vpn = (Vpn + 1) & 255;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_TlbLookupHit);
+
+/// Simulated-instruction throughput of the device model: how many XGMA
+/// instructions per wall-second the interpreter retires.
+void BM_DeviceSimulationRate(benchmark::State &State) {
+  exo::ExoPlatform Platform;
+  chi::ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("spin", R"(
+    mov.1.dw vr0 = 0
+  loop:
+    mul.8.dw [vr8..vr15] = [vr8..vr15], 3
+    add.8.dw [vr16..vr23] = [vr16..vr23], 7
+    add.1.dw vr0 = vr0, 1
+    cmp.lt.1.dw p1 = vr0, 200
+    br p1, loop
+    halt
+  )",
+                            {}, {})
+               .takeError());
+  chi::Runtime RT(Platform);
+  cantFail(RT.loadBinary(PB.binary()));
+
+  uint64_t Instructions = 0;
+  for (auto _ : State) {
+    chi::RegionSpec Spec;
+    Spec.KernelName = "spin";
+    Spec.NumThreads = 32;
+    auto H = RT.dispatch(Spec);
+    cantFail(H.takeError());
+    Instructions += RT.regionStats(*H)->Device.Instructions;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instructions));
+}
+BENCHMARK(BM_DeviceSimulationRate);
+
+} // namespace
+
+BENCHMARK_MAIN();

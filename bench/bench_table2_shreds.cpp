@@ -1,0 +1,55 @@
+//===- bench/bench_table2_shreds.cpp - Table 2 ---------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the paper's Table 2: the media kernels, their input sizes,
+// and the number of GMA X3000 shreds spawned per kernel execution. Shred
+// counts derive from each kernel's macroblock/strip geometry at the
+// paper's input sizes (independent of EXOCHI_BENCH_SCALE).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+int main() {
+  std::printf("=== Table 2: media-processing kernels ===\n");
+  std::printf("%-14s %-22s %12s %12s %8s\n", "kernel", "data size",
+              "ours #shreds", "paper", "delta");
+
+  struct Row {
+    std::unique_ptr<MediaWorkload> WL;
+    const char *Size;
+    uint64_t Paper;
+  };
+  Row Rows[] = {
+      {createLinearFilter(640, 480), "640x480 image", 6480},
+      {createLinearFilter(2000, 2000), "2000x2000 image", 83500},
+      {createSepiaTone(640, 480), "640x480 image", 4800},
+      {createSepiaTone(2000, 2000), "2000x2000 image", 62500},
+      {createFGT(1024, 768), "1024x768 image", 96},
+      {createBicubic(720, 480, 30), "30f 360x240->720x480", 2700},
+      {createKalman(512, 256, 30), "30f 512x256", 4096},
+      {createKalman(2048, 1024, 30), "30f 2048x1024", 65536},
+      {createFMD(720, 480, 60), "60f 720x480", 1276},
+      {createAlphaBlend(720, 480, 30), "64x32 onto 30f 720x480", 2700},
+      {createBOB(720, 480, 30), "30f 720x480", 2700},
+      {createADVDI(720, 480, 30), "30f 720x480", 2700},
+      {createProcAmp(720, 480, 30), "30f 720x480", 2700},
+  };
+  for (const Row &R : Rows) {
+    uint64_t Ours = R.WL->totalStrips();
+    double Delta =
+        100.0 * (static_cast<double>(Ours) - static_cast<double>(R.Paper)) /
+        static_cast<double>(R.Paper);
+    std::printf("%-14s %-22s %12llu %12llu %+7.1f%%\n",
+                R.WL->abbrev().c_str(), R.Size,
+                static_cast<unsigned long long>(Ours),
+                static_cast<unsigned long long>(R.Paper), Delta);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- chi/ChiApi.h - Table 1 CHI APIs, paper-style spellings ---------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers giving the Table 1 runtime APIs their paper spellings so
+/// the examples read like the paper's listings (Figure 6 / Figure 9):
+///
+/// \code
+///   A_desc = chi_alloc_desc(RT, X3000, A, CHI_INPUT, n, 1);
+///   chi_free_desc(RT, A_desc);
+///   chi_modify_desc(RT, A_desc, attr, value);
+///   chi_set_feature(RT, feature, value);
+///   chi_set_feature_pershred(RT, shred, feature, value);
+/// \endcode
+///
+/// The only departure from the paper is the explicit runtime handle (the
+/// paper's implementation keeps it in thread-local state).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_CHI_CHIAPI_H
+#define EXOCHI_CHI_CHIAPI_H
+
+#include "chi/Runtime.h"
+
+namespace exochi {
+namespace chi {
+
+constexpr TargetIsa X3000 = TargetIsa::X3000;
+constexpr SurfaceMode CHI_INPUT = SurfaceMode::Input;
+constexpr SurfaceMode CHI_OUTPUT = SurfaceMode::Output;
+constexpr SurfaceMode CHI_INOUT = SurfaceMode::InputOutput;
+
+/// Table 1 API #1.
+inline Expected<uint32_t> chi_alloc_desc(Runtime &RT, TargetIsa Target,
+                                         mem::VirtAddr Ptr, SurfaceMode Mode,
+                                         uint32_t Width, uint32_t Height) {
+  return RT.allocDesc(Target, Ptr, Mode, Width, Height);
+}
+
+/// Table 1 API #2.
+inline Error chi_free_desc(Runtime &RT, uint32_t Desc) {
+  return RT.freeDesc(Desc);
+}
+
+/// Table 1 API #3.
+inline Error chi_modify_desc(Runtime &RT, uint32_t Desc, DescAttr Attr,
+                             int64_t Value) {
+  return RT.modifyDesc(Desc, Attr, Value);
+}
+
+/// Table 1 API #4.
+inline void chi_set_feature(Runtime &RT, Feature F, int64_t Value) {
+  RT.setFeature(F, Value);
+}
+
+/// Table 1 API #5.
+inline void chi_set_feature_pershred(Runtime &RT, uint32_t ShredId, Feature F,
+                                     int64_t Value) {
+  RT.setFeaturePerShred(ShredId, F, Value);
+}
+
+} // namespace chi
+} // namespace exochi
+
+#endif // EXOCHI_CHI_CHIAPI_H

@@ -1,0 +1,34 @@
+//===- chi/Cooperative.cpp -----------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/Cooperative.h"
+
+using namespace exochi;
+using namespace exochi::chi;
+
+Expected<CooperativeOutcome>
+chi::findOraclePartition(const PartitionRunner &Run, unsigned MaxTrials) {
+  // All-GPU is always a valid partition and anchors the search.
+  auto Best = Run(0.0);
+  if (!Best)
+    return Best.takeError();
+
+  double Lo = 0.0, Hi = 0.9;
+  for (unsigned Trial = 1; Trial < MaxTrials; ++Trial) {
+    double Mid = (Lo + Hi) / 2;
+    auto O = Run(Mid);
+    if (!O)
+      return O.takeError();
+    if (O->TotalNs < Best->TotalNs)
+      Best = O;
+    // Too much CPU work: shrink from above; too little: grow from below.
+    if (O->CpuBusyNs > O->GpuBusyNs)
+      Hi = Mid;
+    else
+      Lo = Mid;
+  }
+  return Best;
+}

@@ -1,0 +1,62 @@
+//===- chi/Cooperative.h - Cooperative CPU+GPU work partitioning ------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Support for cooperative execution between heterogeneous sequencers
+/// (paper Section 5.3 / Figures 9 and 10): the master IA32 shred uses
+/// master_nowait to fork accelerator shreds for part of the work, executes
+/// the remaining iterations itself, and both finish as close together as
+/// possible. Figure 10 compares four partitions — 0% CPU, 10%, 25%, and an
+/// oracle that balances completion times — which this module expresses as
+/// a PartitionRunner plus an oracle search.
+///
+/// A PartitionRunner simulates the whole workload with a given fraction
+/// of iterations on the IA32 sequencer and reports busy times. The oracle
+/// search bisects on the CPU/GPU busy-time imbalance (both sides are
+/// monotone in the fraction), mirroring the paper's "optimally distributes
+/// the work so that both ... finish execution as close to the same time
+/// as possible".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_CHI_COOPERATIVE_H
+#define EXOCHI_CHI_COOPERATIVE_H
+
+#include "chi/Chi.h"
+#include "support/Error.h"
+
+#include <functional>
+
+namespace exochi {
+namespace chi {
+
+/// Result of simulating one CPU/GPU work partition.
+struct CooperativeOutcome {
+  double CpuFraction = 0; ///< fraction of iterations on the IA32 sequencer
+  TimeNs TotalNs = 0;     ///< wall time of the partitioned execution
+  TimeNs CpuBusyNs = 0;   ///< IA32 busy time
+  TimeNs GpuBusyNs = 0;   ///< accelerator busy time
+  /// Time both sequencers were busy simultaneously (the overlap segment
+  /// of Figure 10's stacked bars).
+  TimeNs bothBusyNs() const { return std::min(CpuBusyNs, GpuBusyNs); }
+};
+
+/// Simulates the workload with \p CpuFraction of the work on the IA32
+/// sequencer. Must be deterministic and side-effect-free across calls
+/// (each call should build a fresh platform).
+using PartitionRunner =
+    std::function<Expected<CooperativeOutcome>(double CpuFraction)>;
+
+/// Searches for the oracle partition by bisecting on busy-time imbalance.
+/// Evaluates at most \p MaxTrials partitions and returns the best
+/// (lowest TotalNs) outcome seen.
+Expected<CooperativeOutcome> findOraclePartition(const PartitionRunner &Run,
+                                                 unsigned MaxTrials = 12);
+
+} // namespace chi
+} // namespace exochi
+
+#endif // EXOCHI_CHI_COOPERATIVE_H

@@ -1,0 +1,52 @@
+//===- chi/Hetero.cpp --------------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/Hetero.h"
+
+#include <algorithm>
+
+using namespace exochi;
+using namespace exochi::chi;
+
+HeteroWork::~HeteroWork() = default;
+
+Expected<CooperativeOutcome>
+chi::runStaticPartition(Runtime &RT, HeteroWork &Work, double CpuFraction) {
+  uint64_t Total = Work.totalUnits();
+  if (Total == 0)
+    return Error::make("empty heterogeneous workload");
+  uint64_t CpuUnits = std::min<uint64_t>(
+      Total, static_cast<uint64_t>(static_cast<double>(Total) * CpuFraction));
+
+  CooperativeOutcome O;
+  O.CpuFraction = CpuFraction;
+  double T0 = RT.now();
+
+  mem::MemoryBus HostBus(RT.platform().config().Bus);
+  cpu::CpuModel HostCpu(RT.platform().config().Cpu, HostBus);
+
+  if (CpuUnits < Total) {
+    auto H = Work.dispatchDevice(RT, CpuUnits, Total, /*MasterNowait=*/true);
+    if (!H)
+      return H.takeError();
+    O.GpuBusyNs = RT.regionStats(*H)->EndNs - T0;
+    if (CpuUnits > 0) {
+      if (Error E = Work.hostRun(RT, 0, CpuUnits))
+        return E;
+      RT.advanceTo(HostCpu.execute(T0, Work.hostWork(0, CpuUnits)));
+    }
+    O.CpuBusyNs = RT.now() - T0;
+    if (Error E = RT.wait(*H))
+      return E;
+  } else {
+    if (Error E = Work.hostRun(RT, 0, Total))
+      return E;
+    RT.advanceTo(HostCpu.execute(T0, Work.hostWork(0, Total)));
+    O.CpuBusyNs = RT.now() - T0;
+  }
+  O.TotalNs = RT.now() - T0;
+  return O;
+}

@@ -1,0 +1,64 @@
+//===- chi/Hetero.h - Heterogeneous work partitioning ------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime side of cooperative execution (paper Section 5.3): "the
+/// programmer can provide a separate version of the code to execute an
+/// individual loop iteration for each targeted ISA", and the runtime
+/// divides the iterations among the sequencers.
+///
+/// HeteroWork is that pair of code versions over a unit-indexed iteration
+/// space. runStaticPartition executes a static split with master_nowait
+/// overlap and reports the busy breakdown of Figure 10; the oracle and
+/// dynamic policies build on it (chi/Cooperative.h, and the guided
+/// self-scheduling study in bench_ablation_dynamic_sched).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_CHI_HETERO_H
+#define EXOCHI_CHI_HETERO_H
+
+#include "chi/Cooperative.h"
+#include "chi/Runtime.h"
+
+namespace exochi {
+namespace chi {
+
+/// A workload with one implementation per target ISA over a shared
+/// unit-indexed iteration space (units = shreds / loop iterations).
+class HeteroWork {
+public:
+  virtual ~HeteroWork();
+
+  /// Number of work units.
+  virtual uint64_t totalUnits() const = 0;
+
+  /// Dispatches units [U0, U1) to the accelerator.
+  virtual Expected<RegionHandle> dispatchDevice(Runtime &RT, uint64_t U0,
+                                                uint64_t U1,
+                                                bool MasterNowait) = 0;
+
+  /// Functionally executes units [U0, U1) on the IA32 sequencer,
+  /// publishing results into shared memory.
+  virtual Error hostRun(Runtime &RT, uint64_t U0, uint64_t U1) = 0;
+
+  /// Analytic IA32 cost of units [U0, U1).
+  virtual cpu::WorkEstimate hostWork(uint64_t U0, uint64_t U1) const = 0;
+};
+
+/// Executes \p Work with the first CpuFraction of its units on the IA32
+/// sequencer (Figure 9's pattern: device shreds forked with
+/// master_nowait, the master runs its share concurrently, then joins).
+/// The master's concurrent work is priced on a private CPU model so the
+/// sequential simulation does not serialize its memory traffic behind
+/// the device's bus schedule.
+Expected<CooperativeOutcome>
+runStaticPartition(Runtime &RT, HeteroWork &Work, double CpuFraction);
+
+} // namespace chi
+} // namespace exochi
+
+#endif // EXOCHI_CHI_HETERO_H

@@ -1,0 +1,101 @@
+//===- chi/ParallelRegion.h - The extended OpenMP parallel construct --------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent builder mirroring the paper's extended OpenMP parallel pragma
+/// (Figure 5a). The paper's Figure 6 example
+///
+/// \code
+///   #pragma omp parallel target(X3000) shared(A, B, C)
+///           descriptor(A_desc, B_desc, C_desc) private(i) master_nowait
+///   { for (i = 0; i < n/8; i++) __asm { ... } }
+/// \endcode
+///
+/// becomes
+///
+/// \code
+///   chi::ParallelRegion R(RT, chi::TargetIsa::X3000, "vecadd");
+///   R.shared("A", ADesc).shared("B", BDesc).shared("C", CDesc)
+///    .privateVar("i", [](unsigned T) { return int32_t(T); })
+///    .numThreads(N / 8)
+///    .masterNowait();
+///   auto H = R.execute();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_CHI_PARALLELREGION_H
+#define EXOCHI_CHI_PARALLELREGION_H
+
+#include "chi/Runtime.h"
+
+namespace exochi {
+namespace chi {
+
+/// Builder for one heterogeneous fork-join parallel region.
+class ParallelRegion {
+public:
+  /// \p Kernel names the accelerator code section compiled from the
+  /// construct's inline assembly block.
+  ParallelRegion(Runtime &RT, TargetIsa Target, std::string Kernel)
+      : RT(RT), Target(Target) {
+    Spec.KernelName = std::move(Kernel);
+  }
+
+  /// num_threads(n) clause.
+  ParallelRegion &numThreads(unsigned N) {
+    Spec.NumThreads = N;
+    return *this;
+  }
+
+  /// master_nowait clause: the master continues past the construct.
+  ParallelRegion &masterNowait() {
+    Spec.MasterNowait = true;
+    return *this;
+  }
+
+  /// shared(Var) + descriptor(Desc) clauses.
+  ParallelRegion &shared(std::string Var, uint32_t Desc) {
+    Spec.SharedDescs[std::move(Var)] = Desc;
+    return *this;
+  }
+
+  /// firstprivate(Var) clause: the same copy-constructed value for every
+  /// shred in the team.
+  ParallelRegion &firstprivate(std::string Var, int32_t Value) {
+    Spec.Firstprivate[std::move(Var)] = Value;
+    return *this;
+  }
+
+  /// private(Var) clause under `parallel for`: each shred's context is
+  /// initialized with the value for its loop iteration.
+  ParallelRegion &privateVar(std::string Var,
+                             std::function<int32_t(unsigned)> PerShred) {
+    Spec.Private[std::move(Var)] = std::move(PerShred);
+    return *this;
+  }
+
+  /// Executes the construct: forks the team, and (unless master_nowait)
+  /// waits at the implied barrier.
+  Expected<RegionHandle> execute() {
+    if (Target != TargetIsa::X3000)
+      return Error::make("only target(X3000) regions dispatch to the "
+                         "accelerator; IA32 loops run via runHostWork");
+    return RT.dispatch(Spec);
+  }
+
+  const RegionSpec &spec() const { return Spec; }
+
+private:
+  Runtime &RT;
+  TargetIsa Target;
+  RegionSpec Spec;
+};
+
+} // namespace chi
+} // namespace exochi
+
+#endif // EXOCHI_CHI_PARALLELREGION_H

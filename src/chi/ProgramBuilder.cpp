@@ -1,0 +1,70 @@
+//===- chi/ProgramBuilder.cpp ---------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/ProgramBuilder.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+#include "xasm/Assembler.h"
+
+using namespace exochi;
+using namespace exochi::chi;
+
+Expected<uint32_t>
+ProgramBuilder::addXgmaKernel(std::string Name, std::string AsmSource,
+                              std::vector<std::string> ScalarParams,
+                              std::vector<std::string> SurfaceParams) {
+  if (Binary.findByName(Name))
+    return Error::make(
+        formatString("duplicate kernel name '%s'", Name.c_str()));
+
+  // Clause lists -> symbol bindings (the ABI).
+  xasm::SymbolBindings Binds;
+  for (size_t K = 0; K < ScalarParams.size(); ++K) {
+    if (K >= isa::NumVRegs)
+      return Error::make("too many scalar parameters");
+    Binds.bindScalar(ScalarParams[K], static_cast<uint8_t>(K));
+  }
+  for (size_t K = 0; K < SurfaceParams.size(); ++K)
+    Binds.bindSurface(SurfaceParams[K], static_cast<int32_t>(K));
+
+  auto K = xasm::assembleKernel(AsmSource, Binds);
+  if (!K)
+    return Error::make(formatString("kernel '%s': %s", Name.c_str(),
+                                    K.message().c_str()));
+
+  // Static verification against the shred-dispatch ABI.
+  if (Policy != LintPolicy::Ignore) {
+    xopt::LintReport Report = xopt::lintKernel(
+        K->Code, static_cast<unsigned>(ScalarParams.size()));
+    if (Policy == LintPolicy::RejectOnWarning && !Report.clean())
+      return Error::make(formatString("kernel '%s': %s", Name.c_str(),
+                                      Report.Warnings.front().c_str()));
+    LintReports[Name] = std::move(Report);
+  }
+
+  // Optional optimizer pass (branch targets, lines, and labels remapped).
+  if (Optimize)
+    OptResults[Name] = xopt::optimizeKernel(K->Code, &K->Lines, &K->Labels);
+
+  fatbin::CodeSection S;
+  S.Isa = fatbin::IsaTag::XGMA;
+  S.Name = std::move(Name);
+  S.Code = isa::encodeProgram(K->Code);
+  S.ScalarParams = std::move(ScalarParams);
+  S.SurfaceParams = std::move(SurfaceParams);
+  S.Debug.Lines = K->Lines;
+  S.Debug.SourceText = std::move(AsmSource);
+  S.Debug.Labels = K->Labels;
+  return Binary.addSection(std::move(S));
+}
+
+uint32_t ProgramBuilder::addIa32Stub(std::string Name) {
+  fatbin::CodeSection S;
+  S.Isa = fatbin::IsaTag::IA32;
+  S.Name = std::move(Name);
+  return Binary.addSection(std::move(S));
+}

@@ -1,0 +1,99 @@
+//===- chi/ProgramBuilder.h - CHI compilation to a fat binary --------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-time half of CHI (paper Section 4.1 and Figure 4): each
+/// `__asm { ... }` block inside a `#pragma omp parallel target(X3000)`
+/// construct is handed to the dynamically linked accelerator assembler
+/// together with the symbol bindings derived from the construct's clause
+/// lists, and the resulting binary code is embedded in a code section of
+/// the fat binary indexed by a unique identifier.
+///
+/// Clause lists determine the kernel ABI:
+///  - private/firstprivate variables, in declaration order, become scalar
+///    parameters preloaded into vr0.. at shred dispatch;
+///  - shared variables (with descriptors), in declaration order, become
+///    surface slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_CHI_PROGRAMBUILDER_H
+#define EXOCHI_CHI_PROGRAMBUILDER_H
+
+#include "fatbin/FatBinary.h"
+#include "support/Error.h"
+#include "xopt/Lint.h"
+#include "xopt/Peephole.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exochi {
+namespace chi {
+
+/// How the builder treats lint findings on compiled kernels.
+enum class LintPolicy : uint8_t {
+  Ignore,          ///< do not lint
+  Collect,         ///< lint and store the report (default)
+  RejectOnWarning, ///< compilation fails when the lint warns
+};
+
+/// Builds the application's fat binary from inline accelerator assembly.
+class ProgramBuilder {
+public:
+  /// Enables the kernel optimizer (strength reduction, algebraic
+  /// simplification, liveness DCE). Off by default so binaries match the
+  /// source instruction-for-instruction unless asked.
+  void setOptimize(bool On) { Optimize = On; }
+
+  /// Sets how lint findings are handled (default: Collect).
+  void setLintPolicy(LintPolicy P) { Policy = P; }
+
+  /// The lint report of a compiled kernel (nullptr when not linted).
+  const xopt::LintReport *lintReport(const std::string &Kernel) const {
+    auto It = LintReports.find(Kernel);
+    return It == LintReports.end() ? nullptr : &It->second;
+  }
+
+  /// Optimizer statistics of a compiled kernel (zeroes when the optimizer
+  /// was off).
+  xopt::OptStats optStats(const std::string &Kernel) const {
+    auto It = OptResults.find(Kernel);
+    return It == OptResults.end() ? xopt::OptStats() : It->second;
+  }
+  /// Compiles one accelerator-specific inline assembly block.
+  ///
+  /// \p ScalarParams are the private/firstprivate clause variables in
+  /// declaration order; \p SurfaceParams are the shared clause variables
+  /// in declaration order. Symbolic references inside \p AsmSource
+  /// resolve against these lists. Returns the section's unique id.
+  Expected<uint32_t> addXgmaKernel(std::string Name, std::string AsmSource,
+                                   std::vector<std::string> ScalarParams,
+                                   std::vector<std::string> SurfaceParams);
+
+  /// Registers an IA32 section key (host code is native in this
+  /// reproduction; the section records the name so the binary is
+  /// genuinely multi-ISA).
+  uint32_t addIa32Stub(std::string Name);
+
+  /// Finalizes and returns the fat binary.
+  fatbin::FatBinary take() { return std::move(Binary); }
+
+  const fatbin::FatBinary &binary() const { return Binary; }
+
+private:
+  fatbin::FatBinary Binary;
+  bool Optimize = false;
+  LintPolicy Policy = LintPolicy::Collect;
+  std::map<std::string, xopt::LintReport> LintReports;
+  std::map<std::string, xopt::OptStats> OptResults;
+};
+
+} // namespace chi
+} // namespace exochi
+
+#endif // EXOCHI_CHI_PROGRAMBUILDER_H

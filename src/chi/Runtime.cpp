@@ -1,0 +1,375 @@
+//===- chi/Runtime.cpp ---------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/Runtime.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace exochi;
+using namespace exochi::chi;
+
+const char *chi::memoryModelName(MemoryModel M) {
+  switch (M) {
+  case MemoryModel::DataCopy:
+    return "DataCopy";
+  case MemoryModel::NonCCShared:
+    return "Non-CC Shared";
+  case MemoryModel::CCShared:
+    return "CC Shared";
+  }
+  exochiUnreachable("bad MemoryModel");
+}
+
+Runtime::Runtime(exo::ExoPlatform &Platform, MemoryModel Model)
+    : Platform(Platform), Model(Model) {}
+
+Error Runtime::loadBinary(const fatbin::FatBinary &Binary) {
+  for (const fatbin::CodeSection &S : Binary.sections()) {
+    if (S.Isa != fatbin::IsaTag::XGMA)
+      continue;
+    if (Loaded.count(S.Name))
+      return Error::make(
+          formatString("kernel '%s' already loaded", S.Name.c_str()));
+    auto Prog = isa::decodeProgram(S.Code);
+    if (!Prog)
+      return Error::make(formatString("kernel '%s': %s", S.Name.c_str(),
+                                      Prog.message().c_str()));
+    gma::KernelImage Img;
+    Img.Code = std::move(*Prog);
+    Img.Name = S.Name;
+    LoadedKernel LK;
+    LK.DeviceKernelId = Platform.device().registerKernel(std::move(Img));
+    LK.Section = S;
+    Loaded.emplace(S.Name, std::move(LK));
+  }
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Table 1 APIs
+//===----------------------------------------------------------------------===//
+
+Expected<uint32_t> Runtime::allocDesc(TargetIsa Target, mem::VirtAddr Ptr,
+                                      SurfaceMode Mode, uint32_t Width,
+                                      uint32_t Height) {
+  if (Target != TargetIsa::X3000)
+    return Error::make("descriptors describe accelerator surfaces; "
+                       "target must be X3000");
+  if (Width == 0 || Height == 0)
+    return Error::make("descriptor width/height must be positive");
+  Descriptor D;
+  D.Ptr = Ptr;
+  D.Mode = Mode;
+  D.Width = Width;
+  D.Height = Height;
+  if (auto It = GlobalFeatures.find(Feature::DefaultSurfaceTiling);
+      It != GlobalFeatures.end())
+    D.MemType = static_cast<mem::GpuMemType>(It->second);
+  D.HostDirtyBytes = D.totalBytes(); // freshly produced by the host
+  uint32_t Id = NextDesc++;
+  Descriptors.emplace(Id, D);
+  return Id;
+}
+
+Error Runtime::freeDesc(uint32_t Desc) {
+  auto It = Descriptors.find(Desc);
+  if (It == Descriptors.end())
+    return Error::make(formatString("chi_free_desc: unknown descriptor %u",
+                                    Desc));
+  Descriptors.erase(It);
+  return Error::success();
+}
+
+Error Runtime::modifyDesc(uint32_t Desc, DescAttr Attr, int64_t Value) {
+  auto It = Descriptors.find(Desc);
+  if (It == Descriptors.end())
+    return Error::make(formatString("chi_modify_desc: unknown descriptor %u",
+                                    Desc));
+  Descriptor &D = It->second;
+  switch (Attr) {
+  case DescAttr::Width:
+    if (Value <= 0)
+      return Error::make("descriptor width must be positive");
+    D.Width = static_cast<uint32_t>(Value);
+    break;
+  case DescAttr::Height:
+    if (Value <= 0)
+      return Error::make("descriptor height must be positive");
+    D.Height = static_cast<uint32_t>(Value);
+    break;
+  case DescAttr::Mode:
+    D.Mode = static_cast<SurfaceMode>(Value);
+    break;
+  case DescAttr::ElemType:
+    if (Value < 0 || Value > static_cast<int64_t>(isa::ElemType::F64))
+      return Error::make("bad element type value");
+    D.Elem = static_cast<isa::ElemType>(Value);
+    break;
+  case DescAttr::Tiling:
+    if (Value < 0 || Value > static_cast<int64_t>(mem::GpuMemType::Cached))
+      return Error::make("bad tiling value");
+    D.MemType = static_cast<mem::GpuMemType>(Value);
+    break;
+  }
+  return Error::success();
+}
+
+void Runtime::setFeature(Feature F, int64_t Value) {
+  GlobalFeatures[F] = Value;
+}
+
+void Runtime::setFeaturePerShred(uint32_t ShredId, Feature F, int64_t Value) {
+  PerShredFeatures[{ShredId, F}] = Value;
+}
+
+int64_t Runtime::feature(Feature F) const {
+  auto It = GlobalFeatures.find(F);
+  return It == GlobalFeatures.end() ? 0 : It->second;
+}
+
+int64_t Runtime::featureForShred(uint32_t ShredId, Feature F) const {
+  auto It = PerShredFeatures.find({ShredId, F});
+  if (It != PerShredFeatures.end())
+    return It->second;
+  return feature(F);
+}
+
+const Descriptor *Runtime::descriptor(uint32_t Desc) const {
+  auto It = Descriptors.find(Desc);
+  return It == Descriptors.end() ? nullptr : &It->second;
+}
+
+Error Runtime::markHostWrote(uint32_t Desc, uint64_t Bytes) {
+  auto It = Descriptors.find(Desc);
+  if (It == Descriptors.end())
+    return Error::make("markHostWrote: unknown descriptor");
+  It->second.HostDirtyBytes =
+      std::min(It->second.totalBytes(), It->second.HostDirtyBytes + Bytes);
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+Expected<std::shared_ptr<gma::SurfaceTable>>
+Runtime::buildSurfaces(const fatbin::CodeSection &Section,
+                       const RegionSpec &Spec) {
+  auto Table = std::make_shared<gma::SurfaceTable>();
+  for (const std::string &Name : Section.SurfaceParams) {
+    auto It = Spec.SharedDescs.find(Name);
+    if (It == Spec.SharedDescs.end())
+      return Error::make(formatString(
+          "kernel '%s' requires shared variable '%s' with a descriptor",
+          Section.Name.c_str(), Name.c_str()));
+    const Descriptor *D = descriptor(It->second);
+    if (!D)
+      return Error::make(formatString(
+          "shared variable '%s' references a freed descriptor",
+          Name.c_str()));
+    gma::SurfaceBinding B;
+    B.Base = D->Ptr;
+    B.Width = D->Width;
+    B.Height = D->Height;
+    B.Elem = D->Elem;
+    B.Mode = D->Mode;
+    B.MemType = D->MemType;
+    Table->push_back(B);
+  }
+  return Table;
+}
+
+Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
+  auto KIt = Loaded.find(Spec.KernelName);
+  if (KIt == Loaded.end())
+    return Error::make(formatString("kernel '%s' is not in the fat binary",
+                                    Spec.KernelName.c_str()));
+  const LoadedKernel &LK = KIt->second;
+  if (Spec.NumThreads == 0)
+    return Error::make("num_threads must be positive");
+
+  auto Surfaces = buildSurfaces(LK.Section, Spec);
+  if (!Surfaces)
+    return Surfaces.takeError();
+
+  RegionStats Stats;
+  Stats.SubmitNs = Clock;
+  Stats.ShredsSpawned = Spec.NumThreads;
+
+  cpu::CpuModel &Cpu = Platform.cpuModel();
+
+  // Gather the input and output footprints for the memory-model prologue
+  // and epilogue.
+  uint64_t InputDirtyBytes = 0, InputTotalBytes = 0, OutputBytes = 0;
+  std::vector<uint32_t> InputDescs;
+  for (const auto &[Name, DescId] : Spec.SharedDescs) {
+    const Descriptor *D = descriptor(DescId);
+    if (!D)
+      continue;
+    if (D->Mode != SurfaceMode::Output) {
+      InputDirtyBytes += D->HostDirtyBytes;
+      InputTotalBytes += D->totalBytes();
+      InputDescs.push_back(DescId);
+    }
+    if (D->Mode != SurfaceMode::Input)
+      OutputBytes += D->totalBytes();
+  }
+
+  TimeNs DeviceStart = Clock;
+  TimeNs BackgroundFlushDone = Clock;
+
+  switch (Model) {
+  case MemoryModel::CCShared:
+    break; // coherent shared virtual memory: nothing to do
+
+  case MemoryModel::NonCCShared: {
+    // The IA32 producer must flush its dirty lines before exo-sequencer
+    // shreds may consume them. Dirty data is bounded by the L2 capacity.
+    InputDirtyBytes =
+        std::min<uint64_t>(InputDirtyBytes, Cpu.config().L2CacheBytes);
+    if (IntelligentFlush && Spec.NumThreads > 1) {
+      // Intelligent scheme: flush only the data the first wave of shreds
+      // (one per hardware context) touches, then overlap the rest of the
+      // flush with execution.
+      unsigned Contexts = Platform.config().Gma.totalContexts();
+      double FirstWaveFrac =
+          std::min(1.0, static_cast<double>(Contexts) / Spec.NumThreads);
+      uint64_t Critical = static_cast<uint64_t>(
+          static_cast<double>(InputDirtyBytes) * FirstWaveFrac);
+      Critical = std::max<uint64_t>(Critical,
+                                    std::min<uint64_t>(InputDirtyBytes,
+                                                       mem::PageSize));
+      DeviceStart = Cpu.flushCache(Clock, Critical);
+      BackgroundFlushDone =
+          Cpu.flushCache(DeviceStart, InputDirtyBytes - Critical);
+      Stats.FlushNs = DeviceStart - Clock;
+    } else {
+      DeviceStart = Cpu.flushCache(Clock, InputDirtyBytes);
+      BackgroundFlushDone = DeviceStart;
+      Stats.FlushNs = DeviceStart - Clock;
+    }
+    break;
+  }
+
+  case MemoryModel::DataCopy: {
+    // No shared virtual memory: every input surface is copied into the
+    // accelerator's address space through the WC path, in full.
+    DeviceStart = Cpu.copyWriteCombining(Clock, InputTotalBytes);
+    BackgroundFlushDone = DeviceStart;
+    Stats.CopyNs = DeviceStart - Clock;
+    break;
+  }
+  }
+
+  Stats.DeviceStartNs = DeviceStart;
+
+  // Fork the team: SIGNAL one shred continuation per thread. The
+  // continuation records (the per-shred parameter blocks) are written
+  // into shared virtual memory, where the device firmware fetches them
+  // through ATR-translated reads — the paper's "software work queue in
+  // shared virtual memory". (The records are tiny relative to surface
+  // data, so the non-coherent models do not charge extra flushes for
+  // them.)
+  gma::GmaDevice &Device = Platform.device();
+  Device.resetStats();
+  size_t NumParams = LK.Section.ScalarParams.size();
+  mem::VirtAddr RecordBase = 0;
+  if (NumParams > 0) {
+    exo::SharedBuffer Records = Platform.allocateShared(
+        static_cast<uint64_t>(Spec.NumThreads) * NumParams * 4,
+        Spec.KernelName + ".shredq");
+    RecordBase = Records.Base;
+  }
+  for (unsigned T = 0; T < Spec.NumThreads; ++T) {
+    gma::ShredDescriptor D;
+    D.KernelId = LK.DeviceKernelId;
+    D.Surfaces = *Surfaces;
+    for (const std::string &Param : LK.Section.ScalarParams) {
+      int32_t V = 0;
+      if (auto FIt = Spec.Firstprivate.find(Param);
+          FIt != Spec.Firstprivate.end())
+        V = FIt->second;
+      else if (auto PIt = Spec.Private.find(Param); PIt != Spec.Private.end())
+        V = PIt->second(T);
+      D.Params.push_back(V);
+    }
+    if (NumParams > 0) {
+      D.RecordVa = RecordBase +
+                   static_cast<uint64_t>(T) * NumParams * 4;
+      Platform.write(D.RecordVa, D.Params.data(), NumParams * 4);
+    }
+    Device.enqueueShred(std::move(D));
+  }
+  TotalShreds += Spec.NumThreads;
+
+  auto Exit = Device.run(DeviceStart);
+  if (!Exit)
+    return Exit.takeError();
+  Stats.Device = Device.stats();
+  Stats.DeviceFinishNs = Stats.Device.FinishNs;
+
+  TimeNs End = std::max(Stats.DeviceFinishNs, BackgroundFlushDone);
+
+  switch (Model) {
+  case MemoryModel::CCShared:
+    break;
+  case MemoryModel::NonCCShared: {
+    // The exo-sequencers flush their dirty output lines (bounded by the
+    // device cache capacity) before releasing the completion semaphore;
+    // the on-die flush drains at full bus bandwidth.
+    uint64_t DeviceDirty = std::min<uint64_t>(
+        OutputBytes, Platform.config().Gma.CacheBytes);
+    End += static_cast<double>(DeviceDirty) /
+           Platform.bus().params().BandwidthBytesPerNs;
+    break;
+  }
+  case MemoryModel::DataCopy:
+    // Results are copied back to the IA32 address space. The return
+    // direction is a cacheable-to-cacheable copy at full memory
+    // bandwidth (the 3.1 GB/s WC rate only applies towards the device).
+    End += static_cast<double>(OutputBytes) /
+           Platform.bus().params().BandwidthBytesPerNs;
+    break;
+  }
+  Stats.EndNs = End;
+
+  // Input buffers have been synchronized with memory.
+  for (uint32_t DescId : InputDescs)
+    Descriptors[DescId].HostDirtyBytes = 0;
+
+  RegionHandle H = NextRegion++;
+  Regions.emplace(H, Stats);
+
+  if (!Spec.MasterNowait)
+    advanceTo(End);
+  return H;
+}
+
+Error Runtime::wait(RegionHandle H) {
+  auto It = Regions.find(H);
+  if (It == Regions.end())
+    return Error::make(formatString("wait on unknown region %u", H));
+  advanceTo(It->second.EndNs);
+  return Error::success();
+}
+
+void Runtime::waitAll() {
+  for (const auto &[H, S] : Regions)
+    advanceTo(S.EndNs);
+}
+
+const RegionStats *Runtime::regionStats(RegionHandle H) const {
+  auto It = Regions.find(H);
+  return It == Regions.end() ? nullptr : &It->second;
+}
+
+TimeNs Runtime::runHostWork(const cpu::WorkEstimate &Work) {
+  Clock = Platform.cpuModel().execute(Clock, Work);
+  return Clock;
+}

@@ -1,0 +1,91 @@
+//===- chi/TaskQueue.cpp --------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/TaskQueue.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace exochi;
+using namespace exochi::chi;
+
+TaskQueue::TaskId TaskQueue::task(std::map<std::string, int32_t> CapturePrivate,
+                                  std::vector<TaskId> Deps) {
+  TaskRecord R;
+  R.Captures = std::move(CapturePrivate);
+  R.Deps = std::move(Deps);
+  Tasks.push_back(std::move(R));
+  return static_cast<TaskId>(Tasks.size() - 1);
+}
+
+Expected<TaskQueue::QueueStats> TaskQueue::finish() {
+  QueueStats Stats;
+  Stats.StartNs = RT.now();
+  Stats.Tasks = Tasks.size();
+
+  for (const TaskRecord &T : Tasks)
+    for (TaskId D : T.Deps)
+      if (D >= Tasks.size())
+        return Error::make(formatString("task depends on unknown task %u", D));
+
+  std::vector<bool> Done(Tasks.size(), false);
+  size_t Remaining = Tasks.size();
+
+  while (Remaining > 0) {
+    // The ready frontier: every dependency completed.
+    std::vector<TaskId> Wave;
+    for (TaskId T = 0; T < Tasks.size(); ++T) {
+      if (Done[T])
+        continue;
+      bool Ready = true;
+      for (TaskId D : Tasks[T].Deps)
+        if (!Done[D]) {
+          Ready = false;
+          break;
+        }
+      if (Ready)
+        Wave.push_back(T);
+    }
+    if (Wave.empty())
+      return Error::make("taskq dependency cycle: no task is ready");
+
+    RegionSpec Spec;
+    Spec.KernelName = KernelName;
+    Spec.NumThreads = static_cast<unsigned>(Wave.size());
+    Spec.SharedDescs = SharedDescs;
+    // Each shred of the wave receives its task's captureprivate values.
+    // Collect the union of captured names, defaulting absent ones to 0.
+    for (TaskId T : Wave)
+      for (const auto &[Name, Value] : Tasks[T].Captures) {
+        (void)Value;
+        if (!Spec.Private.count(Name)) {
+          std::string NameCopy = Name;
+          auto *TasksPtr = &Tasks;
+          auto WaveCopy = Wave;
+          Spec.Private[Name] = [TasksPtr, WaveCopy,
+                                NameCopy](unsigned Idx) -> int32_t {
+            const TaskRecord &R = (*TasksPtr)[WaveCopy[Idx]];
+            auto It = R.Captures.find(NameCopy);
+            return It == R.Captures.end() ? 0 : It->second;
+          };
+        }
+      }
+
+    auto H = RT.dispatch(Spec);
+    if (!H)
+      return H.takeError();
+
+    for (TaskId T : Wave)
+      Done[T] = true;
+    Remaining -= Wave.size();
+    ++Stats.Waves;
+  }
+
+  Stats.EndNs = RT.now();
+  Tasks.clear();
+  return Stats;
+}

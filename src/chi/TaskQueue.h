@@ -1,0 +1,105 @@
+//===- chi/TaskQueue.h - The work-queuing (taskq/task) extension ------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The producer-consumer work-queuing model of paper Section 4.3: the
+/// `taskq` construct creates an empty queue of tasks; each `task`
+/// construct encountered while executing the taskq block enqueues one
+/// unit of work, with captureprivate values copy-constructed at enqueue
+/// time. CHI extends the model with inter-shred dependencies so that,
+/// e.g., an H.264 deblocking filter can require a macroblock's left and
+/// upper neighbours to complete first.
+///
+/// Scheduling: the runtime repeatedly dispatches the ready frontier (all
+/// dependencies satisfied) as a wave of heterogeneous shreds. Wavefront
+/// scheduling honours every dependency while still filling the 32
+/// exo-sequencers within a wave.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_CHI_TASKQUEUE_H
+#define EXOCHI_CHI_TASKQUEUE_H
+
+#include "chi/Runtime.h"
+
+namespace exochi {
+namespace chi {
+
+/// One taskq construct targeting the accelerator.
+class TaskQueue {
+public:
+  using TaskId = uint32_t;
+
+  /// Aggregate results of draining the queue.
+  struct QueueStats {
+    unsigned Waves = 0;
+    uint64_t Tasks = 0;
+    TimeNs StartNs = 0;
+    TimeNs EndNs = 0;
+    TimeNs totalNs() const { return EndNs - StartNs; }
+  };
+
+  TaskQueue(Runtime &RT, std::string Kernel) : RT(RT) {
+    KernelName = std::move(Kernel);
+  }
+
+  /// shared(Var) + descriptor(Desc) clauses of the taskq construct; the
+  /// whole queue shares these surfaces.
+  TaskQueue &shared(std::string Var, uint32_t Desc) {
+    SharedDescs[std::move(Var)] = Desc;
+    return *this;
+  }
+
+  /// Enqueues one task construct. \p CapturePrivate values are
+  /// copy-constructed now (captureprivate clause). \p Deps are tasks that
+  /// must complete before this one may start.
+  TaskId task(std::map<std::string, int32_t> CapturePrivate,
+              std::vector<TaskId> Deps = {});
+
+  /// A subordinate queue (paper Section 4.3: "a taskq pragma may be
+  /// nested within either a taskq block or a task block; in both cases a
+  /// subordinate queue is formed"): every task added through the scope
+  /// implicitly depends on the enclosing task.
+  class SubQueue {
+  public:
+    SubQueue(TaskQueue &Parent, TaskId Enclosing)
+        : Parent(Parent), Enclosing(Enclosing) {}
+    TaskId task(std::map<std::string, int32_t> CapturePrivate,
+                std::vector<TaskId> Deps = {}) {
+      Deps.push_back(Enclosing);
+      return Parent.task(std::move(CapturePrivate), std::move(Deps));
+    }
+
+  private:
+    TaskQueue &Parent;
+    TaskId Enclosing;
+  };
+
+  /// Opens a subordinate queue under \p Enclosing.
+  SubQueue nestedIn(TaskId Enclosing) { return SubQueue(*this, Enclosing); }
+
+  /// Drains the queue respecting dependencies. Fails on unknown or
+  /// cyclic dependencies.
+  Expected<QueueStats> finish();
+
+  size_t pendingTasks() const { return Tasks.size(); }
+
+private:
+  struct TaskRecord {
+    std::map<std::string, int32_t> Captures;
+    std::vector<TaskId> Deps;
+  };
+
+  Runtime &RT;
+  std::string KernelName;
+  std::map<std::string, uint32_t> SharedDescs;
+  std::vector<TaskRecord> Tasks;
+};
+
+} // namespace chi
+} // namespace exochi
+
+#endif // EXOCHI_CHI_TASKQUEUE_H

@@ -1,0 +1,62 @@
+//===- cpu/CpuModel.cpp -------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cpu/CpuModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace exochi;
+using namespace exochi::cpu;
+
+WorkEstimate WorkEstimate::scaled(double F) const {
+  auto S = [F](uint64_t V) {
+    return static_cast<uint64_t>(std::llround(static_cast<double>(V) * F));
+  };
+  WorkEstimate W;
+  W.VectorOps = S(VectorOps);
+  W.ScalarOps = S(ScalarOps);
+  W.SamplerOps = S(SamplerOps);
+  W.BytesRead = S(BytesRead);
+  W.BytesWritten = S(BytesWritten);
+  return W;
+}
+
+TimeNs CpuModel::computeNs(const WorkEstimate &Work) const {
+  double Cycles =
+      static_cast<double>(Work.VectorOps) / Config.VectorIssueRate +
+      static_cast<double>(Work.ScalarOps) / Config.ScalarIpc +
+      static_cast<double>(Work.SamplerOps) * Config.SamplerEmulationCycles;
+  return Cycles * Config.cycleNs();
+}
+
+TimeNs CpuModel::execute(TimeNs Now, const WorkEstimate &Work) {
+  TimeNs Compute = computeNs(Work);
+  Stats.ComputeNs += Compute;
+  // Write-allocate caches fetch the destination line before writing
+  // (read-for-ownership), so stores cost twice their bytes on the bus.
+  uint64_t Bytes = Work.BytesRead + 2 * Work.BytesWritten;
+  TimeNs MemDone = Bytes > 0 ? Bus.request(Now, Bytes) : Now;
+  return std::max(Now + Compute, MemDone);
+}
+
+TimeNs CpuModel::copyWriteCombining(TimeNs Now, uint64_t Bytes) {
+  if (Bytes == 0)
+    return Now;
+  TimeNs Dur = static_cast<double>(Bytes) / Config.WcCopyBytesPerNs;
+  Stats.CopyNs += Dur;
+  Stats.BytesCopied += Bytes;
+  return Now + Dur;
+}
+
+TimeNs CpuModel::flushCache(TimeNs Now, uint64_t DirtyBytes) {
+  if (DirtyBytes == 0)
+    return Now;
+  TimeNs Dur = static_cast<double>(DirtyBytes) / Config.FlushBytesPerNs;
+  Stats.FlushNs += Dur;
+  Stats.BytesFlushed += DirtyBytes;
+  return Now + Dur;
+}

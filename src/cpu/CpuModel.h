@@ -1,0 +1,125 @@
+//===- cpu/CpuModel.h - IA32 (Core-2-class) sequencer timing model ---------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytic timing model of the OS-managed IA32 sequencer (a Core-2-class
+/// core at 2.4 GHz with 4-wide SSE). Kernel implementations in
+/// src/kernels run functionally over the shared virtual address space and
+/// report their work as a WorkEstimate; the model converts that into time
+/// with a compute/bandwidth roofline that shares the memory bus with the
+/// GMA device — the same first-order structure that shapes every ratio in
+/// the paper's evaluation.
+///
+/// The model also prices the three memory-model operations of Section 5.2:
+///  - write-combining copies at the paper's measured 3.1 GB/s (DataCopy),
+///  - cache flushes at 2 GB/s on the unoptimized path (NonCCShared), and
+///  - software texture-sampler emulation (kernels that lean on the GMA
+///    fixed function pay this on the CPU side).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_CPU_CPUMODEL_H
+#define EXOCHI_CPU_CPUMODEL_H
+
+#include "mem/MemoryBus.h"
+
+#include <cstdint>
+
+namespace exochi {
+namespace cpu {
+
+using mem::TimeNs;
+
+/// Core-2-class model parameters.
+struct CpuConfig {
+  double ClockGhz = 2.4;
+  unsigned SimdWidth = 4;   ///< SSE: 128-bit / 32-bit lanes.
+  double VectorIssueRate = 1.0; ///< SSE ops per cycle.
+  double ScalarIpc = 2.0;       ///< scalar micro-ops per cycle.
+  /// Cycles per software-emulated bilinear texture sample (no fixed
+  /// function on the CPU).
+  double SamplerEmulationCycles = 40.0;
+  /// SSE write-combining copy rate (paper Section 5.2: "we assume a
+  /// 3.1GB/s data copy rate").
+  double WcCopyBytesPerNs = 3.1;
+  /// Unoptimized cache-flush writeback rate (paper: "a system where the
+  /// cache flush operation has not been optimized and only writes data
+  /// back to memory at 2GB/s").
+  double FlushBytesPerNs = 2.0;
+  /// L2 capacity: an upper bound on dirty data a flush can write back.
+  uint64_t L2CacheBytes = 4ull << 20;
+
+  TimeNs cycleNs() const { return 1.0 / ClockGhz; }
+};
+
+/// Work performed by one IA32 kernel invocation, reported by the
+/// instrumented kernel implementations.
+struct WorkEstimate {
+  uint64_t VectorOps = 0;  ///< 4-wide SSE operations.
+  uint64_t ScalarOps = 0;  ///< scalar operations.
+  uint64_t SamplerOps = 0; ///< software-emulated texture samples.
+  uint64_t BytesRead = 0;
+  uint64_t BytesWritten = 0;
+
+  WorkEstimate &operator+=(const WorkEstimate &O) {
+    VectorOps += O.VectorOps;
+    ScalarOps += O.ScalarOps;
+    SamplerOps += O.SamplerOps;
+    BytesRead += O.BytesRead;
+    BytesWritten += O.BytesWritten;
+    return *this;
+  }
+
+  /// Scales every component by \p F (used to price work partitions).
+  WorkEstimate scaled(double F) const;
+};
+
+/// Cumulative statistics of one CpuModel.
+struct CpuStats {
+  TimeNs ComputeNs = 0;
+  TimeNs CopyNs = 0;
+  TimeNs FlushNs = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t BytesFlushed = 0;
+};
+
+/// The IA32 sequencer timing model.
+class CpuModel {
+public:
+  CpuModel(const CpuConfig &Config, mem::MemoryBus &Bus)
+      : Config(Config), Bus(Bus) {}
+
+  /// Time to execute \p Work starting at \p Now: a roofline of compute
+  /// throughput against shared memory bandwidth. Returns the completion
+  /// time.
+  TimeNs execute(TimeNs Now, const WorkEstimate &Work);
+
+  /// Pure compute time of \p Work (no memory term). Used for overlap
+  /// accounting in the cooperative scheduler.
+  TimeNs computeNs(const WorkEstimate &Work) const;
+
+  /// Write-combining copy of \p Bytes (DataCopy memory model). Returns
+  /// completion time.
+  TimeNs copyWriteCombining(TimeNs Now, uint64_t Bytes);
+
+  /// Cache flush writing back \p DirtyBytes (NonCCShared memory model).
+  /// Returns completion time.
+  TimeNs flushCache(TimeNs Now, uint64_t DirtyBytes);
+
+  const CpuConfig &config() const { return Config; }
+  const CpuStats &stats() const { return Stats; }
+  void resetStats() { Stats = CpuStats(); }
+
+private:
+  CpuConfig Config;
+  mem::MemoryBus &Bus;
+  CpuStats Stats;
+};
+
+} // namespace cpu
+} // namespace exochi
+
+#endif // EXOCHI_CPU_CPUMODEL_H

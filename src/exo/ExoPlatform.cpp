@@ -1,0 +1,29 @@
+//===- exo/ExoPlatform.cpp -----------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/ExoPlatform.h"
+
+using namespace exochi;
+using namespace exochi::exo;
+
+ExoPlatform::ExoPlatform(const PlatformConfig &Config)
+    : Config(Config), Bus(Config.Bus), AS(PM), Device(Config.Gma, PM, Bus),
+      Cpu(Config.Cpu, Bus), Proxy(AS, Config.Proxy) {
+  // Install the MISP exoskeleton: exo-sequencer faults and exceptions are
+  // signalled to the IA32 sequencer for proxy execution.
+  Device.setProxyHandler(&Proxy);
+}
+
+SharedBuffer ExoPlatform::allocateShared(uint64_t Bytes, std::string Name) {
+  SharedBuffer B;
+  B.Base = Allocator.allocate(Bytes);
+  B.Bytes = Bytes;
+  B.Name = Name;
+  uint64_t Rounded =
+      (Bytes + mem::PageSize - 1) & ~static_cast<uint64_t>(mem::PageOffsetMask);
+  AS.reserve(B.Base, Rounded, /*Writable=*/true, std::move(Name));
+  return B;
+}

@@ -1,0 +1,96 @@
+//===- exo/ExoPlatform.h - The heterogeneous EXO prototype platform --------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated equivalent of the paper's hardware prototype (Section
+/// 3.4): one OS-managed IA32 sequencer (Core-2-class timing model + IA32
+/// address space) and a GMA X3000-class device exposing 32 exo-sequencers,
+/// joined by a shared memory bus and a shared virtual address space. The
+/// MISP exoskeleton signalling between them is realized by installing the
+/// ExoProxyHandler into the device.
+///
+/// ExoPlatform owns every simulated hardware component; the CHI runtime
+/// (src/chi) is a pure software layer on top of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_EXO_EXOPLATFORM_H
+#define EXOCHI_EXO_EXOPLATFORM_H
+
+#include "cpu/CpuModel.h"
+#include "exo/ProxyExecution.h"
+#include "gma/GmaDevice.h"
+#include "mem/AddressSpace.h"
+#include "mem/MemoryBus.h"
+#include "mem/PhysicalMemory.h"
+
+#include <string>
+
+namespace exochi {
+namespace exo {
+
+/// Configuration of the whole platform.
+struct PlatformConfig {
+  gma::GmaConfig Gma;
+  cpu::CpuConfig Cpu;
+  mem::MemoryBusParams Bus;
+  ProxyParams Proxy;
+};
+
+/// A named buffer in the shared virtual address space.
+struct SharedBuffer {
+  mem::VirtAddr Base = 0;
+  uint64_t Bytes = 0;
+  std::string Name;
+};
+
+/// The heterogeneous prototype platform: IA32 sequencer + exo-sequencers
+/// over one shared virtual address space.
+class ExoPlatform {
+public:
+  explicit ExoPlatform(const PlatformConfig &Config = PlatformConfig());
+
+  ExoPlatform(const ExoPlatform &) = delete;
+  ExoPlatform &operator=(const ExoPlatform &) = delete;
+
+  mem::PhysicalMemory &physicalMemory() { return PM; }
+  mem::Ia32AddressSpace &addressSpace() { return AS; }
+  mem::MemoryBus &bus() { return Bus; }
+  gma::GmaDevice &device() { return Device; }
+  cpu::CpuModel &cpuModel() { return Cpu; }
+  ExoProxyHandler &proxy() { return Proxy; }
+  const PlatformConfig &config() const { return Config; }
+
+  /// Allocates \p Bytes of demand-paged shared virtual memory. Both the
+  /// IA32 sequencer and (through ATR) the exo-sequencers can access it at
+  /// the same virtual addresses.
+  SharedBuffer allocateShared(uint64_t Bytes, std::string Name);
+
+  /// Host-side typed access to shared memory (the IA32 sequencer's view).
+  template <typename T> T load(mem::VirtAddr Va) { return AS.load<T>(Va); }
+  template <typename T> void store(mem::VirtAddr Va, const T &V) {
+    AS.store<T>(Va, V);
+  }
+  void read(mem::VirtAddr Va, void *Out, uint64_t N) { AS.read(Va, Out, N); }
+  void write(mem::VirtAddr Va, const void *In, uint64_t N) {
+    AS.write(Va, In, N);
+  }
+
+private:
+  PlatformConfig Config;
+  mem::PhysicalMemory PM;
+  mem::MemoryBus Bus;
+  mem::Ia32AddressSpace AS;
+  mem::VirtualAllocator Allocator;
+  gma::GmaDevice Device;
+  cpu::CpuModel Cpu;
+  ExoProxyHandler Proxy;
+};
+
+} // namespace exo
+} // namespace exochi
+
+#endif // EXOCHI_EXO_EXOPLATFORM_H

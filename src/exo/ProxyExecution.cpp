@@ -1,0 +1,271 @@
+//===- exo/ProxyExecution.cpp --------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exo/ProxyExecution.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace exochi;
+using namespace exochi::exo;
+using namespace exochi::isa;
+
+Expected<gma::TimeNs>
+ExoProxyHandler::onTranslationMiss(mem::VirtAddr Va, bool IsWrite,
+                                   mem::GpuMemType MemType, mem::Tlb &Tlb) {
+  ++Stats.AtrRequests;
+  gma::TimeNs Latency = Params.SignalLatencyNs + 2 * Params.WalkReadNs;
+
+  // Proxy execution: the IA32 shred touches the virtual address on behalf
+  // of the exo-sequencer, servicing demand-page faults through the OS.
+  mem::PageFault F;
+  auto T = AS.translate(Va, IsWrite, &F);
+  if (!T) {
+    if (!AS.handleFault(F))
+      return Error::make(formatString(
+          "ATR proxy: unserviceable %s fault at 0x%llx",
+          F.Kind == mem::FaultKind::WriteProtection ? "write-protection"
+                                                    : "page",
+          static_cast<unsigned long long>(Va)));
+    ++Stats.DemandPageFaults;
+    Latency += Params.FaultServiceNs;
+    T = AS.translate(Va, IsWrite);
+    if (!T)
+      return T.takeError();
+  }
+
+  // ATR: transcode the IA32 PTE into the exo-sequencer's native format
+  // and install it so both sequencers resolve the page to the same frame.
+  auto Pte = mem::transcodePteIa32ToGpu(T->Pte, MemType);
+  if (!Pte)
+    return Pte.takeError();
+  ++Stats.PteTranscodes;
+  Tlb.insert(mem::pageNumber(Va), *Pte);
+  return Latency;
+}
+
+namespace {
+
+/// Register index of lane \p Lane of df operand \p O (register pairs).
+unsigned f64LaneReg(const Operand &O, unsigned Lane) {
+  if (O.regCount() <= 2)
+    return O.Reg0; // scalar broadcast
+  return O.Reg0 + 2 * Lane;
+}
+
+double readF64(const Operand &O, unsigned Lane, const gma::ShredRegView &Regs) {
+  if (O.Kind == OperandKind::Imm) {
+    // df immediates are stored as F32 bit patterns by the assembler.
+    float F;
+    uint32_t Bits = static_cast<uint32_t>(O.Imm);
+    std::memcpy(&F, &Bits, 4);
+    return F;
+  }
+  unsigned R = f64LaneReg(O, Lane);
+  uint64_t Bits = Regs.readReg(R) |
+                  (static_cast<uint64_t>(Regs.readReg(R + 1)) << 32);
+  double D;
+  std::memcpy(&D, &Bits, 8);
+  return D;
+}
+
+void writeF64(const Operand &O, unsigned Lane, double V,
+              gma::ShredRegView &Regs) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  unsigned R = f64LaneReg(O, Lane);
+  Regs.writeReg(R, static_cast<uint32_t>(Bits));
+  Regs.writeReg(R + 1, static_cast<uint32_t>(Bits >> 32));
+}
+
+} // namespace
+
+Error ExoProxyHandler::emulateF64(const Instruction &I,
+                                  gma::ShredRegView &Regs) {
+  auto LaneEnabled = [&](unsigned L) {
+    if (I.PredReg == NoPred)
+      return true;
+    bool Bit = Regs.readPredLane(I.PredReg, L);
+    return I.PredNegate ? !Bit : Bit;
+  };
+
+  switch (I.Op) {
+  case Opcode::Cmp: {
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      double A = readF64(I.Src0, L, Regs), B = readF64(I.Src1, L, Regs);
+      bool R = false;
+      switch (I.Cmp) {
+      case CmpOp::Eq: R = A == B; break;
+      case CmpOp::Ne: R = A != B; break;
+      case CmpOp::Lt: R = A < B; break;
+      case CmpOp::Le: R = A <= B; break;
+      case CmpOp::Gt: R = A > B; break;
+      case CmpOp::Ge: R = A >= B; break;
+      }
+      Regs.writePredLane(I.Dst.Reg0, L, R);
+    }
+    return Error::success();
+  }
+
+  case Opcode::Sel: {
+    for (unsigned L = 0; L < I.Width; ++L) {
+      bool Bit = Regs.readPredLane(I.PredReg, L);
+      if (I.PredNegate)
+        Bit = !Bit;
+      writeF64(I.Dst, L, readF64(Bit ? I.Src0 : I.Src1, L, Regs), Regs);
+    }
+    return Error::success();
+  }
+
+  case Opcode::Cvt: {
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      if (I.Ty == ElemType::F64) {
+        // Widening convert: read source in SrcTy.
+        double V;
+        if (I.SrcTy == ElemType::F32) {
+          uint32_t Bits = I.Src0.Kind == OperandKind::Imm
+                              ? static_cast<uint32_t>(I.Src0.Imm)
+                              : Regs.readReg(
+                                    I.Src0.regCount() <= 1
+                                        ? I.Src0.Reg0
+                                        : I.Src0.Reg0 + L);
+          float F;
+          std::memcpy(&F, &Bits, 4);
+          V = F;
+        } else {
+          int32_t IV = I.Src0.Kind == OperandKind::Imm
+                           ? I.Src0.Imm
+                           : static_cast<int32_t>(Regs.readReg(
+                                 I.Src0.regCount() <= 1 ? I.Src0.Reg0
+                                                        : I.Src0.Reg0 + L));
+          V = IV;
+        }
+        writeF64(I.Dst, L, V, Regs);
+      } else {
+        // Narrowing convert from df.
+        double V = readF64(I.Src0, L, Regs);
+        if (I.Ty == ElemType::F32) {
+          float F = static_cast<float>(V);
+          uint32_t Bits;
+          std::memcpy(&Bits, &F, 4);
+          Regs.writeReg(I.Dst.regCount() <= 1 ? I.Dst.Reg0 : I.Dst.Reg0 + L,
+                        Bits);
+        } else {
+          double Lo, Hi;
+          switch (I.Ty) {
+          case ElemType::I8: Lo = -128; Hi = 127; break;
+          case ElemType::I16: Lo = -32768; Hi = 32767; break;
+          default: Lo = -2147483648.0; Hi = 2147483647.0; break;
+          }
+          double C = std::min(std::max(std::trunc(V), Lo), Hi);
+          Regs.writeReg(I.Dst.regCount() <= 1 ? I.Dst.Reg0 : I.Dst.Reg0 + L,
+                        static_cast<uint32_t>(static_cast<int32_t>(C)));
+        }
+      }
+    }
+    return Error::success();
+  }
+
+  case Opcode::Mov:
+  case Opcode::Abs: {
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      double A = readF64(I.Src0, L, Regs);
+      writeF64(I.Dst, L, I.Op == Opcode::Abs ? std::fabs(A) : A, Regs);
+    }
+    return Error::success();
+  }
+
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Mac:
+  case Opcode::Div:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Avg: {
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      double A = readF64(I.Src0, L, Regs);
+      double B = readF64(I.Src1, L, Regs);
+      double R = 0;
+      switch (I.Op) {
+      case Opcode::Add: R = A + B; break;
+      case Opcode::Sub: R = A - B; break;
+      case Opcode::Mul: R = A * B; break;
+      case Opcode::Mac: R = readF64(I.Dst, L, Regs) + A * B; break;
+      case Opcode::Div: R = A / B; break; // IEEE: inf/nan
+      case Opcode::Min: R = std::min(A, B); break;
+      case Opcode::Max: R = std::max(A, B); break;
+      case Opcode::Avg: R = (A + B) * 0.5; break;
+      default: exochiUnreachable("filtered above");
+      }
+      writeF64(I.Dst, L, R, Regs);
+    }
+    return Error::success();
+  }
+
+  default:
+    return Error::make(formatString(
+        "CEH: no IA32 emulation for df instruction '%s'", opcodeName(I.Op)));
+  }
+}
+
+Expected<gma::TimeNs>
+ExoProxyHandler::onException(const gma::ExceptionInfo &Info,
+                             gma::ShredRegView &Regs) {
+  switch (Info.Kind) {
+  case gma::ExceptionKind::UnsupportedType: {
+    // CEH Figure 2 scenario: a double-precision vector instruction faults
+    // and is emulated with full IEEE semantics by the IA32 proxy.
+    if (Error E = emulateF64(Info.Instr, Regs))
+      return E;
+    ++Stats.ExceptionsEmulated;
+    return Params.SignalLatencyNs + Params.EmulationNs;
+  }
+
+  case gma::ExceptionKind::DivideByZero: {
+    if (DivZero == DivZeroPolicy::Fault)
+      return Error::make("SEH: integer divide by zero (policy: fault)");
+    // Application-level SEH handler: compute safe lanes, write 0 into the
+    // offending ones, and resume.
+    const Instruction &I = Info.Instr;
+    for (unsigned L = 0; L < I.Width; ++L) {
+      auto ReadLane = [&](const Operand &O) -> int32_t {
+        if (O.Kind == OperandKind::Imm)
+          return O.Imm;
+        unsigned R = O.regCount() <= 1 ? O.Reg0 : O.Reg0 + L;
+        return static_cast<int32_t>(Regs.readReg(R));
+      };
+      int32_t A = ReadLane(I.Src0), B = ReadLane(I.Src1);
+      unsigned DstReg = I.Dst.regCount() <= 1 ? I.Dst.Reg0 : I.Dst.Reg0 + L;
+      Regs.writeReg(DstReg, B == 0 ? 0u : static_cast<uint32_t>(A / B));
+    }
+    ++Stats.DivZeroHandled;
+    ++Stats.ExceptionsEmulated;
+    return Params.SignalLatencyNs + Params.EmulationNs;
+  }
+
+  case gma::ExceptionKind::SurfaceBounds:
+    return Error::make(formatString(
+        "shred accessed outside its bound surface (kernel %u pc %u)",
+        Info.KernelId, Info.Pc));
+  case gma::ExceptionKind::InvalidSurface:
+    return Error::make(formatString(
+        "shred referenced an unbound surface slot (kernel %u pc %u)",
+        Info.KernelId, Info.Pc));
+  }
+  exochiUnreachable("bad ExceptionKind");
+}

@@ -1,0 +1,208 @@
+//===- fatbin/FatBinary.cpp --------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fatbin/FatBinary.h"
+
+#include "support/Format.h"
+
+#include <cstring>
+
+using namespace exochi;
+using namespace exochi::fatbin;
+
+namespace {
+
+constexpr uint32_t Magic = 0x464f5845; // "EXOF"
+constexpr uint32_t Version = 1;
+
+/// Little-endian byte stream writer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (unsigned K = 0; K < 4; ++K)
+      Out.push_back(static_cast<uint8_t>((V >> (8 * K)) & 0xff));
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void bytes(const std::vector<uint8_t> &B) {
+    u32(static_cast<uint32_t>(B.size()));
+    Out.insert(Out.end(), B.begin(), B.end());
+  }
+  std::vector<uint8_t> take() { return std::move(Out); }
+
+private:
+  std::vector<uint8_t> Out;
+};
+
+/// Bounds-checked little-endian byte stream reader.
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &In) : In(In) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > In.size())
+      return false;
+    V = In[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > In.size())
+      return false;
+    V = 0;
+    for (unsigned K = 0; K < 4; ++K)
+      V |= static_cast<uint32_t>(In[Pos + K]) << (8 * K);
+    Pos += 4;
+    return true;
+  }
+  bool str(std::string &S) {
+    uint32_t Len;
+    if (!u32(Len) || Pos + Len > In.size())
+      return false;
+    S.assign(reinterpret_cast<const char *>(In.data() + Pos), Len);
+    Pos += Len;
+    return true;
+  }
+  bool bytes(std::vector<uint8_t> &B) {
+    uint32_t Len;
+    if (!u32(Len) || Pos + Len > In.size())
+      return false;
+    B.assign(In.begin() + static_cast<ptrdiff_t>(Pos),
+             In.begin() + static_cast<ptrdiff_t>(Pos + Len));
+    Pos += Len;
+    return true;
+  }
+  bool done() const { return Pos == In.size(); }
+
+private:
+  const std::vector<uint8_t> &In;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+uint32_t FatBinary::addSection(CodeSection Section) {
+  Section.Id = NextId++;
+  Sections.push_back(std::move(Section));
+  return Sections.back().Id;
+}
+
+const CodeSection *FatBinary::findById(uint32_t Id) const {
+  for (const CodeSection &S : Sections)
+    if (S.Id == Id)
+      return &S;
+  return nullptr;
+}
+
+const CodeSection *FatBinary::findByName(std::string_view Name) const {
+  for (const CodeSection &S : Sections)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+std::vector<uint8_t> FatBinary::serialize() const {
+  ByteWriter W;
+  W.u32(Magic);
+  W.u32(Version);
+  W.u32(static_cast<uint32_t>(Sections.size()));
+  for (const CodeSection &S : Sections) {
+    W.u32(S.Id);
+    W.u8(static_cast<uint8_t>(S.Isa));
+    W.str(S.Name);
+    W.bytes(S.Code);
+    W.u32(static_cast<uint32_t>(S.ScalarParams.size()));
+    for (const std::string &P : S.ScalarParams)
+      W.str(P);
+    W.u32(static_cast<uint32_t>(S.SurfaceParams.size()));
+    for (const std::string &P : S.SurfaceParams)
+      W.str(P);
+    W.u32(static_cast<uint32_t>(S.Debug.Lines.size()));
+    for (uint32_t L : S.Debug.Lines)
+      W.u32(L);
+    W.str(S.Debug.SourceText);
+    W.u32(static_cast<uint32_t>(S.Debug.Labels.size()));
+    for (const auto &[Name, Index] : S.Debug.Labels) {
+      W.str(Name);
+      W.u32(Index);
+    }
+  }
+  return W.take();
+}
+
+Expected<FatBinary> FatBinary::deserialize(const std::vector<uint8_t> &Bytes) {
+  ByteReader R(Bytes);
+  uint32_t M, V, Count;
+  if (!R.u32(M) || M != Magic)
+    return Error::make("fat binary: bad magic");
+  if (!R.u32(V) || V != Version)
+    return Error::make("fat binary: unsupported version");
+  if (!R.u32(Count))
+    return Error::make("fat binary: truncated header");
+
+  FatBinary FB;
+  for (uint32_t SI = 0; SI < Count; ++SI) {
+    CodeSection S;
+    uint8_t Isa;
+    uint32_t NParams;
+    if (!R.u32(S.Id) || !R.u8(Isa) || !R.str(S.Name) || !R.bytes(S.Code))
+      return Error::make(
+          formatString("fat binary: truncated section %u", SI));
+    if (Isa > static_cast<uint8_t>(IsaTag::XGMA))
+      return Error::make(formatString("fat binary: bad ISA tag %u", Isa));
+    S.Isa = static_cast<IsaTag>(Isa);
+
+    if (!R.u32(NParams))
+      return Error::make("fat binary: truncated scalar params");
+    for (uint32_t K = 0; K < NParams; ++K) {
+      std::string P;
+      if (!R.str(P))
+        return Error::make("fat binary: truncated scalar param name");
+      S.ScalarParams.push_back(std::move(P));
+    }
+
+    if (!R.u32(NParams))
+      return Error::make("fat binary: truncated surface params");
+    for (uint32_t K = 0; K < NParams; ++K) {
+      std::string P;
+      if (!R.str(P))
+        return Error::make("fat binary: truncated surface param name");
+      S.SurfaceParams.push_back(std::move(P));
+    }
+
+    uint32_t NLines;
+    if (!R.u32(NLines))
+      return Error::make("fat binary: truncated line table");
+    for (uint32_t K = 0; K < NLines; ++K) {
+      uint32_t L;
+      if (!R.u32(L))
+        return Error::make("fat binary: truncated line table entry");
+      S.Debug.Lines.push_back(L);
+    }
+    if (!R.str(S.Debug.SourceText))
+      return Error::make("fat binary: truncated source text");
+
+    uint32_t NLabels;
+    if (!R.u32(NLabels))
+      return Error::make("fat binary: truncated label table");
+    for (uint32_t K = 0; K < NLabels; ++K) {
+      std::string Name;
+      uint32_t Index;
+      if (!R.str(Name) || !R.u32(Index))
+        return Error::make("fat binary: truncated label entry");
+      S.Debug.Labels[Name] = Index;
+    }
+
+    FB.NextId = std::max(FB.NextId, S.Id + 1);
+    FB.Sections.push_back(std::move(S));
+  }
+
+  if (!R.done())
+    return Error::make("fat binary: trailing bytes after last section");
+  return FB;
+}

@@ -1,0 +1,192 @@
+//===- gma/Gma.h - GMA X3000-class device model: common types --------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common types of the simulated GMA-class accelerator (paper Section 3.4
+/// and Figure 3): surface bindings, shred descriptors, device
+/// configuration, run statistics, and the proxy-signal interface through
+/// which the device raises ATR translation misses and CEH exceptions to
+/// the OS-managed IA32 sequencer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_GMA_GMA_H
+#define EXOCHI_GMA_GMA_H
+
+#include "isa/Isa.h"
+#include "mem/MemoryBus.h"
+#include "mem/PageTable.h"
+#include "mem/PhysicalMemory.h"
+#include "mem/Tlb.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace exochi {
+namespace gma {
+
+using mem::TimeNs;
+
+/// How a surface may be accessed by shreds (paper Table 1: descriptors are
+/// allocated with an input/output mode).
+enum class SurfaceMode : uint8_t {
+  Input,
+  Output,
+  InputOutput,
+};
+
+/// A surface: the accelerator's 2-D view of a region of shared virtual
+/// memory (paper Section 4.4). Configured by the CHI runtime from the
+/// descriptors the programmer allocates with chi_alloc_desc.
+struct SurfaceBinding {
+  mem::VirtAddr Base = 0;
+  uint32_t Width = 0;  ///< Elements per row.
+  uint32_t Height = 1; ///< Rows.
+  isa::ElemType Elem = isa::ElemType::I32;
+  SurfaceMode Mode = SurfaceMode::InputOutput;
+  mem::GpuMemType MemType = mem::GpuMemType::Cached;
+
+  uint64_t totalElements() const {
+    return static_cast<uint64_t>(Width) * Height;
+  }
+  uint64_t totalBytes() const {
+    return totalElements() * isa::elemTypeSize(Elem);
+  }
+};
+
+/// The surface table shared by every shred of one parallel dispatch.
+using SurfaceTable = std::vector<SurfaceBinding>;
+
+/// A shred continuation: what the emulation firmware translates into
+/// hardware commands (paper Section 3.4: "a shred descriptor, which
+/// includes shred continuation information like instruction and data
+/// pointers to the shared memory").
+struct ShredDescriptor {
+  uint32_t KernelId = 0;
+  /// Scalar parameters preloaded into vr0.. in order (private /
+  /// firstprivate clause values).
+  std::vector<int32_t> Params;
+  /// Surfaces visible to the shred (shared clause variables).
+  std::shared_ptr<const SurfaceTable> Surfaces;
+  /// When nonzero, the authoritative copy of Params lives at this shared
+  /// virtual address (Params.size() little-endian i32 words): the work
+  /// queue's continuation records are in shared virtual memory as in the
+  /// paper, and the firmware fetches them through ATR-translated reads at
+  /// dispatch. Params then only conveys the record length.
+  mem::VirtAddr RecordVa = 0;
+};
+
+/// Device geometry and first-order timing parameters. Defaults model the
+/// GMA X3000: 8 EUs x 4 hardware threads at 667 MHz.
+struct GmaConfig {
+  unsigned NumEus = 8;
+  unsigned ThreadsPerEu = 4;
+  double ClockGhz = 0.667;
+  unsigned TlbEntriesPerEu = 32;
+  uint64_t CacheBytes = 128 * 1024;
+  uint64_t CacheLineBytes = 64;
+  unsigned CacheWays = 8;
+  /// Shared-cache hit latency as seen by a shred (the cache pipeline is
+  /// effectively hidden beyond a few cycles by switch-on-stall issue).
+  TimeNs CacheHitNs = 6.0;
+  TimeNs SamplerLatencyNs = 90.0; ///< Fixed-function sampler pipeline.
+  /// Shared sampler throughput (samples per ns across the whole device):
+  /// the exo-sequencers "share access to specialized, fixed function
+  /// hardware" (paper Section 3.4), so sampler-heavy kernels serialize
+  /// behind it.
+  double SamplerThroughputPerNs = 0.667; // 1 sample per device cycle
+  /// Firmware cost of translating a shred descriptor into hardware
+  /// commands and loading a thread context (paper Section 3.4).
+  TimeNs ShredDispatchNs = 60.0;
+
+  /// Cycle period in nanoseconds.
+  TimeNs cycleNs() const { return 1.0 / ClockGhz; }
+
+  unsigned totalContexts() const { return NumEus * ThreadsPerEu; }
+};
+
+/// Exception kinds a shred can raise (the CEH cases of Section 3.3).
+enum class ExceptionKind : uint8_t {
+  UnsupportedType,  ///< e.g. double-precision vector instruction.
+  DivideByZero,     ///< integer division by zero.
+  SurfaceBounds,    ///< access outside a bound surface.
+  InvalidSurface,   ///< surface slot not bound.
+};
+
+/// Returns a human-readable name for \p K.
+const char *exceptionKindName(ExceptionKind K);
+
+/// Everything a CEH handler needs to emulate a faulting instruction.
+struct ExceptionInfo {
+  ExceptionKind Kind = ExceptionKind::UnsupportedType;
+  uint32_t ShredId = 0;
+  uint32_t KernelId = 0;
+  uint32_t Pc = 0;
+  isa::Instruction Instr;
+};
+
+/// Register-file view handed to CEH handlers so the IA32 proxy can read
+/// faulting operands and write emulated results back into the
+/// exo-sequencer (paper: "CEH ensures the result is updated in the
+/// exo-sequencer before resuming execution").
+class ShredRegView {
+public:
+  virtual ~ShredRegView();
+  virtual uint32_t readReg(unsigned Reg) const = 0;
+  virtual void writeReg(unsigned Reg, uint32_t Value) = 0;
+  virtual bool readPredLane(unsigned PredReg, unsigned Lane) const = 0;
+  virtual void writePredLane(unsigned PredReg, unsigned Lane, bool Set) = 0;
+};
+
+/// The MISP exoskeleton signalling interface: the device raises
+/// user-level interrupts to the OS-managed sequencer through this, and
+/// the exo layer (src/exo) implements proxy execution behind it.
+class ProxySignalHandler {
+public:
+  virtual ~ProxySignalHandler();
+
+  /// ATR: the exo-sequencer's TLB missed for the page containing \p Va.
+  /// The proxy must service the fault and insert a GPU-format entry into
+  /// \p Tlb. Returns the proxy latency in nanoseconds, or an error when
+  /// the fault is unserviceable (the shred then terminates).
+  virtual Expected<TimeNs> onTranslationMiss(mem::VirtAddr Va, bool IsWrite,
+                                             mem::GpuMemType MemType,
+                                             mem::Tlb &Tlb) = 0;
+
+  /// CEH: instruction \p Info faulted. The proxy may emulate it through
+  /// \p Regs. Returns the handling latency (the instruction is then
+  /// skipped), or an error to terminate the shred.
+  virtual Expected<TimeNs> onException(const ExceptionInfo &Info,
+                                       ShredRegView &Regs) = 0;
+};
+
+/// Aggregate statistics of one device run.
+struct GmaRunStats {
+  TimeNs StartNs = 0;
+  TimeNs FinishNs = 0;
+  uint64_t ShredsExecuted = 0;
+  uint64_t Instructions = 0;
+  uint64_t MemoryOps = 0;
+  uint64_t BytesLoaded = 0;
+  uint64_t BytesStored = 0;
+  uint64_t TlbMisses = 0;
+  uint64_t ProxyCalls = 0;
+  uint64_t ExceptionsHandled = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t SamplerOps = 0;
+  double IssueCycles = 0; ///< total EU issue cycles charged
+  TimeNs ProxyStallNs = 0; ///< context-stall time due to ATR/CEH proxies
+
+  TimeNs elapsedNs() const { return FinishNs - StartNs; }
+};
+
+} // namespace gma
+} // namespace exochi
+
+#endif // EXOCHI_GMA_GMA_H

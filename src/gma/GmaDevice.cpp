@@ -1,0 +1,1054 @@
+//===- gma/GmaDevice.cpp -----------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gma/GmaDevice.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace exochi;
+using namespace exochi::gma;
+using namespace exochi::isa;
+
+ShredRegView::~ShredRegView() = default;
+ProxySignalHandler::~ProxySignalHandler() = default;
+
+const char *gma::exceptionKindName(ExceptionKind K) {
+  switch (K) {
+  case ExceptionKind::UnsupportedType:
+    return "unsupported-type";
+  case ExceptionKind::DivideByZero:
+    return "divide-by-zero";
+  case ExceptionKind::SurfaceBounds:
+    return "surface-bounds";
+  case ExceptionKind::InvalidSurface:
+    return "invalid-surface";
+  }
+  exochiUnreachable("bad ExceptionKind");
+}
+
+//===----------------------------------------------------------------------===//
+// Internal structures
+//===----------------------------------------------------------------------===//
+
+/// One hardware thread context (an exo-sequencer).
+struct GmaDevice::Context : public ShredRegView {
+  enum class State : uint8_t {
+    Idle,    ///< no shred loaded
+    Running, ///< executing (possibly stalled until StallUntil)
+    Waiting, ///< blocked in `wait` on a register ready flag
+  };
+
+  State St = State::Idle;
+  uint32_t Regs[NumVRegs] = {};
+  uint16_t Preds[NumPRegs] = {};
+  bool RegReady[NumVRegs] = {};
+  uint32_t Pc = 0;
+  uint32_t ShredId = 0;
+  uint32_t KernelId = 0;
+  const KernelImage *Kern = nullptr;
+  std::shared_ptr<const SurfaceTable> Surfaces;
+  TimeNs StallUntil = 0;
+  uint8_t WaitReg = 0;
+  unsigned Slot = 0;          ///< thread-context index within the EU
+  TimeNs LoadedAtNs = 0;      ///< dispatch time of the resident shred
+
+  /// Stride-prefetcher state: a few tracked miss streams per context.
+  /// A miss that continues a trained stream (same stride as last time)
+  /// is considered prefetched.
+  struct PrefetchStream {
+    uint64_t LastLine = ~0ull;
+    int64_t Stride = 0;
+    bool Trained = false;
+  };
+  PrefetchStream Streams[4];
+  unsigned NextStream = 0;
+
+  /// Returns true when the miss on \p Line rides a trained stream, and
+  /// updates the stream table.
+  bool prefetchHit(uint64_t Line) {
+    for (PrefetchStream &S : Streams) {
+      if (S.LastLine == ~0ull)
+        continue;
+      int64_t D = static_cast<int64_t>(Line) - static_cast<int64_t>(S.LastLine);
+      if (D == 0)
+        return true; // same line re-missed (another chunk)
+      if (S.Trained && D == S.Stride) {
+        S.LastLine = Line;
+        return true;
+      }
+      if (D != 0 && D > -512 && D < 512 && !S.Trained) {
+        S.Stride = D;
+        S.Trained = true;
+        S.LastLine = Line;
+        return false; // training access pays full latency
+      }
+      if (S.Trained && D != S.Stride && D > -8 && D < 8) {
+        // Near the stream but off-stride: retrain.
+        S.Stride = D;
+        S.LastLine = Line;
+        return false;
+      }
+    }
+    // Allocate a new stream slot round-robin.
+    Streams[NextStream].LastLine = Line;
+    Streams[NextStream].Stride = 0;
+    Streams[NextStream].Trained = false;
+    NextStream = (NextStream + 1) % 4;
+    return false;
+  }
+
+  // ShredRegView implementation (CEH / debugger access).
+  uint32_t readReg(unsigned Reg) const override {
+    assert(Reg < NumVRegs && "register index out of range");
+    return Regs[Reg];
+  }
+  void writeReg(unsigned Reg, uint32_t Value) override {
+    assert(Reg < NumVRegs && "register index out of range");
+    Regs[Reg] = Value;
+  }
+  bool readPredLane(unsigned PredReg, unsigned Lane) const override {
+    assert(PredReg < NumPRegs && Lane < 16 && "predicate index out of range");
+    return (Preds[PredReg] >> Lane) & 1;
+  }
+  void writePredLane(unsigned PredReg, unsigned Lane, bool Set) override {
+    assert(PredReg < NumPRegs && Lane < 16 && "predicate index out of range");
+    if (Set)
+      Preds[PredReg] |= static_cast<uint16_t>(1u << Lane);
+    else
+      Preds[PredReg] &= static_cast<uint16_t>(~(1u << Lane));
+  }
+};
+
+/// One execution unit with its four thread contexts and private TLB.
+struct GmaDevice::Eu {
+  Eu(unsigned Index, unsigned NumThreads)
+      : Index(Index), Contexts(NumThreads) {
+    for (unsigned K = 0; K < NumThreads; ++K)
+      Contexts[K].Slot = K;
+  }
+
+  unsigned Index;
+  TimeNs Time = 0;
+  std::vector<Context> Contexts;
+  int LastIssued = -1;
+};
+
+//===----------------------------------------------------------------------===//
+// Lane value access helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Register index supplying lane \p Lane of operand \p O (handles scalar
+/// broadcast and F64 register pairs).
+unsigned laneReg(const Operand &O, unsigned Lane, ElemType Ty) {
+  unsigned PerLane = Ty == ElemType::F64 ? 2 : 1;
+  if (O.regCount() <= PerLane)
+    return O.Reg0; // broadcast
+  return O.Reg0 + Lane * PerLane;
+}
+
+int64_t signExtend(int64_t V, ElemType Ty) {
+  switch (Ty) {
+  case ElemType::I8:
+    return static_cast<int8_t>(V);
+  case ElemType::I16:
+    return static_cast<int16_t>(V);
+  default:
+    return static_cast<int32_t>(V);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// GmaDevice
+//===----------------------------------------------------------------------===//
+
+GmaDevice::GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
+                     mem::MemoryBus &Bus)
+    : Config(Config), PM(PM), Bus(Bus),
+      Cache(Config.CacheBytes, Config.CacheLineBytes, Config.CacheWays),
+      DeviceTlb(Config.TlbEntriesPerEu * Config.NumEus) {
+  for (unsigned K = 0; K < Config.NumEus; ++K)
+    Eus.push_back(std::make_unique<Eu>(K, Config.ThreadsPerEu));
+}
+
+GmaDevice::~GmaDevice() = default;
+
+uint32_t GmaDevice::registerKernel(KernelImage Image) {
+  uint32_t Id = NextKernelId++;
+  Kernels.emplace(Id, std::move(Image));
+  return Id;
+}
+
+const KernelImage *GmaDevice::kernel(uint32_t KernelId) const {
+  auto It = Kernels.find(KernelId);
+  return It == Kernels.end() ? nullptr : &It->second;
+}
+
+uint32_t GmaDevice::enqueueShred(ShredDescriptor Desc) {
+  assert(Kernels.count(Desc.KernelId) && "enqueue of unregistered kernel");
+  Queue.push_back(std::move(Desc));
+  return NextShredId + static_cast<uint32_t>(Queue.size()) - 1;
+}
+
+void GmaDevice::resetStats() {
+  Stats = GmaRunStats();
+  SamplerFreeAt = 0;
+  for (auto &E : Eus)
+    E->Time = 0;
+}
+
+void GmaDevice::invalidateTlbs() { DeviceTlb.invalidateAll(); }
+
+std::vector<uint32_t> GmaDevice::residentShreds() const {
+  std::vector<uint32_t> Out;
+  for (const auto &E : Eus)
+    for (const Context &C : E->Contexts)
+      if (C.St != Context::State::Idle)
+        Out.push_back(C.ShredId);
+  return Out;
+}
+
+ShredRegView *GmaDevice::shredRegs(uint32_t ShredId) {
+  for (auto &E : Eus)
+    for (Context &C : E->Contexts)
+      if (C.St != Context::State::Idle && C.ShredId == ShredId)
+        return &C;
+  return nullptr;
+}
+
+std::optional<uint32_t> GmaDevice::shredPc(uint32_t ShredId) const {
+  for (const auto &E : Eus)
+    for (const Context &C : E->Contexts)
+      if (C.St != Context::State::Idle && C.ShredId == ShredId)
+        return C.Pc;
+  return std::nullopt;
+}
+
+std::optional<uint32_t> GmaDevice::shredKernel(uint32_t ShredId) const {
+  for (const auto &E : Eus)
+    for (const Context &C : E->Contexts)
+      if (C.St != Context::State::Idle && C.ShredId == ShredId)
+        return C.KernelId;
+  return std::nullopt;
+}
+
+Expected<bool> GmaDevice::refillContext(Eu &E) {
+  if (Queue.empty())
+    return false;
+  Context *Free = nullptr;
+  for (Context &C : E.Contexts)
+    if (C.St == Context::State::Idle) {
+      Free = &C;
+      break;
+    }
+  if (!Free)
+    return false;
+
+  ShredDescriptor Desc = std::move(Queue.front());
+  Queue.pop_front();
+
+  Context &C = *Free;
+  std::memset(C.Regs, 0, sizeof(C.Regs));
+  std::memset(C.Preds, 0, sizeof(C.Preds));
+  std::memset(C.RegReady, 0, sizeof(C.RegReady));
+  C.Pc = 0;
+  C.ShredId = NextShredId++;
+  C.KernelId = Desc.KernelId;
+  C.Kern = kernel(Desc.KernelId);
+  assert(C.Kern && "dispatching unregistered kernel");
+  C.Surfaces = std::move(Desc.Surfaces);
+  C.St = Context::State::Running;
+  // Firmware dispatch cost (descriptor -> hardware command translation).
+  C.StallUntil = E.Time + Config.ShredDispatchNs;
+  C.LoadedAtNs = E.Time;
+
+  if (Desc.RecordVa != 0 && !Desc.Params.empty()) {
+    // The continuation record lives in shared virtual memory (paper
+    // Section 3.4): the firmware fetches it through the same translated
+    // path as data, so descriptor pages take ATR misses like any other.
+    uint64_t Bytes = Desc.Params.size() * 4;
+    auto Acc = accessMemory(E, C, Desc.RecordVa, Bytes, /*IsWrite=*/false,
+                            mem::GpuMemType::Cached);
+    if (!Acc)
+      return Error::make("shred descriptor fetch failed: " +
+                         Acc.message());
+    std::vector<uint8_t> Buf(Bytes);
+    uint64_t Ofs = 0;
+    for (auto &[Pa, N] : Acc->Segments) {
+      PM.read(Pa, Buf.data() + Ofs, N);
+      Ofs += N;
+    }
+    for (size_t K = 0; K < Desc.Params.size() && K < NumVRegs; ++K)
+      std::memcpy(&C.Regs[K], Buf.data() + K * 4, 4);
+    C.StallUntil = std::max(C.StallUntil, Acc->Done);
+  } else {
+    for (size_t K = 0; K < Desc.Params.size() && K < NumVRegs; ++K)
+      C.Regs[K] = static_cast<uint32_t>(Desc.Params[K]);
+  }
+
+  // Deliver any cross-shred register writes sent before this shred ran.
+  for (unsigned R = 0; R < NumVRegs; ++R) {
+    auto It = Mailbox.find({C.ShredId, static_cast<uint8_t>(R)});
+    if (It != Mailbox.end()) {
+      C.Regs[R] = It->second;
+      C.RegReady[R] = true;
+      Mailbox.erase(It);
+    }
+  }
+  return true;
+}
+
+void GmaDevice::retireShred(Eu &E, Context &Ctx) {
+  Ctx.St = Context::State::Idle;
+  ++Stats.ShredsExecuted;
+  if (Tracer) {
+    ShredSpan Span;
+    Span.Eu = E.Index;
+    Span.Slot = Ctx.Slot;
+    Span.ShredId = Ctx.ShredId;
+    Span.Kernel = Ctx.Kern ? Ctx.Kern->Name : "";
+    Span.StartNs = Ctx.LoadedAtNs;
+    Span.EndNs = std::max(E.Time, Ctx.StallUntil);
+    Tracer->record(std::move(Span));
+  }
+}
+
+GmaDevice::Context *GmaDevice::pickReadyContext(Eu &E) {
+  // Switch-on-stall: keep issuing from the last context while it is
+  // ready; otherwise rotate to the next ready one.
+  unsigned N = static_cast<unsigned>(E.Contexts.size());
+  if (E.LastIssued >= 0) {
+    Context &C = E.Contexts[static_cast<unsigned>(E.LastIssued)];
+    if (C.St == Context::State::Running && C.StallUntil <= E.Time)
+      return &C;
+  }
+  for (unsigned K = 1; K <= N; ++K) {
+    unsigned Idx = (static_cast<unsigned>(E.LastIssued + 1) + K - 1) % N;
+    Context &C = E.Contexts[Idx];
+    if (C.St == Context::State::Running && C.StallUntil <= E.Time) {
+      E.LastIssued = static_cast<int>(Idx);
+      return &C;
+    }
+  }
+  return nullptr;
+}
+
+Expected<GmaDevice::MemAccess>
+GmaDevice::accessMemory(Eu &E, Context &Ctx, mem::VirtAddr Va, uint64_t Bytes,
+                        bool IsWrite, mem::GpuMemType MemType) {
+  MemAccess Out;
+  TimeNs Now = E.Time;
+  ++Stats.MemoryOps;
+
+  uint64_t Remaining = Bytes;
+  mem::VirtAddr Cur = Va;
+  while (Remaining > 0) {
+    uint64_t Chunk = std::min(Remaining, mem::PageSize - mem::pageOffset(Cur));
+    uint64_t Vpn = mem::pageNumber(Cur);
+
+    std::optional<mem::GpuPte> Pte = DeviceTlb.lookup(Vpn);
+    if (!Pte) {
+      // ATR: suspend and signal the IA32 sequencer for proxy execution.
+      ++Stats.TlbMisses;
+      if (!Proxy)
+        return Error::make("TLB miss with no proxy handler installed");
+      ++Stats.ProxyCalls;
+      auto Latency =
+          Proxy->onTranslationMiss(Cur, IsWrite, MemType, DeviceTlb);
+      if (Latency)
+        Stats.ProxyStallNs += *Latency;
+      if (!Latency)
+        return Error::make(formatString(
+            "shred %u: unserviceable fault at 0x%llx: %s", Ctx.ShredId,
+            static_cast<unsigned long long>(Cur), Latency.message().c_str()));
+      Now += *Latency;
+      Pte = DeviceTlb.lookup(Vpn);
+      if (!Pte)
+        return Error::make("proxy handler did not install a TLB entry");
+    }
+    if (IsWrite && !Pte->writable())
+      return Error::make(formatString(
+          "shred %u: write to read-only page 0x%llx", Ctx.ShredId,
+          static_cast<unsigned long long>(Cur)));
+
+    mem::PhysAddr Pa = (Pte->frame() << mem::PageShift) | mem::pageOffset(Cur);
+    Out.Segments.push_back({Pa, Chunk});
+
+    // Timing. Loads through the shared cache stall the issuing context
+    // (hits briefly, misses for a DRAM round trip); stores drain through
+    // write buffers and never stall — they only consume bus bandwidth,
+    // which later loads contend with.
+    if (IsWrite) {
+      (void)Bus.request(Now, Chunk);
+      if (Pte->memType() == mem::GpuMemType::Cached) {
+        uint64_t Line = Config.CacheLineBytes;
+        for (uint64_t L = Pa / Line; L <= (Pa + Chunk - 1) / Line; ++L) {
+          auto R = Cache.access(L * Line, /*IsWrite=*/true);
+          if (R.Hit)
+            ++Stats.CacheHits;
+          if (R.WritebackVictim)
+            (void)Bus.request(Now, Line);
+        }
+      }
+    } else if (Pte->memType() == mem::GpuMemType::Cached) {
+      uint64_t Line = Config.CacheLineBytes;
+      uint64_t First = Pa / Line, Last = (Pa + Chunk - 1) / Line;
+      TimeNs Done = Now;
+      for (uint64_t L = First; L <= Last; ++L) {
+        auto R = Cache.access(L * Line, /*IsWrite=*/false);
+        if (R.Hit) {
+          ++Stats.CacheHits;
+          Done = std::max(Done, Now + Config.CacheHitNs);
+        } else {
+          ++Stats.CacheMisses;
+          // Misses that continue a trained stride stream ride the
+          // hardware prefetcher: DRAM latency is hidden, bandwidth paid.
+          bool Streamed = Ctx.prefetchHit(L);
+          Done = std::max(Done, Streamed ? Bus.requestStreamed(Now, Line)
+                                         : Bus.request(Now, Line));
+        }
+        if (R.WritebackVictim)
+          (void)Bus.request(Now, Line);
+      }
+      Now = Done;
+    } else {
+      Now = Bus.request(Now, Chunk);
+    }
+
+    Cur += Chunk;
+    Remaining -= Chunk;
+  }
+
+  if (IsWrite)
+    Stats.BytesStored += Bytes;
+  else
+    Stats.BytesLoaded += Bytes;
+  Out.Done = Now;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Issue cost in EU cycles. Wide (>8 lane) operations take two passes of
+/// the 8-wide ALU; simple move/bitwise operations co-issue in pairs
+/// (0.5 cycles), modelling the EU's dual-issue of cheap ops and the
+/// regioning/swizzle hardware that makes channel shuffling nearly free
+/// in the real media ISA.
+double issueCycles(const Instruction &I) {
+  double C;
+  switch (I.Op) {
+  case Opcode::Mov:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Not:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Asr:
+  case Opcode::Sel:
+    C = 0.5;
+    break;
+  case Opcode::Mul:
+  case Opcode::Mac:
+    C = 2;
+    break;
+  case Opcode::Div:
+    C = 8;
+    break;
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::LdBlk:
+  case Opcode::StBlk:
+  case Opcode::Sample:
+    C = 2;
+    break;
+  default:
+    C = 1;
+    break;
+  }
+  if (opcodeHasWidthType(I.Op) && I.Width > 8)
+    C *= 2;
+  return C;
+}
+
+} // namespace
+
+Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
+  const std::vector<Instruction> &Code = Ctx.Kern->Code;
+  // Running past the end of the kernel behaves as halt.
+  if (Ctx.Pc >= Code.size()) {
+    retireShred(E, Ctx);
+    return Error::success();
+  }
+
+  const Instruction &I = Code[Ctx.Pc];
+  ++Stats.Instructions;
+  Stats.IssueCycles += issueCycles(I);
+  E.Time += issueCycles(I) * Config.cycleNs();
+  Stats.FinishNs = std::max(Stats.FinishNs, E.Time);
+
+  uint32_t NextPc = Ctx.Pc + 1;
+
+  // Raise a CEH exception for instruction \p Kind; on successful proxy
+  // emulation the instruction is skipped and the shred resumes.
+  auto RaiseException = [&](ExceptionKind Kind) -> Error {
+    if (!Proxy)
+      return Error::make(formatString(
+          "shred %u: %s exception with no proxy handler", Ctx.ShredId,
+          exceptionKindName(Kind)));
+    ExceptionInfo Info;
+    Info.Kind = Kind;
+    Info.ShredId = Ctx.ShredId;
+    Info.KernelId = Ctx.KernelId;
+    Info.Pc = Ctx.Pc;
+    Info.Instr = I;
+    ++Stats.ProxyCalls;
+    auto Latency = Proxy->onException(Info, Ctx);
+    if (!Latency)
+      return Error::make(formatString(
+          "shred %u pc %u: unhandled %s exception: %s", Ctx.ShredId, Ctx.Pc,
+          exceptionKindName(Kind), Latency.message().c_str()));
+    ++Stats.ExceptionsHandled;
+    Ctx.StallUntil = E.Time + *Latency;
+    Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
+    Ctx.Pc = NextPc;
+    return Error::success();
+  };
+
+  // Per-lane predication test.
+  auto LaneEnabled = [&](unsigned Lane) {
+    if (I.PredReg == NoPred)
+      return true;
+    bool Bit = (Ctx.Preds[I.PredReg] >> Lane) & 1;
+    return I.PredNegate ? !Bit : Bit;
+  };
+
+  // Lane readers (integer semantics use 64-bit intermediates).
+  auto ReadIntLane = [&](const Operand &O, unsigned Lane) -> int64_t {
+    if (O.Kind == OperandKind::Imm)
+      return O.Imm;
+    return static_cast<int32_t>(Ctx.Regs[laneReg(O, Lane, I.Ty)]);
+  };
+  auto ReadF32Lane = [&](const Operand &O, unsigned Lane) -> float {
+    uint32_t Bits = O.Kind == OperandKind::Imm
+                        ? static_cast<uint32_t>(O.Imm)
+                        : Ctx.Regs[laneReg(O, Lane, I.Ty)];
+    float F;
+    std::memcpy(&F, &Bits, 4);
+    return F;
+  };
+  auto WriteIntLane = [&](const Operand &O, unsigned Lane, int64_t V) {
+    Ctx.Regs[laneReg(O, Lane, I.Ty)] =
+        static_cast<uint32_t>(signExtend(V, I.Ty));
+  };
+  auto WriteF32Lane = [&](const Operand &O, unsigned Lane, float F) {
+    uint32_t Bits;
+    std::memcpy(&Bits, &F, 4);
+    Ctx.Regs[laneReg(O, Lane, I.Ty)] = Bits;
+  };
+  // Scalar value of an index operand.
+  auto ScalarVal = [&](const Operand &O) -> int64_t {
+    if (O.Kind == OperandKind::Imm)
+      return O.Imm;
+    return static_cast<int32_t>(Ctx.Regs[O.Reg0]);
+  };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+
+  case Opcode::Halt:
+    retireShred(E, Ctx);
+    return Error::success();
+
+  case Opcode::Jmp:
+    NextPc = static_cast<uint32_t>(I.Src0.Imm);
+    break;
+
+  case Opcode::Br: {
+    bool Bit = (Ctx.Preds[I.PredReg] & 1) != 0; // lane 0
+    if (I.PredNegate ? !Bit : Bit)
+      NextPc = static_cast<uint32_t>(I.Src0.Imm);
+    break;
+  }
+
+  case Opcode::Sid:
+    Ctx.Regs[I.Dst.Reg0] = Ctx.ShredId;
+    break;
+
+  case Opcode::Spawn: {
+    ShredDescriptor Child;
+    Child.KernelId = Ctx.KernelId;
+    Child.Surfaces = Ctx.Surfaces;
+    Child.Params.push_back(static_cast<int32_t>(ScalarVal(I.Src0)));
+    Queue.push_back(std::move(Child));
+    break;
+  }
+
+  case Opcode::Xmit: {
+    uint32_t Target = static_cast<uint32_t>(ScalarVal(I.Src0));
+    uint32_t Value = static_cast<uint32_t>(ScalarVal(I.Src1));
+    uint8_t Reg = I.Dst.Reg0;
+    Context *Remote = nullptr;
+    for (auto &OE : Eus)
+      for (Context &C : OE->Contexts)
+        if (C.St != Context::State::Idle && C.ShredId == Target)
+          Remote = &C;
+    if (Remote) {
+      Remote->Regs[Reg] = Value;
+      Remote->RegReady[Reg] = true;
+      if (Remote->St == Context::State::Waiting && Remote->WaitReg == Reg) {
+        Remote->St = Context::State::Running;
+        Remote->StallUntil = std::max(Remote->StallUntil, E.Time);
+        Remote->RegReady[Reg] = false; // the pending wait consumes it
+      }
+    } else {
+      Mailbox[{Target, Reg}] = Value;
+    }
+    break;
+  }
+
+  case Opcode::Wait: {
+    uint8_t Reg = I.Dst.Reg0;
+    if (Ctx.RegReady[Reg]) {
+      Ctx.RegReady[Reg] = false;
+      break;
+    }
+    Ctx.St = Context::State::Waiting;
+    Ctx.WaitReg = Reg;
+    Ctx.Pc = NextPc; // resume after the wait once signalled
+    return Error::success();
+  }
+
+  case Opcode::Cmp: {
+    if (I.Ty == ElemType::F64)
+      return RaiseException(ExceptionKind::UnsupportedType);
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      bool R = false;
+      if (I.Ty == ElemType::F32) {
+        float A = ReadF32Lane(I.Src0, L), B = ReadF32Lane(I.Src1, L);
+        switch (I.Cmp) {
+        case CmpOp::Eq: R = A == B; break;
+        case CmpOp::Ne: R = A != B; break;
+        case CmpOp::Lt: R = A < B; break;
+        case CmpOp::Le: R = A <= B; break;
+        case CmpOp::Gt: R = A > B; break;
+        case CmpOp::Ge: R = A >= B; break;
+        }
+      } else {
+        int64_t A = ReadIntLane(I.Src0, L), B = ReadIntLane(I.Src1, L);
+        switch (I.Cmp) {
+        case CmpOp::Eq: R = A == B; break;
+        case CmpOp::Ne: R = A != B; break;
+        case CmpOp::Lt: R = A < B; break;
+        case CmpOp::Le: R = A <= B; break;
+        case CmpOp::Gt: R = A > B; break;
+        case CmpOp::Ge: R = A >= B; break;
+        }
+      }
+      Ctx.writePredLane(I.Dst.Reg0, L, R);
+    }
+    break;
+  }
+
+  case Opcode::Sel: {
+    if (I.Ty == ElemType::F64)
+      return RaiseException(ExceptionKind::UnsupportedType);
+    for (unsigned L = 0; L < I.Width; ++L) {
+      bool Bit = (Ctx.Preds[I.PredReg] >> L) & 1;
+      if (I.PredNegate)
+        Bit = !Bit;
+      const Operand &Src = Bit ? I.Src0 : I.Src1;
+      if (I.Ty == ElemType::F32)
+        WriteF32Lane(I.Dst, L, ReadF32Lane(Src, L));
+      else
+        WriteIntLane(I.Dst, L, ReadIntLane(Src, L));
+    }
+    break;
+  }
+
+  case Opcode::Cvt: {
+    if (I.Ty == ElemType::F64 || I.SrcTy == ElemType::F64)
+      return RaiseException(ExceptionKind::UnsupportedType);
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      // Read in source type.
+      double V;
+      if (I.SrcTy == ElemType::F32) {
+        uint32_t Bits = I.Src0.Kind == OperandKind::Imm
+                            ? static_cast<uint32_t>(I.Src0.Imm)
+                            : Ctx.Regs[laneReg(I.Src0, L, I.SrcTy)];
+        float F;
+        std::memcpy(&F, &Bits, 4);
+        V = F;
+      } else {
+        int64_t IV = I.Src0.Kind == OperandKind::Imm
+                         ? I.Src0.Imm
+                         : static_cast<int32_t>(
+                               Ctx.Regs[laneReg(I.Src0, L, I.SrcTy)]);
+        V = static_cast<double>(signExtend(IV, I.SrcTy));
+      }
+      // Write in destination type (saturating for narrow integers, as
+      // media ISAs do).
+      if (I.Ty == ElemType::F32) {
+        WriteF32Lane(I.Dst, L, static_cast<float>(V));
+      } else {
+        double Lo, Hi;
+        switch (I.Ty) {
+        case ElemType::I8: Lo = -128; Hi = 127; break;
+        case ElemType::I16: Lo = -32768; Hi = 32767; break;
+        default: Lo = -2147483648.0; Hi = 2147483647.0; break;
+        }
+        double Clamped = std::min(std::max(std::trunc(V), Lo), Hi);
+        WriteIntLane(I.Dst, L, static_cast<int64_t>(Clamped));
+      }
+    }
+    break;
+  }
+
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::LdBlk:
+  case Opcode::StBlk: {
+    if (!Ctx.Surfaces || I.Src0.Imm < 0 ||
+        static_cast<size_t>(I.Src0.Imm) >= Ctx.Surfaces->size())
+      return RaiseException(ExceptionKind::InvalidSurface);
+    const SurfaceBinding &S = (*Ctx.Surfaces)[static_cast<size_t>(I.Src0.Imm)];
+    unsigned Esz = elemTypeSize(I.Ty);
+    bool IsWrite = I.Op == Opcode::St || I.Op == Opcode::StBlk;
+    bool Is2D = I.Op == Opcode::LdBlk || I.Op == Opcode::StBlk;
+
+    // First element index accessed by lane 0.
+    int64_t FirstElem;
+    if (Is2D) {
+      int64_t X = ScalarVal(I.Src1), Y = ScalarVal(I.Src2);
+      if (X < 0 || Y < 0 || X + I.Width > S.Width ||
+          Y >= static_cast<int64_t>(S.Height))
+        return RaiseException(ExceptionKind::SurfaceBounds);
+      FirstElem = Y * static_cast<int64_t>(S.Width) + X;
+    } else {
+      FirstElem = ScalarVal(I.Src1) + ScalarVal(I.Src2);
+      if (FirstElem < 0 ||
+          FirstElem + I.Width > static_cast<int64_t>(S.totalElements()))
+        return RaiseException(ExceptionKind::SurfaceBounds);
+    }
+
+    mem::VirtAddr Va = S.Base + static_cast<uint64_t>(FirstElem) * Esz;
+    uint64_t Span = static_cast<uint64_t>(I.Width) * Esz;
+
+    auto Acc = accessMemory(E, Ctx, Va, Span, IsWrite, S.MemType);
+    if (!Acc)
+      return Acc.takeError();
+
+    // Functional data movement over the returned physical segments.
+    std::vector<uint8_t> Buf(Span);
+    auto ReadSegs = [&] {
+      uint64_t Ofs = 0;
+      for (auto &[Pa, N] : Acc->Segments) {
+        PM.read(Pa, Buf.data() + Ofs, N);
+        Ofs += N;
+      }
+    };
+    auto WriteSegs = [&] {
+      uint64_t Ofs = 0;
+      for (auto &[Pa, N] : Acc->Segments) {
+        PM.write(Pa, Buf.data() + Ofs, N);
+        Ofs += N;
+      }
+    };
+
+    if (IsWrite) {
+      bool AnyMasked = false;
+      for (unsigned L = 0; L < I.Width; ++L)
+        if (!LaneEnabled(L))
+          AnyMasked = true;
+      if (AnyMasked)
+        ReadSegs(); // read-modify-write under predication
+      for (unsigned L = 0; L < I.Width; ++L) {
+        if (!LaneEnabled(L))
+          continue;
+        int64_t V = I.Ty == ElemType::F64
+                        ? 0
+                        : ReadIntLane(I.Dst, L);
+        if (I.Ty == ElemType::F64) {
+          uint64_t Wide =
+              static_cast<uint64_t>(Ctx.Regs[laneReg(I.Dst, L, I.Ty)]) |
+              (static_cast<uint64_t>(Ctx.Regs[laneReg(I.Dst, L, I.Ty) + 1])
+               << 32);
+          std::memcpy(Buf.data() + L * Esz, &Wide, 8);
+        } else {
+          // Store the low Esz bytes (two's complement truncation).
+          uint32_t U = static_cast<uint32_t>(V);
+          std::memcpy(Buf.data() + L * Esz, &U, Esz);
+        }
+      }
+      WriteSegs();
+    } else {
+      ReadSegs();
+      for (unsigned L = 0; L < I.Width; ++L) {
+        if (!LaneEnabled(L))
+          continue;
+        if (I.Ty == ElemType::F64) {
+          uint64_t Wide = 0;
+          std::memcpy(&Wide, Buf.data() + L * Esz, 8);
+          Ctx.Regs[laneReg(I.Dst, L, I.Ty)] = static_cast<uint32_t>(Wide);
+          Ctx.Regs[laneReg(I.Dst, L, I.Ty) + 1] =
+              static_cast<uint32_t>(Wide >> 32);
+        } else {
+          int64_t V = 0;
+          if (I.Ty == ElemType::I8) {
+            int8_t B;
+            std::memcpy(&B, Buf.data() + L * Esz, 1);
+            V = B;
+          } else if (I.Ty == ElemType::I16) {
+            int16_t W;
+            std::memcpy(&W, Buf.data() + L * Esz, 2);
+            V = W;
+          } else {
+            int32_t D;
+            std::memcpy(&D, Buf.data() + L * Esz, 4);
+            V = D;
+          }
+          WriteIntLane(I.Dst, L, V);
+        }
+      }
+    }
+
+    Ctx.StallUntil = Acc->Done;
+    Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
+    break;
+  }
+
+  case Opcode::Sample: {
+    if (!Ctx.Surfaces || I.Src0.Imm < 0 ||
+        static_cast<size_t>(I.Src0.Imm) >= Ctx.Surfaces->size())
+      return RaiseException(ExceptionKind::InvalidSurface);
+    const SurfaceBinding &S = (*Ctx.Surfaces)[static_cast<size_t>(I.Src0.Imm)];
+    ++Stats.SamplerOps;
+
+    float U = ReadF32Lane(I.Src1, 0), V = ReadF32Lane(I.Src2, 0);
+    // Clamp-to-edge addressing over a packed RGBA8 surface (one I32
+    // element per pixel).
+    auto Clamp = [](int X, int Hi) { return std::min(std::max(X, 0), Hi); };
+    int W = static_cast<int>(S.Width), H = static_cast<int>(S.Height);
+    if (W == 0 || H == 0)
+      return RaiseException(ExceptionKind::SurfaceBounds);
+    float Uc = std::min(std::max(U, 0.0f), static_cast<float>(W - 1));
+    float Vc = std::min(std::max(V, 0.0f), static_cast<float>(H - 1));
+    int X0 = static_cast<int>(Uc), Y0 = static_cast<int>(Vc);
+    int X1 = Clamp(X0 + 1, W - 1), Y1 = Clamp(Y0 + 1, H - 1);
+    float Fx = Uc - static_cast<float>(X0), Fy = Vc - static_cast<float>(Y0);
+
+    // Timed fetch of the 2x2 texel block (two row segments).
+    uint32_t Texels[4] = {};
+    TimeNs Done = E.Time;
+    for (int Row = 0; Row < 2; ++Row) {
+      int Y = Row == 0 ? Y0 : Y1;
+      mem::VirtAddr Va =
+          S.Base + (static_cast<uint64_t>(Y) * S.Width + X0) * 4;
+      uint64_t Span = X1 > X0 ? 8 : 4;
+      auto Acc = accessMemory(E, Ctx, Va, Span, /*IsWrite=*/false, S.MemType);
+      if (!Acc)
+        return Acc.takeError();
+      Done = std::max(Done, Acc->Done);
+      uint8_t Tmp[8] = {};
+      uint64_t Ofs = 0;
+      for (auto &[Pa, N] : Acc->Segments) {
+        PM.read(Pa, Tmp + Ofs, N);
+        Ofs += N;
+      }
+      std::memcpy(&Texels[Row * 2 + 0], Tmp, 4);
+      std::memcpy(&Texels[Row * 2 + 1], Span == 8 ? Tmp + 4 : Tmp, 4);
+    }
+
+    for (unsigned Ch = 0; Ch < 4; ++Ch) {
+      auto Channel = [&](unsigned T) {
+        return static_cast<float>((Texels[T] >> (8 * Ch)) & 0xff);
+      };
+      float Top = Channel(0) * (1 - Fx) + Channel(1) * Fx;
+      float Bot = Channel(2) * (1 - Fx) + Channel(3) * Fx;
+      float Out = Top * (1 - Fy) + Bot * Fy;
+      uint32_t Bits;
+      std::memcpy(&Bits, &Out, 4);
+      Ctx.Regs[I.Dst.Reg0 + Ch] = Bits;
+    }
+
+    // The sampler is shared fixed-function hardware: requests serialize
+    // at its throughput before the pipeline latency.
+    TimeNs SampleSlot = std::max(Done, SamplerFreeAt);
+    SamplerFreeAt = SampleSlot + 1.0 / Config.SamplerThroughputPerNs;
+    Ctx.StallUntil = SampleSlot + Config.SamplerLatencyNs;
+    Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
+    break;
+  }
+
+  default: {
+    // ALU operations.
+    if (I.Ty == ElemType::F64)
+      return RaiseException(ExceptionKind::UnsupportedType);
+
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      if (I.Ty == ElemType::F32) {
+        float A = ReadF32Lane(I.Src0, L);
+        float B = I.Src1.Kind == OperandKind::None ? 0.0f
+                                                   : ReadF32Lane(I.Src1, L);
+        float R = 0;
+        switch (I.Op) {
+        case Opcode::Mov: R = A; break;
+        case Opcode::Add: R = A + B; break;
+        case Opcode::Sub: R = A - B; break;
+        case Opcode::Mul: R = A * B; break;
+        case Opcode::Mac: R = ReadF32Lane(I.Dst, L) + A * B; break;
+        case Opcode::Div: R = A / B; break; // IEEE inf/nan, no fault
+        case Opcode::Min: R = std::min(A, B); break;
+        case Opcode::Max: R = std::max(A, B); break;
+        case Opcode::Avg: R = (A + B) * 0.5f; break;
+        case Opcode::Abs: R = std::fabs(A); break;
+        default:
+          return Error::make(formatString(
+              "shred %u: %s is not defined for float operands", Ctx.ShredId,
+              opcodeName(I.Op)));
+        }
+        WriteF32Lane(I.Dst, L, R);
+      } else {
+        int64_t A = ReadIntLane(I.Src0, L);
+        int64_t B =
+            I.Src1.Kind == OperandKind::None ? 0 : ReadIntLane(I.Src1, L);
+        int64_t R = 0;
+        switch (I.Op) {
+        case Opcode::Mov: R = A; break;
+        case Opcode::Add: R = A + B; break;
+        case Opcode::Sub: R = A - B; break;
+        case Opcode::Mul: R = A * B; break;
+        case Opcode::Mac: R = ReadIntLane(I.Dst, L) + A * B; break;
+        case Opcode::Div:
+          if (B == 0)
+            return RaiseException(ExceptionKind::DivideByZero);
+          R = A / B;
+          break;
+        case Opcode::Min: R = std::min(A, B); break;
+        case Opcode::Max: R = std::max(A, B); break;
+        case Opcode::Avg: R = (A + B + 1) >> 1; break;
+        case Opcode::Abs: R = A < 0 ? -A : A; break;
+        case Opcode::Shl: R = A << (B & 31); break;
+        case Opcode::Shr:
+          R = static_cast<int64_t>(static_cast<uint32_t>(A) >> (B & 31));
+          break;
+        case Opcode::Asr: R = static_cast<int32_t>(A) >> (B & 31); break;
+        case Opcode::And: R = A & B; break;
+        case Opcode::Or: R = A | B; break;
+        case Opcode::Xor: R = A ^ B; break;
+        case Opcode::Not: R = ~A; break;
+        default:
+          exochiUnreachable("unhandled ALU opcode");
+        }
+        WriteIntLane(I.Dst, L, R);
+      }
+    }
+    break;
+  }
+  }
+
+  Ctx.Pc = NextPc;
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Run loop
+//===----------------------------------------------------------------------===//
+
+Expected<RunExit> GmaDevice::run(TimeNs StartNs) {
+  Stats.StartNs = StartNs;
+  Stats.FinishNs = StartNs;
+  for (auto &E : Eus)
+    E->Time = StartNs;
+  PausedFlag = false;
+  return resume();
+}
+
+Expected<RunExit> GmaDevice::resume() {
+  PausedFlag = false;
+  while (true) {
+    for (auto &E : Eus) {
+      while (true) {
+        auto Refilled = refillContext(*E);
+        if (!Refilled)
+          return Refilled.takeError();
+        if (!*Refilled)
+          break;
+      }
+    }
+
+    // Pick the EU whose earliest-ready context has the smallest ready
+    // time. Fast-forward that EU's clock when all its contexts are
+    // momentarily stalled.
+    Eu *Best = nullptr;
+    TimeNs BestTime = std::numeric_limits<TimeNs>::infinity();
+    bool AnyResident = false, AnyWaiting = false;
+
+    for (auto &E : Eus) {
+      TimeNs EuReady = std::numeric_limits<TimeNs>::infinity();
+      for (Context &C : E->Contexts) {
+        if (C.St == Context::State::Idle)
+          continue;
+        AnyResident = true;
+        if (C.St == Context::State::Waiting) {
+          AnyWaiting = true;
+          continue;
+        }
+        EuReady = std::min(EuReady, std::max(E->Time, C.StallUntil));
+      }
+      if (EuReady < BestTime) {
+        BestTime = EuReady;
+        Best = E.get();
+      }
+    }
+
+    if (!Best) {
+      if (!AnyResident && Queue.empty())
+        return RunExit::QueueDrained;
+      if (AnyWaiting)
+        return Error::make(
+            "deadlock: every resident shred is blocked in `wait` and the "
+            "work queue cannot make progress");
+      // Resident contexts exist but none runnable and none waiting —
+      // impossible by construction.
+      exochiUnreachable("GMA run loop stuck with no runnable context");
+    }
+
+    Best->Time = std::max(Best->Time, BestTime);
+    Context *Ctx = pickReadyContext(*Best);
+    assert(Ctx && "chosen EU must have a ready context");
+
+    if (Hook_) {
+      StepAction A = Hook_(Ctx->ShredId, Ctx->KernelId, Ctx->Pc);
+      if (A == StepAction::Pause) {
+        PausedFlag = true;
+        return RunExit::Paused;
+      }
+    }
+
+    if (Error Err = issueInstruction(*Best, *Ctx))
+      return Err;
+  }
+}

@@ -1,0 +1,193 @@
+//===- gma/GmaDevice.h - Cycle-level GMA-class device model ----------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated GMA X3000-class accelerator: 8 execution units, each with
+/// 4 hardware thread contexts that alternate fetching through fly-weight
+/// switch-on-stall multithreading (paper Section 3.4). The device executes
+/// XGMA kernels functionally over simulated physical memory while
+/// accumulating a first-order timing model: one instruction issues per EU
+/// cycle, memory operations stall the issuing context through the shared
+/// cache and memory bus, and the EU covers stalls by switching to another
+/// ready context on the same EU.
+///
+/// TLB misses and exceptions suspend the shred and signal the OS-managed
+/// IA32 sequencer through the ProxySignalHandler (the MISP exoskeleton),
+/// which implements ATR and CEH in src/exo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_GMA_GMADEVICE_H
+#define EXOCHI_GMA_GMADEVICE_H
+
+#include "gma/Gma.h"
+#include "gma/Trace.h"
+#include "mem/CacheModel.h"
+#include "mem/PhysicalMemory.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+namespace exochi {
+namespace gma {
+
+/// A kernel registered with the device: decoded code ready to dispatch.
+struct KernelImage {
+  std::vector<isa::Instruction> Code;
+  std::string Name;
+};
+
+/// Action a debugger step hook may request after each instruction.
+enum class StepAction : uint8_t {
+  Continue, ///< keep running
+  Pause,    ///< stop the run loop (debugger takes over)
+};
+
+/// Debugger hook: called before each instruction issues. Receives the
+/// shred id, kernel id, and pc.
+using StepHook =
+    std::function<StepAction(uint32_t ShredId, uint32_t KernelId, uint32_t Pc)>;
+
+/// Why GmaDevice::run returned.
+enum class RunExit : uint8_t {
+  QueueDrained, ///< all shreds completed
+  Paused,       ///< a StepHook requested a pause
+};
+
+/// The device model. Not thread-safe; the whole simulation is
+/// deterministic and single-threaded.
+class GmaDevice {
+public:
+  GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
+            mem::MemoryBus &Bus);
+  ~GmaDevice();
+
+  GmaDevice(const GmaDevice &) = delete;
+  GmaDevice &operator=(const GmaDevice &) = delete;
+
+  /// Installs the MISP exoskeleton signal handler (ATR + CEH proxies).
+  /// Must be installed before run() services any miss or exception.
+  void setProxyHandler(ProxySignalHandler *Handler) { Proxy = Handler; }
+
+  /// Installs a debugger step hook (nullptr to remove).
+  void setStepHook(StepHook Hook) { Hook_ = std::move(Hook); }
+
+  /// Installs a shred-span trace recorder (nullptr to remove).
+  void setTracer(TraceRecorder *T) { Tracer = T; }
+
+  /// Registers \p Image and returns its kernel id.
+  uint32_t registerKernel(KernelImage Image);
+
+  /// Looks up a registered kernel; nullptr when unknown.
+  const KernelImage *kernel(uint32_t KernelId) const;
+
+  /// Appends a shred to the software work queue and returns its shred id.
+  /// The queue may hold far more shreds than there are hardware contexts.
+  uint32_t enqueueShred(ShredDescriptor Desc);
+
+  /// Number of shreds waiting in the queue (excluding resident ones).
+  size_t queuedShreds() const { return Queue.size(); }
+
+  /// Runs until the work queue drains and all contexts idle (or a step
+  /// hook pauses the machine). \p StartNs is the simulated time at which
+  /// the device begins executing. Fails on unserviceable faults or
+  /// deadlock (every resident shred blocked in `wait`).
+  Expected<RunExit> run(TimeNs StartNs);
+
+  /// Resumes after a Paused run. Equivalent to run() continuing from the
+  /// paused state.
+  Expected<RunExit> resume();
+
+  /// Statistics of the current/most recent run (reset by resetStats).
+  const GmaRunStats &stats() const { return Stats; }
+
+  /// Clears statistics and the finish clock, keeping kernels registered.
+  void resetStats();
+
+  /// Invalidates every EU TLB (e.g. after the host changes mappings).
+  void invalidateTlbs();
+
+  //===--------------------------------------------------------------------===//
+  // Debugger access (used by src/xdbg).
+  //===--------------------------------------------------------------------===//
+
+  /// Identifiers of the shreds currently resident in thread contexts.
+  std::vector<uint32_t> residentShreds() const;
+
+  /// Register-file view of a resident shred; nullptr when not resident.
+  ShredRegView *shredRegs(uint32_t ShredId);
+
+  /// Current pc of a resident shred (nullopt when not resident).
+  std::optional<uint32_t> shredPc(uint32_t ShredId) const;
+
+  /// Kernel id a resident shred is executing (nullopt when not resident).
+  std::optional<uint32_t> shredKernel(uint32_t ShredId) const;
+
+private:
+  struct Context;
+  struct Eu;
+
+  /// Loads the next queued shred into an idle context of \p E (if any).
+  /// Fails only when fetching a shared-memory descriptor record faults
+  /// unserviceably.
+  Expected<bool> refillContext(Eu &E);
+
+  /// Issues one instruction from \p Ctx on \p E. Returns an error only on
+  /// unserviceable faults.
+  Error issueInstruction(Eu &E, Context &Ctx);
+
+  /// Chooses the context to issue from (switch-on-stall policy).
+  Context *pickReadyContext(Eu &E);
+
+  /// Marks \p Ctx idle, bumps counters, and records its trace span.
+  void retireShred(Eu &E, Context &Ctx);
+
+  /// Result of a translated, timed memory access: physical segments (in
+  /// address order, covering the virtual span) and the completion time.
+  struct MemAccess {
+    TimeNs Done = 0;
+    std::vector<std::pair<mem::PhysAddr, uint64_t>> Segments;
+  };
+
+  /// Translates and times a virtual span through the EU's TLB, raising
+  /// ATR proxy requests on misses. The caller performs the functional data
+  /// movement over the returned physical segments and stalls the context
+  /// until the completion time.
+  Expected<MemAccess> accessMemory(Eu &E, Context &Ctx, mem::VirtAddr Va,
+                                   uint64_t Bytes, bool IsWrite,
+                                   mem::GpuMemType MemType);
+
+  GmaConfig Config;
+  mem::PhysicalMemory &PM;
+  mem::MemoryBus &Bus;
+  mem::CacheModel Cache;
+  mem::Tlb DeviceTlb; ///< the device's internal TLB (shared by all EUs)
+  mem::TimeNs SamplerFreeAt = 0; ///< shared fixed-function sampler queue
+  ProxySignalHandler *Proxy = nullptr;
+  StepHook Hook_;
+  TraceRecorder *Tracer = nullptr;
+
+  std::map<uint32_t, KernelImage> Kernels;
+  uint32_t NextKernelId = 1;
+
+  std::deque<ShredDescriptor> Queue;
+  uint32_t NextShredId = 1;
+
+  std::vector<std::unique_ptr<Eu>> Eus;
+  GmaRunStats Stats;
+
+  /// Cross-shred register mailbox: (shredId, reg) -> value, from xmit.
+  std::map<std::pair<uint32_t, uint8_t>, uint32_t> Mailbox;
+
+  bool PausedFlag = false;
+};
+
+} // namespace gma
+} // namespace exochi
+
+#endif // EXOCHI_GMA_GMADEVICE_H

@@ -1,0 +1,67 @@
+//===- gma/Trace.cpp ---------------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gma/Trace.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace exochi;
+using namespace exochi::gma;
+
+std::string TraceRecorder::toChromeJson() const {
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+
+  // Name the rows.
+  std::map<std::pair<unsigned, unsigned>, bool> Rows;
+  for (const ShredSpan &S : Spans)
+    Rows[{S.Eu, S.Slot}] = true;
+  for (const auto &[Row, Unused] : Rows) {
+    (void)Unused;
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += formatString("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                        "\"tid\":%u,\"args\":{\"name\":\"EU%u ctx%u\"}}",
+                        Row.first * 16 + Row.second, Row.first, Row.second);
+  }
+
+  for (const ShredSpan &S : Spans) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += formatString(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"pid\":0,\"tid\":%u,\"args\":{\"shred\":%u}}",
+        S.Kernel.c_str(), S.StartNs / 1000.0,
+        (S.EndNs - S.StartNs) / 1000.0, S.Eu * 16 + S.Slot, S.ShredId);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+double TraceRecorder::occupancy() const {
+  if (Spans.empty())
+    return 0.0;
+  mem::TimeNs Lo = Spans.front().StartNs, Hi = Spans.front().EndNs;
+  std::map<std::pair<unsigned, unsigned>, mem::TimeNs> Busy;
+  for (const ShredSpan &S : Spans) {
+    Lo = std::min(Lo, S.StartNs);
+    Hi = std::max(Hi, S.EndNs);
+    Busy[{S.Eu, S.Slot}] += S.EndNs - S.StartNs;
+  }
+  if (Hi <= Lo || Busy.empty())
+    return 0.0;
+  double Total = 0;
+  for (const auto &[Row, B] : Busy) {
+    (void)Row;
+    Total += B;
+  }
+  return Total / (static_cast<double>(Busy.size()) * (Hi - Lo));
+}

@@ -1,0 +1,61 @@
+//===- gma/Trace.h - Shred execution trace recording -----------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records per-shred execution spans (which EU thread context ran which
+/// shred, and when) and exports them in the Chrome trace-event format, so
+/// device occupancy can be inspected in chrome://tracing or Perfetto.
+/// Install a recorder with GmaDevice::setTracer before running.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_GMA_TRACE_H
+#define EXOCHI_GMA_TRACE_H
+
+#include "mem/MemoryBus.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exochi {
+namespace gma {
+
+/// One shred's residency on a hardware thread context.
+struct ShredSpan {
+  unsigned Eu = 0;
+  unsigned Slot = 0; ///< thread context within the EU
+  uint32_t ShredId = 0;
+  std::string Kernel;
+  mem::TimeNs StartNs = 0;
+  mem::TimeNs EndNs = 0;
+};
+
+/// Collects shred spans during a device run.
+class TraceRecorder {
+public:
+  void record(ShredSpan Span) { Spans.push_back(std::move(Span)); }
+  void clear() { Spans.clear(); }
+
+  const std::vector<ShredSpan> &spans() const { return Spans; }
+
+  /// Exports the spans in the Chrome trace-event JSON format. Rows (tids)
+  /// are EU thread contexts; timestamps are microseconds of simulated
+  /// time.
+  std::string toChromeJson() const;
+
+  /// Fraction of the busiest context's span during which each context was
+  /// occupied (a quick occupancy summary: 1.0 = perfectly packed).
+  double occupancy() const;
+
+private:
+  std::vector<ShredSpan> Spans;
+};
+
+} // namespace gma
+} // namespace exochi
+
+#endif // EXOCHI_GMA_TRACE_H

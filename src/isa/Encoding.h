@@ -1,0 +1,50 @@
+//===- isa/Encoding.h - Binary encoding of XGMA programs -------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width binary encoding of XGMA instructions. This is the byte
+/// format stored in the accelerator code sections of the fat binary
+/// (paper Figure 4: ".special_section <accelerator-specific binary>").
+/// Each instruction occupies InstrBytes bytes; branch targets are encoded
+/// as instruction indices, so code is position-independent at section
+/// granularity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_ISA_ENCODING_H
+#define EXOCHI_ISA_ENCODING_H
+
+#include "isa/Isa.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace exochi {
+namespace isa {
+
+/// Size of one encoded instruction record.
+constexpr unsigned InstrBytes = 36;
+
+/// Encodes \p I into exactly InstrBytes bytes appended to \p Out.
+void encodeInstruction(const Instruction &I, std::vector<uint8_t> &Out);
+
+/// Decodes one instruction from \p Bytes (which must hold at least
+/// InstrBytes bytes). Fails on malformed enum fields.
+Expected<Instruction> decodeInstruction(const uint8_t *Bytes);
+
+/// Encodes a whole program.
+std::vector<uint8_t> encodeProgram(const std::vector<Instruction> &Prog);
+
+/// Decodes a whole program; the byte size must be a multiple of
+/// InstrBytes and every instruction must decode and validate.
+Expected<std::vector<Instruction>>
+decodeProgram(const std::vector<uint8_t> &Bytes);
+
+} // namespace isa
+} // namespace exochi
+
+#endif // EXOCHI_ISA_ENCODING_H

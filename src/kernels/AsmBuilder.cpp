@@ -1,0 +1,98 @@
+//===- kernels/AsmBuilder.cpp ---------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/AsmBuilder.h"
+
+#include "support/Format.h"
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+std::string ab::reg(unsigned R) { return formatString("vr%u", R); }
+
+std::string ab::range(unsigned Lo, unsigned Hi) {
+  return formatString("[vr%u..vr%u]", Lo, Hi);
+}
+
+std::string ab::makeStripKernel(const std::string &BodyPer8Px,
+                                bool EmitLaneIds,
+                                const std::string &Prologue) {
+  std::string Out = Prologue;
+  if (EmitLaneIds)
+    for (unsigned L = 0; L < 8; ++L)
+      Out += formatString("  mov.1.dw vr%u = %u\n", RegLane0 + L, L);
+  Out += formatString("  mov.1.dw vr%u = y0\n", RegY);
+  Out += formatString("  add.1.dw vr%u = y0, rows\n", RegYLim);
+  Out += formatString("  add.1.dw vr%u = x0, cols\n", RegXLim);
+  Out += "rowloop:\n";
+  Out += formatString("  mov.1.dw vr%u = x0\n", RegX);
+  Out += "colloop:\n";
+  Out += BodyPer8Px;
+  Out += formatString("  add.1.dw vr%u = vr%u, 8\n", RegX, RegX);
+  Out += formatString("  cmp.lt.1.dw p15 = vr%u, vr%u\n", RegX, RegXLim);
+  Out += "  br p15, colloop\n";
+  Out += formatString("  add.1.dw vr%u = vr%u, 1\n", RegY, RegY);
+  Out += formatString("  cmp.lt.1.dw p14 = vr%u, vr%u\n", RegY, RegYLim);
+  Out += "  br p14, rowloop\n";
+  Out += "  halt\n";
+  return Out;
+}
+
+std::string ab::ld8(unsigned Dst, const std::string &Surf,
+                    const std::string &X, const std::string &Y) {
+  return formatString("  ldblk.8.dw [vr%u..vr%u] = (%s, %s, %s)\n", Dst,
+                      Dst + 7, Surf.c_str(), X.c_str(), Y.c_str());
+}
+
+std::string ab::st8(unsigned Src, const std::string &Surf,
+                    const std::string &X, const std::string &Y) {
+  return formatString("  stblk.8.dw (%s, %s, %s) = [vr%u..vr%u]\n",
+                      Surf.c_str(), X.c_str(), Y.c_str(), Src, Src + 7);
+}
+
+std::string ab::unpack8(unsigned Dst, unsigned Src, unsigned Chan) {
+  std::string Out;
+  if (Chan == 0)
+    return formatString("  and.8.dw [vr%u..vr%u] = [vr%u..vr%u], 255\n", Dst,
+                        Dst + 7, Src, Src + 7);
+  Out += formatString("  shr.8.dw [vr%u..vr%u] = [vr%u..vr%u], %u\n", Dst,
+                      Dst + 7, Src, Src + 7, Chan * 8);
+  if (Chan != 3)
+    Out += formatString("  and.8.dw [vr%u..vr%u] = [vr%u..vr%u], 255\n", Dst,
+                        Dst + 7, Dst, Dst + 7);
+  return Out;
+}
+
+std::string ab::pack8(unsigned Dst, unsigned R, unsigned G, unsigned B,
+                      unsigned A) {
+  std::string Out;
+  // Dst = R | (G<<8) | (B<<16) | (A<<24); shifts write scratch into Dst
+  // by shifting the source then or-ing.
+  Out += formatString("  mov.8.dw [vr%u..vr%u] = [vr%u..vr%u]\n", Dst,
+                      Dst + 7, R, R + 7);
+  Out += formatString("  shl.8.dw [vr%u..vr%u] = [vr%u..vr%u], 8\n", G, G + 7,
+                      G, G + 7);
+  Out += formatString("  or.8.dw [vr%u..vr%u] = [vr%u..vr%u], [vr%u..vr%u]\n",
+                      Dst, Dst + 7, Dst, Dst + 7, G, G + 7);
+  Out += formatString("  shl.8.dw [vr%u..vr%u] = [vr%u..vr%u], 16\n", B,
+                      B + 7, B, B + 7);
+  Out += formatString("  or.8.dw [vr%u..vr%u] = [vr%u..vr%u], [vr%u..vr%u]\n",
+                      Dst, Dst + 7, Dst, Dst + 7, B, B + 7);
+  Out += formatString("  shl.8.dw [vr%u..vr%u] = [vr%u..vr%u], 24\n", A,
+                      A + 7, A, A + 7);
+  Out += formatString("  or.8.dw [vr%u..vr%u] = [vr%u..vr%u], [vr%u..vr%u]\n",
+                      Dst, Dst + 7, Dst, Dst + 7, A, A + 7);
+  return Out;
+}
+
+std::string ab::clamp255(unsigned Reg) {
+  std::string Out;
+  Out += formatString("  max.8.dw [vr%u..vr%u] = [vr%u..vr%u], 0\n", Reg,
+                      Reg + 7, Reg, Reg + 7);
+  Out += formatString("  min.8.dw [vr%u..vr%u] = [vr%u..vr%u], 255\n", Reg,
+                      Reg + 7, Reg, Reg + 7);
+  return Out;
+}

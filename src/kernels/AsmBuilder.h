@@ -1,0 +1,82 @@
+//===- kernels/AsmBuilder.h - XGMA assembly text helpers -------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for composing the media kernels' inline assembly. Kernels are
+/// authored as strip processors over a register convention:
+///
+///   vr0..vr7    ABI scalar parameters (y0, rows, x0, cols, then extras)
+///   vr8..vr51   kernel body temporaries
+///   vr52..vr59  lane-id constants 0..7 (when requested)
+///   vr60 x      current column (surface element, starts at PadX)
+///   vr61 y      current absolute surface row
+///   vr62 xlim   x0 + cols
+///   vr63 ylim   y0 + rows
+///   p14/p15     loop predicates
+///
+/// makeStripKernel wraps a per-8-pixel body in the row/column loops; the
+/// unpack/pack helpers emit the RGBA channel plumbing every kernel needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_KERNELS_ASMBUILDER_H
+#define EXOCHI_KERNELS_ASMBUILDER_H
+
+#include <cstdint>
+#include <string>
+
+namespace exochi {
+namespace kernels {
+namespace ab {
+
+/// Registers of the strip-loop convention.
+constexpr unsigned RegX = 60;
+constexpr unsigned RegY = 61;
+constexpr unsigned RegXLim = 62;
+constexpr unsigned RegYLim = 63;
+constexpr unsigned RegLane0 = 52; ///< lane-id constants vr52..vr59
+
+/// Wraps \p BodyPer8Px in the tile loops. The body processes the 8
+/// pixels at columns [vr60, vr60+8) of absolute surface row vr61.
+/// Scalar parameters y0/rows/x0/cols must be the first four ABI scalars
+/// (absolute start row, row count, absolute start element column, column
+/// count). When \p EmitLaneIds, vr52..vr59 are preloaded with 0..7.
+std::string makeStripKernel(const std::string &BodyPer8Px,
+                            bool EmitLaneIds = false,
+                            const std::string &Prologue = "");
+
+/// `ldblk.8.dw [Dst..Dst+7] = (Surf, XReg, YReg)`.
+std::string ld8(unsigned Dst, const std::string &Surf, const std::string &X,
+                const std::string &Y);
+
+/// `stblk.8.dw (Surf, XReg, YReg) = [Src..Src+7]`.
+std::string st8(unsigned Src, const std::string &Surf, const std::string &X,
+                const std::string &Y);
+
+/// Extracts channel \p Chan (0=R..3=A) of 8 packed pixels: Dst = (Src >>
+/// 8*Chan) & 255. Two instructions (one when Chan == 0 is folded to and).
+std::string unpack8(unsigned Dst, unsigned Src, unsigned Chan);
+
+/// Packs four 8-wide channel groups into packed RGBA in Dst (Dst may not
+/// alias G/B/A sources). Channels must already be in range 0..255.
+/// Consumes (shifts in place) the G, B, and A groups.
+std::string pack8(unsigned Dst, unsigned R, unsigned G, unsigned B,
+                  unsigned A);
+
+/// Clamps the 8-wide group at \p Reg to 0..255 in place.
+std::string clamp255(unsigned Reg);
+
+/// Register-range token `[vrA..vrB]`.
+std::string range(unsigned Lo, unsigned Hi);
+
+/// Single register token `vrN`.
+std::string reg(unsigned R);
+
+} // namespace ab
+} // namespace kernels
+} // namespace exochi
+
+#endif // EXOCHI_KERNELS_ASMBUILDER_H

@@ -1,0 +1,304 @@
+//===- kernels/FilterKernels.cpp - LinearFilter, BOB, ADVDI -------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stencil kernels: the 3x3 box smoothing filter and the two
+/// de-interlacers. Neighbour accesses rely on the surfaces'
+/// replicated-edge padding, so no per-lane border branches are needed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/AsmBuilder.h"
+#include "kernels/ImageWorkloadBase.h"
+#include "kernels/Workloads.h"
+
+#include "support/Format.h"
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+namespace {
+
+/// Exact per-byte packed average: (a + b + 1) >> 1 on each RGBA byte.
+uint32_t packedAvg(uint32_t A, uint32_t B) {
+  return (A | B) - (((A ^ B) >> 1) & 0x7f7f7f7fu);
+}
+
+//===----------------------------------------------------------------------===//
+// LinearFilter: 3x3 box smoothing (Table 2: "output pixel as average of
+// input pixel and eight surrounding pixels").
+//===----------------------------------------------------------------------===//
+
+class LinearFilter final : public ImageWorkloadBase {
+public:
+  /// sum * 7282 >> 16 == sum / 9 for sums up to 9*255.
+  static constexpr int32_t NinthScale = 7282;
+
+  LinearFilter(uint32_t W, uint32_t H)
+      : ImageWorkloadBase("Linear Filter", "LinearFilter",
+                          SurfaceGeometry{W, H, 1, 8, 2},
+                          /*RowsPerShred=*/3, /*ColsPerShred=*/16,
+                          HostCostModel{45.0, 8.0, 0.0, 4.0, 4.0}) {}
+
+protected:
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    // Channel sums in vr24/vr32/vr40; window loads into vr8; unpack
+    // scratch vr16; scalar coordinate temps vr56/vr57.
+    B += "  mov.8.dw [vr24..vr31] = 0\n";
+    B += "  mov.8.dw [vr32..vr39] = 0\n";
+    B += "  mov.8.dw [vr40..vr47] = 0\n";
+    for (int Dy = -1; Dy <= 1; ++Dy)
+      for (int Dx = -1; Dx <= 1; ++Dx) {
+        B += formatString("  add.1.dw vr56 = vr60, %d\n", Dx);
+        B += formatString("  add.1.dw vr57 = vr61, %d\n", Dy);
+        B += ld8(8, "src", "vr56", "vr57");
+        for (unsigned Ch = 0; Ch < 3; ++Ch) {
+          unsigned Sum = 24 + Ch * 8;
+          B += unpack8(16, 8, Ch);
+          B += formatString(
+              "  add.8.dw [vr%u..vr%u] = [vr%u..vr%u], [vr16..vr23]\n", Sum,
+              Sum + 7, Sum, Sum + 7);
+        }
+      }
+    for (unsigned Ch = 0; Ch < 3; ++Ch) {
+      unsigned Sum = 24 + Ch * 8;
+      B += formatString("  mul.8.dw [vr%u..vr%u] = [vr%u..vr%u], %d\n", Sum,
+                        Sum + 7, Sum, Sum + 7, NinthScale);
+      B += formatString("  shr.8.dw [vr%u..vr%u] = [vr%u..vr%u], 16\n", Sum,
+                        Sum + 7, Sum, Sum + 7);
+    }
+    // Alpha passes through from the centre pixel.
+    B += ld8(8, "src", "vr60", "vr61");
+    B += unpack8(16, 8, 3);
+    B += pack8(48, 24, 32, 40, 16);
+    B += st8(48, "dst", "vr60", "vr61");
+    return makeStripKernel(B);
+  }
+
+public:
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      const SurfaceGeometry &G = OutGeo;
+      uint32_t SW = G.surfW();
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          uint32_t SumR = 0, SumG = 0, SumB = 0;
+          uint64_t Centre = G.elem(X, Y, F);
+          for (int Dy = -1; Dy <= 1; ++Dy)
+            for (int Dx = -1; Dx <= 1; ++Dx) {
+              uint32_t P = InImg->raw(Centre + static_cast<int64_t>(Dy) * SW +
+                                      Dx);
+              SumR += chR(P);
+              SumG += chG(P);
+              SumB += chB(P);
+            }
+          uint32_t A = chA(InImg->raw(Centre));
+          OutImg->at(X, Y, F) =
+              packRgba((SumR * NinthScale) >> 16, (SumG * NinthScale) >> 16,
+                       (SumB * NinthScale) >> 16, A);
+        }
+    }
+    return Error::success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// BOB: de-interlace by averaging the scanlines above and below every
+// missing line. Bandwidth bound — almost no arithmetic per byte.
+//===----------------------------------------------------------------------===//
+
+class Bob final : public ImageWorkloadBase {
+public:
+  Bob(uint32_t W, uint32_t H, uint32_t Frames)
+      : ImageWorkloadBase("De-interlace BOB Avg", "BOB",
+                          SurfaceGeometry{W, H, Frames, 8, 2},
+                          /*RowsPerShred=*/16, /*ColsPerShred=*/240,
+                          HostCostModel{3.0, 0.0, 0.0, 8.0, 4.0}) {}
+
+protected:
+  std::vector<std::string> extraScalarParams() const override {
+    return {"fbase"};
+  }
+  int32_t extraParamValue(const std::string &, uint64_t Strip) const override {
+    uint32_t F, Y0, Rows, X0, Cols;
+    stripLocation(Strip, F, Y0, Rows, X0, Cols);
+    return static_cast<int32_t>(OutGeo.absRow(0, F));
+  }
+
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    B += "  sub.1.dw vr56 = vr61, fbase\n";
+    B += "  and.1.dw vr56 = vr56, 1\n";
+    B += "  cmp.eq.1.dw p1 = vr56, 0\n";
+    B += "  br p1, evenline\n";
+    // Odd (missing) line: packed byte-exact average of y-1 and y+1.
+    B += "  sub.1.dw vr57 = vr61, 1\n";
+    B += ld8(8, "src", "vr60", "vr57");
+    B += "  add.1.dw vr57 = vr61, 1\n";
+    B += ld8(16, "src", "vr60", "vr57");
+    B += "  or.8.dw [vr24..vr31] = [vr8..vr15], [vr16..vr23]\n";
+    B += "  xor.8.dw [vr32..vr39] = [vr8..vr15], [vr16..vr23]\n";
+    B += "  shr.8.dw [vr32..vr39] = [vr32..vr39], 1\n";
+    B += formatString("  and.8.dw [vr32..vr39] = [vr32..vr39], %d\n",
+                      0x7f7f7f7f);
+    B += "  sub.8.dw [vr24..vr31] = [vr24..vr31], [vr32..vr39]\n";
+    B += st8(24, "dst", "vr60", "vr61");
+    B += "  jmp lineend\n";
+    B += "evenline:\n";
+    B += ld8(8, "src", "vr60", "vr61");
+    B += st8(8, "dst", "vr60", "vr61");
+    B += "lineend:\n";
+    return makeStripKernel(B);
+  }
+
+public:
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      const SurfaceGeometry &G = OutGeo;
+      uint32_t SW = G.surfW();
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          uint64_t E = G.elem(X, Y, F);
+          if ((Y & 1) == 0) {
+            OutImg->at(X, Y, F) = InImg->raw(E);
+          } else {
+            OutImg->at(X, Y, F) =
+                packedAvg(InImg->raw(E - SW), InImg->raw(E + SW));
+          }
+        }
+    }
+    return Error::success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ADVDI: motion-adaptive de-interlacing. Missing lines take the spatial
+// average where motion is detected and the previous frame's pixel where
+// the scene is static.
+//===----------------------------------------------------------------------===//
+
+class Advdi final : public ImageWorkloadBase {
+public:
+  static constexpr int32_t MotionThreshold = 24;
+
+  Advdi(uint32_t W, uint32_t H, uint32_t Frames)
+      : ImageWorkloadBase("Advanced De-interlacing", "ADVDI",
+                          SurfaceGeometry{W, H, Frames, 8, 2},
+                          /*RowsPerShred=*/16, /*ColsPerShred=*/240,
+                          HostCostModel{16.0, 4.0, 0.0, 10.0, 4.0}) {}
+
+protected:
+  std::vector<std::string> extraScalarParams() const override {
+    return {"fbase", "poff", "thresh"};
+  }
+  int32_t extraParamValue(const std::string &P,
+                          uint64_t Strip) const override {
+    uint32_t F, Y0, Rows, X0, Cols;
+    stripLocation(Strip, F, Y0, Rows, X0, Cols);
+    if (P == "fbase")
+      return static_cast<int32_t>(OutGeo.absRow(0, F));
+    if (P == "poff")
+      return F == 0 ? 0 : static_cast<int32_t>(OutGeo.slotH());
+    return MotionThreshold;
+  }
+
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    B += "  sub.1.dw vr56 = vr61, fbase\n";
+    B += "  and.1.dw vr56 = vr56, 1\n";
+    B += "  cmp.eq.1.dw p1 = vr56, 0\n";
+    B += "  br p1, evenline\n";
+    // above -> vr8, below -> vr16, previous-frame pixel -> vr24.
+    B += "  sub.1.dw vr57 = vr61, 1\n";
+    B += ld8(8, "src", "vr60", "vr57");
+    B += "  add.1.dw vr57 = vr61, 1\n";
+    B += ld8(16, "src", "vr60", "vr57");
+    B += "  sub.1.dw vr57 = vr61, poff\n";
+    B += ld8(24, "src", "vr60", "vr57");
+    // Motion metric: sum over RGB of |above_c - below_c| -> vr48.
+    B += "  mov.8.dw [vr48..vr55] = 0\n";
+    for (unsigned Ch = 0; Ch < 3; ++Ch) {
+      B += unpack8(32, 8, Ch);
+      B += unpack8(40, 16, Ch);
+      B += "  sub.8.dw [vr32..vr39] = [vr32..vr39], [vr40..vr47]\n";
+      B += "  abs.8.dw [vr32..vr39] = [vr32..vr39]\n";
+      B += "  add.8.dw [vr48..vr55] = [vr48..vr55], [vr32..vr39]\n";
+    }
+    // Spatial candidate: packed average of above/below -> vr32.
+    B += "  or.8.dw [vr32..vr39] = [vr8..vr15], [vr16..vr23]\n";
+    B += "  xor.8.dw [vr40..vr47] = [vr8..vr15], [vr16..vr23]\n";
+    B += "  shr.8.dw [vr40..vr47] = [vr40..vr47], 1\n";
+    B += formatString("  and.8.dw [vr40..vr47] = [vr40..vr47], %d\n",
+                      0x7f7f7f7f);
+    B += "  sub.8.dw [vr32..vr39] = [vr32..vr39], [vr40..vr47]\n";
+    // Motion? spatial : temporal.
+    B += "  cmp.gt.8.dw p2 = [vr48..vr55], thresh\n";
+    B += "  sel.8.dw p2, [vr40..vr47] = [vr32..vr39], [vr24..vr31]\n";
+    B += st8(40, "dst", "vr60", "vr61");
+    B += "  jmp lineend\n";
+    B += "evenline:\n";
+    B += ld8(8, "src", "vr60", "vr61");
+    B += st8(8, "dst", "vr60", "vr61");
+    B += "lineend:\n";
+    return makeStripKernel(B);
+  }
+
+public:
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      const SurfaceGeometry &G = OutGeo;
+      uint32_t SW = G.surfW();
+      uint32_t POff = F == 0 ? 0 : G.slotH();
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          uint64_t E = G.elem(X, Y, F);
+          if ((Y & 1) == 0) {
+            OutImg->at(X, Y, F) = InImg->raw(E);
+            continue;
+          }
+          uint32_t Above = InImg->raw(E - SW);
+          uint32_t Below = InImg->raw(E + SW);
+          uint32_t Prev = InImg->raw(E - static_cast<uint64_t>(POff) * SW);
+          int32_t M = std::abs(static_cast<int32_t>(chR(Above)) -
+                               static_cast<int32_t>(chR(Below))) +
+                      std::abs(static_cast<int32_t>(chG(Above)) -
+                               static_cast<int32_t>(chG(Below))) +
+                      std::abs(static_cast<int32_t>(chB(Above)) -
+                               static_cast<int32_t>(chB(Below)));
+          OutImg->at(X, Y, F) =
+              M > MotionThreshold ? packedAvg(Above, Below) : Prev;
+        }
+    }
+    return Error::success();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<MediaWorkload> kernels::createLinearFilter(uint32_t W,
+                                                           uint32_t H) {
+  return std::make_unique<LinearFilter>(W, H);
+}
+
+std::unique_ptr<MediaWorkload> kernels::createBOB(uint32_t W, uint32_t H,
+                                                  uint32_t Frames) {
+  return std::make_unique<Bob>(W, H, Frames);
+}
+
+std::unique_ptr<MediaWorkload> kernels::createADVDI(uint32_t W, uint32_t H,
+                                                    uint32_t Frames) {
+  return std::make_unique<Advdi>(W, H, Frames);
+}

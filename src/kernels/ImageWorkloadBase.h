@@ -1,0 +1,92 @@
+//===- kernels/ImageWorkloadBase.h - In/out image workload base -------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience base for workloads with one input surface (generated
+/// content) and one output surface of the same frame count: covers most
+/// of Table 2. Kernels with extra inputs (logo, previous frame in a
+/// separate surface) or non-image outputs (FMD's metrics) extend or
+/// override the relevant hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_KERNELS_IMAGEWORKLOADBASE_H
+#define EXOCHI_KERNELS_IMAGEWORKLOADBASE_H
+
+#include "kernels/MediaWorkload.h"
+
+namespace exochi {
+namespace kernels {
+
+/// Workload with `src` (input) and `dst` (output) surfaces.
+class ImageWorkloadBase : public MediaWorkload {
+public:
+  using MediaWorkload::MediaWorkload;
+
+  Error setup(chi::Runtime &RT) override {
+    exo::ExoPlatform &P = RT.platform();
+    InS = SharedSurface::allocate(P, inGeometry(), name() + ".src");
+    OutS = SharedSurface::allocate(P, OutGeo, name() + ".dst");
+
+    InImg = std::make_unique<HostImage>(inGeometry());
+    generate(*InImg);
+    InImg->writeToShared(P, InS);
+    OutImg = std::make_unique<HostImage>(OutGeo);
+    // Applications allocate and zero their output buffers before use;
+    // pre-touching them here means exo-sequencer stores hit mapped pages
+    // (ATR transcodes only) instead of taking demand-page faults.
+    OutImg->writeToShared(P, OutS);
+
+    auto In = InS.makeDescriptor(RT, chi::SurfaceMode::Input);
+    if (!In)
+      return In.takeError();
+    InDesc = *In;
+    auto Out = OutS.makeDescriptor(RT, chi::SurfaceMode::Output);
+    if (!Out)
+      return Out.takeError();
+    OutDesc = *Out;
+    return setupExtra(RT);
+  }
+
+  const HostImage &input() const { return *InImg; }
+
+protected:
+  /// Input geometry; defaults to the output geometry.
+  virtual SurfaceGeometry inGeometry() const { return OutGeo; }
+
+  /// Content generator; defaults to a natural image (single frame) or
+  /// moving video (multi-frame).
+  virtual void generate(HostImage &Img) const {
+    if (Img.geometry().Frames > 1)
+      gen::movingVideo(Img, 0x5eed0 + OutGeo.W);
+    else
+      gen::naturalImage(Img, 0x5eed0 + OutGeo.W);
+  }
+
+  /// Hook for additional surfaces/descriptors.
+  virtual Error setupExtra(chi::Runtime &RT) {
+    (void)RT;
+    return Error::success();
+  }
+
+  std::vector<std::string> surfaceParams() const override {
+    return {"src", "dst"};
+  }
+  std::map<std::string, uint32_t> sharedDescs() const override {
+    return {{"src", InDesc}, {"dst", OutDesc}};
+  }
+  const SharedSurface &outputSurface() const override { return OutS; }
+  HostImage &hostOutput() override { return *OutImg; }
+
+  SharedSurface InS, OutS;
+  std::unique_ptr<HostImage> InImg, OutImg;
+  uint32_t InDesc = 0, OutDesc = 0;
+};
+
+} // namespace kernels
+} // namespace exochi
+
+#endif // EXOCHI_KERNELS_IMAGEWORKLOADBASE_H

@@ -1,0 +1,175 @@
+//===- kernels/MediaWorkload.cpp ----------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/MediaWorkload.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+MediaWorkload::MediaWorkload(std::string Name, std::string Abbrev,
+                             SurfaceGeometry OutGeo, uint32_t RowsPerShred,
+                             uint32_t ColsPerShred, HostCostModel Cost)
+    : Name(std::move(Name)), Abbrev(std::move(Abbrev)), OutGeo(OutGeo),
+      RowsPerShred(RowsPerShred), ColsPerShred(ColsPerShred), Cost(Cost) {
+  assert(RowsPerShred > 0 && "strip height must be positive");
+  assert(ColsPerShred % 8 == 0 && "tile width must be a lane multiple");
+}
+
+MediaWorkload::~MediaWorkload() = default;
+
+uint32_t kernels::scaleDim(uint32_t Dim, double Scale) {
+  uint32_t V = static_cast<uint32_t>(std::lround(Dim * Scale));
+  V = (V / 16) * 16;
+  return std::max(32u, V);
+}
+
+void MediaWorkload::stripLocation(uint64_t Strip, uint32_t &Frame,
+                                  uint32_t &Row0, uint32_t &Rows,
+                                  uint32_t &Col0, uint32_t &Cols) const {
+  uint32_t Spf = stripsPerFrame();
+  Frame = static_cast<uint32_t>(Strip / Spf);
+  uint32_t InFrame = static_cast<uint32_t>(Strip % Spf);
+  uint32_t TX = tilesX();
+  uint32_t TileCol = InFrame % TX;
+  uint32_t TileRow = InFrame / TX;
+  Row0 = TileRow * RowsPerShred;
+  Rows = std::min(RowsPerShred, OutGeo.H - Row0);
+  uint32_t C = ColsPerShred == 0 ? OutGeo.W : ColsPerShred;
+  Col0 = TileCol * C;
+  Cols = std::min(C, OutGeo.W - Col0);
+}
+
+Error MediaWorkload::compile(chi::ProgramBuilder &PB) {
+  std::vector<std::string> Scalars = {"y0", "rows", "x0", "cols"};
+  for (const std::string &P : extraScalarParams())
+    Scalars.push_back(P);
+  return PB.addXgmaKernel(Name, kernelAsm(), std::move(Scalars),
+                          surfaceParams())
+      .takeError();
+}
+
+Expected<chi::RegionHandle> MediaWorkload::dispatchDevice(chi::Runtime &RT,
+                                                          uint64_t S0,
+                                                          uint64_t S1,
+                                                          bool MasterNowait) {
+  if (S0 >= S1 || S1 > totalStrips())
+    return Error::make(formatString("bad strip range [%llu, %llu)",
+                                    static_cast<unsigned long long>(S0),
+                                    static_cast<unsigned long long>(S1)));
+  std::vector<uint64_t> Strips;
+  Strips.reserve(S1 - S0);
+  for (uint64_t S = S0; S < S1; ++S)
+    Strips.push_back(S);
+  return dispatchDevicePermuted(RT, std::move(Strips), MasterNowait);
+}
+
+Expected<chi::RegionHandle>
+MediaWorkload::dispatchDevicePermuted(chi::Runtime &RT,
+                                      std::vector<uint64_t> Strips,
+                                      bool MasterNowait) {
+  if (Strips.empty())
+    return Error::make("empty strip list");
+  for (uint64_t S : Strips)
+    if (S >= totalStrips())
+      return Error::make(formatString("strip %llu out of range",
+                                      static_cast<unsigned long long>(S)));
+
+  chi::RegionSpec Spec;
+  Spec.KernelName = Name;
+  Spec.NumThreads = static_cast<unsigned>(Strips.size());
+  Spec.MasterNowait = MasterNowait;
+  Spec.SharedDescs = sharedDescs();
+
+  auto Order = std::make_shared<std::vector<uint64_t>>(std::move(Strips));
+  auto StandardParam = [this, Order](const char *Which) {
+    std::string W(Which);
+    return [this, Order, W](unsigned T) -> int32_t {
+      uint32_t Frame, Row0, Rows, Col0, Cols;
+      stripLocation((*Order)[T], Frame, Row0, Rows, Col0, Cols);
+      if (W == "y0")
+        return static_cast<int32_t>(OutGeo.absRow(Row0, Frame));
+      if (W == "rows")
+        return static_cast<int32_t>(Rows);
+      if (W == "x0")
+        return static_cast<int32_t>(OutGeo.PadX + Col0);
+      return static_cast<int32_t>(Cols);
+    };
+  };
+  Spec.Private["y0"] = StandardParam("y0");
+  Spec.Private["rows"] = StandardParam("rows");
+  Spec.Private["x0"] = StandardParam("x0");
+  Spec.Private["cols"] = StandardParam("cols");
+  for (const std::string &P : extraScalarParams()) {
+    std::string Param = P;
+    Spec.Private[P] = [this, Order, Param](unsigned T) {
+      return extraParamValue(Param, (*Order)[T]);
+    };
+  }
+  return RT.dispatch(Spec);
+}
+
+cpu::WorkEstimate MediaWorkload::hostWorkFor(uint64_t S0, uint64_t S1) const {
+  uint64_t Pixels = 0;
+  for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+    uint32_t Frame, Row0, Rows, Col0, Cols;
+    stripLocation(S, Frame, Row0, Rows, Col0, Cols);
+    Pixels += static_cast<uint64_t>(Rows) * Cols;
+  }
+  cpu::WorkEstimate W;
+  auto Mul = [Pixels](double PerPx) {
+    return static_cast<uint64_t>(std::llround(PerPx * Pixels));
+  };
+  W.VectorOps = Mul(Cost.VecOpsPerPixel);
+  W.ScalarOps = Mul(Cost.ScalarOpsPerPixel);
+  W.SamplerOps = Mul(Cost.SamplerOpsPerPixel);
+  W.BytesRead = Mul(Cost.BytesReadPerPixel);
+  W.BytesWritten = Mul(Cost.BytesWrittenPerPixel);
+  return W;
+}
+
+Error MediaWorkload::hostRun(chi::Runtime &RT, uint64_t S0, uint64_t S1) {
+  if (Error E = hostCompute(S0, S1))
+    return E;
+  // Publish the computed rows into the shared surface so both halves of a
+  // cooperative run land in one memory image.
+  for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+    uint32_t Frame, Row0, Rows, Col0, Cols;
+    stripLocation(S, Frame, Row0, Rows, Col0, Cols);
+    hostOutput().writeRectToShared(RT.platform(), outputSurface(), Frame,
+                                   Col0, Col0 + Cols, Row0, Row0 + Rows);
+  }
+  return Error::success();
+}
+
+Error MediaWorkload::compareSharedToReference(chi::Runtime &RT) {
+  HostImage SharedOut(outputSurface().Geo);
+  SharedOut.readFromShared(RT.platform(), outputSurface());
+  uint64_t DiffElem = 0;
+  if (!hostOutput().visibleEquals(SharedOut, &DiffElem))
+    return Error::make(formatString(
+        "%s: shared output differs from IA32 reference at element %llu "
+        "(shared=0x%08x host=0x%08x)",
+        Name.c_str(), static_cast<unsigned long long>(DiffElem),
+        SharedOut.raw(DiffElem), hostOutput().raw(DiffElem)));
+  return Error::success();
+}
+
+Error MediaWorkload::verify(chi::Runtime &RT) {
+  // Host reference over everything.
+  if (Error E = hostCompute(0, totalStrips()))
+    return E;
+
+  // Full device run, then compare against the reference.
+  auto H = dispatchDevice(RT, 0, totalStrips());
+  if (!H)
+    return H.takeError();
+  return compareSharedToReference(RT);
+}

@@ -1,0 +1,257 @@
+//===- kernels/PointKernels.cpp - SepiaTone, ProcAmp, FGT ---------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-pixel (point-operation) Table 2 kernels. Each output pixel
+/// depends only on the corresponding input pixel, so the kernels are
+/// embarrassingly parallel and lean almost entirely on SIMD width.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/AsmBuilder.h"
+#include "kernels/ImageWorkloadBase.h"
+#include "kernels/Workloads.h"
+
+#include "support/Format.h"
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+namespace {
+
+uint32_t clampByte(int64_t V) {
+  return static_cast<uint32_t>(std::min<int64_t>(255, std::max<int64_t>(0, V)));
+}
+
+//===----------------------------------------------------------------------===//
+// SepiaTone: RGB re-weighting, fixed-point coefficients (x/256).
+//===----------------------------------------------------------------------===//
+
+class SepiaTone final : public ImageWorkloadBase {
+public:
+  SepiaTone(uint32_t W, uint32_t H)
+      : ImageWorkloadBase("SepiaTone", "SepiaTone",
+                          SurfaceGeometry{W, H, 1, 8, 2},
+                          /*RowsPerShred=*/4, /*ColsPerShred=*/16,
+                          HostCostModel{14.0, 2.0, 0.0, 4.0, 4.0}) {}
+
+protected:
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    B += ld8(8, "src", "vr60", "vr61");
+    B += unpack8(16, 8, 0); // R
+    B += unpack8(24, 8, 1); // G
+    B += unpack8(32, 8, 2); // B
+    auto Weighted = [&](unsigned Dst, int CR, int CG, int CB) {
+      B += formatString("  mul.8.dw [vr%u..vr%u] = [vr16..vr23], %d\n", Dst,
+                        Dst + 7, CR);
+      B += formatString("  mac.8.dw [vr%u..vr%u] = [vr24..vr31], %d\n", Dst,
+                        Dst + 7, CG);
+      B += formatString("  mac.8.dw [vr%u..vr%u] = [vr32..vr39], %d\n", Dst,
+                        Dst + 7, CB);
+      B += formatString("  shr.8.dw [vr%u..vr%u] = [vr%u..vr%u], 8\n", Dst,
+                        Dst + 7, Dst, Dst + 7);
+      B += formatString("  min.8.dw [vr%u..vr%u] = [vr%u..vr%u], 255\n", Dst,
+                        Dst + 7, Dst, Dst + 7);
+    };
+    Weighted(40, 100, 197, 48); // new R
+    Weighted(48, 89, 175, 43);  // new G
+    Weighted(8, 70, 137, 33);   // new B (packed group is free now)
+    B += "  mov.8.dw [vr16..vr23] = 255\n"; // alpha := opaque
+    B += pack8(24, 40, 48, 8, 16);
+    B += st8(24, "dst", "vr60", "vr61");
+    return makeStripKernel(B);
+  }
+
+  std::vector<std::string> surfaceParams() const override {
+    return {"src", "dst"};
+  }
+
+public:
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          uint32_t P = InImg->at(X, Y, F);
+          int64_t R = chR(P), G = chG(P), Bl = chB(P);
+          uint32_t NR =
+              std::min<int64_t>(255, (R * 100 + G * 197 + Bl * 48) >> 8);
+          uint32_t NG =
+              std::min<int64_t>(255, (R * 89 + G * 175 + Bl * 43) >> 8);
+          uint32_t NB =
+              std::min<int64_t>(255, (R * 70 + G * 137 + Bl * 33) >> 8);
+          OutImg->at(X, Y, F) = packRgba(NR, NG, NB, 255);
+        }
+    }
+    return Error::success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ProcAmp: linear YUV-style colour correction.
+//===----------------------------------------------------------------------===//
+
+class ProcAmp final : public ImageWorkloadBase {
+public:
+  static constexpr int32_t Contrast = 140;  // x128 fixed point (~1.09)
+  static constexpr int32_t Brightness = 10;
+
+  ProcAmp(uint32_t W, uint32_t H, uint32_t Frames)
+      : ImageWorkloadBase("ProcAmp", "ProcAmp",
+                          SurfaceGeometry{W, H, Frames, 8, 2},
+                          /*RowsPerShred=*/16, /*ColsPerShred=*/240,
+                          HostCostModel{12.0, 2.0, 0.0, 4.0, 4.0}) {}
+
+protected:
+  std::vector<std::string> extraScalarParams() const override {
+    return {"contrast", "brightness"};
+  }
+  int32_t extraParamValue(const std::string &P, uint64_t) const override {
+    return P == "contrast" ? Contrast : Brightness;
+  }
+
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    B += ld8(8, "src", "vr60", "vr61");
+    for (unsigned Ch = 0; Ch < 3; ++Ch) {
+      unsigned G = 16 + Ch * 8;
+      B += unpack8(G, 8, Ch);
+      B += formatString("  sub.8.dw [vr%u..vr%u] = [vr%u..vr%u], 16\n", G,
+                        G + 7, G, G + 7);
+      B += formatString(
+          "  mul.8.dw [vr%u..vr%u] = [vr%u..vr%u], contrast\n", G, G + 7, G,
+          G + 7);
+      B += formatString("  asr.8.dw [vr%u..vr%u] = [vr%u..vr%u], 7\n", G,
+                        G + 7, G, G + 7);
+      B += formatString("  add.8.dw [vr%u..vr%u] = [vr%u..vr%u], 16\n", G,
+                        G + 7, G, G + 7);
+      B += formatString(
+          "  add.8.dw [vr%u..vr%u] = [vr%u..vr%u], brightness\n", G, G + 7, G,
+          G + 7);
+      B += clamp255(G);
+    }
+    B += unpack8(40, 8, 3); // alpha passthrough
+    B += pack8(48, 16, 24, 32, 40);
+    B += st8(48, "dst", "vr60", "vr61");
+    return makeStripKernel(B);
+  }
+
+public:
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    auto Correct = [](uint32_t C) {
+      int32_t V = static_cast<int32_t>(C) - 16;
+      V = (V * Contrast) >> 7;
+      V += 16 + Brightness;
+      return clampByte(V);
+    };
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          uint32_t P = InImg->at(X, Y, F);
+          OutImg->at(X, Y, F) = packRgba(Correct(chR(P)), Correct(chG(P)),
+                                         Correct(chB(P)), chA(P));
+        }
+    }
+    return Error::success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// FGT: film-grain synthesis — deterministic per-pixel LCG noise.
+//===----------------------------------------------------------------------===//
+
+class FilmGrain final : public ImageWorkloadBase {
+public:
+  static constexpr int32_t Seed = 12345;
+  static constexpr uint32_t Lcg = 1103515245u;
+
+  FilmGrain(uint32_t W, uint32_t H)
+      : ImageWorkloadBase("Film Grain Technology", "FGT",
+                          SurfaceGeometry{W, H, 1, 8, 2},
+                          /*RowsPerShred=*/8, /*ColsPerShred=*/0,
+                          HostCostModel{14.0, 3.0, 0.0, 4.0, 4.0}) {}
+
+protected:
+  std::vector<std::string> extraScalarParams() const override {
+    return {"sw", "seed"};
+  }
+  int32_t extraParamValue(const std::string &P, uint64_t) const override {
+    return P == "sw" ? static_cast<int32_t>(OutGeo.surfW()) : Seed;
+  }
+
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    // Per-lane element index -> LCG noise in [-16, 15].
+    B += "  mul.1.dw vr48 = vr61, sw\n";
+    B += "  add.1.dw vr48 = vr48, vr60\n";
+    B += "  add.8.dw [vr16..vr23] = [vr52..vr59], vr48\n";
+    B += formatString("  mul.8.dw [vr16..vr23] = [vr16..vr23], %d\n",
+                      static_cast<int32_t>(Lcg));
+    B += "  add.8.dw [vr16..vr23] = [vr16..vr23], seed\n";
+    B += "  shr.8.dw [vr16..vr23] = [vr16..vr23], 16\n";
+    B += "  and.8.dw [vr16..vr23] = [vr16..vr23], 31\n";
+    B += "  sub.8.dw [vr16..vr23] = [vr16..vr23], 16\n";
+    B += ld8(8, "src", "vr60", "vr61");
+    B += unpack8(32, 8, 3); // alpha passthrough
+    auto Grain = [&](unsigned Dst, unsigned Chan) {
+      B += unpack8(Dst, 8, Chan);
+      B += formatString(
+          "  add.8.dw [vr%u..vr%u] = [vr%u..vr%u], [vr16..vr23]\n", Dst,
+          Dst + 7, Dst, Dst + 7);
+      B += clamp255(Dst);
+    };
+    Grain(24, 0); // R
+    Grain(40, 1); // G
+    Grain(8, 2);  // B (overwrites the packed group, last use)
+    B += pack8(16, 24, 40, 8, 32);
+    B += st8(16, "dst", "vr60", "vr61");
+    return makeStripKernel(B, /*EmitLaneIds=*/true);
+  }
+
+public:
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    const SurfaceGeometry &G = OutGeo;
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          uint32_t Idx = static_cast<uint32_t>(G.elem(X, Y, F));
+          uint32_t V = Idx * Lcg + static_cast<uint32_t>(Seed);
+          int32_t N = static_cast<int32_t>((V >> 16) & 31) - 16;
+          uint32_t P = InImg->at(X, Y, F);
+          OutImg->at(X, Y, F) =
+              packRgba(clampByte(static_cast<int64_t>(chR(P)) + N),
+                       clampByte(static_cast<int64_t>(chG(P)) + N),
+                       clampByte(static_cast<int64_t>(chB(P)) + N), chA(P));
+        }
+    }
+    return Error::success();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<MediaWorkload> kernels::createSepiaTone(uint32_t W,
+                                                        uint32_t H) {
+  return std::make_unique<SepiaTone>(W, H);
+}
+
+std::unique_ptr<MediaWorkload> kernels::createProcAmp(uint32_t W, uint32_t H,
+                                                      uint32_t Frames) {
+  return std::make_unique<ProcAmp>(W, H, Frames);
+}
+
+std::unique_ptr<MediaWorkload> kernels::createFGT(uint32_t W, uint32_t H) {
+  return std::make_unique<FilmGrain>(W, H);
+}

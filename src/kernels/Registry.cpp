@@ -1,0 +1,45 @@
+//===- kernels/Registry.cpp - Table 2 workload suite ----------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+namespace {
+
+uint32_t scaleFrames(uint32_t Frames, double Scale) {
+  return std::max(6u, static_cast<uint32_t>(std::lround(Frames * Scale)));
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<MediaWorkload>>
+kernels::createTable2Workloads(double Scale) {
+  std::vector<std::unique_ptr<MediaWorkload>> Out;
+  Out.push_back(
+      createLinearFilter(scaleDim(640, Scale), scaleDim(480, Scale)));
+  Out.push_back(createSepiaTone(scaleDim(640, Scale), scaleDim(480, Scale)));
+  Out.push_back(createFGT(scaleDim(1024, Scale), scaleDim(768, Scale)));
+  Out.push_back(createBicubic(scaleDim(720, Scale), scaleDim(480, Scale),
+                              scaleFrames(30, Scale)));
+  Out.push_back(createKalman(scaleDim(512, Scale), scaleDim(256, Scale),
+                             scaleFrames(30, Scale)));
+  Out.push_back(createFMD(scaleDim(720, Scale), scaleDim(480, Scale),
+                          std::max(15u, scaleFrames(60, Scale))));
+  Out.push_back(createAlphaBlend(scaleDim(720, Scale), scaleDim(480, Scale),
+                                 scaleFrames(30, Scale)));
+  Out.push_back(createBOB(scaleDim(720, Scale), scaleDim(480, Scale),
+                          scaleFrames(30, Scale)));
+  Out.push_back(createADVDI(scaleDim(720, Scale), scaleDim(480, Scale),
+                            scaleFrames(30, Scale)));
+  Out.push_back(createProcAmp(scaleDim(720, Scale), scaleDim(480, Scale),
+                              scaleFrames(30, Scale)));
+  return Out;
+}

@@ -1,0 +1,187 @@
+//===- kernels/Surface.cpp ------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Surface.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+SharedSurface SharedSurface::allocate(exo::ExoPlatform &P, SurfaceGeometry Geo,
+                                      std::string Name) {
+  SharedSurface S;
+  S.Geo = Geo;
+  S.Buf = P.allocateShared(Geo.bytes(), std::move(Name));
+  return S;
+}
+
+Expected<uint32_t> SharedSurface::makeDescriptor(chi::Runtime &RT,
+                                                 chi::SurfaceMode Mode) const {
+  return RT.allocDesc(chi::TargetIsa::X3000, Buf.Base, Mode, Geo.surfW(),
+                      Geo.surfH());
+}
+
+void HostImage::fillPadding() {
+  uint32_t SW = Geo.surfW();
+  for (uint32_t F = 0; F < Geo.Frames; ++F) {
+    // Left/right columns of every visible row.
+    for (uint32_t Y = 0; Y < Geo.H; ++Y) {
+      uint64_t RowBase =
+          (static_cast<uint64_t>(F) * Geo.slotH() + Geo.PadY + Y) * SW;
+      uint32_t Left = Pixels[RowBase + Geo.PadX];
+      uint32_t Right = Pixels[RowBase + Geo.PadX + Geo.W - 1];
+      for (uint32_t X = 0; X < Geo.PadX; ++X) {
+        Pixels[RowBase + X] = Left;
+        Pixels[RowBase + Geo.PadX + Geo.W + X] = Right;
+      }
+    }
+    // Top/bottom rows (after columns, so corners replicate too).
+    uint64_t SlotBase = static_cast<uint64_t>(F) * Geo.slotH() * SW;
+    for (uint32_t Y = 0; Y < Geo.PadY; ++Y) {
+      std::copy_n(&Pixels[SlotBase + static_cast<uint64_t>(Geo.PadY) * SW],
+                  SW, &Pixels[SlotBase + static_cast<uint64_t>(Y) * SW]);
+      std::copy_n(
+          &Pixels[SlotBase +
+                  static_cast<uint64_t>(Geo.PadY + Geo.H - 1) * SW],
+          SW,
+          &Pixels[SlotBase + static_cast<uint64_t>(Geo.PadY + Geo.H + Y) * SW]);
+    }
+  }
+}
+
+void HostImage::writeToShared(exo::ExoPlatform &P,
+                              const SharedSurface &S) const {
+  assert(S.Geo.elements() == Geo.elements() && "geometry mismatch");
+  P.write(S.Buf.Base, Pixels.data(), Pixels.size() * 4);
+}
+
+void HostImage::readFromShared(exo::ExoPlatform &P, const SharedSurface &S) {
+  assert(S.Geo.elements() == Geo.elements() && "geometry mismatch");
+  P.read(S.Buf.Base, Pixels.data(), Pixels.size() * 4);
+}
+
+void HostImage::writeRowsToShared(exo::ExoPlatform &P, const SharedSurface &S,
+                                  uint32_t F, uint32_t Y0, uint32_t Y1) const {
+  for (uint32_t Y = Y0; Y < Y1; ++Y) {
+    uint64_t Elem = Geo.elem(0, Y, F);
+    P.write(S.Buf.Base + Elem * 4, &Pixels[Elem], Geo.W * 4ull);
+  }
+}
+
+void HostImage::writeRectToShared(exo::ExoPlatform &P, const SharedSurface &S,
+                                  uint32_t F, uint32_t X0, uint32_t X1,
+                                  uint32_t Y0, uint32_t Y1) const {
+  for (uint32_t Y = Y0; Y < Y1; ++Y) {
+    uint64_t Elem = Geo.elem(X0, Y, F);
+    P.write(S.Buf.Base + Elem * 4, &Pixels[Elem],
+            static_cast<uint64_t>(X1 - X0) * 4);
+  }
+}
+
+bool HostImage::visibleEquals(const HostImage &O,
+                              uint64_t *FirstDiffElem) const {
+  for (uint32_t F = 0; F < Geo.Frames; ++F)
+    for (uint32_t Y = 0; Y < Geo.H; ++Y)
+      for (uint32_t X = 0; X < Geo.W; ++X) {
+        uint64_t E = Geo.elem(X, Y, F);
+        if (Pixels[E] != O.Pixels[E]) {
+          if (FirstDiffElem)
+            *FirstDiffElem = E;
+          return false;
+        }
+      }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Generators
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint32_t clamp255(int64_t V) {
+  return static_cast<uint32_t>(std::min<int64_t>(255, std::max<int64_t>(0, V)));
+}
+
+/// A smooth-but-detailed pixel: gradient + sinusoid detail + noise.
+uint32_t scenePixel(uint32_t X, uint32_t Y, uint32_t W, uint32_t H,
+                    double ShiftX, Rng &Noise) {
+  double Fx = (X + ShiftX) / std::max(1u, W);
+  double Fy = static_cast<double>(Y) / std::max(1u, H);
+  int64_t R = static_cast<int64_t>(200 * Fx + 30 * std::sin(Fy * 37.0));
+  int64_t G = static_cast<int64_t>(180 * Fy + 40 * std::sin(Fx * 23.0));
+  int64_t B = static_cast<int64_t>(120 + 80 * std::sin((Fx + Fy) * 17.0));
+  int64_t N = static_cast<int64_t>(Noise.nextBelow(17)) - 8;
+  return packRgba(clamp255(R + N), clamp255(G + N), clamp255(B + N), 255);
+}
+
+} // namespace
+
+void gen::naturalImage(HostImage &Img, uint64_t Seed) {
+  const SurfaceGeometry &G = Img.geometry();
+  Rng Noise(Seed);
+  for (uint32_t Y = 0; Y < G.H; ++Y)
+    for (uint32_t X = 0; X < G.W; ++X)
+      Img.at(X, Y) = scenePixel(X, Y, G.W, G.H, 0.0, Noise);
+  Img.fillPadding();
+}
+
+void gen::movingVideo(HostImage &Video, uint64_t Seed) {
+  const SurfaceGeometry &G = Video.geometry();
+  Rng Noise(Seed);
+  for (uint32_t F = 0; F < G.Frames; ++F) {
+    double Shift = F * 3.0; // horizontal pan: real motion between frames
+    for (uint32_t Y = 0; Y < G.H; ++Y)
+      for (uint32_t X = 0; X < G.W; ++X) {
+        // The top quarter is a static region (letterbox): motion
+        // detectors must distinguish it from the panning scene.
+        bool Static = Y < G.H / 4;
+        Video.at(X, Y, F) =
+            scenePixel(X, Y, G.W, G.H, Static ? 0.0 : Shift, Noise);
+      }
+  }
+  Video.fillPadding();
+}
+
+void gen::telecinedVideo(HostImage &Video, uint64_t Seed) {
+  const SurfaceGeometry &G = Video.geometry();
+  // Source film frames at 24 fps pulled down to the AABBB cadence: the
+  // film frame index advances every 2,3,2,3,... video frames, and the
+  // repeated video frames are *bit-identical* copies of their film frame
+  // (each film frame's noise is seeded by its own index).
+  uint32_t FilmIdx = 0, Run = 0, RunLen = 2;
+  for (uint32_t F = 0; F < G.Frames; ++F) {
+    double Shift = FilmIdx * 5.0;
+    Rng Noise(Seed + FilmIdx * 0x9e3779b9ull);
+    for (uint32_t Y = 0; Y < G.H; ++Y)
+      for (uint32_t X = 0; X < G.W; ++X)
+        Video.at(X, Y, F) = scenePixel(X, Y, G.W, G.H, Shift, Noise);
+    if (++Run == RunLen) {
+      Run = 0;
+      RunLen = RunLen == 2 ? 3 : 2;
+      ++FilmIdx;
+    }
+  }
+  Video.fillPadding();
+}
+
+void gen::logoImage(HostImage &Logo, uint64_t Seed) {
+  const SurfaceGeometry &G = Logo.geometry();
+  Rng Noise(Seed);
+  double Cx = G.W / 2.0, Cy = G.H / 2.0;
+  double MaxD = std::sqrt(Cx * Cx + Cy * Cy);
+  for (uint32_t Y = 0; Y < G.H; ++Y)
+    for (uint32_t X = 0; X < G.W; ++X) {
+      double D = std::sqrt((X - Cx) * (X - Cx) + (Y - Cy) * (Y - Cy)) / MaxD;
+      uint32_t A = clamp255(static_cast<int64_t>(255 * (1.0 - D)));
+      Logo.at(X, Y) = packRgba(240, 40 + (X * 2) % 200, 60 + (Y * 3) % 180,
+                               A);
+      (void)Noise;
+    }
+  Logo.fillPadding();
+}

@@ -1,0 +1,156 @@
+//===- kernels/Surface.h - Padded image/video surfaces ---------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Image and video buffers shared between the IA32 sequencer and the
+/// exo-sequencers. Pixels are packed RGBA8 in one I32 element. Surfaces
+/// carry replicated-edge padding (PadX columns, PadY rows) so stencil
+/// kernels read neighbours without per-lane border branches, and video is
+/// stored as vertically stacked frame slots so temporal kernels address
+/// the previous frame with a row offset — both standard media-kernel
+/// layout tricks.
+///
+/// HostImage is the IA32 sequencer's working mirror: host kernel code
+/// runs over it at native speed and bulk-synchronizes with the shared
+/// surface (the simulated virtual memory) at well-defined points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_KERNELS_SURFACE_H
+#define EXOCHI_KERNELS_SURFACE_H
+
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exochi {
+namespace kernels {
+
+/// Packs RGBA bytes into one I32 element.
+constexpr uint32_t packRgba(uint32_t R, uint32_t G, uint32_t B, uint32_t A) {
+  return (R & 0xff) | ((G & 0xff) << 8) | ((B & 0xff) << 16) |
+         ((A & 0xff) << 24);
+}
+constexpr uint32_t chR(uint32_t P) { return P & 0xff; }
+constexpr uint32_t chG(uint32_t P) { return (P >> 8) & 0xff; }
+constexpr uint32_t chB(uint32_t P) { return (P >> 16) & 0xff; }
+constexpr uint32_t chA(uint32_t P) { return (P >> 24) & 0xff; }
+
+/// Geometry of a padded, possibly multi-frame RGBA surface.
+struct SurfaceGeometry {
+  uint32_t W = 0;      ///< visible pixels per row
+  uint32_t H = 0;      ///< visible rows per frame
+  uint32_t Frames = 1;
+  uint32_t PadX = 8;
+  uint32_t PadY = 2;
+
+  uint32_t surfW() const { return W + 2 * PadX; }
+  uint32_t slotH() const { return H + 2 * PadY; }
+  uint32_t surfH() const { return Frames * slotH(); }
+  uint64_t elements() const {
+    return static_cast<uint64_t>(surfW()) * surfH();
+  }
+  uint64_t bytes() const { return elements() * 4; }
+
+  /// Element index of visible pixel (x, y) of frame \p F.
+  uint64_t elem(uint32_t X, uint32_t Y, uint32_t F = 0) const {
+    return (static_cast<uint64_t>(F) * slotH() + PadY + Y) * surfW() + PadX +
+           X;
+  }
+  /// Absolute surface row of visible row \p Y of frame \p F.
+  uint32_t absRow(uint32_t Y, uint32_t F = 0) const {
+    return F * slotH() + PadY + Y;
+  }
+};
+
+/// A padded RGBA surface allocated in the shared virtual address space.
+struct SharedSurface {
+  SurfaceGeometry Geo;
+  exo::SharedBuffer Buf;
+
+  /// Allocates the surface (demand-paged, untouched).
+  static SharedSurface allocate(exo::ExoPlatform &P, SurfaceGeometry Geo,
+                                std::string Name);
+
+  /// Creates an accelerator descriptor covering the whole surface.
+  Expected<uint32_t> makeDescriptor(chi::Runtime &RT,
+                                    chi::SurfaceMode Mode) const;
+};
+
+/// The IA32 sequencer's working copy of a surface.
+class HostImage {
+public:
+  explicit HostImage(const SurfaceGeometry &Geo)
+      : Geo(Geo), Pixels(Geo.elements(), 0) {}
+
+  const SurfaceGeometry &geometry() const { return Geo; }
+
+  uint32_t &at(uint32_t X, uint32_t Y, uint32_t F = 0) {
+    return Pixels[Geo.elem(X, Y, F)];
+  }
+  uint32_t at(uint32_t X, uint32_t Y, uint32_t F = 0) const {
+    return Pixels[Geo.elem(X, Y, F)];
+  }
+  /// Raw element access (including padding).
+  uint32_t &raw(uint64_t Elem) { return Pixels[Elem]; }
+  uint32_t raw(uint64_t Elem) const { return Pixels[Elem]; }
+
+  /// Replicates edge pixels into the padding ring of every frame.
+  void fillPadding();
+
+  /// Bulk-copies the whole image into the shared surface.
+  void writeToShared(exo::ExoPlatform &P, const SharedSurface &S) const;
+
+  /// Bulk-copies the shared surface into this image.
+  void readFromShared(exo::ExoPlatform &P, const SharedSurface &S);
+
+  /// Copies visible rows [Y0, Y1) of frame \p F into the shared surface
+  /// (used by cooperative host execution to publish its strip results).
+  void writeRowsToShared(exo::ExoPlatform &P, const SharedSurface &S,
+                         uint32_t F, uint32_t Y0, uint32_t Y1) const;
+
+  /// Copies the visible rectangle [X0, X1) x [Y0, Y1) of frame \p F into
+  /// the shared surface.
+  void writeRectToShared(exo::ExoPlatform &P, const SharedSurface &S,
+                         uint32_t F, uint32_t X0, uint32_t X1, uint32_t Y0,
+                         uint32_t Y1) const;
+
+  /// True when every visible pixel equals \p O's (padding ignored).
+  bool visibleEquals(const HostImage &O, uint64_t *FirstDiffElem) const;
+
+private:
+  SurfaceGeometry Geo;
+  std::vector<uint32_t> Pixels;
+};
+
+/// Deterministic content generators.
+namespace gen {
+
+/// Smooth gradient + structured detail + noise; looks like natural image
+/// content (has both low- and high-frequency energy).
+void naturalImage(HostImage &Img, uint64_t Seed);
+
+/// Video: per-frame translated gradient scene with localized motion and
+/// static background regions (gives motion detectors real signal).
+void movingVideo(HostImage &Video, uint64_t Seed);
+
+/// Telecined (3:2 pulldown) video: film frames repeated in the
+/// A A B B B cadence that film-mode detection must recognize.
+void telecinedVideo(HostImage &Video, uint64_t Seed);
+
+/// Small RGBA logo with a radial alpha ramp (for alpha blending).
+void logoImage(HostImage &Logo, uint64_t Seed);
+
+} // namespace gen
+
+} // namespace kernels
+} // namespace exochi
+
+#endif // EXOCHI_KERNELS_SURFACE_H

@@ -1,0 +1,297 @@
+//===- kernels/TemporalKernels.cpp - Kalman, FMD -------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Temporal kernels: Kalman-style video noise reduction (per-pixel
+/// temporal IIR against the previous frame) and film-mode detection
+/// (per-strip SAD metrics against the previous frame, reduced on the host
+/// into a 3:2 pulldown cadence decision so inverse telecine can be
+/// applied).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kernels/AsmBuilder.h"
+#include "kernels/ImageWorkloadBase.h"
+#include "kernels/Workloads.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Kalman: out = prev + K * (cur - prev), K = 64/256.
+//===----------------------------------------------------------------------===//
+
+class Kalman final : public ImageWorkloadBase {
+public:
+  static constexpr int32_t Gain = 64; // x/256 fixed point
+
+  Kalman(uint32_t W, uint32_t H, uint32_t Frames)
+      : ImageWorkloadBase("Kalman", "Kalman",
+                          SurfaceGeometry{W, H, Frames, 8, 2},
+                          /*RowsPerShred=*/16, /*ColsPerShred=*/64,
+                          HostCostModel{14.0, 4.0, 0.0, 8.0, 4.0}) {}
+
+protected:
+  std::vector<std::string> extraScalarParams() const override {
+    return {"poff"};
+  }
+  int32_t extraParamValue(const std::string &,
+                          uint64_t Strip) const override {
+    uint32_t F, Y0, Rows, X0, Cols;
+    stripLocation(Strip, F, Y0, Rows, X0, Cols);
+    return F == 0 ? 0 : static_cast<int32_t>(OutGeo.slotH());
+  }
+
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    B += ld8(8, "src", "vr60", "vr61"); // current frame
+    B += "  sub.1.dw vr57 = vr61, poff\n";
+    B += ld8(16, "src", "vr60", "vr57"); // previous frame
+    auto Filter = [&](unsigned Dst, unsigned Chan) {
+      B += unpack8(Dst, 8, Chan);  // current channel
+      B += unpack8(32, 16, Chan);  // previous channel
+      B += formatString(
+          "  sub.8.dw [vr%u..vr%u] = [vr%u..vr%u], [vr32..vr39]\n", Dst,
+          Dst + 7, Dst, Dst + 7);
+      B += formatString("  mul.8.dw [vr%u..vr%u] = [vr%u..vr%u], %d\n", Dst,
+                        Dst + 7, Dst, Dst + 7, Gain);
+      B += formatString("  asr.8.dw [vr%u..vr%u] = [vr%u..vr%u], 8\n", Dst,
+                        Dst + 7, Dst, Dst + 7);
+      B += formatString(
+          "  add.8.dw [vr%u..vr%u] = [vr%u..vr%u], [vr32..vr39]\n", Dst,
+          Dst + 7, Dst, Dst + 7);
+    };
+    Filter(24, 0); // R
+    Filter(40, 1); // G
+    Filter(48, 2); // B
+    B += unpack8(32, 8, 3); // alpha from current frame
+    B += pack8(16, 24, 40, 48, 32);
+    B += st8(16, "dst", "vr60", "vr61");
+    return makeStripKernel(B);
+  }
+
+public:
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    auto Filter = [](uint32_t Cur, uint32_t Prev) {
+      int32_t D = static_cast<int32_t>(Cur) - static_cast<int32_t>(Prev);
+      return static_cast<uint32_t>(static_cast<int32_t>(Prev) +
+                                   ((D * Gain) >> 8));
+    };
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      uint32_t PF = F == 0 ? 0 : F - 1;
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          uint32_t Cur = InImg->at(X, Y, F);
+          uint32_t Prev = InImg->at(X, Y, PF);
+          OutImg->at(X, Y, F) =
+              packRgba(Filter(chR(Cur), chR(Prev)), Filter(chG(Cur), chG(Prev)),
+                       Filter(chB(Cur), chB(Prev)), chA(Cur));
+        }
+    }
+    return Error::success();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// FMD: per-strip SAD of the G channel against the previous frame; the
+// host reduces per-frame SADs and detects the 3:2 pulldown cadence.
+//===----------------------------------------------------------------------===//
+
+class FilmModeDetect final : public MediaWorkload {
+public:
+  FilmModeDetect(uint32_t W, uint32_t H, uint32_t Frames)
+      : MediaWorkload("Film Mode Detection", "FMD",
+                      SurfaceGeometry{W, H, Frames, 8, 2},
+                      /*RowsPerShred=*/24, /*ColsPerShred=*/0,
+                      HostCostModel{7.0, 1.0, 0.0, 8.0, 0.1}) {}
+
+  Error setup(chi::Runtime &RT) override {
+    exo::ExoPlatform &P = RT.platform();
+    InS = SharedSurface::allocate(P, OutGeo, name() + ".src");
+    InImg = std::make_unique<HostImage>(OutGeo);
+    gen::telecinedVideo(*InImg, 0xf17);
+    InImg->writeToShared(P, InS);
+
+    SurfaceGeometry MetricGeo;
+    MetricGeo.W = static_cast<uint32_t>(totalStrips());
+    MetricGeo.H = 1;
+    MetricGeo.Frames = 1;
+    MetricGeo.PadX = 0;
+    MetricGeo.PadY = 0;
+    MetricsS = SharedSurface::allocate(P, MetricGeo, name() + ".sad");
+    MetricsImg = std::make_unique<HostImage>(MetricGeo);
+    MetricsImg->writeToShared(P, MetricsS); // pre-fault the metrics page
+
+    auto In = InS.makeDescriptor(RT, chi::SurfaceMode::Input);
+    if (!In)
+      return In.takeError();
+    InDesc = *In;
+    auto M = MetricsS.makeDescriptor(RT, chi::SurfaceMode::Output);
+    if (!M)
+      return M.takeError();
+    MetricsDesc = *M;
+    return Error::success();
+  }
+
+  Error hostCompute(uint64_t S0, uint64_t S1) override {
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S) {
+      uint32_t F, Y0, Rows, X0, Cols;
+      stripLocation(S, F, Y0, Rows, X0, Cols);
+      uint32_t PF = F == 0 ? 0 : F - 1;
+      int32_t Sad = 0;
+      for (uint32_t Y = Y0; Y < Y0 + Rows; ++Y)
+        for (uint32_t X = X0; X < X0 + Cols; ++X) {
+          int32_t Cur = static_cast<int32_t>(chG(InImg->at(X, Y, F)));
+          int32_t Prev = static_cast<int32_t>(chG(InImg->at(X, Y, PF)));
+          Sad += std::abs(Cur - Prev);
+        }
+      MetricsImg->raw(S) = static_cast<uint32_t>(Sad);
+    }
+    return Error::success();
+  }
+
+  /// Publishes this range's metric elements (the base class publishes
+  /// output-image rows, which does not apply to FMD's metrics buffer).
+  Error hostRun(chi::Runtime &RT, uint64_t S0, uint64_t S1) override {
+    if (Error E = hostCompute(S0, S1))
+      return E;
+    for (uint64_t S = S0; S < S1 && S < totalStrips(); ++S)
+      RT.platform().store<uint32_t>(MetricsS.Buf.Base + S * 4,
+                                    MetricsImg->raw(S));
+    return Error::success();
+  }
+
+  /// Host-side reduction: aggregated SAD per frame (frame 0 excluded —
+  /// it compares against itself).
+  std::vector<uint64_t> frameSads(exo::ExoPlatform &P) const {
+    std::vector<uint64_t> Out(OutGeo.Frames, 0);
+    uint32_t Spf = stripsPerFrame();
+    for (uint64_t S = 0; S < totalStrips(); ++S) {
+      uint32_t V = P.load<uint32_t>(MetricsS.Buf.Base + S * 4);
+      Out[S / Spf] += V;
+    }
+    return Out;
+  }
+
+protected:
+  std::vector<std::string> extraScalarParams() const override {
+    return {"poff", "sidx"};
+  }
+  int32_t extraParamValue(const std::string &P,
+                          uint64_t Strip) const override {
+    uint32_t F, Y0, Rows, X0, Cols;
+    stripLocation(Strip, F, Y0, Rows, X0, Cols);
+    if (P == "poff")
+      return F == 0 ? 0 : static_cast<int32_t>(OutGeo.slotH());
+    return static_cast<int32_t>(Strip);
+  }
+
+  std::string kernelAsm() const override {
+    using namespace ab;
+    std::string B;
+    B += "  mov.8.dw [vr24..vr31] = 0\n"; // vector SAD accumulator
+    B += "  mov.1.dw vr61 = y0\n";
+    B += "  add.1.dw vr63 = y0, rows\n";
+    B += "  add.1.dw vr62 = x0, cols\n";
+    B += "rowloop:\n";
+    B += "  mov.1.dw vr60 = x0\n";
+    B += "colloop:\n";
+    B += ld8(8, "src", "vr60", "vr61");
+    B += "  sub.1.dw vr57 = vr61, poff\n";
+    B += ld8(16, "src", "vr60", "vr57");
+    B += unpack8(32, 8, 1);  // G of current
+    B += unpack8(40, 16, 1); // G of previous
+    B += "  sub.8.dw [vr32..vr39] = [vr32..vr39], [vr40..vr47]\n";
+    B += "  abs.8.dw [vr32..vr39] = [vr32..vr39]\n";
+    B += "  add.8.dw [vr24..vr31] = [vr24..vr31], [vr32..vr39]\n";
+    B += "  add.1.dw vr60 = vr60, 8\n";
+    B += "  cmp.lt.1.dw p15 = vr60, vr62\n";
+    B += "  br p15, colloop\n";
+    B += "  add.1.dw vr61 = vr61, 1\n";
+    B += "  cmp.lt.1.dw p14 = vr61, vr63\n";
+    B += "  br p14, rowloop\n";
+    // Reduce the 8 lanes and store the strip's SAD.
+    for (unsigned L = 1; L < 8; ++L)
+      B += formatString("  add.1.dw vr24 = vr24, vr%u\n", 24 + L);
+    B += "  st.1.dw (sad, sidx, 0) = vr24\n";
+    B += "  halt\n";
+    return B;
+  }
+
+  std::vector<std::string> surfaceParams() const override {
+    return {"src", "sad"};
+  }
+  std::map<std::string, uint32_t> sharedDescs() const override {
+    return {{"src", InDesc}, {"sad", MetricsDesc}};
+  }
+  const SharedSurface &outputSurface() const override { return MetricsS; }
+  HostImage &hostOutput() override { return *MetricsImg; }
+
+private:
+  SharedSurface InS, MetricsS;
+  std::unique_ptr<HostImage> InImg, MetricsImg;
+  uint32_t InDesc = 0, MetricsDesc = 0;
+};
+
+} // namespace
+
+std::vector<uint64_t> kernels::fmdFrameSads(MediaWorkload &FMD,
+                                            exo::ExoPlatform &P) {
+  assert(FMD.abbrev() == "FMD" && "not an FMD workload");
+  return static_cast<FilmModeDetect &>(FMD).frameSads(P);
+}
+
+bool kernels::detectPulldownCadence(const std::vector<uint64_t> &FrameSads) {
+  // Transitions between duplicated film frames have near-zero SAD; fresh
+  // film frames have large SAD. In a 3:2 pulldown stream, "fresh"
+  // transitions alternate with gaps of 2 and 3 frames.
+  if (FrameSads.size() < 10)
+    return false;
+  uint64_t MaxSad = 0;
+  for (size_t K = 1; K < FrameSads.size(); ++K)
+    MaxSad = std::max(MaxSad, FrameSads[K]);
+  if (MaxSad == 0)
+    return false;
+  uint64_t Threshold = MaxSad / 4;
+
+  std::vector<size_t> Fresh;
+  for (size_t K = 1; K < FrameSads.size(); ++K)
+    if (FrameSads[K] > Threshold)
+      Fresh.push_back(K);
+  if (Fresh.size() < 3)
+    return false;
+
+  // Gaps between fresh frames must alternate 2,3,2,3,... (either phase).
+  unsigned Good = 0, Total = 0;
+  for (size_t K = 1; K < Fresh.size(); ++K) {
+    size_t Gap = Fresh[K] - Fresh[K - 1];
+    ++Total;
+    if (Gap == 2 || Gap == 3)
+      ++Good;
+  }
+  // Require a consistent telecine pattern (allowing boundary noise) and
+  // the 2/3 alternation to dominate.
+  return Good * 10 >= Total * 9;
+}
+
+std::unique_ptr<MediaWorkload> kernels::createKalman(uint32_t W, uint32_t H,
+                                                     uint32_t Frames) {
+  return std::make_unique<Kalman>(W, H, Frames);
+}
+
+std::unique_ptr<MediaWorkload> kernels::createFMD(uint32_t W, uint32_t H,
+                                                  uint32_t Frames) {
+  return std::make_unique<FilmModeDetect>(W, H, Frames);
+}

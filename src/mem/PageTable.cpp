@@ -1,0 +1,22 @@
+//===- mem/PageTable.cpp --------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/PageTable.h"
+
+#include "support/Format.h"
+
+using namespace exochi;
+using namespace exochi::mem;
+
+Expected<GpuPte> mem::transcodePteIa32ToGpu(uint32_t Ia32Pte, GpuMemType MT) {
+  if (!ia32::isPresent(Ia32Pte))
+    return Error::make("ATR transcode: IA32 PTE not present");
+  if (!ia32::isUser(Ia32Pte))
+    return Error::make(
+        "ATR transcode: IA32 PTE is supervisor-only; exo-sequencers run "
+        "user-level shreds");
+  return GpuPte::make(ia32::frameOf(Ia32Pte), ia32::isWritable(Ia32Pte), MT);
+}

@@ -1,0 +1,123 @@
+//===- mem/PageTable.h - IA32 and GPU page-table entry formats ------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two page-table entry formats at the heart of ATR (address
+/// translation remapping, paper Section 3.2): the IA32 two-level 32-bit
+/// format walked by the OS-managed sequencer, and the GPU-driver-oriented
+/// 64-bit format understood by the exo-sequencer TLBs. The formats are
+/// deliberately different (bit positions, widths, attribute encodings) so
+/// the ATR transcode step is a real translation, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_MEM_PAGETABLE_H
+#define EXOCHI_MEM_PAGETABLE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+
+namespace exochi {
+namespace mem {
+
+//===----------------------------------------------------------------------===//
+// IA32 format: classic 2-level, 32-bit entries.
+//
+//   bit 0      P    present
+//   bit 1      R/W  writable
+//   bit 2      U/S  user accessible
+//   bit 5      A    accessed
+//   bit 6      D    dirty
+//   bits 12-31 frame number
+//===----------------------------------------------------------------------===//
+
+namespace ia32 {
+
+constexpr uint32_t PtePresent = 1u << 0;
+constexpr uint32_t PteWritable = 1u << 1;
+constexpr uint32_t PteUser = 1u << 2;
+constexpr uint32_t PteAccessed = 1u << 5;
+constexpr uint32_t PteDirty = 1u << 6;
+constexpr uint32_t PteFrameMask = 0xfffff000u;
+
+/// Builds an IA32 PTE/PDE for \p Frame with the given attributes.
+constexpr uint32_t makePte(uint64_t Frame, bool Writable, bool User) {
+  return static_cast<uint32_t>(Frame << 12) | PtePresent |
+         (Writable ? PteWritable : 0u) | (User ? PteUser : 0u);
+}
+
+constexpr bool isPresent(uint32_t Pte) { return (Pte & PtePresent) != 0; }
+constexpr bool isWritable(uint32_t Pte) { return (Pte & PteWritable) != 0; }
+constexpr bool isUser(uint32_t Pte) { return (Pte & PteUser) != 0; }
+constexpr uint64_t frameOf(uint32_t Pte) {
+  return (Pte & PteFrameMask) >> 12;
+}
+
+/// Virtual-address decomposition for the 2-level walk.
+constexpr uint32_t dirIndex(uint64_t VA) { return (VA >> 22) & 0x3ff; }
+constexpr uint32_t tableIndex(uint64_t VA) { return (VA >> 12) & 0x3ff; }
+
+} // namespace ia32
+
+//===----------------------------------------------------------------------===//
+// GPU format: single 64-bit descriptor per page, driver-oriented layout.
+//
+//   bit 63     V    valid
+//   bits 16-47 frame number
+//   bit 2      W    writable
+//   bits 4-7   memory type (0 = uncached, 1 = write-combining, 2 = cached)
+//===----------------------------------------------------------------------===//
+
+/// Memory-type attribute carried by GPU PTEs (subset relevant to media
+/// surfaces).
+enum class GpuMemType : uint8_t {
+  Uncached = 0,
+  WriteCombining = 1,
+  Cached = 2,
+};
+
+/// A page-table entry in the exo-sequencer's native (GPU) format.
+struct GpuPte {
+  uint64_t Raw = 0;
+
+  static constexpr uint64_t ValidBit = 1ull << 63;
+  static constexpr uint64_t WritableBit = 1ull << 2;
+  static constexpr unsigned FrameShift = 16;
+  static constexpr uint64_t FrameMask = 0xffffffffull << FrameShift;
+  static constexpr unsigned MemTypeShift = 4;
+  static constexpr uint64_t MemTypeMask = 0xfull << MemTypeShift;
+
+  static GpuPte make(uint64_t Frame, bool Writable, GpuMemType MT) {
+    GpuPte P;
+    P.Raw = ValidBit | ((Frame << FrameShift) & FrameMask) |
+            (Writable ? WritableBit : 0) |
+            (static_cast<uint64_t>(MT) << MemTypeShift);
+    return P;
+  }
+
+  bool valid() const { return (Raw & ValidBit) != 0; }
+  bool writable() const { return (Raw & WritableBit) != 0; }
+  uint64_t frame() const { return (Raw & FrameMask) >> FrameShift; }
+  GpuMemType memType() const {
+    return static_cast<GpuMemType>((Raw & MemTypeMask) >> MemTypeShift);
+  }
+};
+
+/// ATR transcode: converts an IA32 PTE into the exo-sequencer's GPU format.
+///
+/// This is the core of the paper's address translation remapping: once the
+/// IA32 proxy has serviced a fault and obtained a present IA32 PTE, the
+/// entry is re-encoded for the exo-sequencer's TLB so that both sequencers
+/// resolve the virtual page to the same physical frame. Fails when the
+/// IA32 entry is not present or not user-accessible (the exo-sequencer
+/// runs application shreds only).
+Expected<GpuPte> transcodePteIa32ToGpu(uint32_t Ia32Pte, GpuMemType MT);
+
+} // namespace mem
+} // namespace exochi
+
+#endif // EXOCHI_MEM_PAGETABLE_H

@@ -1,0 +1,102 @@
+//===- mem/Tlb.h - Exo-sequencer TLB (GPU PTE format) ----------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fully-associative LRU TLB holding GPU-format PTEs. Each GMA execution
+/// unit owns one; misses suspend the shred and raise the ATR proxy request
+/// handled by the IA32 sequencer (src/exo).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_MEM_TLB_H
+#define EXOCHI_MEM_TLB_H
+
+#include "mem/PageTable.h"
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace exochi {
+namespace mem {
+
+/// Fully-associative, LRU-replacement translation lookaside buffer keyed
+/// by virtual page number, holding GPU-format entries.
+class Tlb {
+public:
+  explicit Tlb(unsigned Capacity) : Capacity(Capacity) {}
+
+  /// Looks up \p Vpn; refreshes LRU position on hit.
+  std::optional<GpuPte> lookup(uint64_t Vpn) {
+    auto It = Map.find(Vpn);
+    if (It == Map.end()) {
+      ++NumMisses;
+      return std::nullopt;
+    }
+    ++NumHits;
+    Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+    return It->second.Pte;
+  }
+
+  /// Inserts or replaces the entry for \p Vpn, evicting the LRU entry when
+  /// full.
+  void insert(uint64_t Vpn, GpuPte Pte) {
+    auto It = Map.find(Vpn);
+    if (It != Map.end()) {
+      It->second.Pte = Pte;
+      Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+      return;
+    }
+    if (Map.size() >= Capacity) {
+      uint64_t Victim = Lru.back();
+      Lru.pop_back();
+      Map.erase(Victim);
+      ++NumEvictions;
+    }
+    Lru.push_front(Vpn);
+    Map.emplace(Vpn, Entry{Pte, Lru.begin()});
+  }
+
+  /// Drops every entry (e.g. on address-space change).
+  void invalidateAll() {
+    Map.clear();
+    Lru.clear();
+  }
+
+  /// Drops the entry for \p Vpn if present.
+  void invalidate(uint64_t Vpn) {
+    auto It = Map.find(Vpn);
+    if (It == Map.end())
+      return;
+    Lru.erase(It->second.LruPos);
+    Map.erase(It);
+  }
+
+  unsigned capacity() const { return Capacity; }
+  uint64_t size() const { return Map.size(); }
+  uint64_t hits() const { return NumHits; }
+  uint64_t misses() const { return NumMisses; }
+  uint64_t evictions() const { return NumEvictions; }
+
+private:
+  struct Entry {
+    GpuPte Pte;
+    std::list<uint64_t>::iterator LruPos;
+  };
+
+  unsigned Capacity;
+  std::unordered_map<uint64_t, Entry> Map;
+  std::list<uint64_t> Lru; // front = most recently used
+  uint64_t NumHits = 0;
+  uint64_t NumMisses = 0;
+  uint64_t NumEvictions = 0;
+};
+
+} // namespace mem
+} // namespace exochi
+
+#endif // EXOCHI_MEM_TLB_H

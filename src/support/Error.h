@@ -1,0 +1,116 @@
+//===- support/Error.h - Lightweight recoverable error types -------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight Error / Expected<T> types used for recoverable errors
+/// (assembler diagnostics, malformed fat binaries, API misuse detected at
+/// runtime). Programmatic errors use assert / unreachable instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SUPPORT_ERROR_H
+#define EXOCHI_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace exochi {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// An empty message denotes success. Converts to true when it holds an
+/// error, enabling `if (Error E = f()) return E;` style propagation.
+class Error {
+public:
+  Error() = default;
+
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure value carrying \p Msg.
+  static Error make(std::string Msg) {
+    assert(!Msg.empty() && "error message must be non-empty");
+    Error E;
+    E.Msg = std::move(Msg);
+    return E;
+  }
+
+  explicit operator bool() const { return !Msg.empty(); }
+
+  /// Returns the error message ("" for success values).
+  const std::string &message() const { return Msg; }
+
+private:
+  std::string Msg;
+};
+
+/// Either a value of type T or an Error.
+///
+/// Converts to true on success; the value is accessed with operator* or
+/// operator->, and the error with takeError().
+template <typename T> class Expected {
+public:
+  Expected(T Val) : Val(std::move(Val)) {}
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err && "constructing Expected from a success Error");
+  }
+
+  explicit operator bool() const { return Val.has_value(); }
+
+  T &operator*() {
+    assert(Val && "dereferencing an errored Expected");
+    return *Val;
+  }
+  const T &operator*() const {
+    assert(Val && "dereferencing an errored Expected");
+    return *Val;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  /// Returns the contained error (success() if this holds a value).
+  Error takeError() { return std::move(Err); }
+
+  /// Returns the error message ("" on success).
+  const std::string &message() const { return Err.message(); }
+
+private:
+  std::optional<T> Val;
+  Error Err;
+};
+
+/// Aborts the program with \p Msg. Used for unreachable code paths so that
+/// release builds still fail loudly instead of continuing with bad state.
+[[noreturn]] inline void exochiUnreachable(const char *Msg) {
+  std::fprintf(stderr, "exochi fatal: %s\n", Msg);
+  std::abort();
+}
+
+/// Unwraps \p E, aborting when it holds an error. For call sites that are
+/// known to be infallible (tests, examples, tool code).
+template <typename T> T cantFail(Expected<T> E) {
+  if (!E) {
+    std::fprintf(stderr, "exochi fatal: %s\n", E.message().c_str());
+    std::abort();
+  }
+  return std::move(*E);
+}
+
+/// Asserts that \p E is a success value. Tool/test convenience.
+inline void cantFail(Error E) {
+  if (E) {
+    std::fprintf(stderr, "exochi fatal: %s\n", E.message().c_str());
+    std::abort();
+  }
+}
+
+} // namespace exochi
+
+#endif // EXOCHI_SUPPORT_ERROR_H

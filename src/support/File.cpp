@@ -1,0 +1,52 @@
+//===- support/File.cpp -----------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/File.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace exochi;
+
+Expected<std::vector<uint8_t>> exochi::readFileBytes(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error::make(formatString("cannot open '%s' for reading",
+                                    Path.c_str()));
+  std::vector<uint8_t> Out;
+  uint8_t Buf[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  bool Bad = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Bad)
+    return Error::make(formatString("read error on '%s'", Path.c_str()));
+  return Out;
+}
+
+Expected<std::string> exochi::readFileText(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.takeError();
+  return std::string(Bytes->begin(), Bytes->end());
+}
+
+Error exochi::writeFileBytes(const std::string &Path,
+                             const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Error::make(formatString("cannot open '%s' for writing",
+                                    Path.c_str()));
+  size_t N = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Bad = N != Bytes.size();
+  if (std::fclose(F) != 0)
+    Bad = true;
+  if (Bad)
+    return Error::make(formatString("write error on '%s'", Path.c_str()));
+  return Error::success();
+}

@@ -1,0 +1,36 @@
+//===- support/File.h - Whole-file read/write helpers ----------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-file byte and text I/O for the command-line tools (fat binaries
+/// on disk, assembly sources).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SUPPORT_FILE_H
+#define EXOCHI_SUPPORT_FILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exochi {
+
+/// Reads the whole file at \p Path.
+Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
+
+/// Reads the whole file at \p Path as text.
+Expected<std::string> readFileText(const std::string &Path);
+
+/// Writes \p Bytes to \p Path (truncating).
+Error writeFileBytes(const std::string &Path,
+                     const std::vector<uint8_t> &Bytes);
+
+} // namespace exochi
+
+#endif // EXOCHI_SUPPORT_FILE_H

@@ -1,0 +1,47 @@
+//===- support/Format.h - printf-style std::string formatting ------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// formatString: a printf-style helper returning std::string, used to build
+/// diagnostics and reports without iostreams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SUPPORT_FORMAT_H
+#define EXOCHI_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace exochi {
+
+/// Formats like printf and returns the result as a std::string.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    std::vector<char> Buf(static_cast<size_t>(Len) + 1);
+    std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+    Out.assign(Buf.data(), static_cast<size_t>(Len));
+  }
+  va_end(Args);
+  return Out;
+}
+
+} // namespace exochi
+
+#endif // EXOCHI_SUPPORT_FORMAT_H

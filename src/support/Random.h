@@ -1,0 +1,63 @@
+//===- support/Random.h - Deterministic PRNG for tests & workloads -------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic pseudo-random generator. Workload
+/// generators and property tests use this so runs reproduce exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SUPPORT_RANDOM_H
+#define EXOCHI_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace exochi {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Cheap, seedable, and identical
+/// across platforms, which keeps test and benchmark inputs reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 raw bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform byte.
+  uint8_t nextByte() { return static_cast<uint8_t>(next() & 0xff); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace exochi
+
+#endif // EXOCHI_SUPPORT_RANDOM_H

@@ -1,0 +1,80 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace exochi;
+
+std::string_view exochi::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+std::vector<std::string_view> exochi::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Out;
+  size_t Pos = 0;
+  while (true) {
+    size_t Next = S.find(Sep, Pos);
+    if (Next == std::string_view::npos) {
+      Out.push_back(S.substr(Pos));
+      return Out;
+    }
+    Out.push_back(S.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+}
+
+std::vector<std::string_view> exochi::splitLines(std::string_view S) {
+  std::vector<std::string_view> Lines = split(S, '\n');
+  for (std::string_view &L : Lines)
+    if (!L.empty() && L.back() == '\r')
+      L.remove_suffix(1);
+  return Lines;
+}
+
+bool exochi::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::optional<int64_t> exochi::parseInt(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  std::string Buf(S);
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Buf.c_str(), &End, 0);
+  if (errno != 0 || End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return static_cast<int64_t>(V);
+}
+
+std::optional<double> exochi::parseDouble(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  std::string Buf(S);
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Buf.c_str(), &End);
+  if (errno != 0 || End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return V;
+}
+
+bool exochi::isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool exochi::isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}

@@ -1,0 +1,51 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities shared by the assembler and tools: trimming,
+/// splitting, predicates, and checked integer parsing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SUPPORT_STRINGUTILS_H
+#define EXOCHI_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exochi {
+
+/// Returns \p S without leading and trailing whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Splits \p S into lines (LF separated; trailing CR removed).
+std::vector<std::string_view> splitLines(std::string_view S);
+
+/// True when \p S begins with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Parses a signed 64-bit integer (decimal, or hex with 0x prefix).
+/// Returns std::nullopt on any malformed or out-of-range input.
+std::optional<int64_t> parseInt(std::string_view S);
+
+/// Parses a double. Returns std::nullopt on malformed input.
+std::optional<double> parseDouble(std::string_view S);
+
+/// True when \p C can start an identifier ([A-Za-z_]).
+bool isIdentStart(char C);
+
+/// True when \p C can continue an identifier ([A-Za-z0-9_]).
+bool isIdentChar(char C);
+
+} // namespace exochi
+
+#endif // EXOCHI_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,98 @@
+//===- xasm/Assembler.h - XGMA inline-assembly assembler -------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accelerator-specific assembler that the CHI compiler dynamically
+/// links to compile `__asm { ... }` blocks (paper Section 4.1). It
+/// translates XGMA assembly text into binary code, resolving symbolic
+/// names for C/C++ variables referenced inside the block:
+///
+///  - scalar names (private/firstprivate clause variables) bind to ABI
+///    registers preloaded by the CHI runtime at shred dispatch, and
+///  - surface names (shared clause variables with descriptors) bind to
+///    surface slots configured from the descriptors.
+///
+/// The assembler also emits a per-instruction source-line table, the debug
+/// information that lets the extended debugger map accelerator
+/// instructions back to source (paper Section 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_XASM_ASSEMBLER_H
+#define EXOCHI_XASM_ASSEMBLER_H
+
+#include "isa/Isa.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exochi {
+namespace xasm {
+
+/// What a source-level symbol inside an asm block refers to.
+struct SymbolBinding {
+  enum class Kind { ScalarReg, Surface };
+  Kind K = Kind::ScalarReg;
+  uint8_t Reg = 0;   ///< ABI register for ScalarReg.
+  int32_t Slot = 0;  ///< Surface slot for Surface.
+};
+
+/// Binding table mapping C/C++ variable names to accelerator resources.
+/// Built by the CHI ProgramBuilder from the clause lists of the enclosing
+/// parallel construct.
+class SymbolBindings {
+public:
+  /// Binds scalar \p Name to ABI register vr\p Reg.
+  void bindScalar(std::string Name, uint8_t Reg) {
+    SymbolBinding B;
+    B.K = SymbolBinding::Kind::ScalarReg;
+    B.Reg = Reg;
+    Map[std::move(Name)] = B;
+  }
+
+  /// Binds surface \p Name to surface slot \p Slot.
+  void bindSurface(std::string Name, int32_t Slot) {
+    SymbolBinding B;
+    B.K = SymbolBinding::Kind::Surface;
+    B.Slot = Slot;
+    Map[std::move(Name)] = B;
+  }
+
+  const SymbolBinding *lookup(std::string_view Name) const {
+    auto It = Map.find(std::string(Name));
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+  size_t size() const { return Map.size(); }
+
+private:
+  std::map<std::string, SymbolBinding> Map;
+};
+
+/// Result of assembling one kernel: decoded instructions plus the debug
+/// line table and label map.
+struct AssembledKernel {
+  std::vector<isa::Instruction> Code;
+  /// Source line (1-based, within the asm block) of each instruction.
+  std::vector<uint32_t> Lines;
+  /// Label name -> instruction index.
+  std::map<std::string, uint32_t> Labels;
+};
+
+/// Assembles XGMA assembly \p Source using \p Binds to resolve symbolic
+/// operands. Diagnostics carry 1-based line numbers. The returned code has
+/// passed isa::validate and has all branch targets resolved.
+Expected<AssembledKernel> assembleKernel(std::string_view Source,
+                                         const SymbolBindings &Binds);
+
+} // namespace xasm
+} // namespace exochi
+
+#endif // EXOCHI_XASM_ASSEMBLER_H

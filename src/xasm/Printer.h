@@ -1,0 +1,37 @@
+//===- xasm/Printer.h - Re-assemblable kernel printing ---------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints decoded XGMA programs back to assembly text that the assembler
+/// accepts verbatim: branch targets become synthesized labels, float-typed
+/// immediates print as float literals (so re-parsing reproduces the same
+/// bit patterns), and surface slots print as `surfN`. Used by the
+/// xgma-objdump tool and the round-trip property tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_XASM_PRINTER_H
+#define EXOCHI_XASM_PRINTER_H
+
+#include "isa/Isa.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exochi {
+namespace xasm {
+
+/// Prints \p Code as re-assemblable text. \p Labels optionally names
+/// instruction indices (e.g. from fat-binary debug info); branch targets
+/// without a name get a synthesized `L<index>` label.
+std::string printKernel(const std::vector<isa::Instruction> &Code,
+                        const std::map<std::string, uint32_t> &Labels = {});
+
+} // namespace xasm
+} // namespace exochi
+
+#endif // EXOCHI_XASM_PRINTER_H

@@ -1,0 +1,225 @@
+//===- xdbg/Debugger.cpp --------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xdbg/Debugger.h"
+
+#include "isa/Encoding.h"
+#include "support/Format.h"
+#include "support/StringUtils.h"
+
+using namespace exochi;
+using namespace exochi::xdbg;
+
+const fatbin::CodeSection *
+Debugger::sectionForDeviceKernel(uint32_t KernelId) {
+  const gma::KernelImage *Img = Device.kernel(KernelId);
+  if (!Img)
+    return nullptr;
+  return Binary.findByName(Img->Name);
+}
+
+Expected<Debugger::BpId>
+Debugger::setBreakpointAtLine(const std::string &Kernel, uint32_t Line) {
+  const fatbin::CodeSection *S = Binary.findByName(Kernel);
+  if (!S)
+    return Error::make(formatString("no kernel '%s' in the fat binary",
+                                    Kernel.c_str()));
+  // First instruction at or after the requested line (like source
+  // debuggers sliding to the next executable line).
+  for (uint32_t Idx = 0; Idx < S->Debug.Lines.size(); ++Idx) {
+    if (S->Debug.Lines[Idx] >= Line) {
+      Breakpoints[NextBp] = {Kernel, Idx};
+      return NextBp++;
+    }
+  }
+  return Error::make(formatString(
+      "no executable instruction at or after line %u of '%s'", Line,
+      Kernel.c_str()));
+}
+
+Expected<Debugger::BpId>
+Debugger::setBreakpointAtLabel(const std::string &Kernel,
+                               const std::string &Label) {
+  const fatbin::CodeSection *S = Binary.findByName(Kernel);
+  if (!S)
+    return Error::make(formatString("no kernel '%s' in the fat binary",
+                                    Kernel.c_str()));
+  auto It = S->Debug.Labels.find(Label);
+  if (It == S->Debug.Labels.end())
+    return Error::make(formatString("no label '%s' in kernel '%s'",
+                                    Label.c_str(), Kernel.c_str()));
+  Breakpoints[NextBp] = {Kernel, It->second};
+  return NextBp++;
+}
+
+Error Debugger::clearBreakpoint(BpId Id) {
+  if (Breakpoints.erase(Id) == 0)
+    return Error::make(formatString("no breakpoint %u", Id));
+  return Error::success();
+}
+
+StopInfo Debugger::makeStop(uint32_t ShredId, uint32_t KernelId, uint32_t Pc) {
+  StopInfo Info;
+  Info.ShredId = ShredId;
+  Info.Pc = Pc;
+  if (const fatbin::CodeSection *S = sectionForDeviceKernel(KernelId)) {
+    Info.KernelName = S->Name;
+    if (Pc < S->Debug.Lines.size())
+      Info.Line = S->Debug.Lines[Pc];
+  }
+  return Info;
+}
+
+Expected<std::optional<StopInfo>>
+Debugger::resumeWithBreakpoints(bool FreshRun, gma::TimeNs StartNs) {
+  // Skip the first hook hit that exactly matches the current stop, so
+  // continuing does not immediately re-trigger the same breakpoint.
+  bool SkipCurrent = Stop.has_value();
+  uint32_t SkipShred = Stop ? Stop->ShredId : 0;
+  uint32_t SkipPc = Stop ? Stop->Pc : 0;
+
+  std::optional<StopInfo> Hit;
+  Device.setStepHook([&](uint32_t ShredId, uint32_t KernelId,
+                         uint32_t Pc) -> gma::StepAction {
+    if (SkipCurrent && ShredId == SkipShred && Pc == SkipPc) {
+      SkipCurrent = false;
+      return gma::StepAction::Continue;
+    }
+    const fatbin::CodeSection *S = sectionForDeviceKernel(KernelId);
+    if (!S)
+      return gma::StepAction::Continue;
+    for (const auto &[Id, Bp] : Breakpoints) {
+      if (Bp.Kernel == S->Name && Bp.InstrIndex == Pc) {
+        Hit = makeStop(ShredId, KernelId, Pc);
+        return gma::StepAction::Pause;
+      }
+    }
+    return gma::StepAction::Continue;
+  });
+
+  auto Exit = FreshRun ? Device.run(StartNs) : Device.resume();
+  Device.setStepHook(nullptr);
+  if (!Exit)
+    return Exit.takeError();
+  Stop = Hit;
+  if (*Exit == gma::RunExit::QueueDrained)
+    return std::optional<StopInfo>();
+  return Hit;
+}
+
+Expected<std::optional<StopInfo>> Debugger::run(gma::TimeNs StartNs) {
+  Stop.reset();
+  return resumeWithBreakpoints(/*FreshRun=*/true, StartNs);
+}
+
+Expected<std::optional<StopInfo>> Debugger::continueRun() {
+  if (!Stop)
+    return Error::make("continue: the machine is not stopped");
+  return resumeWithBreakpoints(/*FreshRun=*/false, 0.0);
+}
+
+Expected<std::optional<StopInfo>> Debugger::stepInstruction() {
+  if (!Stop)
+    return Error::make("step: the machine is not stopped");
+  uint32_t Target = Stop->ShredId;
+  uint32_t StopPc = Stop->Pc;
+
+  bool AllowedCurrent = false;
+  std::optional<StopInfo> Hit;
+  Device.setStepHook([&](uint32_t ShredId, uint32_t KernelId,
+                         uint32_t Pc) -> gma::StepAction {
+    if (ShredId != Target)
+      return gma::StepAction::Continue;
+    if (!AllowedCurrent && Pc == StopPc) {
+      AllowedCurrent = true; // let the stopped instruction execute
+      return gma::StepAction::Continue;
+    }
+    Hit = makeStop(ShredId, KernelId, Pc);
+    return gma::StepAction::Pause;
+  });
+
+  auto Exit = Device.resume();
+  Device.setStepHook(nullptr);
+  if (!Exit)
+    return Exit.takeError();
+  Stop = Hit;
+  if (*Exit == gma::RunExit::QueueDrained)
+    return std::optional<StopInfo>();
+  return Hit;
+}
+
+Expected<uint32_t> Debugger::readReg(uint32_t ShredId, unsigned Reg) {
+  gma::ShredRegView *V = Device.shredRegs(ShredId);
+  if (!V)
+    return Error::make(formatString("shred %u is not resident", ShredId));
+  if (Reg >= isa::NumVRegs)
+    return Error::make("register index out of range");
+  return V->readReg(Reg);
+}
+
+Error Debugger::writeReg(uint32_t ShredId, unsigned Reg, uint32_t Value) {
+  gma::ShredRegView *V = Device.shredRegs(ShredId);
+  if (!V)
+    return Error::make(formatString("shred %u is not resident", ShredId));
+  if (Reg >= isa::NumVRegs)
+    return Error::make("register index out of range");
+  V->writeReg(Reg, Value);
+  return Error::success();
+}
+
+Expected<std::string> Debugger::disassembleCurrent(uint32_t ShredId) {
+  auto Pc = Device.shredPc(ShredId);
+  auto Kid = Device.shredKernel(ShredId);
+  if (!Pc || !Kid)
+    return Error::make(formatString("shred %u is not resident", ShredId));
+  const gma::KernelImage *Img = Device.kernel(*Kid);
+  if (!Img || *Pc >= Img->Code.size())
+    return Error::make("pc outside kernel code");
+  return isa::disassemble(Img->Code[*Pc]);
+}
+
+Expected<uint32_t> Debugger::readWord(mem::VirtAddr Va) {
+  if (!Memory)
+    return Error::make("no address space attached (attachMemory)");
+  return Memory->load<uint32_t>(Va);
+}
+
+Error Debugger::writeWord(mem::VirtAddr Va, uint32_t Value) {
+  if (!Memory)
+    return Error::make("no address space attached (attachMemory)");
+  Memory->store<uint32_t>(Va, Value);
+  return Error::success();
+}
+
+std::vector<std::tuple<Debugger::BpId, std::string, uint32_t>>
+Debugger::listBreakpoints() const {
+  std::vector<std::tuple<BpId, std::string, uint32_t>> Out;
+  for (const auto &[Id, Bp] : Breakpoints)
+    Out.emplace_back(Id, Bp.Kernel, Bp.InstrIndex);
+  return Out;
+}
+
+Expected<std::string> Debugger::sourceListing(const std::string &Kernel,
+                                              uint32_t Line,
+                                              unsigned Context) {
+  const fatbin::CodeSection *S = Binary.findByName(Kernel);
+  if (!S)
+    return Error::make(formatString("no kernel '%s' in the fat binary",
+                                    Kernel.c_str()));
+  std::vector<std::string_view> Lines = splitLines(S->Debug.SourceText);
+  if (Line == 0 || Line > Lines.size())
+    return Error::make("line out of range");
+
+  uint32_t First = Line > Context ? Line - Context : 1;
+  uint32_t Last = std::min<uint32_t>(static_cast<uint32_t>(Lines.size()),
+                                     Line + Context);
+  std::string Out;
+  for (uint32_t L = First; L <= Last; ++L)
+    Out += formatString("%c %4u | %.*s\n", L == Line ? '>' : ' ', L,
+                        static_cast<int>(Lines[L - 1].size()),
+                        Lines[L - 1].data());
+  return Out;
+}

@@ -1,0 +1,154 @@
+//===- xdbg/Debugger.h - Source-level debugger for exo-sequencer shreds ----===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extended debugger of paper Section 4.5: using the comprehensive
+/// source-level debug information emitted by the CHI toolchain (the
+/// per-instruction line table and label map stored in the fat binary),
+/// the debugger can set breakpoints by source line or label in
+/// accelerator kernels, single-step shreds running on the exo-sequencers,
+/// and examine their register state — providing the IA32 look-and-feel
+/// for heterogeneous multi-shredded code.
+///
+/// The debugger communicates with the CHI runtime layer through the
+/// device's step-hook interface (the "enhancements in the debugger and
+/// the CHI runtime layer so they can communicate debugging information to
+/// one another").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_XDBG_DEBUGGER_H
+#define EXOCHI_XDBG_DEBUGGER_H
+
+#include "fatbin/FatBinary.h"
+#include "gma/GmaDevice.h"
+#include "mem/AddressSpace.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace exochi {
+namespace xdbg {
+
+/// Where and why the machine stopped.
+struct StopInfo {
+  uint32_t ShredId = 0;
+  std::string KernelName;
+  uint32_t Pc = 0;
+  uint32_t Line = 0; ///< 1-based source line within the asm block.
+};
+
+/// Source-level debugger attached to a GMA device and the fat binary the
+/// running kernels were loaded from.
+class Debugger {
+public:
+  using BpId = uint32_t;
+
+  Debugger(gma::GmaDevice &Device, const fatbin::FatBinary &Binary)
+      : Device(Device), Binary(Binary) {}
+
+  /// Attaches the shared virtual address space so the debugger can
+  /// inspect memory (the debugger runs on the IA32 sequencer and shares
+  /// the single memory image with the shreds).
+  void attachMemory(mem::Ia32AddressSpace &AS) { Memory = &AS; }
+
+  ~Debugger() { Device.setStepHook(nullptr); }
+
+  //===--------------------------------------------------------------------===//
+  // Breakpoints
+  //===--------------------------------------------------------------------===//
+
+  /// Breakpoint at the first instruction generated for \p Line of
+  /// \p Kernel's asm block.
+  Expected<BpId> setBreakpointAtLine(const std::string &Kernel,
+                                     uint32_t Line);
+
+  /// Breakpoint at \p Label in \p Kernel.
+  Expected<BpId> setBreakpointAtLabel(const std::string &Kernel,
+                                      const std::string &Label);
+
+  Error clearBreakpoint(BpId Id);
+
+  size_t breakpointCount() const { return Breakpoints.size(); }
+
+  //===--------------------------------------------------------------------===//
+  // Execution control
+  //===--------------------------------------------------------------------===//
+
+  /// Starts the device at simulated time \p StartNs, running until a
+  /// breakpoint hits (returns the stop) or the work queue drains
+  /// (returns nullopt).
+  Expected<std::optional<StopInfo>> run(gma::TimeNs StartNs);
+
+  /// Resumes after a stop.
+  Expected<std::optional<StopInfo>> continueRun();
+
+  /// Executes exactly one instruction of the stopped shred (other shreds
+  /// make progress as the machine advances) and stops again. Returns
+  /// nullopt when the shred halts before stopping again.
+  Expected<std::optional<StopInfo>> stepInstruction();
+
+  /// The most recent stop (nullopt when running or drained).
+  const std::optional<StopInfo> &currentStop() const { return Stop; }
+
+  //===--------------------------------------------------------------------===//
+  // State inspection
+  //===--------------------------------------------------------------------===//
+
+  /// Reads vector register \p Reg of a resident shred.
+  Expected<uint32_t> readReg(uint32_t ShredId, unsigned Reg);
+
+  /// Writes vector register \p Reg of a resident shred.
+  Error writeReg(uint32_t ShredId, unsigned Reg, uint32_t Value);
+
+  /// Disassembles the instruction a resident shred is about to execute.
+  Expected<std::string> disassembleCurrent(uint32_t ShredId);
+
+  /// Source listing around \p Line of \p Kernel (with a `>` marker).
+  Expected<std::string> sourceListing(const std::string &Kernel,
+                                      uint32_t Line, unsigned Context = 2);
+
+  /// Reads a 32-bit word of shared virtual memory (requires
+  /// attachMemory).
+  Expected<uint32_t> readWord(mem::VirtAddr Va);
+
+  /// Writes a 32-bit word of shared virtual memory (requires
+  /// attachMemory).
+  Error writeWord(mem::VirtAddr Va, uint32_t Value);
+
+  /// Currently installed breakpoints as (id, kernel, instruction index).
+  std::vector<std::tuple<BpId, std::string, uint32_t>> listBreakpoints()
+      const;
+
+private:
+  struct Breakpoint {
+    std::string Kernel;
+    uint32_t InstrIndex;
+  };
+
+  /// Looks up the fat-binary section for a device kernel id.
+  const fatbin::CodeSection *sectionForDeviceKernel(uint32_t KernelId);
+
+  /// Installs the breakpoint hook and runs/resumes the device.
+  Expected<std::optional<StopInfo>> resumeWithBreakpoints(bool FreshRun,
+                                                          gma::TimeNs StartNs);
+
+  StopInfo makeStop(uint32_t ShredId, uint32_t KernelId, uint32_t Pc);
+
+  gma::GmaDevice &Device;
+  const fatbin::FatBinary &Binary;
+  mem::Ia32AddressSpace *Memory = nullptr;
+  std::map<BpId, Breakpoint> Breakpoints;
+  BpId NextBp = 1;
+  std::optional<StopInfo> Stop;
+};
+
+} // namespace xdbg
+} // namespace exochi
+
+#endif // EXOCHI_XDBG_DEBUGGER_H

@@ -1,0 +1,172 @@
+//===- xopt/Cfg.cpp --------------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xopt/Cfg.h"
+
+using namespace exochi;
+using namespace exochi::isa;
+using namespace exochi::xopt;
+
+namespace {
+
+/// Adds the registers named by operand \p O (as used with lane type
+/// \p Ty) to \p Set.
+void addRegs(const Operand &O, ElemType Ty, LocSet &Set) {
+  (void)Ty;
+  if (!O.isReg())
+    return;
+  for (unsigned R = O.Reg0; R <= O.Reg1; ++R)
+    Set.set(R);
+}
+
+} // namespace
+
+UseDef xopt::useDef(const Instruction &I) {
+  UseDef UD;
+
+  // Predication reads the predicate register and makes every destination
+  // write partial (merge with the old value).
+  bool PartialDef = I.PredReg != NoPred && I.Op != Opcode::Sel &&
+                    I.Op != Opcode::Br;
+  if (I.PredReg != NoPred)
+    UD.Use.set(predLoc(I.PredReg));
+
+  switch (I.Op) {
+  case Opcode::Halt:
+  case Opcode::Nop:
+    UD.HasSideEffects = I.Op == Opcode::Halt;
+    return UD;
+
+  case Opcode::Jmp:
+    UD.HasSideEffects = true;
+    return UD;
+
+  case Opcode::Br:
+    UD.HasSideEffects = true;
+    UD.Use.set(predLoc(I.PredReg));
+    return UD;
+
+  case Opcode::Sid:
+    addRegs(I.Dst, I.Ty, UD.Def);
+    return UD;
+
+  case Opcode::Wait:
+    UD.HasSideEffects = true; // synchronization
+    addRegs(I.Dst, I.Ty, UD.Use);
+    addRegs(I.Dst, I.Ty, UD.Def);
+    return UD;
+
+  case Opcode::Spawn:
+    UD.HasSideEffects = true;
+    addRegs(I.Src0, I.Ty, UD.Use);
+    return UD;
+
+  case Opcode::Xmit:
+    UD.HasSideEffects = true; // writes another shred's registers
+    addRegs(I.Src0, I.Ty, UD.Use);
+    addRegs(I.Src1, I.Ty, UD.Use);
+    return UD;
+
+  case Opcode::Ld:
+  case Opcode::LdBlk:
+    UD.HasSideEffects = true; // may fault (ATR / bounds)
+    addRegs(I.Src1, I.Ty, UD.Use);
+    addRegs(I.Src2, I.Ty, UD.Use);
+    if (PartialDef)
+      addRegs(I.Dst, I.Ty, UD.Use);
+    addRegs(I.Dst, I.Ty, UD.Def);
+    return UD;
+
+  case Opcode::Sample:
+    UD.HasSideEffects = true; // may fault
+    addRegs(I.Src1, I.Ty, UD.Use);
+    addRegs(I.Src2, I.Ty, UD.Use);
+    addRegs(I.Dst, I.Ty, UD.Def);
+    return UD;
+
+  case Opcode::St:
+  case Opcode::StBlk:
+    UD.HasSideEffects = true; // memory write
+    addRegs(I.Dst, I.Ty, UD.Use); // data registers are sources
+    addRegs(I.Src1, I.Ty, UD.Use);
+    addRegs(I.Src2, I.Ty, UD.Use);
+    return UD;
+
+  case Opcode::Cmp:
+    addRegs(I.Src0, I.Ty, UD.Use);
+    addRegs(I.Src1, I.Ty, UD.Use);
+    if (PartialDef)
+      UD.Use.set(predLoc(I.Dst.Reg0));
+    UD.Def.set(predLoc(I.Dst.Reg0));
+    return UD;
+
+  case Opcode::Sel:
+    UD.Use.set(predLoc(I.PredReg));
+    addRegs(I.Src0, I.Ty, UD.Use);
+    addRegs(I.Src1, I.Ty, UD.Use);
+    addRegs(I.Dst, I.Ty, UD.Def);
+    return UD;
+
+  case Opcode::Mac:
+    addRegs(I.Dst, I.Ty, UD.Use); // accumulator
+    [[fallthrough]];
+  default:
+    addRegs(I.Src0, I.Ty, UD.Use);
+    addRegs(I.Src1, I.Ty, UD.Use);
+    addRegs(I.Src2, I.Ty, UD.Use);
+    if (PartialDef)
+      addRegs(I.Dst, I.Ty, UD.Use);
+    addRegs(I.Dst, I.Ty, UD.Def);
+    return UD;
+  }
+}
+
+std::vector<uint32_t>
+xopt::successors(const std::vector<Instruction> &Code, uint32_t Idx) {
+  const Instruction &I = Code[Idx];
+  std::vector<uint32_t> Out;
+  switch (I.Op) {
+  case Opcode::Halt:
+    return Out;
+  case Opcode::Jmp:
+    Out.push_back(static_cast<uint32_t>(I.Src0.Imm));
+    return Out;
+  case Opcode::Br:
+    Out.push_back(Idx + 1);
+    Out.push_back(static_cast<uint32_t>(I.Src0.Imm));
+    return Out;
+  default:
+    Out.push_back(Idx + 1);
+    return Out;
+  }
+}
+
+std::vector<LocSet> xopt::liveOut(const std::vector<Instruction> &Code) {
+  std::vector<LocSet> LiveOut(Code.size());
+  std::vector<UseDef> UD;
+  UD.reserve(Code.size());
+  for (const Instruction &I : Code)
+    UD.push_back(useDef(I));
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Idx = static_cast<uint32_t>(Code.size()); Idx-- > 0;) {
+      LocSet Out;
+      for (uint32_t S : successors(Code, Idx)) {
+        if (S >= Code.size())
+          continue; // fall-off = halt: nothing live
+        // live-in(S) = use(S) | (live-out(S) & ~def(S))
+        Out |= UD[S].Use | (LiveOut[S] & ~UD[S].Def);
+      }
+      if (Out != LiveOut[Idx]) {
+        LiveOut[Idx] = Out;
+        Changed = true;
+      }
+    }
+  }
+  return LiveOut;
+}

@@ -1,0 +1,63 @@
+//===- xopt/Cfg.h - Control-flow graph over XGMA kernels -------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight control-flow graph over decoded XGMA programs, plus the
+/// per-instruction use/def sets that the optimizer's liveness analysis
+/// and the lint verifier's initialization analysis share. Registers are
+/// numbered 0..127 (vr) and 128..143 (p).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_XOPT_CFG_H
+#define EXOCHI_XOPT_CFG_H
+
+#include "isa/Isa.h"
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+namespace exochi {
+namespace xopt {
+
+/// One bit per vector register plus one per predicate register.
+constexpr unsigned NumLocs = isa::NumVRegs + isa::NumPRegs;
+using LocSet = std::bitset<NumLocs>;
+
+/// Location index of predicate register \p P.
+constexpr unsigned predLoc(unsigned P) { return isa::NumVRegs + P; }
+
+/// Registers read / written by one instruction. Predicated or
+/// accumulating destinations (partial writes) appear in both sets.
+struct UseDef {
+  LocSet Use;
+  LocSet Def;
+  /// True when the instruction has effects beyond its register writes
+  /// (memory, control flow, thread ops, possible faults): it must never
+  /// be removed by dead-code elimination.
+  bool HasSideEffects = false;
+};
+
+/// Computes the use/def sets of \p I.
+UseDef useDef(const isa::Instruction &I);
+
+/// Successor instruction indices of instruction \p Idx within \p Code
+/// (empty after halt; the one-past-the-end index models fall-off, which
+/// the device treats as halt).
+std::vector<uint32_t> successors(const std::vector<isa::Instruction> &Code,
+                                 uint32_t Idx);
+
+/// Per-instruction liveness (live-out sets), computed by a backward
+/// fixpoint over the instruction-level CFG. Live-out at halt/fall-off is
+/// empty: an exo-sequencer's registers are not architecturally visible
+/// after the shred retires.
+std::vector<LocSet> liveOut(const std::vector<isa::Instruction> &Code);
+
+} // namespace xopt
+} // namespace exochi
+
+#endif // EXOCHI_XOPT_CFG_H

@@ -1,0 +1,132 @@
+//===- xopt/Lint.cpp --------------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xopt/Lint.h"
+
+#include "support/Format.h"
+#include "xopt/Cfg.h"
+
+#include <set>
+
+using namespace exochi;
+using namespace exochi::isa;
+using namespace exochi::xopt;
+
+LintReport xopt::lintKernel(const std::vector<Instruction> &Code,
+                            unsigned NumScalarParams) {
+  LintReport Report;
+  if (Code.empty()) {
+    Report.Notes.push_back("kernel is empty (immediate halt)");
+    return Report;
+  }
+
+  std::vector<UseDef> UD;
+  UD.reserve(Code.size());
+  for (const Instruction &I : Code)
+    UD.push_back(useDef(I));
+
+  // Reachability from the entry.
+  std::vector<bool> Reachable(Code.size(), false);
+  bool FallOff = false;
+  {
+    std::vector<uint32_t> Work{0};
+    Reachable[0] = true;
+    while (!Work.empty()) {
+      uint32_t Idx = Work.back();
+      Work.pop_back();
+      for (uint32_t S : successors(Code, Idx)) {
+        if (S >= Code.size()) {
+          FallOff = true;
+          continue;
+        }
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Work.push_back(S);
+        }
+      }
+    }
+  }
+  for (uint32_t Idx = 0; Idx < Code.size(); ++Idx)
+    if (!Reachable[Idx])
+      Report.Notes.push_back(
+          formatString("instruction %u is unreachable: %s", Idx,
+                       disassemble(Code[Idx]).c_str()));
+  if (FallOff)
+    Report.Notes.push_back(
+        "control can fall off the end of the kernel (implicit halt)");
+
+  // Definite initialization: forward fixpoint with intersection meet.
+  LocSet Entry;
+  for (unsigned P = 0; P < NumScalarParams && P < NumVRegs; ++P)
+    Entry.set(P);
+
+  // InitIn[i]: locations definitely written on every path reaching i.
+  LocSet All;
+  All.set(); // top element for the meet
+  std::vector<LocSet> InitIn(Code.size(), All);
+  InitIn[0] = Entry;
+
+  // Predecessor lists.
+  std::vector<std::vector<uint32_t>> Preds(Code.size());
+  for (uint32_t Idx = 0; Idx < Code.size(); ++Idx)
+    for (uint32_t S : successors(Code, Idx))
+      if (S < Code.size())
+        Preds[S].push_back(Idx);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Idx = 0; Idx < Code.size(); ++Idx) {
+      if (!Reachable[Idx])
+        continue;
+      // Initialization facts are monotone (a write is never undone), so
+      // the entry facts hold on every path and In[0] is just the ABI set
+      // even when instruction 0 is a loop target.
+      LocSet In;
+      if (Idx == 0) {
+        In = Entry;
+      } else {
+        In = All;
+        for (uint32_t P : Preds[Idx])
+          if (Reachable[P])
+            In &= InitIn[P] | UD[P].Def;
+      }
+      if (In != InitIn[Idx]) {
+        InitIn[Idx] = In;
+        Changed = true;
+      }
+    }
+  }
+
+  // Report uses of possibly-uninitialized locations (deduplicated).
+  std::set<std::pair<uint32_t, unsigned>> Seen;
+  for (uint32_t Idx = 0; Idx < Code.size(); ++Idx) {
+    if (!Reachable[Idx])
+      continue;
+    LocSet Missing = UD[Idx].Use & ~InitIn[Idx];
+    for (unsigned L = 0; L < NumLocs; ++L) {
+      if (!Missing.test(L) || !Seen.insert({Idx, L}).second)
+        continue;
+      std::string Loc = L < NumVRegs
+                            ? formatString("vr%u", L)
+                            : formatString("p%u", L - NumVRegs);
+      Report.Warnings.push_back(formatString(
+          "instruction %u may read uninitialized %s: %s", Idx, Loc.c_str(),
+          disassemble(Code[Idx]).c_str()));
+    }
+  }
+
+  // Unused scalar parameters.
+  LocSet UsedAnywhere;
+  for (const UseDef &U : UD)
+    UsedAnywhere |= U.Use;
+  for (unsigned P = 0; P < NumScalarParams && P < NumVRegs; ++P)
+    if (!UsedAnywhere.test(P))
+      Report.Notes.push_back(
+          formatString("scalar parameter in vr%u is never read", P));
+
+  return Report;
+}

@@ -1,0 +1,48 @@
+//===- xopt/Lint.h - Static kernel verifier ---------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static verification of XGMA kernels beyond the per-instruction
+/// structural checks: a forward definite-initialization dataflow analysis
+/// flags registers that may be read before any write reaches them on some
+/// path, plus unreachable-code and unused-parameter diagnostics. The
+/// ProgramBuilder runs the lint on every kernel it compiles so authoring
+/// mistakes (like binding a parameter to a register the kernel also uses
+/// as a temporary) surface at build time instead of as silent garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_XOPT_LINT_H
+#define EXOCHI_XOPT_LINT_H
+
+#include "isa/Isa.h"
+
+#include <string>
+#include <vector>
+
+namespace exochi {
+namespace xopt {
+
+/// Diagnostics from one kernel lint.
+struct LintReport {
+  /// Possible misuses (read-before-write, etc).
+  std::vector<std::string> Warnings;
+  /// Informational notes (unreachable code, implicit halt, unused params).
+  std::vector<std::string> Notes;
+
+  bool clean() const { return Warnings.empty(); }
+};
+
+/// Lints \p Code. The first \p NumScalarParams vector registers are
+/// considered initialized at entry (the shred-dispatch ABI); lane-id and
+/// similar conventions must be written by the kernel itself.
+LintReport lintKernel(const std::vector<isa::Instruction> &Code,
+                      unsigned NumScalarParams);
+
+} // namespace xopt
+} // namespace exochi
+
+#endif // EXOCHI_XOPT_LINT_H

@@ -1,0 +1,59 @@
+//===- xopt/Peephole.h - Kernel optimizer ----------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CHI compiler's kernel optimizer: semantics-preserving rewrites
+/// over decoded XGMA programs.
+///
+///  - Strength reduction: integer multiply by a power-of-two immediate
+///    becomes a shift; multiply by 1 a move; multiply by 0 a zero move.
+///  - Algebraic identities: x+0, x-0, x|0, x^0, x&-1, shifts by 0 become
+///    moves; moves of a register onto itself disappear.
+///  - Dead-code elimination: pure ALU instructions whose destinations are
+///    dead (CFG liveness, see Cfg.h) are removed.
+///
+/// Branch targets and the debug line table are remapped across removals,
+/// so optimized kernels stay debuggable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_XOPT_PEEPHOLE_H
+#define EXOCHI_XOPT_PEEPHOLE_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exochi {
+namespace xopt {
+
+/// Counters of what the optimizer did.
+struct OptStats {
+  uint64_t StrengthReduced = 0;
+  uint64_t AlgebraicSimplified = 0;
+  uint64_t DeadRemoved = 0;
+  uint64_t IdentityMovesRemoved = 0;
+
+  uint64_t total() const {
+    return StrengthReduced + AlgebraicSimplified + DeadRemoved +
+           IdentityMovesRemoved;
+  }
+};
+
+/// Optimizes \p Code in place. \p Lines (per-instruction debug lines) and
+/// \p Labels (name -> instruction index), when provided, are remapped
+/// across instruction removals. Runs rewrite + DCE rounds to a fixpoint.
+OptStats optimizeKernel(std::vector<isa::Instruction> &Code,
+                        std::vector<uint32_t> *Lines = nullptr,
+                        std::map<std::string, uint32_t> *Labels = nullptr);
+
+} // namespace xopt
+} // namespace exochi
+
+#endif // EXOCHI_XOPT_PEEPHOLE_H

@@ -1,0 +1,622 @@
+//===- tests/chi_test.cpp - CHI runtime tests ---------------------------------===//
+
+#include "chi/ChiApi.h"
+#include "chi/Cooperative.h"
+#include "chi/Hetero.h"
+#include "kernels/Workloads.h"
+#include "chi/ParallelRegion.h"
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "chi/TaskQueue.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::chi;
+
+namespace {
+
+constexpr const char *VecAddAsm = R"(
+  shl.1.dw vr1 = i, 3
+  ld.8.dw  [vr2..vr9]   = (A, vr1, 0)
+  ld.8.dw  [vr10..vr17] = (B, vr1, 0)
+  add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+  st.8.dw  (C, vr1, 0)  = [vr18..vr25]
+  halt
+)";
+
+/// Builds the vecadd fat binary.
+fatbin::FatBinary buildVecAddBinary() {
+  ProgramBuilder PB;
+  auto Id = PB.addXgmaKernel("vecadd", VecAddAsm, {"i"}, {"A", "B", "C"});
+  EXPECT_TRUE(static_cast<bool>(Id)) << Id.message();
+  return PB.take();
+}
+
+/// Full-stack fixture: platform + runtime + vecadd binary + data.
+struct VecAddRig {
+  explicit VecAddRig(MemoryModel MM = MemoryModel::CCShared, unsigned N = 64)
+      : RT(Platform, MM), N(N) {
+    cantFail(RT.loadBinary(buildVecAddBinary()));
+    A = Platform.allocateShared(N * 4, "A");
+    B = Platform.allocateShared(N * 4, "B");
+    C = Platform.allocateShared(N * 4, "C");
+    for (unsigned K = 0; K < N; ++K) {
+      Platform.store<int32_t>(A.Base + K * 4, static_cast<int32_t>(K));
+      Platform.store<int32_t>(B.Base + K * 4, static_cast<int32_t>(K * 10));
+    }
+    ADesc = cantFail(chi_alloc_desc(RT, X3000, A.Base, CHI_INPUT, N, 1));
+    BDesc = cantFail(chi_alloc_desc(RT, X3000, B.Base, CHI_INPUT, N, 1));
+    CDesc = cantFail(chi_alloc_desc(RT, X3000, C.Base, CHI_OUTPUT, N, 1));
+  }
+
+  Expected<RegionHandle> dispatch(bool Nowait = false) {
+    ParallelRegion R(RT, TargetIsa::X3000, "vecadd");
+    R.shared("A", ADesc).shared("B", BDesc).shared("C", CDesc);
+    R.privateVar("i", [](unsigned T) { return static_cast<int32_t>(T); });
+    R.numThreads(N / 8);
+    if (Nowait)
+      R.masterNowait();
+    return R.execute();
+  }
+
+  void verifyResult() {
+    for (unsigned K = 0; K < N; ++K)
+      EXPECT_EQ(Platform.load<int32_t>(C.Base + K * 4),
+                static_cast<int32_t>(K * 11))
+          << "element " << K;
+  }
+
+  exo::ExoPlatform Platform;
+  Runtime RT;
+  unsigned N;
+  exo::SharedBuffer A, B, C;
+  uint32_t ADesc = 0, BDesc = 0, CDesc = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramBuilderTest, BuildsKernelWithAbi) {
+  ProgramBuilder PB;
+  auto Id = PB.addXgmaKernel("k", VecAddAsm, {"i"}, {"A", "B", "C"});
+  ASSERT_TRUE(static_cast<bool>(Id)) << Id.message();
+  const fatbin::CodeSection *S = PB.binary().findById(*Id);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->ScalarParams, (std::vector<std::string>{"i"}));
+  EXPECT_EQ(S->SurfaceParams, (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_FALSE(S->Debug.SourceText.empty());
+  EXPECT_EQ(S->Debug.Lines.size(), 6u);
+}
+
+TEST(ProgramBuilderTest, RejectsDuplicateName) {
+  ProgramBuilder PB;
+  ASSERT_TRUE(static_cast<bool>(
+      PB.addXgmaKernel("k", "  halt\n", {}, {})));
+  auto Dup = PB.addXgmaKernel("k", "  halt\n", {}, {});
+  EXPECT_FALSE(static_cast<bool>(Dup));
+  EXPECT_NE(Dup.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ProgramBuilderTest, PropagatesAssemblerDiagnostics) {
+  ProgramBuilder PB;
+  auto Bad = PB.addXgmaKernel("bad", "  bogus.1.dw vr0 = 1\n", {}, {});
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_NE(Bad.message().find("unknown mnemonic"), std::string::npos);
+  EXPECT_NE(Bad.message().find("bad"), std::string::npos); // kernel name
+}
+
+TEST(ProgramBuilderTest, Ia32StubMakesBinaryMultiIsa) {
+  ProgramBuilder PB;
+  PB.addIa32Stub("host_loop");
+  ASSERT_TRUE(static_cast<bool>(
+      PB.addXgmaKernel("accel", "  halt\n", {}, {})));
+  fatbin::FatBinary FB = PB.take();
+  EXPECT_EQ(FB.findByName("host_loop")->Isa, fatbin::IsaTag::IA32);
+  EXPECT_EQ(FB.findByName("accel")->Isa, fatbin::IsaTag::XGMA);
+}
+
+//===----------------------------------------------------------------------===//
+// Descriptors and features (Table 1)
+//===----------------------------------------------------------------------===//
+
+TEST(DescriptorTest, AllocModifyFree) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  auto D = RT.allocDesc(TargetIsa::X3000, 0x1000, SurfaceMode::Input, 64, 2);
+  ASSERT_TRUE(static_cast<bool>(D));
+  const Descriptor *Desc = RT.descriptor(*D);
+  ASSERT_NE(Desc, nullptr);
+  EXPECT_EQ(Desc->Width, 64u);
+  EXPECT_EQ(Desc->Height, 2u);
+  EXPECT_EQ(Desc->totalBytes(), 64u * 2 * 4);
+  EXPECT_EQ(Desc->HostDirtyBytes, Desc->totalBytes()); // starts dirty
+
+  cantFail(RT.modifyDesc(*D, DescAttr::Width, 32));
+  cantFail(RT.modifyDesc(*D, DescAttr::ElemType,
+                         static_cast<int64_t>(isa::ElemType::I8)));
+  EXPECT_EQ(RT.descriptor(*D)->totalBytes(), 32u * 2);
+
+  cantFail(RT.freeDesc(*D));
+  EXPECT_EQ(RT.descriptor(*D), nullptr);
+  EXPECT_TRUE(static_cast<bool>(RT.freeDesc(*D))); // double free -> error
+}
+
+TEST(DescriptorTest, Diagnostics) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  EXPECT_FALSE(static_cast<bool>(
+      RT.allocDesc(TargetIsa::IA32, 0x1000, SurfaceMode::Input, 4, 1)));
+  EXPECT_FALSE(static_cast<bool>(
+      RT.allocDesc(TargetIsa::X3000, 0x1000, SurfaceMode::Input, 0, 1)));
+  EXPECT_TRUE(static_cast<bool>(RT.modifyDesc(999, DescAttr::Width, 8)));
+}
+
+TEST(FeatureTest, GlobalAndPerShredScopes) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  EXPECT_EQ(RT.feature(Feature::LocalityScheduling), 0);
+  chi_set_feature(RT, Feature::LocalityScheduling, 1);
+  EXPECT_EQ(RT.feature(Feature::LocalityScheduling), 1);
+
+  chi_set_feature_pershred(RT, 7, Feature::ShredTag, 42);
+  EXPECT_EQ(RT.featureForShred(7, Feature::ShredTag), 42);
+  EXPECT_EQ(RT.featureForShred(8, Feature::ShredTag), 0); // falls to global
+  EXPECT_EQ(RT.featureForShred(8, Feature::LocalityScheduling), 1);
+}
+
+TEST(FeatureTest, DefaultSurfaceTilingAppliesToNewDescriptors) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  chi_set_feature(RT, Feature::DefaultSurfaceTiling,
+                  static_cast<int64_t>(mem::GpuMemType::WriteCombining));
+  auto D = RT.allocDesc(TargetIsa::X3000, 0x1000, SurfaceMode::Output, 8, 1);
+  ASSERT_TRUE(static_cast<bool>(D));
+  EXPECT_EQ(RT.descriptor(*D)->MemType, mem::GpuMemType::WriteCombining);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel region end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelRegionTest, Figure6EndToEnd) {
+  VecAddRig R;
+  auto H = R.dispatch();
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  R.verifyResult();
+
+  const RegionStats *S = R.RT.regionStats(*H);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->ShredsSpawned, 8u);
+  EXPECT_GT(S->totalNs(), 0.0);
+  EXPECT_EQ(R.RT.totalShredsSpawned(), 8u);
+  // Implied barrier: the master clock advanced to the region end.
+  EXPECT_DOUBLE_EQ(R.RT.now(), S->EndNs);
+}
+
+TEST(ParallelRegionTest, MasterNowaitOverlapsMaster) {
+  VecAddRig R;
+  auto H = R.dispatch(/*Nowait=*/true);
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  const RegionStats *S = R.RT.regionStats(*H);
+  // The master did not wait at the construct...
+  EXPECT_LT(R.RT.now(), S->EndNs);
+  // ...does its own IA32 work concurrently...
+  cpu::WorkEstimate W;
+  W.ScalarOps = 100;
+  R.RT.runHostWork(W);
+  // ...and later receives the asynchronous completion notification.
+  cantFail(R.RT.wait(*H));
+  EXPECT_GE(R.RT.now(), S->EndNs);
+  R.verifyResult();
+}
+
+TEST(ParallelRegionTest, FirstprivateBroadcast) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("fill", R"(
+    st.1.dw (out, i, 0) = value
+    halt
+  )",
+                            {"i", "value"}, {"out"})
+               .takeError());
+  cantFail(RT.loadBinary(PB.binary()));
+
+  auto Out = P.allocateShared(16 * 4, "out");
+  uint32_t Desc = cantFail(RT.allocDesc(TargetIsa::X3000, Out.Base,
+                                        SurfaceMode::Output, 16, 1));
+  ParallelRegion R(RT, TargetIsa::X3000, "fill");
+  R.shared("out", Desc)
+      .firstprivate("value", 555)
+      .privateVar("i", [](unsigned T) { return static_cast<int32_t>(T); })
+      .numThreads(16);
+  auto H = R.execute();
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  for (unsigned K = 0; K < 16; ++K)
+    EXPECT_EQ(P.load<int32_t>(Out.Base + K * 4), 555);
+}
+
+TEST(ParallelRegionTest, UnknownKernelRejected) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  ParallelRegion R(RT, TargetIsa::X3000, "missing");
+  auto H = R.numThreads(1).execute();
+  ASSERT_FALSE(static_cast<bool>(H));
+  EXPECT_NE(H.message().find("not in the fat binary"), std::string::npos);
+}
+
+TEST(ParallelRegionTest, MissingDescriptorRejected) {
+  VecAddRig R;
+  ParallelRegion Region(R.RT, TargetIsa::X3000, "vecadd");
+  Region.shared("A", R.ADesc).shared("B", R.BDesc); // C missing
+  Region.numThreads(1);
+  auto H = Region.execute();
+  ASSERT_FALSE(static_cast<bool>(H));
+  EXPECT_NE(H.message().find("'C'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory models (Section 5.2)
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryModelTest, CopyCostsOrderModelsCorrectly) {
+  auto RunModel = [](MemoryModel MM) {
+    VecAddRig R(MM, 4096); // larger buffers make transfer costs visible
+    auto H = R.dispatch();
+    EXPECT_TRUE(static_cast<bool>(H)) << H.message();
+    R.verifyResult(); // functional result identical in every model
+    return R.RT.regionStats(*H)->totalNs();
+  };
+
+  double TCopy = RunModel(MemoryModel::DataCopy);
+  double TNonCC = RunModel(MemoryModel::NonCCShared);
+  double TCC = RunModel(MemoryModel::CCShared);
+
+  // Figure 8's ordering: CC Shared fastest, Non-CC in between, Data Copy
+  // slowest.
+  EXPECT_LT(TCC, TNonCC);
+  EXPECT_LT(TNonCC, TCopy);
+}
+
+TEST(MemoryModelTest, RegionStatsExposeCopyAndFlush) {
+  {
+    VecAddRig R(MemoryModel::DataCopy, 4096);
+    auto H = R.dispatch();
+    ASSERT_TRUE(static_cast<bool>(H));
+    EXPECT_GT(R.RT.regionStats(*H)->CopyNs, 0.0);
+    EXPECT_DOUBLE_EQ(R.RT.regionStats(*H)->FlushNs, 0.0);
+  }
+  {
+    VecAddRig R(MemoryModel::NonCCShared, 4096);
+    R.RT.setIntelligentFlush(false);
+    auto H = R.dispatch();
+    ASSERT_TRUE(static_cast<bool>(H));
+    EXPECT_GT(R.RT.regionStats(*H)->FlushNs, 0.0);
+    EXPECT_DOUBLE_EQ(R.RT.regionStats(*H)->CopyNs, 0.0);
+  }
+  {
+    VecAddRig R(MemoryModel::CCShared, 4096);
+    auto H = R.dispatch();
+    ASSERT_TRUE(static_cast<bool>(H));
+    EXPECT_DOUBLE_EQ(R.RT.regionStats(*H)->FlushNs, 0.0);
+    EXPECT_DOUBLE_EQ(R.RT.regionStats(*H)->CopyNs, 0.0);
+  }
+}
+
+TEST(MemoryModelTest, IntelligentFlushRecoversMostOfTheCost) {
+  auto RunNonCC = [](bool Intelligent) {
+    VecAddRig R(MemoryModel::NonCCShared, 8192);
+    R.RT.setIntelligentFlush(Intelligent);
+    auto H = R.dispatch();
+    EXPECT_TRUE(static_cast<bool>(H));
+    return R.RT.regionStats(*H)->totalNs();
+  };
+  double TNaive = RunNonCC(false);
+  double TSmart = RunNonCC(true);
+  EXPECT_LT(TSmart, TNaive); // overlapped flushing must win
+}
+
+TEST(MemoryModelTest, DirtyTrackingSkipsRedundantFlush) {
+  VecAddRig R(MemoryModel::NonCCShared, 4096);
+  R.RT.setIntelligentFlush(false);
+  auto H1 = R.dispatch();
+  ASSERT_TRUE(static_cast<bool>(H1));
+  EXPECT_GT(R.RT.regionStats(*H1)->FlushNs, 0.0);
+
+  // No host writes since: the second dispatch flushes nothing.
+  auto H2 = R.dispatch();
+  ASSERT_TRUE(static_cast<bool>(H2));
+  EXPECT_DOUBLE_EQ(R.RT.regionStats(*H2)->FlushNs, 0.0);
+
+  // Host produces fresh data -> flush needed again.
+  cantFail(R.RT.markHostWrote(R.ADesc, 4096 * 4));
+  auto H3 = R.dispatch();
+  ASSERT_TRUE(static_cast<bool>(H3));
+  EXPECT_GT(R.RT.regionStats(*H3)->FlushNs, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Task queue (Section 4.3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a wavefront kernel: each task reads its left and upper
+/// neighbours' cells (already computed, guaranteed by taskq deps) and
+/// writes max(left, up) + 1 into its own cell of a WxH grid.
+fatbin::FatBinary buildWavefrontBinary() {
+  ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("wavefront", R"(
+    ; cell = y*W + x; left = cell-1 (if x>0); up = cell-W (if y>0)
+    mov.1.dw vr10 = 0           ; best
+    cmp.gt.1.dw p1 = x, 0
+    br !p1, noleft
+    sub.1.dw vr11 = cell, 1
+    ld.1.dw vr12 = (grid, vr11, 0)
+    max.1.dw vr10 = vr10, vr12
+  noleft:
+    cmp.gt.1.dw p2 = y, 0
+    br !p2, noup
+    sub.1.dw vr13 = cell, w
+    ld.1.dw vr14 = (grid, vr13, 0)
+    max.1.dw vr10 = vr10, vr14
+  noup:
+    add.1.dw vr10 = vr10, 1
+    st.1.dw (grid, cell, 0) = vr10
+    halt
+  )",
+                            {"cell", "x", "y", "w"}, {"grid"})
+               .takeError());
+  return PB.take();
+}
+
+} // namespace
+
+TEST(TaskQueueTest, DeblockingStyleDependenciesHonoured) {
+  constexpr unsigned W = 6, H = 4;
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  cantFail(RT.loadBinary(buildWavefrontBinary()));
+  auto Grid = P.allocateShared(W * H * 4, "grid");
+  uint32_t Desc = cantFail(
+      RT.allocDesc(TargetIsa::X3000, Grid.Base, SurfaceMode::InputOutput, W,
+                   H));
+
+  TaskQueue Q(RT, "wavefront");
+  Q.shared("grid", Desc);
+  // Macroblock (x, y) depends on its left and upper neighbours — the
+  // H.264 deblocking order of paper Section 4.3.
+  std::vector<TaskQueue::TaskId> Ids(W * H);
+  for (unsigned Y = 0; Y < H; ++Y)
+    for (unsigned X = 0; X < W; ++X) {
+      std::vector<TaskQueue::TaskId> Deps;
+      if (X > 0)
+        Deps.push_back(Ids[Y * W + X - 1]);
+      if (Y > 0)
+        Deps.push_back(Ids[(Y - 1) * W + X]);
+      Ids[Y * W + X] = Q.task({{"cell", static_cast<int32_t>(Y * W + X)},
+                               {"x", static_cast<int32_t>(X)},
+                               {"y", static_cast<int32_t>(Y)},
+                               {"w", static_cast<int32_t>(W)}},
+                              Deps);
+    }
+
+  auto Stats = Q.finish();
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.message();
+  // Wavefront depth = W + H - 1 anti-diagonals.
+  EXPECT_EQ(Stats->Waves, W + H - 1);
+  EXPECT_EQ(Stats->Tasks, static_cast<uint64_t>(W) * H);
+
+  // If any dependency were violated, a cell would read a stale (0)
+  // neighbour and its value would be too small.
+  for (unsigned Y = 0; Y < H; ++Y)
+    for (unsigned X = 0; X < W; ++X)
+      EXPECT_EQ(P.load<int32_t>(Grid.Base + (Y * W + X) * 4),
+                static_cast<int32_t>(X + Y + 1))
+          << "cell " << X << "," << Y;
+}
+
+TEST(TaskQueueTest, IndependentTasksRunInOneWave) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("mark", "  st.1.dw (out, i, 0) = i\n  halt\n",
+                            {"i"}, {"out"})
+               .takeError());
+  cantFail(RT.loadBinary(PB.binary()));
+  auto Out = P.allocateShared(64 * 4, "out");
+  uint32_t Desc = cantFail(
+      RT.allocDesc(TargetIsa::X3000, Out.Base, SurfaceMode::Output, 64, 1));
+
+  TaskQueue Q(RT, "mark");
+  Q.shared("out", Desc);
+  for (int K = 0; K < 64; ++K)
+    Q.task({{"i", K}});
+  auto Stats = Q.finish();
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.message();
+  EXPECT_EQ(Stats->Waves, 1u);
+  for (int K = 0; K < 64; ++K)
+    EXPECT_EQ(P.load<int32_t>(Out.Base + K * 4), K);
+}
+
+TEST(TaskQueueTest, CycleDetected) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("noop", "  halt\n", {}, {}).takeError());
+  cantFail(RT.loadBinary(PB.binary()));
+
+  TaskQueue Q(RT, "noop");
+  auto T0 = Q.task({}, {1}); // forward dep on T1
+  auto T1 = Q.task({}, {T0});
+  (void)T1;
+  auto Stats = Q.finish();
+  ASSERT_FALSE(static_cast<bool>(Stats));
+  EXPECT_NE(Stats.message().find("cycle"), std::string::npos);
+}
+
+TEST(TaskQueueTest, UnknownDependencyRejected) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("noop", "  halt\n", {}, {}).takeError());
+  cantFail(RT.loadBinary(PB.binary()));
+  TaskQueue Q(RT, "noop");
+  Q.task({}, {42});
+  auto Stats = Q.finish();
+  ASSERT_FALSE(static_cast<bool>(Stats));
+  EXPECT_NE(Stats.message().find("unknown task"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative partitioning (Section 5.3)
+//===----------------------------------------------------------------------===//
+
+TEST(CooperativeTest, OracleBalancesAnalyticWorkload) {
+  // Synthetic: CPU takes 300 ns/unit, GPU takes 100 ns/unit, 100 units.
+  // Oracle fraction f* satisfies 300*100f = 100*100(1-f) -> f* = 0.25,
+  // total = 7500 ns (vs 10000 all-GPU).
+  auto Runner = [](double F) -> Expected<CooperativeOutcome> {
+    CooperativeOutcome O;
+    O.CpuFraction = F;
+    O.CpuBusyNs = 300.0 * 100.0 * F;
+    O.GpuBusyNs = 100.0 * 100.0 * (1.0 - F);
+    O.TotalNs = std::max(O.CpuBusyNs, O.GpuBusyNs);
+    return O;
+  };
+  auto Best = findOraclePartition(Runner, 16);
+  ASSERT_TRUE(static_cast<bool>(Best));
+  EXPECT_NEAR(Best->CpuFraction, 0.25, 0.02);
+  EXPECT_NEAR(Best->TotalNs, 7500.0, 300.0);
+  EXPECT_LT(Best->TotalNs, 10000.0); // beats all-GPU
+}
+
+TEST(CooperativeTest, OracleNeverWorseThanAllGpu) {
+  // CPU is uselessly slow: oracle must stay at (or converge back to) ~0.
+  auto Runner = [](double F) -> Expected<CooperativeOutcome> {
+    CooperativeOutcome O;
+    O.CpuFraction = F;
+    O.CpuBusyNs = 1e9 * F;
+    O.GpuBusyNs = 1000.0 * (1.0 - F);
+    O.TotalNs = std::max(O.CpuBusyNs, O.GpuBusyNs);
+    return O;
+  };
+  auto Best = findOraclePartition(Runner, 12);
+  ASSERT_TRUE(static_cast<bool>(Best));
+  EXPECT_LE(Best->TotalNs, 1000.0 + 1.0);
+}
+
+TEST(CooperativeTest, RunnerErrorsPropagate) {
+  auto Runner = [](double) -> Expected<CooperativeOutcome> {
+    return Error::make("sim exploded");
+  };
+  auto Best = findOraclePartition(Runner, 4);
+  ASSERT_FALSE(static_cast<bool>(Best));
+  EXPECT_NE(Best.message().find("sim exploded"), std::string::npos);
+}
+
+TEST(TaskQueueTest, SubordinateQueuesDependOnTheirEnclosingTask) {
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("stamp", R"(
+    ld.1.dw vr8 = (out, slot, 0)
+    add.1.dw vr8 = vr8, 1
+    st.1.dw (out, slot, 0) = vr8
+    ; record the order stamp: out[8+idx] = value of counter cell
+    st.1.dw (out, idx, 0) = vr8
+  )",
+                            {"slot", "idx"}, {"out"})
+               .takeError());
+  cantFail(RT.loadBinary(PB.binary()));
+  auto Out = P.allocateShared(64 * 4, "out");
+  uint32_t Desc = cantFail(
+      RT.allocDesc(TargetIsa::X3000, Out.Base, SurfaceMode::InputOutput, 64,
+                   1));
+
+  // Parent task increments cell 0 first; the subordinate queue's tasks
+  // run strictly after it (they see counter >= 1).
+  TaskQueue Q(RT, "stamp");
+  Q.shared("out", Desc);
+  auto Parent = Q.task({{"slot", 0}, {"idx", 8}});
+  auto Sub = Q.nestedIn(Parent);
+  Sub.task({{"slot", 0}, {"idx", 9}});
+  Sub.task({{"slot", 0}, {"idx", 10}});
+  auto Stats = Q.finish();
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.message();
+  EXPECT_EQ(Stats->Waves, 2u);
+  EXPECT_EQ(P.load<int32_t>(Out.Base + 8 * 4), 1); // parent saw 1
+  EXPECT_GE(P.load<int32_t>(Out.Base + 9 * 4), 2); // children after parent
+  EXPECT_GE(P.load<int32_t>(Out.Base + 10 * 4), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Heterogeneous static partitioning (chi/Hetero.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct HeteroRig {
+  HeteroRig() : RT(Platform) {
+    WL = kernels::createSepiaTone(64, 32);
+    ProgramBuilder PB;
+    cantFail(WL->compile(PB));
+    cantFail(RT.loadBinary(PB.binary()));
+    cantFail(WL->setup(RT));
+  }
+  exo::ExoPlatform Platform;
+  Runtime RT;
+  std::unique_ptr<kernels::MediaWorkload> WL;
+};
+
+} // namespace
+
+TEST(HeteroPartitionTest, SplitIsFunctionallyComplete) {
+  HeteroRig Rig;
+  kernels::MediaHeteroWork Work(*Rig.WL);
+  auto O = runStaticPartition(Rig.RT, Work, 0.4);
+  ASSERT_TRUE(static_cast<bool>(O)) << O.message();
+  EXPECT_GT(O->TotalNs, 0.0);
+  EXPECT_GT(O->CpuBusyNs, 0.0);
+  EXPECT_GT(O->GpuBusyNs, 0.0);
+
+  // Both halves landed in shared memory and match the full reference.
+  cantFail(Rig.WL->hostCompute(0, Rig.WL->totalStrips()));
+  Error E = Rig.WL->compareSharedToReference(Rig.RT);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+}
+
+TEST(HeteroPartitionTest, AllCpuAndAllGpuEdges) {
+  {
+    HeteroRig Rig;
+    kernels::MediaHeteroWork Work(*Rig.WL);
+    auto O = runStaticPartition(Rig.RT, Work, 0.0);
+    ASSERT_TRUE(static_cast<bool>(O));
+    EXPECT_DOUBLE_EQ(O->CpuBusyNs, 0.0);
+    EXPECT_GT(O->GpuBusyNs, 0.0);
+  }
+  {
+    HeteroRig Rig;
+    kernels::MediaHeteroWork Work(*Rig.WL);
+    auto O = runStaticPartition(Rig.RT, Work, 1.0);
+    ASSERT_TRUE(static_cast<bool>(O));
+    EXPECT_GT(O->CpuBusyNs, 0.0);
+    EXPECT_DOUBLE_EQ(O->GpuBusyNs, 0.0);
+    cantFail(Rig.WL->hostCompute(0, Rig.WL->totalStrips()));
+    Error E = Rig.WL->compareSharedToReference(Rig.RT);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  }
+}
+
+TEST(HeteroPartitionTest, TotalIsMaxOfBusySides) {
+  HeteroRig Rig;
+  kernels::MediaHeteroWork Work(*Rig.WL);
+  auto O = runStaticPartition(Rig.RT, Work, 0.3);
+  ASSERT_TRUE(static_cast<bool>(O));
+  EXPECT_NEAR(O->TotalNs, std::max(O->CpuBusyNs, O->GpuBusyNs),
+              O->TotalNs * 1e-9);
+}

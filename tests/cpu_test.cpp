@@ -1,0 +1,118 @@
+//===- tests/cpu_test.cpp - Unit tests for the IA32 timing model -------------===//
+
+#include "cpu/CpuModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::cpu;
+
+TEST(CpuModelTest, ComputeBoundWork) {
+  mem::MemoryBus Bus;
+  CpuConfig C;
+  CpuModel M(C, Bus);
+  WorkEstimate W;
+  W.VectorOps = 24000; // 24000 cycles at 1/cycle
+  double Done = M.execute(0.0, W);
+  EXPECT_DOUBLE_EQ(Done, 24000 * C.cycleNs());
+}
+
+TEST(CpuModelTest, BandwidthBoundWork) {
+  mem::MemoryBusParams BP;
+  BP.BandwidthBytesPerNs = 1.0;
+  BP.AccessLatencyNs = 0.0;
+  mem::MemoryBus Bus(BP);
+  CpuModel M(CpuConfig(), Bus);
+  WorkEstimate W;
+  W.ScalarOps = 10;          // negligible compute
+  W.BytesRead = 1000000;     // 1 MB at 1 B/ns = 1 ms
+  double Done = M.execute(0.0, W);
+  EXPECT_NEAR(Done, 1e6, 1.0);
+}
+
+TEST(CpuModelTest, RooflineTakesMax) {
+  mem::MemoryBusParams BP;
+  BP.BandwidthBytesPerNs = 1.0;
+  BP.AccessLatencyNs = 0.0;
+  mem::MemoryBus Bus(BP);
+  CpuConfig C;
+  CpuModel M(C, Bus);
+  WorkEstimate W;
+  W.VectorOps = 1000000; // compute term dominates the 1000-byte transfer
+  W.BytesRead = 1000;
+  double Done = M.execute(0.0, W);
+  EXPECT_DOUBLE_EQ(Done, 1000000 * C.cycleNs());
+}
+
+TEST(CpuModelTest, SamplerEmulationCharged) {
+  mem::MemoryBus Bus;
+  CpuConfig C;
+  CpuModel M(C, Bus);
+  WorkEstimate W;
+  W.SamplerOps = 100;
+  EXPECT_DOUBLE_EQ(M.computeNs(W), 100 * C.SamplerEmulationCycles * C.cycleNs());
+}
+
+TEST(CpuModelTest, WcCopyMatchesPaperRate) {
+  mem::MemoryBus Bus;
+  CpuModel M(CpuConfig(), Bus);
+  // 3.1 GB/s = 3.1 B/ns: 3.1e6 bytes should take ~1e6 ns.
+  double Done = M.copyWriteCombining(0.0, 3100000);
+  EXPECT_NEAR(Done, 1e6, 1.0);
+  EXPECT_EQ(M.stats().BytesCopied, 3100000u);
+}
+
+TEST(CpuModelTest, FlushMatchesPaperRate) {
+  mem::MemoryBus Bus;
+  CpuModel M(CpuConfig(), Bus);
+  // 2 GB/s = 2 B/ns: 2e6 bytes -> 1e6 ns.
+  double Done = M.flushCache(0.0, 2000000);
+  EXPECT_NEAR(Done, 1e6, 1.0);
+  EXPECT_EQ(M.stats().BytesFlushed, 2000000u);
+}
+
+TEST(CpuModelTest, ZeroWorkIsFree) {
+  mem::MemoryBus Bus;
+  CpuModel M(CpuConfig(), Bus);
+  EXPECT_DOUBLE_EQ(M.execute(42.0, WorkEstimate()), 42.0);
+  EXPECT_DOUBLE_EQ(M.copyWriteCombining(42.0, 0), 42.0);
+  EXPECT_DOUBLE_EQ(M.flushCache(42.0, 0), 42.0);
+}
+
+TEST(WorkEstimateTest, Accumulate) {
+  WorkEstimate A, B;
+  A.VectorOps = 10;
+  A.BytesRead = 100;
+  B.VectorOps = 5;
+  B.BytesWritten = 50;
+  A += B;
+  EXPECT_EQ(A.VectorOps, 15u);
+  EXPECT_EQ(A.BytesRead, 100u);
+  EXPECT_EQ(A.BytesWritten, 50u);
+}
+
+TEST(WorkEstimateTest, Scaled) {
+  WorkEstimate W;
+  W.VectorOps = 1000;
+  W.ScalarOps = 500;
+  W.BytesRead = 4000;
+  WorkEstimate H = W.scaled(0.25);
+  EXPECT_EQ(H.VectorOps, 250u);
+  EXPECT_EQ(H.ScalarOps, 125u);
+  EXPECT_EQ(H.BytesRead, 1000u);
+}
+
+TEST(CpuModelTest, SharedBusSerializesWithOtherAgents) {
+  // The CPU and another agent (the GMA) share one bus: CPU work issued
+  // while the bus is busy completes later.
+  mem::MemoryBusParams BP;
+  BP.BandwidthBytesPerNs = 1.0;
+  BP.AccessLatencyNs = 0.0;
+  mem::MemoryBus Bus(BP);
+  CpuModel M(CpuConfig(), Bus);
+  (void)Bus.request(0.0, 500); // another agent occupies the bus until t=500
+  WorkEstimate W;
+  W.BytesRead = 100;
+  double Done = M.execute(0.0, W);
+  EXPECT_DOUBLE_EQ(Done, 600.0);
+}

@@ -1,0 +1,140 @@
+//===- tests/fatbin_test.cpp - Unit tests for the fat binary -----------------===//
+
+#include "fatbin/FatBinary.h"
+
+#include "isa/Encoding.h"
+#include "xasm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::fatbin;
+
+namespace {
+
+CodeSection makeSection(const char *Name) {
+  CodeSection S;
+  S.Isa = IsaTag::XGMA;
+  S.Name = Name;
+  S.Code = {1, 2, 3, 4};
+  S.ScalarParams = {"i", "n"};
+  S.SurfaceParams = {"src", "dst"};
+  S.Debug.Lines = {1, 2, 5};
+  S.Debug.SourceText = "  nop\n  halt\n";
+  S.Debug.Labels["loop"] = 1;
+  return S;
+}
+
+} // namespace
+
+TEST(FatBinaryTest, AssignsUniqueIds) {
+  FatBinary FB;
+  uint32_t A = FB.addSection(makeSection("a"));
+  uint32_t B = FB.addSection(makeSection("b"));
+  EXPECT_NE(A, B);
+  EXPECT_EQ(FB.findById(A)->Name, "a");
+  EXPECT_EQ(FB.findById(B)->Name, "b");
+  EXPECT_EQ(FB.findById(999), nullptr);
+}
+
+TEST(FatBinaryTest, FindByName) {
+  FatBinary FB;
+  FB.addSection(makeSection("vecadd"));
+  ASSERT_NE(FB.findByName("vecadd"), nullptr);
+  EXPECT_EQ(FB.findByName("nope"), nullptr);
+}
+
+TEST(FatBinaryTest, SerializeDeserializeRoundTrip) {
+  FatBinary FB;
+  FB.addSection(makeSection("k1"));
+  CodeSection S2 = makeSection("k2");
+  S2.Isa = IsaTag::IA32;
+  S2.Code.clear();
+  FB.addSection(std::move(S2));
+
+  auto Bytes = FB.serialize();
+  auto Back = FatBinary::deserialize(Bytes);
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+  ASSERT_EQ(Back->sections().size(), 2u);
+
+  const CodeSection *K1 = Back->findByName("k1");
+  ASSERT_NE(K1, nullptr);
+  EXPECT_EQ(K1->Isa, IsaTag::XGMA);
+  EXPECT_EQ(K1->Code, (std::vector<uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(K1->ScalarParams, (std::vector<std::string>{"i", "n"}));
+  EXPECT_EQ(K1->SurfaceParams, (std::vector<std::string>{"src", "dst"}));
+  EXPECT_EQ(K1->Debug.Lines, (std::vector<uint32_t>{1, 2, 5}));
+  EXPECT_EQ(K1->Debug.SourceText, "  nop\n  halt\n");
+  EXPECT_EQ(K1->Debug.Labels.at("loop"), 1u);
+
+  const CodeSection *K2 = Back->findByName("k2");
+  ASSERT_NE(K2, nullptr);
+  EXPECT_EQ(K2->Isa, IsaTag::IA32);
+  EXPECT_TRUE(K2->Code.empty());
+}
+
+TEST(FatBinaryTest, IdsSurviveRoundTripAndKeepGrowing) {
+  FatBinary FB;
+  uint32_t A = FB.addSection(makeSection("a"));
+  auto Back = cantFail(FatBinary::deserialize(FB.serialize()));
+  uint32_t B = Back.addSection(makeSection("b"));
+  EXPECT_NE(A, B);
+}
+
+TEST(FatBinaryTest, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  auto Back = FatBinary::deserialize(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Back));
+  EXPECT_NE(Back.message().find("magic"), std::string::npos);
+}
+
+TEST(FatBinaryTest, RejectsTruncation) {
+  FatBinary FB;
+  FB.addSection(makeSection("k"));
+  auto Bytes = FB.serialize();
+  for (size_t Cut : {Bytes.size() - 1, Bytes.size() / 2, size_t(9)}) {
+    std::vector<uint8_t> T(Bytes.begin(),
+                           Bytes.begin() + static_cast<ptrdiff_t>(Cut));
+    auto Back = FatBinary::deserialize(T);
+    EXPECT_FALSE(static_cast<bool>(Back)) << "cut=" << Cut;
+  }
+}
+
+TEST(FatBinaryTest, RejectsTrailingGarbage) {
+  FatBinary FB;
+  FB.addSection(makeSection("k"));
+  auto Bytes = FB.serialize();
+  Bytes.push_back(0xcc);
+  auto Back = FatBinary::deserialize(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Back));
+  EXPECT_NE(Back.message().find("trailing"), std::string::npos);
+}
+
+TEST(FatBinaryTest, AssembledKernelRoundTripsThroughContainer) {
+  // Integration: assemble -> encode -> pack -> serialize -> load -> decode.
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("i", 0);
+  Binds.bindSurface("A", 0);
+  auto K = xasm::assembleKernel("  ld.8.dw [vr2..vr9] = (A, i, 0)\n"
+                                "  add.8.dw [vr2..vr9] = [vr2..vr9], 1\n"
+                                "  st.8.dw (A, i, 0) = [vr2..vr9]\n"
+                                "  halt\n",
+                                Binds);
+  ASSERT_TRUE(static_cast<bool>(K)) << K.message();
+
+  FatBinary FB;
+  CodeSection S;
+  S.Name = "inc";
+  S.Code = isa::encodeProgram(K->Code);
+  S.Debug.Lines = K->Lines;
+  uint32_t Id = FB.addSection(std::move(S));
+
+  auto Back = cantFail(FatBinary::deserialize(FB.serialize()));
+  const CodeSection *Found = Back.findById(Id);
+  ASSERT_NE(Found, nullptr);
+  auto Prog = isa::decodeProgram(Found->Code);
+  ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.message();
+  ASSERT_EQ(Prog->size(), 4u);
+  EXPECT_TRUE((*Prog)[0] == K->Code[0]);
+  EXPECT_TRUE((*Prog)[3] == K->Code[3]);
+}

@@ -1,0 +1,253 @@
+//===- tests/fuzz_test.cpp - Robustness / failure-injection tests -------------===//
+//
+// Hostile-input tests: the decoder, fat-binary loader, and assembler must
+// reject malformed input with diagnostics — never crash, hang, or accept
+// garbage silently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+#include "fatbin/FatBinary.h"
+#include "isa/Encoding.h"
+#include "support/Random.h"
+#include "xasm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+
+//===----------------------------------------------------------------------===//
+// Instruction decoder fuzz
+//===----------------------------------------------------------------------===//
+
+class DecoderFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecoderFuzzTest, RandomBytesNeverCrash) {
+  Rng R(GetParam() * 0x9e37 + 1);
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    unsigned N = static_cast<unsigned>(R.nextInRange(1, 8));
+    std::vector<uint8_t> Bytes(N * isa::InstrBytes);
+    for (auto &B : Bytes)
+      B = R.nextByte();
+    auto Prog = isa::decodeProgram(Bytes);
+    // Either a decode error or structurally valid instructions.
+    if (Prog) {
+      for (const isa::Instruction &I : *Prog)
+        EXPECT_EQ(isa::validate(I), "");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(DecoderFuzzTest, BitFlippedValidProgramsNeverCrash) {
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("A", 0);
+  auto K = cantFail(xasm::assembleKernel("  mov.1.dw vr1 = 0\n"
+                                         "loop:\n"
+                                         "  add.8.dw [vr2..vr9] = [vr2..vr9], 1\n"
+                                         "  cmp.lt.1.dw p1 = vr1, 3\n"
+                                         "  br p1, loop\n"
+                                         "  st.8.dw (A, vr1, 0) = [vr2..vr9]\n"
+                                         "  halt\n",
+                                         Binds));
+  auto Bytes = isa::encodeProgram(K.Code);
+  Rng R(42);
+  for (unsigned Trial = 0; Trial < 500; ++Trial) {
+    auto Mutated = Bytes;
+    unsigned Flips = static_cast<unsigned>(R.nextInRange(1, 4));
+    for (unsigned F = 0; F < Flips; ++F)
+      Mutated[R.nextBelow(Mutated.size())] ^=
+          static_cast<uint8_t>(1u << R.nextBelow(8));
+    auto Prog = isa::decodeProgram(Mutated);
+    if (Prog) {
+      for (const isa::Instruction &I : *Prog)
+        EXPECT_EQ(isa::validate(I), "");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fat binary fuzz
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint8_t> sampleBinary() {
+  fatbin::FatBinary FB;
+  fatbin::CodeSection S;
+  S.Name = "kernel";
+  S.Code = std::vector<uint8_t>(isa::InstrBytes * 3, 0);
+  S.ScalarParams = {"a", "b"};
+  S.SurfaceParams = {"x"};
+  S.Debug.Lines = {1, 2, 3};
+  S.Debug.SourceText = "  nop\n  nop\n  halt\n";
+  S.Debug.Labels["top"] = 0;
+  FB.addSection(std::move(S));
+  return FB.serialize();
+}
+
+} // namespace
+
+class FatBinaryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FatBinaryFuzzTest, MutatedBinariesNeverCrash) {
+  auto Bytes = sampleBinary();
+  Rng R(GetParam() + 7);
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    auto Mutated = Bytes;
+    switch (R.nextBelow(3)) {
+    case 0: // bit flips
+      for (unsigned F = 0; F < 4; ++F)
+        Mutated[R.nextBelow(Mutated.size())] ^= R.nextByte();
+      break;
+    case 1: // truncation
+      Mutated.resize(R.nextBelow(Mutated.size()));
+      break;
+    default: // garbage extension
+      for (unsigned F = 0; F < 16; ++F)
+        Mutated.push_back(R.nextByte());
+      break;
+    }
+    auto FB = fatbin::FatBinary::deserialize(Mutated);
+    if (FB) {
+      // Structurally accepted mutations must still be internally
+      // consistent enough to serialize again.
+      auto Re = FB->serialize();
+      EXPECT_FALSE(Re.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FatBinaryFuzzTest,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(FatBinaryFuzzTest, LoaderRejectsCorruptCodeSections) {
+  // A fat binary whose code bytes are garbage must be rejected by the
+  // runtime loader, not crash the device.
+  fatbin::FatBinary FB;
+  fatbin::CodeSection S;
+  S.Name = "garbage";
+  S.Code = std::vector<uint8_t>(isa::InstrBytes, 0xff);
+  FB.addSection(std::move(S));
+
+  exo::ExoPlatform P;
+  chi::Runtime RT(P);
+  Error E = RT.loadBinary(FB);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("garbage"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Assembler fuzz
+//===----------------------------------------------------------------------===//
+
+class AssemblerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AssemblerFuzzTest, RandomTextNeverCrashes) {
+  Rng R(GetParam() * 31 + 5);
+  const char Charset[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789.,=()[]:;!@#- \tvrp";
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    std::string Src;
+    unsigned Lines = static_cast<unsigned>(R.nextInRange(1, 6));
+    for (unsigned L = 0; L < Lines; ++L) {
+      unsigned Len = static_cast<unsigned>(R.nextInRange(0, 40));
+      for (unsigned C = 0; C < Len; ++C)
+        Src += Charset[R.nextBelow(sizeof(Charset) - 1)];
+      Src += '\n';
+    }
+    auto K = xasm::assembleKernel(Src, xasm::SymbolBindings());
+    if (K) {
+      for (const isa::Instruction &I : K->Code)
+        EXPECT_EQ(isa::validate(I), "") << Src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssemblerFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(AssemblerFuzzTest, MutatedValidSourceNeverCrashes) {
+  const std::string Base = "  mov.1.dw vr1 = 0\n"
+                           "loop:\n"
+                           "  add.8.dw [vr2..vr9] = [vr2..vr9], 1\n"
+                           "  cmp.lt.1.dw p1 = vr1, 3\n"
+                           "  br p1, loop\n"
+                           "  halt\n";
+  Rng R(99);
+  for (unsigned Trial = 0; Trial < 500; ++Trial) {
+    std::string Src = Base;
+    unsigned Edits = static_cast<unsigned>(R.nextInRange(1, 3));
+    for (unsigned E = 0; E < Edits; ++E) {
+      size_t Pos = R.nextBelow(Src.size());
+      switch (R.nextBelow(3)) {
+      case 0:
+        Src[Pos] = static_cast<char>(R.nextInRange(32, 126));
+        break;
+      case 1:
+        Src.erase(Pos, 1);
+        break;
+      default:
+        Src.insert(Pos, 1, static_cast<char>(R.nextInRange(32, 126)));
+        break;
+      }
+    }
+    auto K = xasm::assembleKernel(Src, xasm::SymbolBindings());
+    (void)K; // accept or reject; just never crash
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Device-level failure injection
+//===----------------------------------------------------------------------===//
+
+TEST(DeviceFailureTest, RunawayKernelIsBounded) {
+  // An infinite loop would hang a wall-clock interpreter; the device is
+  // driven by the host, so we bound it with a step hook that pauses.
+  exo::ExoPlatform P;
+  xasm::SymbolBindings Binds;
+  auto K = cantFail(xasm::assembleKernel("spin:\n  jmp spin\n", Binds));
+  gma::KernelImage Img;
+  Img.Code = K.Code;
+  uint32_t Kid = P.device().registerKernel(std::move(Img));
+  gma::ShredDescriptor D;
+  D.KernelId = Kid;
+  P.device().enqueueShred(std::move(D));
+
+  uint64_t Steps = 0;
+  P.device().setStepHook([&](uint32_t, uint32_t, uint32_t) {
+    return ++Steps > 10000 ? gma::StepAction::Pause
+                           : gma::StepAction::Continue;
+  });
+  auto Exit = P.device().run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Exit));
+  EXPECT_EQ(*Exit, gma::RunExit::Paused);
+}
+
+TEST(DeviceFailureTest, SpawnBombIsObservable) {
+  // A shred that spawns two children per execution grows the queue; the
+  // hook lets a supervisor detect and stop it (the runtime's backstop).
+  exo::ExoPlatform P;
+  xasm::SymbolBindings Binds;
+  auto K = cantFail(xasm::assembleKernel("  spawn 0\n  spawn 0\n  halt\n",
+                                         Binds));
+  gma::KernelImage Img;
+  Img.Code = K.Code;
+  uint32_t Kid = P.device().registerKernel(std::move(Img));
+  gma::ShredDescriptor D;
+  D.KernelId = Kid;
+  P.device().enqueueShred(std::move(D));
+
+  uint64_t Steps = 0;
+  P.device().setStepHook([&](uint32_t, uint32_t, uint32_t) {
+    return ++Steps > 5000 ? gma::StepAction::Pause
+                          : gma::StepAction::Continue;
+  });
+  auto Exit = P.device().run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Exit));
+  EXPECT_EQ(*Exit, gma::RunExit::Paused);
+  EXPECT_GT(P.device().queuedShreds(), 100u); // the bomb was growing
+}

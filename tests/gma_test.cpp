@@ -1,0 +1,751 @@
+//===- tests/gma_test.cpp - Unit tests for the GMA device model --------------===//
+
+#include "gma/GmaDevice.h"
+
+#include "mem/AddressSpace.h"
+#include "support/Random.h"
+#include "xasm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace exochi;
+using namespace exochi::gma;
+
+namespace {
+
+/// Minimal ATR/CEH proxy used for device unit tests: services translation
+/// misses against an Ia32AddressSpace (including demand paging) and
+/// emulates f64 adds. The production proxy lives in src/exo.
+class TestProxy : public ProxySignalHandler {
+public:
+  explicit TestProxy(mem::Ia32AddressSpace &AS) : AS(AS) {}
+
+  Expected<mem::TimeNs> onTranslationMiss(mem::VirtAddr Va, bool IsWrite,
+                                          mem::GpuMemType MemType,
+                                          mem::Tlb &Tlb) override {
+    ++Misses;
+    mem::PageFault F;
+    auto T = AS.translate(Va, IsWrite, &F);
+    if (!T) {
+      if (!AS.handleFault(F))
+        return Error::make("unserviceable fault");
+      T = AS.translate(Va, IsWrite);
+      if (!T)
+        return T.takeError();
+    }
+    auto Pte = mem::transcodePteIa32ToGpu(T->Pte, MemType);
+    if (!Pte)
+      return Pte.takeError();
+    Tlb.insert(mem::pageNumber(Va), *Pte);
+    return 500.0; // proxy round-trip latency
+  }
+
+  Expected<mem::TimeNs> onException(const ExceptionInfo &Info,
+                                    ShredRegView &Regs) override {
+    ++Exceptions;
+    LastKind = Info.Kind;
+    if (Info.Kind != ExceptionKind::UnsupportedType ||
+        Info.Instr.Op != isa::Opcode::Add ||
+        Info.Instr.Ty != isa::ElemType::F64)
+      return Error::make("test proxy only emulates f64 add");
+
+    const isa::Instruction &I = Info.Instr;
+    for (unsigned L = 0; L < I.Width; ++L) {
+      auto ReadF64 = [&](const isa::Operand &O) {
+        unsigned R = O.Reg0 + 2 * L;
+        uint64_t Bits = Regs.readReg(R) |
+                        (static_cast<uint64_t>(Regs.readReg(R + 1)) << 32);
+        double D;
+        std::memcpy(&D, &Bits, 8);
+        return D;
+      };
+      double Result = ReadF64(I.Src0) + ReadF64(I.Src1);
+      uint64_t Bits;
+      std::memcpy(&Bits, &Result, 8);
+      unsigned R = I.Dst.Reg0 + 2 * L;
+      Regs.writeReg(R, static_cast<uint32_t>(Bits));
+      Regs.writeReg(R + 1, static_cast<uint32_t>(Bits >> 32));
+    }
+    return 2000.0; // emulation cost
+  }
+
+  mem::Ia32AddressSpace &AS;
+  unsigned Misses = 0;
+  unsigned Exceptions = 0;
+  ExceptionKind LastKind = ExceptionKind::UnsupportedType;
+};
+
+/// Common test rig: memory system + address space + device + proxy.
+struct Rig {
+  explicit Rig(GmaConfig Config = GmaConfig())
+      : AS(PM), Device(Config, PM, Bus), Proxy(AS) {
+    Device.setProxyHandler(&Proxy);
+  }
+
+  /// Maps and zeroes a buffer of \p Bytes, returning its virtual base.
+  mem::VirtAddr alloc(uint64_t Bytes) {
+    mem::VirtAddr Va = Allocator.allocate(Bytes);
+    AS.reserve(Va, (Bytes + mem::PageSize - 1) & ~mem::PageOffsetMask,
+               /*Writable=*/true, "test");
+    return Va;
+  }
+
+  uint32_t loadKernel(const char *Asm, const xasm::SymbolBindings &Binds) {
+    auto K = xasm::assembleKernel(Asm, Binds);
+    EXPECT_TRUE(static_cast<bool>(K)) << K.message();
+    KernelImage Img;
+    Img.Code = K->Code;
+    return Device.registerKernel(std::move(Img));
+  }
+
+  mem::PhysicalMemory PM;
+  mem::MemoryBus Bus;
+  mem::Ia32AddressSpace AS;
+  mem::VirtualAllocator Allocator;
+  GmaDevice Device;
+  TestProxy Proxy;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Functional execution
+//===----------------------------------------------------------------------===//
+
+TEST(GmaDeviceTest, Figure6VectorAdd) {
+  Rig R;
+  constexpr unsigned N = 64;
+  mem::VirtAddr A = R.alloc(N * 4), B = R.alloc(N * 4), C = R.alloc(N * 4);
+  for (unsigned K = 0; K < N; ++K) {
+    R.AS.store<int32_t>(A + K * 4, static_cast<int32_t>(K));
+    R.AS.store<int32_t>(B + K * 4, static_cast<int32_t>(1000 + K));
+  }
+
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("i", 0);
+  Binds.bindSurface("A", 0);
+  Binds.bindSurface("B", 1);
+  Binds.bindSurface("C", 2);
+  uint32_t Kid = R.loadKernel(R"(
+    shl.1.dw vr1 = i, 3
+    ld.8.dw  [vr2..vr9]   = (A, vr1, 0)
+    ld.8.dw  [vr10..vr17] = (B, vr1, 0)
+    add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+    st.8.dw  (C, vr1, 0)  = [vr18..vr25]
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({A, N, 1, isa::ElemType::I32, SurfaceMode::Input,
+                       mem::GpuMemType::Cached});
+  Surfaces->push_back({B, N, 1, isa::ElemType::I32, SurfaceMode::Input,
+                       mem::GpuMemType::Cached});
+  Surfaces->push_back({C, N, 1, isa::ElemType::I32, SurfaceMode::Output,
+                       mem::GpuMemType::Cached});
+
+  for (unsigned I = 0; I < N / 8; ++I) {
+    ShredDescriptor D;
+    D.KernelId = Kid;
+    D.Params = {static_cast<int32_t>(I)};
+    D.Surfaces = Surfaces;
+    R.Device.enqueueShred(std::move(D));
+  }
+
+  auto Exit = R.Device.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Exit)) << Exit.message();
+  EXPECT_EQ(*Exit, RunExit::QueueDrained);
+
+  for (unsigned K = 0; K < N; ++K)
+    EXPECT_EQ(R.AS.load<int32_t>(C + K * 4), static_cast<int32_t>(1000 + 2 * K))
+        << "element " << K;
+
+  const GmaRunStats &S = R.Device.stats();
+  EXPECT_EQ(S.ShredsExecuted, N / 8);
+  EXPECT_GT(S.Instructions, 5u * (N / 8) - 1);
+  EXPECT_GT(S.TlbMisses, 0u);
+  EXPECT_GT(S.elapsedNs(), 0.0);
+}
+
+TEST(GmaDeviceTest, ControlFlowLoopSumsRange) {
+  // Sums 0..99 with a cmp/br loop and stores the result.
+  Rig R;
+  mem::VirtAddr Out = R.alloc(4);
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("out", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.dw vr0 = 0     ; sum
+    mov.1.dw vr1 = 0     ; i
+  loop:
+    add.1.dw vr0 = vr0, vr1
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p1 = vr1, 100
+    br p1, loop
+    mov.1.dw vr2 = 0
+    st.1.dw (out, vr2, 0) = vr0
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Out, 1, 1, isa::ElemType::I32, SurfaceMode::Output,
+                       mem::GpuMemType::Cached});
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Surfaces = Surfaces;
+  R.Device.enqueueShred(std::move(D));
+
+  ASSERT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+  EXPECT_EQ(R.AS.load<int32_t>(Out), 4950);
+}
+
+TEST(GmaDeviceTest, PredicatedStoreLeavesMaskedElements) {
+  Rig R;
+  constexpr unsigned N = 8;
+  mem::VirtAddr Buf = R.alloc(N * 4);
+  for (unsigned K = 0; K < N; ++K)
+    R.AS.store<int32_t>(Buf + K * 4, -1);
+
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("buf", 0);
+  // Lanes hold 0..7; predicate marks lanes with value >= 4; only those
+  // lanes store 99.
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.dw vr20 = 0
+    mov.1.dw vr0 = 0
+    mov.1.dw vr1 = 1
+    mov.1.dw vr2 = 2
+    mov.1.dw vr3 = 3
+    mov.1.dw vr4 = 4
+    mov.1.dw vr5 = 5
+    mov.1.dw vr6 = 6
+    mov.1.dw vr7 = 7
+    cmp.ge.8.dw p1 = [vr0..vr7], 4
+    mov.8.dw [vr8..vr15] = 99
+    (p1) st.8.dw (buf, vr20, 0) = [vr8..vr15]
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Buf, N, 1, isa::ElemType::I32, SurfaceMode::InputOutput,
+                       mem::GpuMemType::Cached});
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Surfaces = Surfaces;
+  R.Device.enqueueShred(std::move(D));
+  ASSERT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+
+  for (unsigned K = 0; K < N; ++K)
+    EXPECT_EQ(R.AS.load<int32_t>(Buf + K * 4), K < 4 ? -1 : 99)
+        << "element " << K;
+}
+
+TEST(GmaDeviceTest, Block2DAccess) {
+  // Copies row 2 of a 2-D surface to row 0 via ldblk/stblk.
+  Rig R;
+  constexpr unsigned W = 16, H = 4;
+  mem::VirtAddr Img = R.alloc(W * H * 4);
+  for (unsigned Y = 0; Y < H; ++Y)
+    for (unsigned X = 0; X < W; ++X)
+      R.AS.store<int32_t>(Img + (Y * W + X) * 4,
+                          static_cast<int32_t>(Y * 100 + X));
+
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("img", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.dw vr0 = 0
+    mov.1.dw vr1 = 2
+    ldblk.16.dw [vr8..vr23] = (img, vr0, vr1)
+    mov.1.dw vr2 = 0
+    stblk.16.dw (img, vr0, vr2) = [vr8..vr23]
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Img, W, H, isa::ElemType::I32,
+                       SurfaceMode::InputOutput, mem::GpuMemType::Cached});
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Surfaces = Surfaces;
+  R.Device.enqueueShred(std::move(D));
+  ASSERT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+
+  for (unsigned X = 0; X < W; ++X)
+    EXPECT_EQ(R.AS.load<int32_t>(Img + X * 4), static_cast<int32_t>(200 + X));
+}
+
+TEST(GmaDeviceTest, SamplerBilinear) {
+  // A 2x2 RGBA8 image; sampling at the centre averages all four texels.
+  Rig R;
+  mem::VirtAddr Tex = R.alloc(4 * 4);
+  auto Pack = [](unsigned Rc, unsigned G, unsigned B, unsigned A) {
+    return static_cast<int32_t>(Rc | (G << 8) | (B << 16) | (A << 24));
+  };
+  R.AS.store<int32_t>(Tex + 0, Pack(0, 0, 0, 255));
+  R.AS.store<int32_t>(Tex + 4, Pack(100, 0, 0, 255));
+  R.AS.store<int32_t>(Tex + 8, Pack(0, 200, 0, 255));
+  R.AS.store<int32_t>(Tex + 12, Pack(100, 200, 0, 255));
+
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("tex", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.f vr0 = 0.5
+    mov.1.f vr1 = 0.5
+    sample.4.f [vr8..vr11] = (tex, vr0, vr1)
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Tex, 2, 2, isa::ElemType::I32, SurfaceMode::Input,
+                       mem::GpuMemType::Cached});
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Surfaces = Surfaces;
+  uint32_t Sid = R.Device.enqueueShred(std::move(D));
+  (void)Sid;
+
+  // Pause right before halt to inspect registers.
+  R.Device.setStepHook([&](uint32_t, uint32_t, uint32_t Pc) {
+    return Pc == 3 ? StepAction::Pause : StepAction::Continue;
+  });
+  auto Exit = R.Device.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Exit)) << Exit.message();
+  ASSERT_EQ(*Exit, RunExit::Paused);
+
+  auto Resident = R.Device.residentShreds();
+  ASSERT_EQ(Resident.size(), 1u);
+  ShredRegView *Regs = R.Device.shredRegs(Resident[0]);
+  ASSERT_NE(Regs, nullptr);
+  auto F32 = [&](unsigned Reg) {
+    uint32_t Bits = Regs->readReg(Reg);
+    float F;
+    std::memcpy(&F, &Bits, 4);
+    return F;
+  };
+  EXPECT_FLOAT_EQ(F32(8), 50.0f);   // R channel
+  EXPECT_FLOAT_EQ(F32(9), 100.0f);  // G channel
+  EXPECT_FLOAT_EQ(F32(10), 0.0f);   // B channel
+  EXPECT_FLOAT_EQ(F32(11), 255.0f); // A channel
+  EXPECT_EQ(R.Device.stats().SamplerOps, 1u);
+
+  R.Device.setStepHook(nullptr);
+  auto Exit2 = R.Device.resume();
+  ASSERT_TRUE(static_cast<bool>(Exit2));
+  EXPECT_EQ(*Exit2, RunExit::QueueDrained);
+}
+
+//===----------------------------------------------------------------------===//
+// ATR / CEH behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(GmaDeviceTest, TlbWarmupReducesProxyCalls) {
+  Rig R;
+  constexpr unsigned N = 1024; // one 4 KiB page of data
+  mem::VirtAddr Buf = R.alloc(N * 4);
+
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("i", 0);
+  Binds.bindSurface("buf", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    shl.1.dw vr1 = i, 3
+    ld.8.dw [vr2..vr9] = (buf, vr1, 0)
+    add.8.dw [vr2..vr9] = [vr2..vr9], 1
+    st.8.dw (buf, vr1, 0) = [vr2..vr9]
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Buf, N, 1, isa::ElemType::I32,
+                       SurfaceMode::InputOutput, mem::GpuMemType::Cached});
+  for (unsigned I = 0; I < N / 8; ++I) {
+    ShredDescriptor D;
+    D.KernelId = Kid;
+    D.Params = {static_cast<int32_t>(I)};
+    D.Surfaces = Surfaces;
+    R.Device.enqueueShred(std::move(D));
+  }
+  ASSERT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+
+  // 128 shreds touch one page of data: after each EU's TLB warms up, the
+  // remaining shreds on that EU hit. Misses should be far below one per
+  // shred (at most ~2 pages per EU).
+  EXPECT_LE(R.Device.stats().TlbMisses, 2u * 8u);
+  EXPECT_GT(R.Device.stats().TlbMisses, 0u);
+}
+
+TEST(GmaDeviceTest, CehEmulatesF64Add) {
+  Rig R;
+  mem::VirtAddr Buf = R.alloc(4 * 8);
+  // Two f64 inputs at elements 0 and 1; result goes to element 2.
+  double A = 1.25, B = 2.5;
+  R.AS.write(Buf, &A, 8);
+  R.AS.write(Buf + 8, &B, 8);
+
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("buf", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.dw vr30 = 0
+    mov.1.dw vr31 = 1
+    mov.1.dw vr32 = 2
+    ld.1.df [vr0..vr1] = (buf, vr30, 0)
+    ld.1.df [vr2..vr3] = (buf, vr31, 0)
+    add.1.df [vr4..vr5] = [vr0..vr1], [vr2..vr3]
+    st.1.df (buf, vr32, 0) = [vr4..vr5]
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Buf, 4, 1, isa::ElemType::F64,
+                       SurfaceMode::InputOutput, mem::GpuMemType::Cached});
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Surfaces = Surfaces;
+  R.Device.enqueueShred(std::move(D));
+
+  auto Exit = R.Device.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Exit)) << Exit.message();
+  EXPECT_EQ(R.Proxy.Exceptions, 1u);
+  EXPECT_EQ(R.Device.stats().ExceptionsHandled, 1u);
+
+  double Result = 0;
+  R.AS.read(Buf + 16, &Result, 8);
+  EXPECT_DOUBLE_EQ(Result, 3.75);
+}
+
+TEST(GmaDeviceTest, DivideByZeroFaultsWithoutHandler) {
+  Rig R;
+  xasm::SymbolBindings Binds;
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.dw vr0 = 10
+    mov.1.dw vr1 = 0
+    div.1.dw vr2 = vr0, vr1
+    halt
+  )",
+                              Binds);
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  R.Device.enqueueShred(std::move(D));
+
+  auto Exit = R.Device.run(0.0);
+  ASSERT_FALSE(static_cast<bool>(Exit));
+  EXPECT_NE(Exit.message().find("divide-by-zero"), std::string::npos)
+      << Exit.message();
+  EXPECT_EQ(R.Proxy.LastKind, ExceptionKind::DivideByZero);
+}
+
+TEST(GmaDeviceTest, SurfaceBoundsViolationFaults) {
+  Rig R;
+  mem::VirtAddr Buf = R.alloc(8 * 4);
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("buf", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.dw vr0 = 6
+    ld.8.dw [vr1..vr8] = (buf, vr0, 0)  ; elements 6..13 of an 8-elem surface
+    halt
+  )",
+                              Binds);
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Buf, 8, 1, isa::ElemType::I32, SurfaceMode::Input,
+                       mem::GpuMemType::Cached});
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Surfaces = Surfaces;
+  R.Device.enqueueShred(std::move(D));
+
+  auto Exit = R.Device.run(0.0);
+  ASSERT_FALSE(static_cast<bool>(Exit));
+  EXPECT_NE(Exit.message().find("surface-bounds"), std::string::npos);
+}
+
+TEST(GmaDeviceTest, UnboundSurfaceFaults) {
+  Rig R;
+  xasm::SymbolBindings Binds;
+  Binds.bindSurface("buf", 3); // slot 3 never bound
+  uint32_t Kid = R.loadKernel("  mov.1.dw vr0 = 0\n"
+                              "  ld.1.dw vr1 = (buf, vr0, 0)\n"
+                              "  halt\n",
+                              Binds);
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Surfaces = std::make_shared<SurfaceTable>();
+  R.Device.enqueueShred(std::move(D));
+  auto Exit = R.Device.run(0.0);
+  ASSERT_FALSE(static_cast<bool>(Exit));
+  EXPECT_NE(Exit.message().find("invalid-surface"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Inter-shred communication
+//===----------------------------------------------------------------------===//
+
+TEST(GmaDeviceTest, XmitWaitProducerConsumer) {
+  Rig R;
+  mem::VirtAddr Out = R.alloc(4);
+
+  // Shred params: vr0 = role (0 producer, 1 consumer), vr1 = peer shred id.
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("role", 0);
+  Binds.bindScalar("peer", 1);
+  Binds.bindSurface("out", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    cmp.eq.1.dw p1 = role, 0
+    br !p1, consumer
+    ; producer: send 777 into the consumer's vr10
+    xmit peer, vr10 = 777
+    halt
+  consumer:
+    wait vr10
+    mov.1.dw vr20 = 0
+    st.1.dw (out, vr20, 0) = vr10
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Out, 1, 1, isa::ElemType::I32, SurfaceMode::Output,
+                       mem::GpuMemType::Cached});
+
+  // Enqueue consumer first so it blocks in wait; shred ids are assigned in
+  // enqueue order (1 = consumer, 2 = producer).
+  ShredDescriptor Consumer;
+  Consumer.KernelId = Kid;
+  Consumer.Params = {1, 0};
+  Consumer.Surfaces = Surfaces;
+  uint32_t ConsumerId = R.Device.enqueueShred(std::move(Consumer));
+
+  ShredDescriptor Producer;
+  Producer.KernelId = Kid;
+  Producer.Params = {0, static_cast<int32_t>(ConsumerId)};
+  Producer.Surfaces = Surfaces;
+  R.Device.enqueueShred(std::move(Producer));
+
+  auto Exit = R.Device.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Exit)) << Exit.message();
+  EXPECT_EQ(R.AS.load<int32_t>(Out), 777);
+}
+
+TEST(GmaDeviceTest, WaitDeadlockDetected) {
+  Rig R;
+  xasm::SymbolBindings Binds;
+  uint32_t Kid = R.loadKernel("  wait vr5\n  halt\n", Binds);
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  R.Device.enqueueShred(std::move(D));
+  auto Exit = R.Device.run(0.0);
+  ASSERT_FALSE(static_cast<bool>(Exit));
+  EXPECT_NE(Exit.message().find("deadlock"), std::string::npos);
+}
+
+TEST(GmaDeviceTest, SpawnEnqueuesChildren) {
+  Rig R;
+  mem::VirtAddr Out = R.alloc(16 * 4);
+
+  // Root shred (param 100) spawns 4 children with params 0..3; every
+  // child writes its param to out[param].
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("p", 0);
+  Binds.bindSurface("out", 0);
+  uint32_t Kid = R.loadKernel(R"(
+    cmp.lt.1.dw p1 = p, 100
+    br p1, child
+    mov.1.dw vr1 = 0
+  spawnloop:
+    spawn vr1
+    add.1.dw vr1 = vr1, 1
+    cmp.lt.1.dw p2 = vr1, 4
+    br p2, spawnloop
+    halt
+  child:
+    mov.1.dw vr2 = 1000
+    st.1.dw (out, p, 0) = vr2
+    halt
+  )",
+                              Binds);
+
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Out, 16, 1, isa::ElemType::I32, SurfaceMode::Output,
+                       mem::GpuMemType::Cached});
+  ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Params = {100};
+  D.Surfaces = Surfaces;
+  R.Device.enqueueShred(std::move(D));
+
+  ASSERT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+  EXPECT_EQ(R.Device.stats().ShredsExecuted, 5u);
+  for (unsigned K = 0; K < 4; ++K)
+    EXPECT_EQ(R.AS.load<int32_t>(Out + K * 4), 1000);
+}
+
+//===----------------------------------------------------------------------===//
+// Timing properties
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a bandwidth-light compute kernel over \p Config and returns the
+/// elapsed simulated time.
+double runComputeWorkload(const GmaConfig &Config, unsigned NumShreds) {
+  Rig R(Config);
+  xasm::SymbolBindings Binds;
+  uint32_t Kid = R.loadKernel(R"(
+    mov.1.dw vr0 = 0
+  loop:
+    mul.8.dw [vr8..vr15] = [vr8..vr15], 3
+    add.1.dw vr0 = vr0, 1
+    cmp.lt.1.dw p1 = vr0, 50
+    br p1, loop
+    halt
+  )",
+                              Binds);
+  for (unsigned K = 0; K < NumShreds; ++K) {
+    ShredDescriptor D;
+    D.KernelId = Kid;
+    R.Device.enqueueShred(std::move(D));
+  }
+  auto Exit = R.Device.run(0.0);
+  EXPECT_TRUE(static_cast<bool>(Exit));
+  return R.Device.stats().elapsedNs();
+}
+
+} // namespace
+
+TEST(GmaTimingTest, MoreEusNeverSlower) {
+  GmaConfig Small;
+  Small.NumEus = 2;
+  GmaConfig Big;
+  Big.NumEus = 8;
+  double TSmall = runComputeWorkload(Small, 64);
+  double TBig = runComputeWorkload(Big, 64);
+  EXPECT_LE(TBig, TSmall * 1.0001);
+  EXPECT_LT(TBig, TSmall * 0.5); // 4x the EUs: expect substantial speedup
+}
+
+TEST(GmaTimingTest, MultithreadingHidesMemoryStalls) {
+  // A memory-heavy kernel: with 4 contexts per EU the device should
+  // finish faster than with 1 context per EU.
+  auto Run = [](unsigned ThreadsPerEu) {
+    GmaConfig Config;
+    Config.NumEus = 1;
+    Config.ThreadsPerEu = ThreadsPerEu;
+    Rig R(Config);
+    constexpr unsigned N = 4096;
+    mem::VirtAddr Buf = R.alloc(N * 4);
+    xasm::SymbolBindings Binds;
+    Binds.bindScalar("i", 0);
+    Binds.bindSurface("buf", 0);
+    uint32_t Kid = R.loadKernel(R"(
+      shl.1.dw vr1 = i, 3
+      ld.8.dw [vr2..vr9] = (buf, vr1, 0)
+      mul.8.dw [vr2..vr9] = [vr2..vr9], 7
+      add.8.dw [vr2..vr9] = [vr2..vr9], 3
+      mul.8.dw [vr2..vr9] = [vr2..vr9], 5
+      st.8.dw (buf, vr1, 0) = [vr2..vr9]
+      halt
+    )",
+                                Binds);
+    auto Surfaces = std::make_shared<SurfaceTable>();
+    Surfaces->push_back({Buf, N, 1, isa::ElemType::I32,
+                         SurfaceMode::InputOutput, mem::GpuMemType::Cached});
+    for (unsigned K = 0; K < N / 8; ++K) {
+      ShredDescriptor D;
+      D.KernelId = Kid;
+      D.Params = {static_cast<int32_t>(K)};
+      D.Surfaces = Surfaces;
+      R.Device.enqueueShred(std::move(D));
+    }
+    EXPECT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+    return R.Device.stats().elapsedNs();
+  };
+
+  double T1 = Run(1), T4 = Run(4);
+  EXPECT_LT(T4, T1); // switch-on-stall must recover some stall time
+}
+
+TEST(GmaTimingTest, StatsAccumulateSanely) {
+  Rig R;
+  xasm::SymbolBindings Binds;
+  uint32_t Kid = R.loadKernel("  nop\n  nop\n  halt\n", Binds);
+  for (unsigned K = 0; K < 10; ++K) {
+    ShredDescriptor D;
+    D.KernelId = Kid;
+    R.Device.enqueueShred(std::move(D));
+  }
+  ASSERT_TRUE(static_cast<bool>(R.Device.run(100.0)));
+  const GmaRunStats &S = R.Device.stats();
+  EXPECT_EQ(S.ShredsExecuted, 10u);
+  EXPECT_EQ(S.Instructions, 30u);
+  EXPECT_EQ(S.StartNs, 100.0);
+  EXPECT_GT(S.FinishNs, 100.0);
+}
+
+TEST(GmaDeviceTest, ManyMoreShredsThanContexts) {
+  Rig R;
+  mem::VirtAddr Out = R.alloc(4096 * 4);
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("i", 0);
+  Binds.bindSurface("out", 0);
+  uint32_t Kid = R.loadKernel("  st.1.dw (out, i, 0) = i\n  halt\n", Binds);
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({Out, 4096, 1, isa::ElemType::I32, SurfaceMode::Output,
+                       mem::GpuMemType::Cached});
+  constexpr unsigned NumShreds = 1000; // >> 32 contexts
+  for (unsigned K = 0; K < NumShreds; ++K) {
+    ShredDescriptor D;
+    D.KernelId = Kid;
+    D.Params = {static_cast<int32_t>(K)};
+    D.Surfaces = Surfaces;
+    R.Device.enqueueShred(std::move(D));
+  }
+  ASSERT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+  EXPECT_EQ(R.Device.stats().ShredsExecuted, NumShreds);
+  for (unsigned K = 0; K < NumShreds; ++K)
+    EXPECT_EQ(R.AS.load<int32_t>(Out + K * 4), static_cast<int32_t>(K));
+}
+
+TEST(GmaTimingTest, SharedSamplerSerializesRequests) {
+  // Many concurrent sampling shreds: with a lower shared-sampler
+  // throughput the run must take longer (requests queue at the fixed
+  // function), with everything else equal.
+  auto Run = [](double SamplesPerNs) {
+    GmaConfig Config;
+    Config.SamplerThroughputPerNs = SamplesPerNs;
+    Rig R(Config);
+    mem::VirtAddr Tex = R.alloc(64 * 4);
+    xasm::SymbolBindings Binds;
+    Binds.bindSurface("tex", 0);
+    uint32_t Kid = R.loadKernel(R"(
+      mov.1.dw vr20 = 0
+      mov.1.f vr0 = 1.5
+      mov.1.f vr1 = 0.5
+    sloop:
+      sample.4.f [vr8..vr11] = (tex, vr0, vr1)
+      add.1.dw vr20 = vr20, 1
+      cmp.lt.1.dw p1 = vr20, 32
+      br p1, sloop
+      halt
+    )",
+                                Binds);
+    auto Surfaces = std::make_shared<SurfaceTable>();
+    Surfaces->push_back({Tex, 8, 8, isa::ElemType::I32, SurfaceMode::Input,
+                         mem::GpuMemType::Cached});
+    for (unsigned K = 0; K < 32; ++K) {
+      ShredDescriptor D;
+      D.KernelId = Kid;
+      D.Surfaces = Surfaces;
+      R.Device.enqueueShred(std::move(D));
+    }
+    EXPECT_TRUE(static_cast<bool>(R.Device.run(0.0)));
+    return R.Device.stats().elapsedNs();
+  };
+  double Fast = Run(2.0);
+  double Slow = Run(0.05);
+  EXPECT_GT(Slow, Fast * 1.5);
+}

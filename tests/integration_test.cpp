@@ -1,0 +1,345 @@
+//===- tests/integration_test.cpp - Cross-module integration scenarios --------===//
+
+#include "chi/ChiApi.h"
+#include "chi/ParallelRegion.h"
+#include "chi/ProgramBuilder.h"
+#include "kernels/Workloads.h"
+#include "support/File.h"
+#include "support/Random.h"
+#include "xasm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace exochi;
+using namespace exochi::chi;
+
+namespace {
+
+constexpr const char *ScaleAsm = R"(
+  shl.1.dw vr10 = i, 3
+  ld.8.dw [vr2..vr9] = (buf, vr10, 0)
+  mul.8.dw [vr2..vr9] = [vr2..vr9], k
+  st.8.dw (buf, vr10, 0) = [vr2..vr9]
+  halt
+)";
+
+/// Builds a one-kernel platform rig around ScaleAsm.
+struct ScaleRig {
+  ScaleRig() : RT(Platform) {
+    ProgramBuilder PB;
+    cantFail(PB.addXgmaKernel("scale", ScaleAsm, {"i", "k"}, {"buf"})
+                 .takeError());
+    Binary = PB.take();
+    cantFail(RT.loadBinary(Binary));
+    Buf = Platform.allocateShared(N * 4, "buf");
+    for (unsigned K = 0; K < N; ++K)
+      Platform.store<int32_t>(Buf.Base + K * 4, static_cast<int32_t>(K));
+    Desc = cantFail(
+        chi_alloc_desc(RT, X3000, Buf.Base, CHI_INOUT, N, 1));
+  }
+
+  Expected<RegionHandle> run(int32_t Factor) {
+    ParallelRegion R(RT, TargetIsa::X3000, "scale");
+    R.shared("buf", Desc)
+        .firstprivate("k", Factor)
+        .privateVar("i", [](unsigned T) { return static_cast<int32_t>(T); })
+        .numThreads(N / 8);
+    return R.execute();
+  }
+
+  static constexpr unsigned N = 128;
+  exo::ExoPlatform Platform;
+  Runtime RT;
+  fatbin::FatBinary Binary;
+  exo::SharedBuffer Buf;
+  uint32_t Desc = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fat binary on disk: the offline toolchain path.
+//===----------------------------------------------------------------------===//
+
+TEST(FileRoundTripTest, FatBinaryThroughDisk) {
+  ProgramBuilder PB;
+  cantFail(
+      PB.addXgmaKernel("scale", ScaleAsm, {"i", "k"}, {"buf"}).takeError());
+  std::string Path = ::testing::TempDir() + "/exochi_roundtrip.xfb";
+  cantFail(writeFileBytes(Path, PB.binary().serialize()));
+
+  auto Bytes = readFileBytes(Path);
+  ASSERT_TRUE(static_cast<bool>(Bytes)) << Bytes.message();
+  auto FB = fatbin::FatBinary::deserialize(*Bytes);
+  ASSERT_TRUE(static_cast<bool>(FB)) << FB.message();
+
+  // The reloaded binary drives a full run.
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  cantFail(RT.loadBinary(*FB));
+  exo::SharedBuffer Buf = P.allocateShared(64 * 4, "buf");
+  for (unsigned K = 0; K < 64; ++K)
+    P.store<int32_t>(Buf.Base + K * 4, static_cast<int32_t>(K));
+  uint32_t Desc =
+      cantFail(chi_alloc_desc(RT, X3000, Buf.Base, CHI_INOUT, 64, 1));
+  ParallelRegion R(RT, TargetIsa::X3000, "scale");
+  R.shared("buf", Desc).firstprivate("k", 3).privateVar(
+      "i", [](unsigned T) { return static_cast<int32_t>(T); });
+  R.numThreads(8);
+  cantFail(R.execute().takeError());
+  for (unsigned K = 0; K < 64; ++K)
+    EXPECT_EQ(P.load<int32_t>(Buf.Base + K * 4), static_cast<int32_t>(K * 3));
+  std::remove(Path.c_str());
+}
+
+TEST(FileRoundTripTest, FileErrorsAreDiagnosed) {
+  auto Missing = readFileBytes("/nonexistent/path/file.xfb");
+  ASSERT_FALSE(static_cast<bool>(Missing));
+  EXPECT_NE(Missing.message().find("cannot open"), std::string::npos);
+  Error E = writeFileBytes("/nonexistent/dir/out.xfb", {1, 2, 3});
+  EXPECT_TRUE(static_cast<bool>(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Repeated dispatch, clock semantics, stats accumulation.
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeIntegrationTest, ChainedRegionsComposeFunctionally) {
+  ScaleRig Rig;
+  cantFail(Rig.run(3).takeError());
+  cantFail(Rig.run(5).takeError());
+  for (unsigned K = 0; K < ScaleRig::N; ++K)
+    EXPECT_EQ(Rig.Platform.load<int32_t>(Rig.Buf.Base + K * 4),
+              static_cast<int32_t>(K * 15));
+  EXPECT_EQ(Rig.RT.totalShredsSpawned(), 2 * ScaleRig::N / 8);
+}
+
+TEST(RuntimeIntegrationTest, ClockAdvancesMonotonically) {
+  ScaleRig Rig;
+  double T0 = Rig.RT.now();
+  cantFail(Rig.run(2).takeError());
+  double T1 = Rig.RT.now();
+  EXPECT_GT(T1, T0);
+  cpu::WorkEstimate W;
+  W.VectorOps = 1000;
+  Rig.RT.runHostWork(W);
+  EXPECT_GT(Rig.RT.now(), T1);
+}
+
+TEST(RuntimeIntegrationTest, WaitAllCoversPendingRegions) {
+  ScaleRig Rig;
+  ParallelRegion R(Rig.RT, TargetIsa::X3000, "scale");
+  R.shared("buf", Rig.Desc)
+      .firstprivate("k", 2)
+      .privateVar("i", [](unsigned T) { return static_cast<int32_t>(T); })
+      .numThreads(ScaleRig::N / 8)
+      .masterNowait();
+  auto H = R.execute();
+  ASSERT_TRUE(static_cast<bool>(H));
+  double Before = Rig.RT.now();
+  Rig.RT.waitAll();
+  EXPECT_GT(Rig.RT.now(), Before);
+  EXPECT_GE(Rig.RT.now(), Rig.RT.regionStats(*H)->EndNs);
+}
+
+TEST(RuntimeIntegrationTest, UnknownHandlesAreDiagnosed) {
+  ScaleRig Rig;
+  EXPECT_EQ(Rig.RT.regionStats(999), nullptr);
+  Error E = Rig.RT.wait(999);
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_TRUE(static_cast<bool>(Rig.RT.markHostWrote(999, 10)));
+}
+
+//===----------------------------------------------------------------------===//
+// TLB invalidation after the host remaps a page.
+//===----------------------------------------------------------------------===//
+
+TEST(TlbCoherenceTest, RemapRequiresInvalidation) {
+  ScaleRig Rig;
+  exo::ExoPlatform &P = Rig.Platform;
+
+  cantFail(Rig.run(2).takeError()); // warm the device TLB
+
+  // The host remaps the buffer's first page to a fresh frame holding
+  // different data (e.g. a copy-on-write event).
+  mem::VirtAddr PageVa = Rig.Buf.Base & ~mem::PageOffsetMask;
+  uint64_t NewFrame = P.physicalMemory().allocFrame();
+  for (unsigned K = 0; K < 64; ++K)
+    P.physicalMemory().write32((NewFrame << mem::PageShift) + K * 4, 1000 + K);
+  P.addressSpace().unmapPage(PageVa);
+  P.addressSpace().mapPageToFrame(PageVa, NewFrame, /*Writable=*/true);
+
+  // Without invalidation the device would still translate to the old
+  // frame; the platform invalidates, the next run sees the new data.
+  P.device().invalidateTlbs();
+  cantFail(Rig.run(1).takeError());
+  EXPECT_EQ(P.load<int32_t>(Rig.Buf.Base), 1000);
+}
+
+//===----------------------------------------------------------------------===//
+// Surface memory types: write-combining bypasses the device cache.
+//===----------------------------------------------------------------------===//
+
+TEST(SurfaceTilingTest, WriteCombiningIsFunctionallyIdentical) {
+  auto RunWith = [](mem::GpuMemType MT) {
+    ScaleRig Rig;
+    cantFail(Rig.RT.modifyDesc(Rig.Desc, DescAttr::Tiling,
+                               static_cast<int64_t>(MT)));
+    cantFail(Rig.run(7).takeError());
+    std::vector<int32_t> Out(ScaleRig::N);
+    Rig.Platform.read(Rig.Buf.Base, Out.data(), Out.size() * 4);
+    return Out;
+  };
+  EXPECT_EQ(RunWith(mem::GpuMemType::Cached),
+            RunWith(mem::GpuMemType::WriteCombining));
+}
+
+TEST(SurfaceTilingTest, UncachedSurfacesSkipTheCache) {
+  ScaleRig Rig;
+  cantFail(Rig.RT.modifyDesc(
+      Rig.Desc, DescAttr::Tiling,
+      static_cast<int64_t>(mem::GpuMemType::Uncached)));
+  cantFail(Rig.run(2).takeError());
+  const gma::GmaRunStats &S = Rig.RT.regionStats(1)->Device;
+  // The surface itself bypasses the cache; the only cached traffic left
+  // is the shred-descriptor record fetches (one per shred).
+  EXPECT_LE(S.CacheHits + S.CacheMisses, ScaleRig::N / 8);
+  EXPECT_GT(S.MemoryOps, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Permuted dispatch: scheduling order must not change results.
+//===----------------------------------------------------------------------===//
+
+TEST(PermutedDispatchTest, ShuffledOrderBitExact) {
+  auto Run = [](bool Shuffle) {
+    exo::ExoPlatform P;
+    Runtime RT(P);
+    auto WL = kernels::createSepiaTone(64, 32);
+    ProgramBuilder PB;
+    cantFail(WL->compile(PB));
+    cantFail(RT.loadBinary(PB.binary()));
+    cantFail(WL->setup(RT));
+    std::vector<uint64_t> Order;
+    for (uint64_t S = 0; S < WL->totalStrips(); ++S)
+      Order.push_back(S);
+    if (Shuffle) {
+      Rng R(0x5ff1e);
+      for (size_t K = Order.size(); K > 1; --K)
+        std::swap(Order[K - 1], Order[R.nextBelow(K)]);
+    }
+    cantFail(WL->dispatchDevicePermuted(RT, Order).takeError());
+    cantFail(WL->hostCompute(0, WL->totalStrips()));
+    return WL->compareSharedToReference(RT);
+  };
+  Error A = Run(false);
+  EXPECT_FALSE(static_cast<bool>(A)) << A.message();
+  Error B = Run(true);
+  EXPECT_FALSE(static_cast<bool>(B)) << B.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Dirty tracking drives the NonCC flush only when the host produced data.
+//===----------------------------------------------------------------------===//
+
+TEST(DirtyTrackingTest, PartialHostWritesFlushProportionally) {
+  ScaleRig Rig;
+  Rig.RT.setMemoryModel(MemoryModel::NonCCShared);
+  Rig.RT.setIntelligentFlush(false);
+
+  auto H1 = Rig.run(2);
+  ASSERT_TRUE(static_cast<bool>(H1));
+  double FullFlush = Rig.RT.regionStats(*H1)->FlushNs;
+  EXPECT_GT(FullFlush, 0.0);
+
+  // Host rewrites one quarter of the buffer.
+  cantFail(Rig.RT.markHostWrote(Rig.Desc, ScaleRig::N));
+  auto H2 = Rig.run(3);
+  ASSERT_TRUE(static_cast<bool>(H2));
+  double PartialFlush = Rig.RT.regionStats(*H2)->FlushNs;
+  EXPECT_GT(PartialFlush, 0.0);
+  EXPECT_LT(PartialFlush, FullFlush);
+}
+
+//===----------------------------------------------------------------------===//
+// The work queue's continuation records live in shared virtual memory:
+// the device must read the authoritative parameter values from memory
+// (through ATR), not from the host-side descriptor copy.
+//===----------------------------------------------------------------------===//
+
+TEST(SharedQueueTest, DeviceFetchesParamsFromSharedMemory) {
+  exo::ExoPlatform P;
+  exo::SharedBuffer Out = P.allocateShared(16, "out");
+  exo::SharedBuffer Rec = P.allocateShared(16, "record");
+
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("v", 0);
+  Binds.bindSurface("out", 0);
+  auto K = cantFail(xasm::assembleKernel("  mov.1.dw vr10 = 0\n"
+                                         "  st.1.dw (out, vr10, 0) = v\n"
+                                         "  halt\n",
+                                         Binds));
+  gma::KernelImage Img;
+  Img.Code = K.Code;
+  uint32_t Kid = P.device().registerKernel(std::move(Img));
+
+  auto Table = std::make_shared<gma::SurfaceTable>();
+  gma::SurfaceBinding S;
+  S.Base = Out.Base;
+  S.Width = 4;
+  Table->push_back(S);
+
+  gma::ShredDescriptor D;
+  D.KernelId = Kid;
+  D.Params = {111}; // stale host-side copy
+  D.Surfaces = Table;
+  D.RecordVa = Rec.Base;
+  P.store<int32_t>(Rec.Base, 222); // the authoritative record
+  P.device().enqueueShred(std::move(D));
+
+  ASSERT_TRUE(static_cast<bool>(P.device().run(0.0)));
+  // The shred must have read 222 from shared memory, not the stale 111.
+  EXPECT_EQ(P.load<int32_t>(Out.Base), 222);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-kernel fat binary with disjoint ABIs.
+//===----------------------------------------------------------------------===//
+
+TEST(MultiKernelTest, TwoKernelsShareOneBinaryAndPlatform) {
+  ProgramBuilder PB;
+  cantFail(PB.addXgmaKernel("fill", "  st.1.dw (out, i, 0) = v\n  halt\n",
+                            {"i", "v"}, {"out"})
+               .takeError());
+  cantFail(PB.addXgmaKernel("double",
+                            "  ld.1.dw vr8 = (out, i, 0)\n"
+                            "  add.1.dw vr8 = vr8, vr8\n"
+                            "  st.1.dw (out, i, 0) = vr8\n"
+                            "  halt\n",
+                            {"i"}, {"out"})
+               .takeError());
+
+  exo::ExoPlatform P;
+  Runtime RT(P);
+  cantFail(RT.loadBinary(PB.binary()));
+  exo::SharedBuffer Out = P.allocateShared(32 * 4, "out");
+  uint32_t Desc =
+      cantFail(chi_alloc_desc(RT, X3000, Out.Base, CHI_INOUT, 32, 1));
+
+  ParallelRegion Fill(RT, TargetIsa::X3000, "fill");
+  Fill.shared("out", Desc).firstprivate("v", 21).privateVar(
+      "i", [](unsigned T) { return static_cast<int32_t>(T); });
+  Fill.numThreads(32);
+  cantFail(Fill.execute().takeError());
+
+  ParallelRegion Double(RT, TargetIsa::X3000, "double");
+  Double.shared("out", Desc).privateVar(
+      "i", [](unsigned T) { return static_cast<int32_t>(T); });
+  Double.numThreads(32);
+  cantFail(Double.execute().takeError());
+
+  for (unsigned K = 0; K < 32; ++K)
+    EXPECT_EQ(P.load<int32_t>(Out.Base + K * 4), 42);
+}

@@ -1,0 +1,298 @@
+//===- tests/isa_test.cpp - Unit tests for src/isa ---------------------------===//
+
+#include "isa/Encoding.h"
+#include "isa/Isa.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::isa;
+
+namespace {
+
+Instruction makeAdd8() {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Ty = ElemType::I32;
+  I.Width = 8;
+  I.Dst = Operand::regRange(18, 25);
+  I.Src0 = Operand::regRange(2, 9);
+  I.Src1 = Operand::regRange(10, 17);
+  return I;
+}
+
+} // namespace
+
+TEST(IsaTest, ElemTypeProperties) {
+  EXPECT_STREQ(elemTypeName(ElemType::I8), "b");
+  EXPECT_STREQ(elemTypeName(ElemType::I32), "dw");
+  EXPECT_STREQ(elemTypeName(ElemType::F64), "df");
+  EXPECT_EQ(elemTypeSize(ElemType::I8), 1u);
+  EXPECT_EQ(elemTypeSize(ElemType::I16), 2u);
+  EXPECT_EQ(elemTypeSize(ElemType::F32), 4u);
+  EXPECT_EQ(elemTypeSize(ElemType::F64), 8u);
+}
+
+TEST(IsaTest, OperandFactories) {
+  Operand R = Operand::reg(5);
+  EXPECT_EQ(R.regCount(), 1u);
+  Operand RR = Operand::regRange(2, 9);
+  EXPECT_EQ(RR.regCount(), 8u);
+  Operand I = Operand::imm(-3);
+  EXPECT_EQ(I.Imm, -3);
+  EXPECT_EQ(I.regCount(), 0u);
+}
+
+TEST(IsaValidateTest, PaperExampleValid) {
+  EXPECT_EQ(validate(makeAdd8()), "");
+}
+
+TEST(IsaValidateTest, WidthMismatchRejected) {
+  Instruction I = makeAdd8();
+  I.Dst = Operand::regRange(18, 24); // 7 regs for 8 lanes
+  EXPECT_NE(validate(I), "");
+}
+
+TEST(IsaValidateTest, BroadcastSourceAllowed) {
+  Instruction I = makeAdd8();
+  I.Src1 = Operand::reg(3); // scalar broadcast
+  EXPECT_EQ(validate(I), "");
+}
+
+TEST(IsaValidateTest, ImmediateSourceAllowed) {
+  Instruction I = makeAdd8();
+  I.Src1 = Operand::imm(100);
+  EXPECT_EQ(validate(I), "");
+}
+
+TEST(IsaValidateTest, ImmediateDestinationRejected) {
+  Instruction I = makeAdd8();
+  I.Dst = Operand::imm(1);
+  EXPECT_NE(validate(I), "");
+}
+
+TEST(IsaValidateTest, WidthOutOfRange) {
+  Instruction I = makeAdd8();
+  I.Width = 0;
+  EXPECT_NE(validate(I), "");
+  I.Width = 17;
+  EXPECT_NE(validate(I), "");
+}
+
+TEST(IsaValidateTest, F64NeedsRegisterPairs) {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Ty = ElemType::F64;
+  I.Width = 4;
+  I.Dst = Operand::regRange(0, 7); // 8 regs = 4 f64 lanes
+  I.Src0 = Operand::regRange(8, 15);
+  I.Src1 = Operand::regRange(16, 23);
+  EXPECT_EQ(validate(I), "");
+
+  I.Dst = Operand::regRange(0, 3); // 4 regs: too few
+  EXPECT_NE(validate(I), "");
+}
+
+TEST(IsaValidateTest, CmpWritesPredicate) {
+  Instruction I;
+  I.Op = Opcode::Cmp;
+  I.Cmp = CmpOp::Lt;
+  I.Ty = ElemType::I32;
+  I.Width = 4;
+  I.Dst = Operand::pred(3);
+  I.Src0 = Operand::regRange(0, 3);
+  I.Src1 = Operand::imm(10);
+  EXPECT_EQ(validate(I), "");
+
+  I.Dst = Operand::reg(3);
+  EXPECT_NE(validate(I), "");
+}
+
+TEST(IsaValidateTest, SelRequiresPredicate) {
+  Instruction I;
+  I.Op = Opcode::Sel;
+  I.Ty = ElemType::I32;
+  I.Width = 4;
+  I.Dst = Operand::regRange(0, 3);
+  I.Src0 = Operand::regRange(4, 7);
+  I.Src1 = Operand::regRange(8, 11);
+  EXPECT_NE(validate(I), ""); // no predicate set
+  I.PredReg = 2;
+  EXPECT_EQ(validate(I), "");
+}
+
+TEST(IsaValidateTest, LoadShape) {
+  Instruction I;
+  I.Op = Opcode::Ld;
+  I.Ty = ElemType::I32;
+  I.Width = 8;
+  I.Dst = Operand::regRange(2, 9);
+  I.Src0 = Operand::surface(0);
+  I.Src1 = Operand::reg(1);
+  I.Src2 = Operand::imm(0);
+  EXPECT_EQ(validate(I), "");
+
+  I.Src0 = Operand::reg(0); // not a surface
+  EXPECT_NE(validate(I), "");
+}
+
+TEST(IsaValidateTest, SampleShape) {
+  Instruction I;
+  I.Op = Opcode::Sample;
+  I.Ty = ElemType::F32;
+  I.Width = 4;
+  I.Dst = Operand::regRange(10, 13);
+  I.Src0 = Operand::surface(1);
+  I.Src1 = Operand::reg(0);
+  I.Src2 = Operand::reg(1);
+  EXPECT_EQ(validate(I), "");
+
+  I.Width = 8;
+  I.Dst = Operand::regRange(10, 17);
+  EXPECT_NE(validate(I), ""); // sample must be .4.f
+}
+
+TEST(IsaValidateTest, BranchNeedsLabelAndPredicate) {
+  Instruction I;
+  I.Op = Opcode::Br;
+  I.Src0 = Operand::label(3);
+  EXPECT_NE(validate(I), ""); // missing predicate
+  I.PredReg = 0;
+  EXPECT_EQ(validate(I), "");
+  I.Src0 = Operand::imm(3);
+  EXPECT_NE(validate(I), "");
+}
+
+TEST(IsaDisasmTest, RoundTripsSyntax) {
+  EXPECT_EQ(disassemble(makeAdd8()),
+            "add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]");
+
+  Instruction Shl;
+  Shl.Op = Opcode::Shl;
+  Shl.Ty = ElemType::I16;
+  Shl.Width = 1;
+  Shl.Dst = Operand::reg(1);
+  Shl.Src0 = Operand::reg(0);
+  Shl.Src1 = Operand::imm(3);
+  EXPECT_EQ(disassemble(Shl), "shl.1.w vr1 = vr0, 3");
+
+  Instruction St;
+  St.Op = Opcode::St;
+  St.Ty = ElemType::I32;
+  St.Width = 8;
+  St.Dst = Operand::regRange(18, 25);
+  St.Src0 = Operand::surface(2);
+  St.Src1 = Operand::reg(1);
+  St.Src2 = Operand::imm(0);
+  EXPECT_EQ(disassemble(St), "st.8.dw (surf2, vr1, 0) = [vr18..vr25]");
+}
+
+TEST(IsaDisasmTest, PredicationPrefix) {
+  Instruction I = makeAdd8();
+  I.PredReg = 3;
+  I.PredNegate = true;
+  EXPECT_EQ(disassemble(I),
+            "(!p3) add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]");
+}
+
+TEST(EncodingTest, SingleInstructionRoundTrip) {
+  Instruction I = makeAdd8();
+  std::vector<uint8_t> Bytes;
+  encodeInstruction(I, Bytes);
+  ASSERT_EQ(Bytes.size(), InstrBytes);
+  auto D = decodeInstruction(Bytes.data());
+  ASSERT_TRUE(static_cast<bool>(D));
+  EXPECT_TRUE(I == *D);
+}
+
+TEST(EncodingTest, RejectsBadOpcodeByte) {
+  std::vector<uint8_t> Bytes;
+  encodeInstruction(makeAdd8(), Bytes);
+  Bytes[0] = 0xff;
+  auto D = decodeInstruction(Bytes.data());
+  EXPECT_FALSE(static_cast<bool>(D));
+}
+
+TEST(EncodingTest, RejectsBadSizeProgram) {
+  std::vector<uint8_t> Bytes(InstrBytes + 1, 0);
+  auto P = decodeProgram(Bytes);
+  EXPECT_FALSE(static_cast<bool>(P));
+}
+
+TEST(EncodingTest, ProgramRoundTrip) {
+  std::vector<Instruction> Prog;
+  Prog.push_back(makeAdd8());
+  Instruction Halt;
+  Halt.Op = Opcode::Halt;
+  Prog.push_back(Halt);
+
+  auto Bytes = encodeProgram(Prog);
+  auto Back = decodeProgram(Bytes);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  ASSERT_EQ(Back->size(), 2u);
+  EXPECT_TRUE((*Back)[0] == Prog[0]);
+  EXPECT_TRUE((*Back)[1] == Prog[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: random valid instructions round-trip through the encoder.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Generates a random *valid* ALU instruction.
+Instruction randomAluInstruction(Rng &R) {
+  static const Opcode Ops[] = {Opcode::Mov, Opcode::Add, Opcode::Sub,
+                               Opcode::Mul, Opcode::Min, Opcode::Max,
+                               Opcode::And, Opcode::Or,  Opcode::Xor};
+  static const ElemType Tys[] = {ElemType::I8, ElemType::I16, ElemType::I32,
+                                 ElemType::F32};
+  Instruction I;
+  I.Op = Ops[R.nextBelow(std::size(Ops))];
+  I.Ty = Tys[R.nextBelow(std::size(Tys))];
+  I.Width = static_cast<uint8_t>(R.nextInRange(1, 16));
+
+  auto RandRegOperand = [&](unsigned Lanes) {
+    unsigned Lo = static_cast<unsigned>(R.nextBelow(NumVRegs - Lanes + 1));
+    return Lanes == 1 ? Operand::reg(static_cast<uint8_t>(Lo))
+                      : Operand::regRange(static_cast<uint8_t>(Lo),
+                                          static_cast<uint8_t>(Lo + Lanes - 1));
+  };
+
+  I.Dst = RandRegOperand(I.Width);
+  I.Src0 = R.nextBelow(4) == 0 ? Operand::imm(static_cast<int32_t>(R.next()))
+                               : RandRegOperand(I.Width);
+  I.Src1 = R.nextBelow(4) == 0 ? Operand::imm(static_cast<int32_t>(R.next()))
+                               : RandRegOperand(I.Width);
+  if (R.nextBelow(3) == 0) {
+    I.PredReg = static_cast<uint8_t>(R.nextBelow(NumPRegs));
+    I.PredNegate = R.nextBelow(2) == 0;
+  }
+  return I;
+}
+
+} // namespace
+
+class EncodingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncodingPropertyTest, RandomProgramsRoundTrip) {
+  Rng R(GetParam());
+  std::vector<Instruction> Prog;
+  unsigned N = static_cast<unsigned>(R.nextInRange(1, 64));
+  for (unsigned K = 0; K < N; ++K) {
+    Instruction I = randomAluInstruction(R);
+    ASSERT_EQ(validate(I), "") << disassemble(I);
+    Prog.push_back(I);
+  }
+  auto Bytes = encodeProgram(Prog);
+  EXPECT_EQ(Bytes.size(), Prog.size() * InstrBytes);
+  auto Back = decodeProgram(Bytes);
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+  ASSERT_EQ(Back->size(), Prog.size());
+  for (size_t K = 0; K < Prog.size(); ++K)
+    EXPECT_TRUE(Prog[K] == (*Back)[K]) << disassemble(Prog[K]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));

@@ -1,0 +1,275 @@
+//===- tests/kernels_test.cpp - Media kernel tests ------------------------------===//
+
+#include "kernels/Workloads.h"
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+namespace {
+
+/// Builds a full test stack around one workload.
+struct WorkloadRig {
+  explicit WorkloadRig(std::unique_ptr<MediaWorkload> WL)
+      : Workload(std::move(WL)), RT(Platform) {
+    chi::ProgramBuilder PB;
+    cantFail(Workload->compile(PB));
+    Binary = PB.take();
+    cantFail(RT.loadBinary(Binary));
+    cantFail(Workload->setup(RT));
+  }
+
+  std::unique_ptr<MediaWorkload> Workload;
+  exo::ExoPlatform Platform;
+  chi::Runtime RT;
+  fatbin::FatBinary Binary;
+};
+
+/// Small-size factory for every Table 2 kernel (index 0..9).
+std::unique_ptr<MediaWorkload> makeSmallWorkload(int Index) {
+  switch (Index) {
+  case 0:
+    return createLinearFilter(64, 32);
+  case 1:
+    return createSepiaTone(64, 32);
+  case 2:
+    return createFGT(64, 32);
+  case 3:
+    return createBicubic(64, 32, 3);
+  case 4:
+    return createKalman(64, 32, 3);
+  case 5:
+    return createFMD(64, 32, 12);
+  case 6:
+    return createAlphaBlend(64, 32, 3);
+  case 7:
+    return createBOB(64, 32, 4);
+  case 8:
+    return createADVDI(64, 32, 4);
+  default:
+    return createProcAmp(64, 32, 3);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Device/host equivalence: the XGMA and IA32 implementations of every
+// kernel must produce bit-identical output.
+//===----------------------------------------------------------------------===//
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelEquivalenceTest, DeviceMatchesHostReference) {
+  WorkloadRig Rig(makeSmallWorkload(GetParam()));
+  Error E = Rig.Workload->verify(Rig.RT);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+}
+
+namespace {
+std::string kernelCaseName(const ::testing::TestParamInfo<int> &Info) {
+  static const char *Names[] = {"LinearFilter", "SepiaTone", "FGT",
+                                "Bicubic",      "Kalman",    "FMD",
+                                "AlphaBlend",   "BOB",       "ADVDI",
+                                "ProcAmp"};
+  return Names[Info.param];
+}
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelEquivalenceTest,
+                         ::testing::Range(0, 10), kernelCaseName);
+
+//===----------------------------------------------------------------------===//
+// Table 2 shred counts at paper input sizes.
+//===----------------------------------------------------------------------===//
+
+TEST(Table2ShredsTest, CountsMatchPaper) {
+  struct Row {
+    std::unique_ptr<MediaWorkload> WL;
+    uint64_t Paper;
+    double Tolerance; // relative
+  };
+  Row Rows[] = {
+      {createLinearFilter(640, 480), 6480, 0.03},
+      {createLinearFilter(2000, 2000), 83500, 0.01},
+      {createSepiaTone(640, 480), 4800, 0.0},
+      {createSepiaTone(2000, 2000), 62500, 0.0},
+      {createFGT(1024, 768), 96, 0.0},
+      {createBicubic(720, 480, 30), 2700, 0.0},
+      {createKalman(512, 256, 30), 4096, 0.07},
+      {createFMD(720, 480, 60), 1276, 0.06},
+      {createAlphaBlend(720, 480, 30), 2700, 0.0},
+      {createBOB(720, 480, 30), 2700, 0.0},
+      {createADVDI(720, 480, 30), 2700, 0.0},
+      {createProcAmp(720, 480, 30), 2700, 0.0},
+  };
+  for (const Row &R : Rows) {
+    double Ours = static_cast<double>(R.WL->totalStrips());
+    double Paper = static_cast<double>(R.Paper);
+    EXPECT_NEAR(Ours, Paper, Paper * R.Tolerance + 0.5)
+        << R.WL->abbrev() << " " << R.WL->outGeometry().W << "x"
+        << R.WL->outGeometry().H;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FMD cadence analysis.
+//===----------------------------------------------------------------------===//
+
+TEST(FmdTest, DetectsTelecineCadenceEndToEnd) {
+  WorkloadRig Rig(createFMD(64, 32, 20));
+  auto H = Rig.Workload->dispatchDevice(Rig.RT, 0,
+                                        Rig.Workload->totalStrips());
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+
+  // Reduce the device-produced metrics (written by the shreds into the
+  // shared SAD surface) and detect the pulldown pattern.
+  std::vector<uint64_t> Sads = fmdFrameSads(*Rig.Workload, Rig.Platform);
+  ASSERT_EQ(Sads.size(), 20u);
+  EXPECT_TRUE(detectPulldownCadence(Sads));
+}
+
+TEST(FmdTest, CadenceDetectorAcceptsPulldownPattern) {
+  // AABBB cadence: SAD sequence big at film-frame changes, ~0 at repeats.
+  std::vector<uint64_t> Sads;
+  Sads.push_back(0); // frame 0 vs itself
+  bool Fresh[] = {false, true, false, false, true}; // period-5 pattern
+  for (int K = 1; K < 30; ++K)
+    Sads.push_back(Fresh[K % 5] ? 1000000 + (K * 13) % 1000 : (K * 7) % 100);
+  EXPECT_TRUE(detectPulldownCadence(Sads));
+}
+
+TEST(FmdTest, CadenceDetectorRejectsProgressiveVideo) {
+  // Progressive content: every frame differs.
+  std::vector<uint64_t> Sads;
+  Sads.push_back(0);
+  for (int K = 1; K < 30; ++K)
+    Sads.push_back(900000 + (K * 131) % 10000);
+  EXPECT_FALSE(detectPulldownCadence(Sads));
+
+  // Static content: nothing ever changes.
+  std::vector<uint64_t> Zero(30, 0);
+  EXPECT_FALSE(detectPulldownCadence(Zero));
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative split: host strips + device strips compose into the same
+// image as the full host reference (Figure 9/10 functional correctness).
+//===----------------------------------------------------------------------===//
+
+TEST(CooperativeKernelTest, SplitExecutionComposes) {
+  WorkloadRig Rig(makeSmallWorkload(1)); // SepiaTone
+  MediaWorkload &WL = *Rig.Workload;
+  uint64_t Total = WL.totalStrips();
+  uint64_t Half = Total / 2;
+
+  // Device computes the second half; the host computes (and publishes)
+  // the first half. hostRun also fills the host mirror, and the full
+  // reference is completed by hostCompute over the rest.
+  auto H = WL.dispatchDevice(Rig.RT, Half, Total);
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  cantFail(WL.hostRun(Rig.RT, 0, Half));
+  cantFail(WL.hostCompute(Half, Total)); // completes the host reference
+
+  // The composed shared image must equal the full host reference.
+  Error E = WL.compareSharedToReference(Rig.RT);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Timing smoke tests.
+//===----------------------------------------------------------------------===//
+
+TEST(KernelTimingTest, DeviceBeatsCpuOnComputeKernel) {
+  // SepiaTone at a moderate size: the 32-thread wide-SIMD device should
+  // beat the 4-wide SSE model comfortably (Figure 7's premise).
+  WorkloadRig Rig(createSepiaTone(160, 96));
+  MediaWorkload &WL = *Rig.Workload;
+  auto H = WL.dispatchDevice(Rig.RT, 0, WL.totalStrips());
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  double DeviceNs = Rig.RT.regionStats(*H)->totalNs();
+
+  cpu::WorkEstimate Work = WL.hostWorkFor(0, WL.totalStrips());
+  mem::MemoryBus Bus; // fresh bus: CPU-alone scenario
+  cpu::CpuModel Cpu(cpu::CpuConfig(), Bus);
+  double CpuNs = Cpu.execute(0.0, Work);
+
+  EXPECT_GT(CpuNs, DeviceNs);
+}
+
+TEST(KernelTimingTest, WorkEstimatesScaleWithStrips) {
+  auto WL = createProcAmp(64, 32, 4);
+  cpu::WorkEstimate Full = WL->hostWorkFor(0, WL->totalStrips());
+  cpu::WorkEstimate Half = WL->hostWorkFor(0, WL->totalStrips() / 2);
+  EXPECT_NEAR(static_cast<double>(Half.VectorOps),
+              static_cast<double>(Full.VectorOps) / 2,
+              static_cast<double>(Full.VectorOps) * 0.1);
+  EXPECT_GT(Full.BytesRead, 0u);
+  EXPECT_GT(Full.BytesWritten, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Size sweep: equivalence must hold for partial tiles, partial strips,
+// and non-square geometries.
+//===----------------------------------------------------------------------===//
+
+struct SizeCase {
+  uint32_t W, H, Frames;
+};
+
+class KernelSizeSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, SizeCase>> {};
+
+TEST_P(KernelSizeSweepTest, EquivalenceAcrossGeometries) {
+  auto [Kernel, Size] = GetParam();
+  std::unique_ptr<MediaWorkload> WL;
+  switch (Kernel) {
+  case 0:
+    WL = createLinearFilter(Size.W, Size.H);
+    break;
+  case 1:
+    WL = createBOB(Size.W, Size.H, Size.Frames);
+    break;
+  case 2:
+    WL = createBicubic(Size.W, Size.H, Size.Frames);
+    break;
+  default:
+    WL = createKalman(Size.W, Size.H, Size.Frames);
+    break;
+  }
+  WorkloadRig Rig(std::move(WL));
+  Error E = Rig.Workload->verify(Rig.RT);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+}
+
+namespace {
+
+std::vector<std::tuple<int, SizeCase>> sizeSweepCases() {
+  const SizeCase Sizes[] = {
+      {40, 24, 2}, {72, 40, 3}, {104, 56, 2}, {256, 18, 2}};
+  std::vector<std::tuple<int, SizeCase>> Out;
+  for (int Kernel = 0; Kernel < 4; ++Kernel)
+    for (const SizeCase &S : Sizes)
+      Out.emplace_back(Kernel, S);
+  return Out;
+}
+
+std::string sizeCaseName(
+    const ::testing::TestParamInfo<std::tuple<int, SizeCase>> &Info) {
+  static const char *Names[] = {"LinearFilter", "BOB", "Bicubic", "Kalman"};
+  const SizeCase &S = std::get<1>(Info.param);
+  return std::string(Names[std::get<0>(Info.param)]) + "_" +
+         std::to_string(S.W) + "x" + std::to_string(S.H) + "x" +
+         std::to_string(S.Frames);
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Geometries, KernelSizeSweepTest,
+                         ::testing::ValuesIn(sizeSweepCases()),
+                         sizeCaseName);

@@ -1,0 +1,289 @@
+//===- tests/mem_test.cpp - Unit tests for src/mem --------------------------===//
+
+#include "mem/AddressSpace.h"
+#include "mem/CacheModel.h"
+#include "mem/MemoryBus.h"
+#include "mem/PageTable.h"
+#include "mem/PhysicalMemory.h"
+#include "mem/Tlb.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::mem;
+
+TEST(PhysicalMemoryTest, FramesAreZeroFilled) {
+  PhysicalMemory PM;
+  uint64_t F = PM.allocFrame();
+  const uint8_t *D = PM.frameData(F);
+  for (unsigned K = 0; K < PageSize; ++K)
+    EXPECT_EQ(D[K], 0);
+}
+
+TEST(PhysicalMemoryTest, CrossFrameReadWrite) {
+  PhysicalMemory PM;
+  uint64_t F1 = PM.allocFrame();
+  uint64_t F2 = PM.allocFrame();
+  ASSERT_EQ(F2, F1 + 1); // sequential allocation gives adjacency
+  PhysAddr Base = (F1 << PageShift) + PageSize - 8;
+  uint8_t In[16], Out[16] = {};
+  for (unsigned K = 0; K < 16; ++K)
+    In[K] = static_cast<uint8_t>(K * 3 + 1);
+  PM.write(Base, In, 16);
+  PM.read(Base, Out, 16);
+  for (unsigned K = 0; K < 16; ++K)
+    EXPECT_EQ(Out[K], In[K]);
+}
+
+TEST(PhysicalMemoryTest, Word32RoundTrip) {
+  PhysicalMemory PM;
+  uint64_t F = PM.allocFrame();
+  PhysAddr A = (F << PageShift) + 128;
+  PM.write32(A, 0xdeadbeef);
+  EXPECT_EQ(PM.read32(A), 0xdeadbeefu);
+}
+
+TEST(Ia32PteTest, EncodeDecode) {
+  uint32_t Pte = ia32::makePte(0x1234, /*Writable=*/true, /*User=*/true);
+  EXPECT_TRUE(ia32::isPresent(Pte));
+  EXPECT_TRUE(ia32::isWritable(Pte));
+  EXPECT_TRUE(ia32::isUser(Pte));
+  EXPECT_EQ(ia32::frameOf(Pte), 0x1234u);
+
+  uint32_t Ro = ia32::makePte(7, /*Writable=*/false, /*User=*/true);
+  EXPECT_FALSE(ia32::isWritable(Ro));
+}
+
+TEST(GpuPteTest, EncodeDecode) {
+  GpuPte P = GpuPte::make(0xabcd, /*Writable=*/true, GpuMemType::Cached);
+  EXPECT_TRUE(P.valid());
+  EXPECT_TRUE(P.writable());
+  EXPECT_EQ(P.frame(), 0xabcdu);
+  EXPECT_EQ(P.memType(), GpuMemType::Cached);
+  EXPECT_FALSE(GpuPte().valid());
+}
+
+TEST(AtrTranscodeTest, PreservesFrameAndWritability) {
+  uint32_t Pte = ia32::makePte(0x777, /*Writable=*/true, /*User=*/true);
+  auto G = transcodePteIa32ToGpu(Pte, GpuMemType::WriteCombining);
+  ASSERT_TRUE(static_cast<bool>(G));
+  EXPECT_EQ(G->frame(), 0x777u);
+  EXPECT_TRUE(G->writable());
+  EXPECT_EQ(G->memType(), GpuMemType::WriteCombining);
+
+  // The two formats are genuinely different: same frame, different raw bits.
+  EXPECT_NE(static_cast<uint64_t>(Pte), G->Raw);
+}
+
+TEST(AtrTranscodeTest, RejectsNotPresent) {
+  auto G = transcodePteIa32ToGpu(0, GpuMemType::Cached);
+  EXPECT_FALSE(static_cast<bool>(G));
+}
+
+TEST(AtrTranscodeTest, RejectsSupervisorPages) {
+  uint32_t Pte = ia32::makePte(1, /*Writable=*/true, /*User=*/false);
+  auto G = transcodePteIa32ToGpu(Pte, GpuMemType::Cached);
+  EXPECT_FALSE(static_cast<bool>(G));
+}
+
+TEST(AddressSpaceTest, MapAndTranslate) {
+  PhysicalMemory PM;
+  Ia32AddressSpace AS(PM);
+  AS.mapPage(0x40000000, /*Writable=*/true);
+  auto T = AS.translate(0x40000123, /*IsWrite=*/false);
+  ASSERT_TRUE(static_cast<bool>(T));
+  EXPECT_EQ(pageOffset(T->Phys), 0x123u);
+  EXPECT_TRUE(ia32::isPresent(T->Pte));
+}
+
+TEST(AddressSpaceTest, UnmappedFaults) {
+  PhysicalMemory PM;
+  Ia32AddressSpace AS(PM);
+  PageFault F;
+  auto T = AS.translate(0x50000000, /*IsWrite=*/false, &F);
+  EXPECT_FALSE(static_cast<bool>(T));
+  EXPECT_EQ(F.Kind, FaultKind::NotPresent);
+  EXPECT_FALSE(AS.handleFault(F)); // wild access: not serviceable
+}
+
+TEST(AddressSpaceTest, DemandPagingServicesFault) {
+  PhysicalMemory PM;
+  Ia32AddressSpace AS(PM);
+  AS.reserve(0x60000000, 1 << 20, /*Writable=*/true, "heap");
+
+  PageFault F;
+  auto T = AS.translate(0x60001234, /*IsWrite=*/true, &F);
+  ASSERT_FALSE(static_cast<bool>(T));
+  EXPECT_EQ(F.Kind, FaultKind::DemandPage);
+  EXPECT_TRUE(AS.handleFault(F));
+  EXPECT_EQ(AS.demandFaults(), 1u);
+
+  auto T2 = AS.translate(0x60001234, /*IsWrite=*/true);
+  ASSERT_TRUE(static_cast<bool>(T2));
+}
+
+TEST(AddressSpaceTest, WriteProtectionFault) {
+  PhysicalMemory PM;
+  Ia32AddressSpace AS(PM);
+  AS.mapPage(0x40000000, /*Writable=*/false);
+  PageFault F;
+  auto T = AS.translate(0x40000000, /*IsWrite=*/true, &F);
+  EXPECT_FALSE(static_cast<bool>(T));
+  EXPECT_EQ(F.Kind, FaultKind::WriteProtection);
+  EXPECT_FALSE(AS.handleFault(F));
+}
+
+TEST(AddressSpaceTest, AccessedAndDirtyBitsSet) {
+  PhysicalMemory PM;
+  Ia32AddressSpace AS(PM);
+  AS.mapPage(0x40000000, /*Writable=*/true);
+  uint32_t Before = AS.rawPte(0x40000000);
+  EXPECT_FALSE(Before & ia32::PteAccessed);
+
+  (void)AS.translate(0x40000000, /*IsWrite=*/false);
+  uint32_t AfterRead = AS.rawPte(0x40000000);
+  EXPECT_TRUE(AfterRead & ia32::PteAccessed);
+  EXPECT_FALSE(AfterRead & ia32::PteDirty);
+
+  (void)AS.translate(0x40000000, /*IsWrite=*/true);
+  uint32_t AfterWrite = AS.rawPte(0x40000000);
+  EXPECT_TRUE(AfterWrite & ia32::PteDirty);
+}
+
+TEST(AddressSpaceTest, ReadWriteThroughVirtualMapping) {
+  PhysicalMemory PM;
+  Ia32AddressSpace AS(PM);
+  AS.reserve(0x70000000, 1 << 16, /*Writable=*/true, "buf");
+
+  // Spans multiple pages; exercises demand paging inside write().
+  std::vector<uint8_t> In(10000), Out(10000);
+  Rng R(99);
+  for (auto &B : In)
+    B = R.nextByte();
+  AS.write(0x70000ff0, In.data(), In.size());
+  AS.read(0x70000ff0, Out.data(), Out.size());
+  EXPECT_EQ(In, Out);
+  EXPECT_GT(AS.demandFaults(), 1u);
+}
+
+TEST(AddressSpaceTest, SharedFrameSeenByBothMappings) {
+  // Two virtual pages mapped to one frame see each other's writes — the
+  // foundation of the shared-virtual-memory model.
+  PhysicalMemory PM;
+  Ia32AddressSpace AS(PM);
+  uint64_t Frame = PM.allocFrame();
+  AS.mapPageToFrame(0x10000000, Frame, /*Writable=*/true);
+  AS.mapPageToFrame(0x20000000, Frame, /*Writable=*/true);
+  uint32_t V = 0xc0ffee;
+  AS.write(0x10000010, &V, 4);
+  uint32_t Got = 0;
+  AS.read(0x20000010, &Got, 4);
+  EXPECT_EQ(Got, 0xc0ffeeu);
+}
+
+TEST(TlbTest, HitAfterInsert) {
+  Tlb T(4);
+  EXPECT_FALSE(T.lookup(5).has_value());
+  T.insert(5, GpuPte::make(50, true, GpuMemType::Cached));
+  auto E = T.lookup(5);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->frame(), 50u);
+  EXPECT_EQ(T.hits(), 1u);
+  EXPECT_EQ(T.misses(), 1u);
+}
+
+TEST(TlbTest, LruEviction) {
+  Tlb T(2);
+  T.insert(1, GpuPte::make(10, true, GpuMemType::Cached));
+  T.insert(2, GpuPte::make(20, true, GpuMemType::Cached));
+  (void)T.lookup(1); // 2 becomes LRU
+  T.insert(3, GpuPte::make(30, true, GpuMemType::Cached));
+  EXPECT_TRUE(T.lookup(1).has_value());
+  EXPECT_FALSE(T.lookup(2).has_value());
+  EXPECT_TRUE(T.lookup(3).has_value());
+  EXPECT_EQ(T.evictions(), 1u);
+}
+
+TEST(TlbTest, InvalidateAll) {
+  Tlb T(8);
+  for (uint64_t K = 0; K < 8; ++K)
+    T.insert(K, GpuPte::make(K, true, GpuMemType::Cached));
+  T.invalidateAll();
+  EXPECT_EQ(T.size(), 0u);
+  for (uint64_t K = 0; K < 8; ++K)
+    EXPECT_FALSE(T.lookup(K).has_value());
+}
+
+TEST(TlbTest, InvalidateSingle) {
+  Tlb T(8);
+  T.insert(3, GpuPte::make(3, true, GpuMemType::Cached));
+  T.insert(4, GpuPte::make(4, true, GpuMemType::Cached));
+  T.invalidate(3);
+  EXPECT_FALSE(T.lookup(3).has_value());
+  EXPECT_TRUE(T.lookup(4).has_value());
+}
+
+TEST(MemoryBusTest, LatencyPlusBandwidth) {
+  MemoryBusParams P;
+  P.BandwidthBytesPerNs = 8.0;
+  P.AccessLatencyNs = 100.0;
+  MemoryBus Bus(P);
+  // 800 bytes at 8 B/ns = 100 ns transfer + 100 ns latency.
+  EXPECT_DOUBLE_EQ(Bus.request(0.0, 800), 200.0);
+}
+
+TEST(MemoryBusTest, BandwidthSerializesRequests) {
+  MemoryBusParams P;
+  P.BandwidthBytesPerNs = 1.0;
+  P.AccessLatencyNs = 0.0;
+  MemoryBus Bus(P);
+  EXPECT_DOUBLE_EQ(Bus.request(0.0, 100), 100.0);
+  // Issued at t=0 but the bus is busy until t=100.
+  EXPECT_DOUBLE_EQ(Bus.request(0.0, 100), 200.0);
+  EXPECT_EQ(Bus.totalBytes(), 200u);
+}
+
+TEST(MemoryBusTest, IdleBusStartsImmediately) {
+  MemoryBus Bus;
+  double T1 = Bus.request(1000.0, 64);
+  EXPECT_GT(T1, 1000.0);
+  EXPECT_DOUBLE_EQ(Bus.freeAt(), 1000.0 + 64 / Bus.params().BandwidthBytesPerNs);
+}
+
+TEST(CacheModelTest, HitAfterMiss) {
+  CacheModel C(1024, 64, 2);
+  EXPECT_FALSE(C.access(0, false).Hit);
+  EXPECT_TRUE(C.access(32, false).Hit); // same line
+  EXPECT_FALSE(C.access(64, false).Hit);
+}
+
+TEST(CacheModelTest, DirtyTrackingAndFlush) {
+  CacheModel C(1024, 64, 2);
+  C.access(0, true);
+  C.access(64, true);
+  C.access(128, false);
+  EXPECT_EQ(C.dirtyBytes(), 128u);
+  EXPECT_EQ(C.flushAll(), 128u);
+  EXPECT_EQ(C.dirtyBytes(), 0u);
+  EXPECT_FALSE(C.access(0, false).Hit); // flushed lines invalidated
+}
+
+TEST(CacheModelTest, EvictionWritesBackDirtyVictim) {
+  CacheModel C(128, 64, 1); // 2 sets, direct mapped
+  C.access(0, true);        // set 0, dirty
+  auto R = C.access(128, false); // maps to set 0, evicts dirty line
+  EXPECT_FALSE(R.Hit);
+  EXPECT_TRUE(R.WritebackVictim);
+  EXPECT_EQ(C.dirtyBytes(), 0u);
+}
+
+TEST(CacheModelTest, LruWithinSet) {
+  CacheModel C(256, 64, 2); // 2 sets, 2 ways
+  C.access(0, false);       // set 0
+  C.access(128, false);     // set 0
+  C.access(0, false);       // refresh line 0
+  C.access(256, false);     // evicts 128
+  EXPECT_TRUE(C.access(0, false).Hit);
+  EXPECT_FALSE(C.access(128, false).Hit);
+}

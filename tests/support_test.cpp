@@ -1,0 +1,109 @@
+//===- tests/support_test.cpp - Unit tests for src/support -----------------===//
+
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+
+TEST(ErrorTest, SuccessIsFalsy) {
+  Error E = Error::success();
+  EXPECT_FALSE(E);
+  EXPECT_EQ(E.message(), "");
+}
+
+TEST(ErrorTest, FailureCarriesMessage) {
+  Error E = Error::make("boom");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "boom");
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(*E, 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> E(Error::make("nope"));
+  EXPECT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "nope");
+  Error Err = E.takeError();
+  EXPECT_TRUE(static_cast<bool>(Err));
+}
+
+TEST(FormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(formatString("x=%d y=%s", 7, "hi"), "x=7 y=hi");
+  EXPECT_EQ(formatString("%05.2f", 3.14159), "03.14");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(StringUtilsTest, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtilsTest, Split) {
+  auto P = split("a,b,,c", ',');
+  ASSERT_EQ(P.size(), 4u);
+  EXPECT_EQ(P[0], "a");
+  EXPECT_EQ(P[1], "b");
+  EXPECT_EQ(P[2], "");
+  EXPECT_EQ(P[3], "c");
+}
+
+TEST(StringUtilsTest, SplitLinesHandlesCrLf) {
+  auto L = splitLines("one\r\ntwo\nthree");
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_EQ(L[0], "one");
+  EXPECT_EQ(L[1], "two");
+  EXPECT_EQ(L[2], "three");
+}
+
+TEST(StringUtilsTest, ParseInt) {
+  EXPECT_EQ(parseInt("42").value(), 42);
+  EXPECT_EQ(parseInt("-7").value(), -7);
+  EXPECT_EQ(parseInt("0x10").value(), 16);
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("12abc").has_value());
+  EXPECT_FALSE(parseInt("abc").has_value());
+}
+
+TEST(StringUtilsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(parseDouble("1.2.3").has_value());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng A(123), B(123);
+  for (int K = 0; K < 100; ++K)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng R(7);
+  for (int K = 0; K < 1000; ++K) {
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+    EXPECT_LT(R.nextBelow(10), 10u);
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int K = 0; K < 64; ++K)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 4);
+}

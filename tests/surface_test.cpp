@@ -1,0 +1,198 @@
+//===- tests/surface_test.cpp - Surface, HostImage, and generator tests -------===//
+
+#include "kernels/Surface.h"
+#include "kernels/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace exochi;
+using namespace exochi::kernels;
+
+TEST(SurfaceGeometryTest, ElementIndexing) {
+  SurfaceGeometry G{100, 50, 3, 8, 2};
+  EXPECT_EQ(G.surfW(), 116u);
+  EXPECT_EQ(G.slotH(), 54u);
+  EXPECT_EQ(G.surfH(), 162u);
+  EXPECT_EQ(G.elements(), 116ull * 162);
+  EXPECT_EQ(G.bytes(), 116ull * 162 * 4);
+
+  // Pixel (0,0) of frame 0 sits after the padding ring.
+  EXPECT_EQ(G.elem(0, 0, 0), 2ull * 116 + 8);
+  // Frame 1 starts one slot lower.
+  EXPECT_EQ(G.elem(0, 0, 1), (54ull + 2) * 116 + 8);
+  EXPECT_EQ(G.absRow(0, 1), 56u);
+  // Moving one pixel right/down moves one element / one row.
+  EXPECT_EQ(G.elem(1, 0, 0), G.elem(0, 0, 0) + 1);
+  EXPECT_EQ(G.elem(0, 1, 0), G.elem(0, 0, 0) + 116);
+}
+
+TEST(PackRgbaTest, ChannelsRoundTrip) {
+  uint32_t P = packRgba(12, 34, 56, 78);
+  EXPECT_EQ(chR(P), 12u);
+  EXPECT_EQ(chG(P), 34u);
+  EXPECT_EQ(chB(P), 56u);
+  EXPECT_EQ(chA(P), 78u);
+  EXPECT_EQ(packRgba(255, 255, 255, 255), 0xffffffffu);
+  EXPECT_EQ(packRgba(256, 0, 0, 0), 0u); // masked to a byte
+}
+
+TEST(HostImageTest, PaddingReplicatesEdges) {
+  SurfaceGeometry G{16, 8, 2, 8, 2};
+  HostImage Img(G);
+  for (uint32_t F = 0; F < G.Frames; ++F)
+    for (uint32_t Y = 0; Y < G.H; ++Y)
+      for (uint32_t X = 0; X < G.W; ++X)
+        Img.at(X, Y, F) = packRgba(X, Y, F, 255);
+  Img.fillPadding();
+
+  for (uint32_t F = 0; F < G.Frames; ++F) {
+    // Left padding replicates column 0; right padding the last column.
+    EXPECT_EQ(Img.raw(G.elem(0, 3, F) - 1), Img.at(0, 3, F));
+    EXPECT_EQ(Img.raw(G.elem(0, 3, F) - G.PadX), Img.at(0, 3, F));
+    EXPECT_EQ(Img.raw(G.elem(G.W - 1, 3, F) + 1), Img.at(G.W - 1, 3, F));
+    // Top padding replicates row 0 (including the corner columns).
+    EXPECT_EQ(Img.raw(G.elem(5, 0, F) - G.surfW()), Img.at(5, 0, F));
+    EXPECT_EQ(Img.raw(G.elem(5, 0, F) - 2ull * G.surfW()), Img.at(5, 0, F));
+    // Bottom padding replicates the last row.
+    EXPECT_EQ(Img.raw(G.elem(5, G.H - 1, F) + G.surfW()),
+              Img.at(5, G.H - 1, F));
+    // Corner: top-left padding equals pixel (0,0).
+    EXPECT_EQ(Img.raw(G.elem(0, 0, F) - G.surfW() - 1), Img.at(0, 0, F));
+  }
+}
+
+TEST(HostImageTest, SharedRoundTripAndRects) {
+  exo::ExoPlatform P;
+  SurfaceGeometry G{24, 12, 2, 8, 2};
+  SharedSurface S = SharedSurface::allocate(P, G, "t");
+
+  HostImage A(G);
+  for (uint32_t F = 0; F < G.Frames; ++F)
+    for (uint32_t Y = 0; Y < G.H; ++Y)
+      for (uint32_t X = 0; X < G.W; ++X)
+        A.at(X, Y, F) = packRgba(X * 3, Y * 5, F * 7, 9);
+  A.writeToShared(P, S);
+
+  HostImage B(G);
+  B.readFromShared(P, S);
+  uint64_t Diff = 0;
+  EXPECT_TRUE(A.visibleEquals(B, &Diff));
+
+  // Rect update: only the chosen window changes in shared memory.
+  HostImage C(G);
+  for (uint32_t Y = 2; Y < 6; ++Y)
+    for (uint32_t X = 4; X < 12; ++X)
+      C.at(X, Y, 1) = 0xdeadbeef;
+  C.writeRectToShared(P, S, 1, 4, 12, 2, 6);
+  B.readFromShared(P, S);
+  EXPECT_EQ(B.at(4, 2, 1), 0xdeadbeefu);
+  EXPECT_EQ(B.at(11, 5, 1), 0xdeadbeefu);
+  EXPECT_EQ(B.at(3, 2, 1), A.at(3, 2, 1));  // outside the rect: unchanged
+  EXPECT_EQ(B.at(4, 6, 1), A.at(4, 6, 1));
+  EXPECT_EQ(B.at(4, 2, 0), A.at(4, 2, 0));  // other frame untouched
+
+  // Row update helper.
+  HostImage D(G);
+  for (uint32_t X = 0; X < G.W; ++X)
+    D.at(X, 7, 0) = 0x01020304;
+  D.writeRowsToShared(P, S, 0, 7, 8);
+  B.readFromShared(P, S);
+  EXPECT_EQ(B.at(0, 7, 0), 0x01020304u);
+  EXPECT_EQ(B.at(G.W - 1, 7, 0), 0x01020304u);
+  EXPECT_EQ(B.at(0, 6, 0), A.at(0, 6, 0));
+}
+
+TEST(HostImageTest, VisibleEqualsIgnoresPadding) {
+  SurfaceGeometry G{16, 8, 1, 8, 2};
+  HostImage A(G), B(G);
+  for (uint32_t Y = 0; Y < G.H; ++Y)
+    for (uint32_t X = 0; X < G.W; ++X)
+      A.at(X, Y) = B.at(X, Y) = X + Y;
+  // Divergent padding must not matter.
+  A.raw(0) = 111;
+  B.raw(0) = 222;
+  EXPECT_TRUE(A.visibleEquals(B, nullptr));
+
+  B.at(5, 3) = 999;
+  uint64_t Diff = 0;
+  EXPECT_FALSE(A.visibleEquals(B, &Diff));
+  EXPECT_EQ(Diff, G.elem(5, 3));
+}
+
+//===----------------------------------------------------------------------===//
+// Content generators
+//===----------------------------------------------------------------------===//
+
+TEST(GeneratorTest, NaturalImageIsDeterministicAndNonTrivial) {
+  SurfaceGeometry G{64, 48, 1, 8, 2};
+  HostImage A(G), B(G);
+  gen::naturalImage(A, 42);
+  gen::naturalImage(B, 42);
+  uint64_t Diff = 0;
+  EXPECT_TRUE(A.visibleEquals(B, &Diff));
+
+  // Different seeds differ; content has spatial variation.
+  HostImage C(G);
+  gen::naturalImage(C, 43);
+  EXPECT_FALSE(A.visibleEquals(C, &Diff));
+  std::set<uint32_t> Distinct;
+  for (uint32_t Y = 0; Y < G.H; ++Y)
+    Distinct.insert(A.at(7, Y));
+  EXPECT_GT(Distinct.size(), 8u);
+}
+
+TEST(GeneratorTest, MovingVideoHasMotionAndStaticRegions) {
+  SurfaceGeometry G{64, 48, 4, 8, 2};
+  HostImage V(G);
+  gen::movingVideo(V, 7);
+
+  // The panning region changes between frames; count differing pixels in
+  // the lower three quarters vs the static top quarter.
+  uint64_t MovingDiff = 0, StaticDiff = 0;
+  for (uint32_t Y = 0; Y < G.H; ++Y)
+    for (uint32_t X = 0; X < G.W; ++X) {
+      bool Same = V.at(X, Y, 1) == V.at(X, Y, 2);
+      if (Y < G.H / 4)
+        StaticDiff += Same ? 0 : 1;
+      else
+        MovingDiff += Same ? 0 : 1;
+    }
+  EXPECT_GT(MovingDiff, static_cast<uint64_t>(G.W) * G.H / 4);
+  // The static strip still carries per-frame noise, but far less change.
+  EXPECT_LT(StaticDiff * 2, MovingDiff);
+}
+
+TEST(GeneratorTest, TelecinedVideoRepeatsFramesInCadence) {
+  SurfaceGeometry G{48, 32, 20, 8, 2};
+  HostImage V(G);
+  gen::telecinedVideo(V, 3);
+
+  // Per-frame SAD against the previous frame: the 2-3 cadence shows as
+  // zero-SAD repeats.
+  std::vector<uint64_t> Sads(G.Frames, 0);
+  for (uint32_t F = 1; F < G.Frames; ++F)
+    for (uint32_t Y = 0; Y < G.H; ++Y)
+      for (uint32_t X = 0; X < G.W; ++X) {
+        int32_t D = static_cast<int32_t>(chG(V.at(X, Y, F))) -
+                    static_cast<int32_t>(chG(V.at(X, Y, F - 1)));
+        Sads[F] += static_cast<uint64_t>(D < 0 ? -D : D);
+      }
+  unsigned Zero = 0, NonZero = 0;
+  for (uint32_t F = 1; F < G.Frames; ++F)
+    (Sads[F] == 0 ? Zero : NonZero) += 1;
+  // AABBB: 3 of every 5 transitions are repeats.
+  EXPECT_NEAR(static_cast<double>(Zero) / (Zero + NonZero), 0.6, 0.15);
+  EXPECT_TRUE(detectPulldownCadence(Sads));
+}
+
+TEST(GeneratorTest, LogoHasRadialAlphaRamp) {
+  SurfaceGeometry G{64, 32, 1, 0, 0};
+  HostImage L(G);
+  gen::logoImage(L, 1);
+  // Centre is opaque-ish, corners transparent.
+  EXPECT_GT(chA(L.at(32, 16)), 200u);
+  EXPECT_LT(chA(L.at(0, 0)), 40u);
+  EXPECT_LT(chA(L.at(63, 31)), 40u);
+}

@@ -1,0 +1,140 @@
+//===- tests/tools_test.cpp - Command-line tool integration tests -------------===//
+//
+// Drives the installed CLI tools end to end through a shell: assemble an
+// .xasm file, inspect the fat binary, run it on the platform, and debug
+// it from a script. TOOLS_DIR is injected by CMake.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/File.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace exochi;
+
+namespace {
+
+std::string toolsDir() { return TOOLS_DIR; }
+
+/// Runs a command, captures stdout+stderr, returns (exit code, output).
+std::pair<int, std::string> runCmd(const std::string &Cmd) {
+  std::string Full = Cmd + " 2>&1";
+  std::FILE *P = popen(Full.c_str(), "r");
+  EXPECT_NE(P, nullptr);
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int Rc = pclose(P);
+  return {WEXITSTATUS(Rc), Out};
+}
+
+struct ToolPipelineTest : public ::testing::Test {
+  void SetUp() override {
+    Dir = ::testing::TempDir();
+    AsmPath = Dir + "/tp_vecadd.xasm";
+    BinPath = Dir + "/tp_vecadd.xfb";
+    std::string Src = "  mul.1.dw vr1 = i, 8\n"
+                      "  ld.8.dw [vr2..vr9] = (A, vr1, 0)\n"
+                      "  add.8.dw [vr2..vr9] = [vr2..vr9], [vr2..vr9]\n"
+                      "  st.8.dw (A, vr1, 0) = [vr2..vr9]\n"
+                      "  halt\n";
+    cantFail(writeFileBytes(
+        AsmPath, std::vector<uint8_t>(Src.begin(), Src.end())));
+  }
+  void TearDown() override {
+    std::remove(AsmPath.c_str());
+    std::remove(BinPath.c_str());
+  }
+
+  std::string Dir, AsmPath, BinPath;
+};
+
+} // namespace
+
+TEST_F(ToolPipelineTest, AssembleInspectRunDebug) {
+  // 1) Assemble with the optimizer and strict lint.
+  auto [RcAs, OutAs] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                              BinPath +
+                              " --name double --scalars i --surfaces A -O "
+                              "--strict");
+  ASSERT_EQ(RcAs, 0) << OutAs;
+  EXPECT_NE(OutAs.find("strength-reduced"), std::string::npos) << OutAs;
+
+  // 2) Inspect: section listing, re-assemblable disassembly, clean lint.
+  auto [RcDump, OutDump] =
+      runCmd(toolsDir() + "/xgma-objdump " + BinPath + " --disasm --lint");
+  ASSERT_EQ(RcDump, 0) << OutDump;
+  EXPECT_NE(OutDump.find("double"), std::string::npos);
+  EXPECT_NE(OutDump.find("shl.1.dw vr1 = vr0, 3"), std::string::npos)
+      << OutDump; // the optimizer's strength reduction is visible
+  EXPECT_NE(OutDump.find("lint: clean"), std::string::npos);
+
+  // 3) Run 4 shreds over a seq-filled surface: elements double.
+  auto [RcRun, OutRun] = runCmd(
+      toolsDir() + "/exochi-run " + BinPath +
+      " --kernel double --shreds 4 --surface A=32x1:seq --param i=shred");
+  ASSERT_EQ(RcRun, 0) << OutRun;
+  EXPECT_NE(OutRun.find("A[0..7] = 0 2 4 6 8 10 12 14"), std::string::npos)
+      << OutRun;
+
+  // 4) Scripted debug session: break, inspect, continue.
+  std::string Script = Dir + "/tp_script.txt";
+  std::string Cmds = "bl 2\nrun\np vr1\nc\nq\n";
+  cantFail(writeFileBytes(Script,
+                          std::vector<uint8_t>(Cmds.begin(), Cmds.end())));
+  auto [RcDbg, OutDbg] =
+      runCmd(toolsDir() + "/xgma-dbg " + BinPath +
+             " --kernel double --shreds 1 --param i=3 --surface A=32x1 "
+             "--batch " +
+             Script);
+  std::remove(Script.c_str());
+  ASSERT_EQ(RcDbg, 0) << OutDbg;
+  EXPECT_NE(OutDbg.find("stopped: shred 1"), std::string::npos) << OutDbg;
+  EXPECT_NE(OutDbg.find("vr1 = 24"), std::string::npos) << OutDbg; // 3<<3
+  EXPECT_NE(OutDbg.find("drained"), std::string::npos) << OutDbg;
+}
+
+TEST_F(ToolPipelineTest, StrictLintRejectsBuggyKernel) {
+  std::string Bad = "  add.1.dw vr8 = vr9, 1\n  halt\n";
+  cantFail(
+      writeFileBytes(AsmPath, std::vector<uint8_t>(Bad.begin(), Bad.end())));
+  auto [Rc, Out] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                          BinPath + " --name buggy --strict");
+  EXPECT_NE(Rc, 0);
+  EXPECT_NE(Out.find("uninitialized"), std::string::npos) << Out;
+}
+
+TEST_F(ToolPipelineTest, AppendBuildsMultiKernelBinaries) {
+  auto [Rc1, Out1] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                            BinPath + " --name k1 --scalars i --surfaces A");
+  ASSERT_EQ(Rc1, 0) << Out1;
+  auto [Rc2, Out2] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                            BinPath + " --name k2 --scalars i --surfaces A "
+                            "--append " +
+                            BinPath);
+  ASSERT_EQ(Rc2, 0) << Out2;
+  EXPECT_NE(Out2.find("2 sections"), std::string::npos) << Out2;
+
+  // Duplicate names are rejected.
+  auto [Rc3, Out3] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                            BinPath + " --name k1 --scalars i --surfaces A "
+                            "--append " +
+                            BinPath);
+  EXPECT_NE(Rc3, 0);
+  EXPECT_NE(Out3.find("already exists"), std::string::npos) << Out3;
+}
+
+TEST_F(ToolPipelineTest, UsageErrorsExitNonZero) {
+  EXPECT_NE(runCmd(toolsDir() + "/xgma-as").first, 0);
+  EXPECT_NE(runCmd(toolsDir() + "/xgma-objdump /nonexistent.xfb").first, 0);
+  EXPECT_NE(runCmd(toolsDir() + "/exochi-run /nonexistent.xfb --kernel x")
+                .first,
+            0);
+  EXPECT_EQ(runCmd(toolsDir() + "/xgma-as --help").first, 0);
+}

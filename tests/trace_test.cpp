@@ -1,0 +1,91 @@
+//===- tests/trace_test.cpp - Device trace recorder tests ----------------------===//
+
+#include "gma/Trace.h"
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+#include "kernels/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::gma;
+
+namespace {
+
+/// Runs a small SepiaTone workload with a tracer attached.
+TraceRecorder runTraced(uint64_t &ShredsOut) {
+  exo::ExoPlatform P;
+  chi::Runtime RT(P);
+  TraceRecorder Tracer;
+  P.device().setTracer(&Tracer);
+  auto WL = kernels::createSepiaTone(64, 32);
+  chi::ProgramBuilder PB;
+  cantFail(WL->compile(PB));
+  cantFail(RT.loadBinary(PB.binary()));
+  cantFail(WL->setup(RT));
+  cantFail(WL->dispatchDevice(RT, 0, WL->totalStrips()).takeError());
+  ShredsOut = WL->totalStrips();
+  return Tracer;
+}
+
+} // namespace
+
+TEST(TraceTest, OneSpanPerShred) {
+  uint64_t Shreds = 0;
+  TraceRecorder T = runTraced(Shreds);
+  EXPECT_EQ(T.spans().size(), Shreds);
+  for (const ShredSpan &S : T.spans()) {
+    EXPECT_LT(S.StartNs, S.EndNs);
+    EXPECT_LT(S.Eu, 8u);
+    EXPECT_LT(S.Slot, 4u);
+    EXPECT_EQ(S.Kernel, "SepiaTone");
+  }
+}
+
+TEST(TraceTest, SpansDoNotOverlapWithinAContext) {
+  uint64_t Shreds = 0;
+  TraceRecorder T = runTraced(Shreds);
+  std::map<std::pair<unsigned, unsigned>, std::vector<ShredSpan>> ByRow;
+  for (const ShredSpan &S : T.spans())
+    ByRow[{S.Eu, S.Slot}].push_back(S);
+  for (auto &[Row, Spans] : ByRow) {
+    (void)Row;
+    std::sort(Spans.begin(), Spans.end(),
+              [](const ShredSpan &A, const ShredSpan &B) {
+                return A.StartNs < B.StartNs;
+              });
+    for (size_t K = 1; K < Spans.size(); ++K)
+      EXPECT_LE(Spans[K - 1].EndNs, Spans[K].StartNs + 1e-6)
+          << "overlap on EU" << Spans[K].Eu << " ctx" << Spans[K].Slot;
+  }
+}
+
+TEST(TraceTest, OccupancyIsSane) {
+  uint64_t Shreds = 0;
+  TraceRecorder T = runTraced(Shreds);
+  double Occ = T.occupancy();
+  EXPECT_GT(Occ, 0.3); // a parallel dispatch should pack reasonably
+  EXPECT_LE(Occ, 1.0);
+  EXPECT_DOUBLE_EQ(TraceRecorder().occupancy(), 0.0);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  uint64_t Shreds = 0;
+  TraceRecorder T = runTraced(Shreds);
+  std::string Json = T.toChromeJson();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("SepiaTone"), std::string::npos);
+  EXPECT_NE(Json.find("EU0 ctx0"), std::string::npos);
+  // One X event per shred.
+  size_t Count = 0, Pos = 0;
+  while ((Pos = Json.find("\"ph\":\"X\"", Pos)) != std::string::npos) {
+    ++Count;
+    Pos += 8;
+  }
+  EXPECT_EQ(Count, Shreds);
+  T.clear();
+  EXPECT_TRUE(T.spans().empty());
+}

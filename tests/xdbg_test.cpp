@@ -1,0 +1,233 @@
+//===- tests/xdbg_test.cpp - Debugger tests -----------------------------------===//
+
+#include "xdbg/Debugger.h"
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::xdbg;
+
+namespace {
+
+constexpr const char *CountAsm = R"(
+  mov.1.dw vr10 = 0
+  mov.1.dw vr11 = 0
+loop:
+  add.1.dw vr10 = vr10, step
+  add.1.dw vr11 = vr11, 1
+  cmp.lt.1.dw p1 = vr11, 10
+  br p1, loop
+  mov.1.dw vr12 = 0
+  st.1.dw (out, vr12, 0) = vr10
+  halt
+)";
+
+struct DbgRig {
+  DbgRig() : RT(Platform) {
+    chi::ProgramBuilder PB;
+    cantFail(
+        PB.addXgmaKernel("count", CountAsm, {"step"}, {"out"}).takeError());
+    Binary = PB.take();
+    cantFail(RT.loadBinary(Binary));
+    Out = Platform.allocateShared(16, "out");
+  }
+
+  /// Enqueues one shred directly on the device (a debug session drives
+  /// the device instead of the runtime's dispatch loop).
+  void enqueue(int32_t Step) {
+    auto Table = std::make_shared<gma::SurfaceTable>();
+    gma::SurfaceBinding S;
+    S.Base = Out.Base;
+    S.Width = 4;
+    Table->push_back(S);
+    gma::ShredDescriptor D;
+    D.KernelId = 1; // first registered kernel
+    D.Params = {Step};
+    D.Surfaces = Table;
+    Platform.device().enqueueShred(std::move(D));
+  }
+
+  exo::ExoPlatform Platform;
+  chi::Runtime RT;
+  fatbin::FatBinary Binary;
+  exo::SharedBuffer Out;
+};
+
+} // namespace
+
+TEST(DebuggerTest, BreakpointAtLabelStopsExecution) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  auto Bp = Dbg.setBreakpointAtLabel("count", "loop");
+  ASSERT_TRUE(static_cast<bool>(Bp)) << Bp.message();
+
+  R.enqueue(5);
+  auto Stop = Dbg.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Stop)) << Stop.message();
+  ASSERT_TRUE(Stop->has_value());
+  EXPECT_EQ((*Stop)->KernelName, "count");
+  EXPECT_EQ((*Stop)->Pc, 2u); // label `loop` is instruction 2
+  EXPECT_EQ((*Stop)->Line, 5u);
+
+  // vr11 (iteration counter) is still 0 on first arrival.
+  EXPECT_EQ(cantFail(Dbg.readReg((*Stop)->ShredId, 11)), 0u);
+}
+
+TEST(DebuggerTest, ContinueHitsBreakpointEachIteration) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  cantFail(Dbg.setBreakpointAtLabel("count", "loop").takeError());
+
+  R.enqueue(3);
+  auto Stop = Dbg.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Stop));
+  ASSERT_TRUE(Stop->has_value());
+  uint32_t Shred = (*Stop)->ShredId;
+
+  // The loop body runs 10 times; we should stop 10 times total at the
+  // loop head with vr1 = 0..9.
+  for (unsigned Iter = 1; Iter < 10; ++Iter) {
+    auto Next = Dbg.continueRun();
+    ASSERT_TRUE(static_cast<bool>(Next)) << Next.message();
+    ASSERT_TRUE(Next->has_value()) << "iteration " << Iter;
+    EXPECT_EQ(cantFail(Dbg.readReg(Shred, 11)), Iter);
+  }
+  auto Final = Dbg.continueRun();
+  ASSERT_TRUE(static_cast<bool>(Final));
+  EXPECT_FALSE(Final->has_value()); // drained
+  EXPECT_EQ(R.Platform.load<int32_t>(R.Out.Base), 30);
+}
+
+TEST(DebuggerTest, SingleStepAdvancesOneInstruction) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  cantFail(Dbg.setBreakpointAtLabel("count", "loop").takeError());
+  R.enqueue(1);
+  auto Stop = Dbg.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Stop));
+  ASSERT_TRUE(Stop->has_value());
+  uint32_t Shred = (*Stop)->ShredId;
+  EXPECT_EQ((*Stop)->Pc, 2u);
+
+  auto S1 = Dbg.stepInstruction();
+  ASSERT_TRUE(static_cast<bool>(S1)) << S1.message();
+  ASSERT_TRUE(S1->has_value());
+  EXPECT_EQ((*S1)->Pc, 3u);
+  EXPECT_EQ(cantFail(Dbg.readReg(Shred, 10)), 1u); // add executed
+
+  auto S2 = Dbg.stepInstruction();
+  ASSERT_TRUE(static_cast<bool>(S2));
+  ASSERT_TRUE(S2->has_value());
+  EXPECT_EQ((*S2)->Pc, 4u);
+  EXPECT_EQ(cantFail(Dbg.readReg(Shred, 11)), 1u);
+
+  // Step through cmp and the taken branch: back to the loop head.
+  auto S3 = Dbg.stepInstruction();
+  ASSERT_TRUE(static_cast<bool>(S3));
+  auto S4 = Dbg.stepInstruction();
+  ASSERT_TRUE(static_cast<bool>(S4));
+  ASSERT_TRUE(S4->has_value());
+  EXPECT_EQ((*S4)->Pc, 2u);
+}
+
+TEST(DebuggerTest, WriteRegAltersExecution) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  cantFail(Dbg.setBreakpointAtLabel("count", "loop").takeError());
+  R.enqueue(1);
+  auto Stop = Dbg.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Stop));
+  ASSERT_TRUE(Stop->has_value());
+
+  // Force the iteration counter to 9: only one loop body left.
+  cantFail(Dbg.writeReg((*Stop)->ShredId, 11, 9));
+  cantFail(Dbg.clearBreakpoint(1));
+  auto Final = Dbg.continueRun();
+  ASSERT_TRUE(static_cast<bool>(Final));
+  EXPECT_FALSE(Final->has_value());
+  EXPECT_EQ(R.Platform.load<int32_t>(R.Out.Base), 1); // one add only
+}
+
+TEST(DebuggerTest, BreakpointAtLineSlidesToNextInstruction) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  // Line 4 is the label line: slides to the instruction at line 5.
+  auto Bp = Dbg.setBreakpointAtLine("count", 4);
+  ASSERT_TRUE(static_cast<bool>(Bp)) << Bp.message();
+  R.enqueue(1);
+  auto Stop = Dbg.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Stop));
+  ASSERT_TRUE(Stop->has_value());
+  EXPECT_EQ((*Stop)->Line, 5u);
+}
+
+TEST(DebuggerTest, DisassembleAndListSource) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  cantFail(Dbg.setBreakpointAtLabel("count", "loop").takeError());
+  R.enqueue(1);
+  auto Stop = Dbg.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Stop));
+  ASSERT_TRUE(Stop->has_value());
+
+  auto Dis = Dbg.disassembleCurrent((*Stop)->ShredId);
+  ASSERT_TRUE(static_cast<bool>(Dis)) << Dis.message();
+  EXPECT_NE(Dis->find("add.1.dw"), std::string::npos);
+
+  auto Listing = Dbg.sourceListing("count", (*Stop)->Line, 1);
+  ASSERT_TRUE(static_cast<bool>(Listing)) << Listing.message();
+  EXPECT_NE(Listing->find("> "), std::string::npos);
+  EXPECT_NE(Listing->find("add.1.dw vr10 = vr10, step"), std::string::npos);
+}
+
+TEST(DebuggerTest, Diagnostics) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  EXPECT_FALSE(static_cast<bool>(Dbg.setBreakpointAtLabel("nope", "loop")));
+  EXPECT_FALSE(static_cast<bool>(Dbg.setBreakpointAtLabel("count", "nope")));
+  EXPECT_FALSE(static_cast<bool>(Dbg.setBreakpointAtLine("count", 999)));
+  EXPECT_TRUE(static_cast<bool>(Dbg.clearBreakpoint(77)));
+  EXPECT_FALSE(static_cast<bool>(Dbg.continueRun())); // not stopped
+  EXPECT_FALSE(static_cast<bool>(Dbg.stepInstruction()));
+  EXPECT_FALSE(static_cast<bool>(Dbg.readReg(1, 0))); // nothing resident
+}
+
+TEST(DebuggerTest, MemoryInspectionThroughSharedVm) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  // Without an address space attached, memory access is diagnosed.
+  EXPECT_FALSE(static_cast<bool>(Dbg.readWord(R.Out.Base)));
+
+  Dbg.attachMemory(R.Platform.addressSpace());
+  cantFail(Dbg.writeWord(R.Out.Base, 0xabcd1234));
+  EXPECT_EQ(cantFail(Dbg.readWord(R.Out.Base)), 0xabcd1234u);
+
+  // The shred's store is visible to the debugger through the same memory
+  // image.
+  R.enqueue(2);
+  cantFail(Dbg.setBreakpointAtLabel("count", "loop").takeError());
+  auto Stop = Dbg.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Stop));
+  cantFail(Dbg.clearBreakpoint(1));
+  auto End = Dbg.continueRun();
+  ASSERT_TRUE(static_cast<bool>(End));
+  EXPECT_EQ(cantFail(Dbg.readWord(R.Out.Base)), 20u);
+}
+
+TEST(DebuggerTest, ListBreakpoints) {
+  DbgRig R;
+  Debugger Dbg(R.Platform.device(), R.Binary);
+  auto A = cantFail(Dbg.setBreakpointAtLabel("count", "loop"));
+  auto B = cantFail(Dbg.setBreakpointAtLine("count", 2));
+  auto L = Dbg.listBreakpoints();
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(std::get<0>(L[0]), A);
+  EXPECT_EQ(std::get<1>(L[0]), "count");
+  EXPECT_EQ(std::get<0>(L[1]), B);
+  cantFail(Dbg.clearBreakpoint(A));
+  EXPECT_EQ(Dbg.listBreakpoints().size(), 1u);
+}

@@ -1,0 +1,213 @@
+//===- tools/exochi-run.cpp - Run a fat-binary kernel on the platform ---------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Loads a fat binary, allocates surfaces in shared virtual memory, and
+// dispatches heterogeneous shreds onto the simulated platform — the whole
+// EXOCHI stack driven from the command line.
+//
+//   exochi-run file.xfb --kernel vecadd --shreds 100
+//              --surface A=800x1:seq --surface B=800x1:seq
+//              --surface C=800x1:zero --param i=shred
+//
+// Surface fills: zero | seq (element index) | rand. Param values: an
+// integer, or `shred` for the shred's index.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/ParallelRegion.h"
+#include "gma/Trace.h"
+#include "chi/Runtime.h"
+#include "support/File.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace exochi;
+
+namespace {
+
+struct SurfaceArg {
+  std::string Name;
+  uint32_t W = 0, H = 1;
+  std::string Fill = "zero";
+};
+
+bool parseSurfaceArg(const std::string &Spec, SurfaceArg &Out) {
+  // name=WxH[:fill]
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  Out.Name = Spec.substr(0, Eq);
+  std::string Rest = Spec.substr(Eq + 1);
+  size_t Colon = Rest.find(':');
+  if (Colon != std::string::npos) {
+    Out.Fill = Rest.substr(Colon + 1);
+    Rest = Rest.substr(0, Colon);
+  }
+  size_t X = Rest.find('x');
+  if (X == std::string::npos)
+    return false;
+  auto W = parseInt(Rest.substr(0, X));
+  auto H = parseInt(Rest.substr(X + 1));
+  if (!W || !H || *W <= 0 || *H <= 0)
+    return false;
+  Out.W = static_cast<uint32_t>(*W);
+  Out.H = static_cast<uint32_t>(*H);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Input, Kernel, TracePath;
+  unsigned Shreds = 1;
+  std::vector<SurfaceArg> Surfaces;
+  std::map<std::string, std::string> Params;
+
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    auto Next = [&]() -> const char * {
+      if (K + 1 >= Argc) {
+        std::fprintf(stderr, "exochi-run: missing value for %s\n",
+                     A.c_str());
+        std::exit(2);
+      }
+      return Argv[++K];
+    };
+    if (A == "--kernel")
+      Kernel = Next();
+    else if (A == "--trace")
+      TracePath = Next();
+    else if (A == "--shreds")
+      Shreds = static_cast<unsigned>(std::max<int64_t>(
+          1, parseInt(Next()).value_or(1)));
+    else if (A == "--surface") {
+      SurfaceArg S;
+      if (!parseSurfaceArg(Next(), S)) {
+        std::fprintf(stderr, "exochi-run: bad --surface spec\n");
+        return 2;
+      }
+      Surfaces.push_back(S);
+    } else if (A == "--param") {
+      std::string Spec = Next();
+      size_t Eq = Spec.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "exochi-run: bad --param spec\n");
+        return 2;
+      }
+      Params[Spec.substr(0, Eq)] = Spec.substr(Eq + 1);
+    } else if (A == "--help" || A == "-h") {
+      std::fprintf(stderr,
+                   "usage: exochi-run <file.xfb> --kernel <name> "
+                   "[--shreds N] [--surface n=WxH[:zero|seq|rand]] "
+                   "[--param n=<int>|shred] [--trace out.json]\n");
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "exochi-run: unknown option '%s'\n", A.c_str());
+      return 2;
+    } else {
+      Input = A;
+    }
+  }
+  if (Input.empty() || Kernel.empty()) {
+    std::fprintf(stderr, "exochi-run: need an input file and --kernel\n");
+    return 2;
+  }
+
+  auto Bytes = readFileBytes(Input);
+  if (!Bytes) {
+    std::fprintf(stderr, "exochi-run: %s\n", Bytes.message().c_str());
+    return 1;
+  }
+  auto FB = fatbin::FatBinary::deserialize(*Bytes);
+  if (!FB) {
+    std::fprintf(stderr, "exochi-run: %s\n", FB.message().c_str());
+    return 1;
+  }
+
+  exo::ExoPlatform Platform;
+  chi::Runtime RT(Platform);
+  gma::TraceRecorder Tracer;
+  if (!TracePath.empty())
+    Platform.device().setTracer(&Tracer);
+  if (Error E = RT.loadBinary(*FB)) {
+    std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
+    return 1;
+  }
+
+  // Allocate and fill surfaces; build the region.
+  chi::ParallelRegion Region(RT, chi::TargetIsa::X3000, Kernel);
+  std::vector<std::pair<std::string, mem::VirtAddr>> Bases;
+  for (const SurfaceArg &S : Surfaces) {
+    exo::SharedBuffer Buf = Platform.allocateShared(
+        static_cast<uint64_t>(S.W) * S.H * 4, S.Name);
+    Rng R(0x9e0c41);
+    for (uint64_t E = 0; E < static_cast<uint64_t>(S.W) * S.H; ++E) {
+      uint32_t V = 0;
+      if (S.Fill == "seq")
+        V = static_cast<uint32_t>(E);
+      else if (S.Fill == "rand")
+        V = static_cast<uint32_t>(R.next());
+      Platform.store<uint32_t>(Buf.Base + E * 4, V);
+    }
+    auto Desc = RT.allocDesc(chi::TargetIsa::X3000, Buf.Base,
+                             chi::SurfaceMode::InputOutput, S.W, S.H);
+    if (!Desc) {
+      std::fprintf(stderr, "exochi-run: %s\n", Desc.message().c_str());
+      return 1;
+    }
+    Region.shared(S.Name, *Desc);
+    Bases.emplace_back(S.Name, Buf.Base);
+  }
+  for (const auto &[Name, Value] : Params) {
+    if (Value == "shred")
+      Region.privateVar(Name,
+                        [](unsigned T) { return static_cast<int32_t>(T); });
+    else
+      Region.firstprivate(Name, static_cast<int32_t>(
+                                    parseInt(Value).value_or(0)));
+  }
+  Region.numThreads(Shreds);
+
+  auto H = Region.execute();
+  if (!H) {
+    std::fprintf(stderr, "exochi-run: %s\n", H.message().c_str());
+    return 1;
+  }
+  const chi::RegionStats *S = RT.regionStats(*H);
+  std::printf("ran '%s': %llu shreds, %.3f ms simulated, %llu instructions, "
+              "%llu TLB misses, %llu exceptions handled\n",
+              Kernel.c_str(),
+              static_cast<unsigned long long>(S->ShredsSpawned),
+              S->totalNs() / 1e6,
+              static_cast<unsigned long long>(S->Device.Instructions),
+              static_cast<unsigned long long>(S->Device.TlbMisses),
+              static_cast<unsigned long long>(S->Device.ExceptionsHandled));
+
+  if (!TracePath.empty()) {
+    std::string Json = Tracer.toChromeJson();
+    if (Error E = writeFileBytes(
+            TracePath, std::vector<uint8_t>(Json.begin(), Json.end()))) {
+      std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu shred spans to %s (occupancy %.0f%%)\n",
+                Tracer.spans().size(), TracePath.c_str(),
+                Tracer.occupancy() * 100);
+  }
+
+  for (const auto &[Name, Base] : Bases) {
+    std::printf("%s[0..7] =", Name.c_str());
+    for (unsigned K = 0; K < 8; ++K)
+      std::printf(" %d", Platform.load<int32_t>(Base + K * 4));
+    std::printf("\n");
+  }
+  return 0;
+}

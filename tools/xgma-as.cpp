@@ -1,0 +1,168 @@
+//===- tools/xgma-as.cpp - Standalone XGMA assembler driver ------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The accelerator-specific assembler as a standalone tool (the paper's
+// Figure 4 shows it as a component "dynamically linked with the Intel
+// compiler"; here it also works offline). Compiles one XGMA assembly file
+// into a fat binary on disk.
+//
+//   xgma-as kernel.xasm -o kernel.xfb --name vecadd
+//           --scalars i,n --surfaces A,B,C [-O] [--strict]
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/ProgramBuilder.h"
+#include "support/File.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace exochi;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: xgma-as <input.xasm> -o <output.xfb> [options]\n"
+      "  --name <kernel>      section name (default: 'kernel')\n"
+      "  --scalars a,b,c      scalar parameters, ABI order\n"
+      "  --surfaces X,Y       surface parameters, slot order\n"
+      "  -O                   run the kernel optimizer\n"
+      "  --strict             fail on lint warnings\n"
+      "  --append <file.xfb>  add the section to an existing fat binary\n");
+}
+
+std::vector<std::string> parseList(const char *Arg) {
+  std::vector<std::string> Out;
+  for (std::string_view P : split(Arg, ','))
+    if (!trim(P).empty())
+      Out.emplace_back(trim(P));
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Input, Output, Name = "kernel", Append;
+  std::vector<std::string> Scalars, Surfaces;
+  bool Optimize = false, Strict = false;
+
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    auto Next = [&]() -> const char * {
+      if (K + 1 >= Argc) {
+        usage();
+        std::exit(2);
+      }
+      return Argv[++K];
+    };
+    if (A == "-o")
+      Output = Next();
+    else if (A == "--name")
+      Name = Next();
+    else if (A == "--scalars")
+      Scalars = parseList(Next());
+    else if (A == "--surfaces")
+      Surfaces = parseList(Next());
+    else if (A == "-O")
+      Optimize = true;
+    else if (A == "--strict")
+      Strict = true;
+    else if (A == "--append")
+      Append = Next();
+    else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "xgma-as: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      Input = A;
+    }
+  }
+  if (Input.empty() || Output.empty()) {
+    usage();
+    return 2;
+  }
+
+  auto Source = readFileText(Input);
+  if (!Source) {
+    std::fprintf(stderr, "xgma-as: %s\n", Source.message().c_str());
+    return 1;
+  }
+
+  chi::ProgramBuilder PB;
+  PB.setOptimize(Optimize);
+  PB.setLintPolicy(Strict ? chi::LintPolicy::RejectOnWarning
+                          : chi::LintPolicy::Collect);
+
+  // --append: start from the existing binary's sections.
+  fatbin::FatBinary Base;
+  if (!Append.empty()) {
+    auto Bytes = readFileBytes(Append);
+    if (!Bytes) {
+      std::fprintf(stderr, "xgma-as: %s\n", Bytes.message().c_str());
+      return 1;
+    }
+    auto FB = fatbin::FatBinary::deserialize(*Bytes);
+    if (!FB) {
+      std::fprintf(stderr, "xgma-as: %s: %s\n", Append.c_str(),
+                   FB.message().c_str());
+      return 1;
+    }
+    Base = std::move(*FB);
+  }
+
+  auto Id = PB.addXgmaKernel(Name, *Source, Scalars, Surfaces);
+  if (!Id) {
+    std::fprintf(stderr, "xgma-as: %s\n", Id.message().c_str());
+    return 1;
+  }
+  if (const xopt::LintReport *R = PB.lintReport(Name)) {
+    for (const std::string &W : R->Warnings)
+      std::fprintf(stderr, "xgma-as: warning: %s: %s\n", Name.c_str(),
+                   W.c_str());
+    for (const std::string &N : R->Notes)
+      std::fprintf(stderr, "xgma-as: note: %s: %s\n", Name.c_str(),
+                   N.c_str());
+  }
+  if (Optimize) {
+    xopt::OptStats S = PB.optStats(Name);
+    if (S.total() > 0)
+      std::fprintf(stderr,
+                   "xgma-as: optimizer: %llu strength-reduced, %llu "
+                   "simplified, %llu dead removed\n",
+                   static_cast<unsigned long long>(S.StrengthReduced),
+                   static_cast<unsigned long long>(S.AlgebraicSimplified),
+                   static_cast<unsigned long long>(S.DeadRemoved));
+  }
+
+  // Merge into the appended base (if any).
+  fatbin::FatBinary Final = std::move(Base);
+  for (const fatbin::CodeSection &S : PB.binary().sections()) {
+    if (Final.findByName(S.Name)) {
+      std::fprintf(stderr, "xgma-as: '%s' already exists in %s\n",
+                   S.Name.c_str(), Append.c_str());
+      return 1;
+    }
+    fatbin::CodeSection Copy = S;
+    Final.addSection(std::move(Copy));
+  }
+
+  if (Error E = writeFileBytes(Output, Final.serialize())) {
+    std::fprintf(stderr, "xgma-as: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::printf("xgma-as: wrote %s (%zu section%s)\n", Output.c_str(),
+              Final.sections().size(),
+              Final.sections().size() == 1 ? "" : "s");
+  return 0;
+}

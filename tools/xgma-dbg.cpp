@@ -1,0 +1,288 @@
+//===- tools/xgma-dbg.cpp - Command-line shred debugger -----------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// An interactive (or scripted) front end over the extended debugger of
+// paper Section 4.5: load a fat binary, dispatch shreds, and drive them
+// with gdb-style commands.
+//
+//   xgma-dbg file.xfb --kernel count --shreds 1 --param n=10
+//            [--surface out=16x1] [--batch script.txt]
+//
+// Commands:
+//   b <label>        break at a label        bl <line>   break at a line
+//   bd <id>          delete breakpoint       bi          list breakpoints
+//   run | c          start / continue        s           step one instruction
+//   p vrN            print a register        set vrN <v> write a register
+//   dis              disassemble current     l           list source at stop
+//   info             stop location           q           quit
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/ParallelRegion.h"
+#include "chi/Runtime.h"
+#include "support/File.h"
+#include "support/StringUtils.h"
+#include "xdbg/Debugger.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace exochi;
+
+namespace {
+
+void printStop(const std::optional<xdbg::StopInfo> &Stop) {
+  if (!Stop) {
+    std::printf("(machine drained: all shreds completed)\n");
+    return;
+  }
+  std::printf("stopped: shred %u at %s:%u (pc %u)\n", Stop->ShredId,
+              Stop->KernelName.c_str(), Stop->Line, Stop->Pc);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Input, Kernel, Batch;
+  unsigned Shreds = 1;
+  std::vector<std::pair<std::string, uint32_t>> SurfaceSpecs; // name, elems
+  std::vector<std::pair<std::string, int32_t>> ParamSpecs;
+
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    auto Next = [&]() -> const char * {
+      if (K + 1 >= Argc) {
+        std::fprintf(stderr, "xgma-dbg: missing value for %s\n", A.c_str());
+        std::exit(2);
+      }
+      return Argv[++K];
+    };
+    if (A == "--kernel")
+      Kernel = Next();
+    else if (A == "--shreds")
+      Shreds = static_cast<unsigned>(
+          std::max<int64_t>(1, parseInt(Next()).value_or(1)));
+    else if (A == "--batch")
+      Batch = Next();
+    else if (A == "--surface") {
+      std::string S = Next();
+      size_t Eq = S.find('=');
+      size_t X = S.find('x', Eq);
+      if (Eq == std::string::npos || X == std::string::npos) {
+        std::fprintf(stderr, "xgma-dbg: bad --surface (name=WxH)\n");
+        return 2;
+      }
+      uint32_t W = static_cast<uint32_t>(
+          parseInt(S.substr(Eq + 1, X - Eq - 1)).value_or(1));
+      uint32_t H = static_cast<uint32_t>(
+          parseInt(S.substr(X + 1)).value_or(1));
+      SurfaceSpecs.emplace_back(S.substr(0, Eq), W * H);
+    } else if (A == "--param") {
+      std::string S = Next();
+      size_t Eq = S.find('=');
+      if (Eq == std::string::npos) {
+        std::fprintf(stderr, "xgma-dbg: bad --param\n");
+        return 2;
+      }
+      ParamSpecs.emplace_back(
+          S.substr(0, Eq),
+          static_cast<int32_t>(parseInt(S.substr(Eq + 1)).value_or(0)));
+    } else if (A == "--help" || A == "-h") {
+      std::fprintf(stderr, "usage: xgma-dbg <file.xfb> --kernel <name> "
+                           "[--shreds N] [--surface n=WxH] [--param n=v] "
+                           "[--batch script]\n");
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "xgma-dbg: unknown option '%s'\n", A.c_str());
+      return 2;
+    } else {
+      Input = A;
+    }
+  }
+  if (Input.empty() || Kernel.empty()) {
+    std::fprintf(stderr, "xgma-dbg: need an input file and --kernel\n");
+    return 2;
+  }
+
+  auto Bytes = readFileBytes(Input);
+  if (!Bytes) {
+    std::fprintf(stderr, "xgma-dbg: %s\n", Bytes.message().c_str());
+    return 1;
+  }
+  auto FB = fatbin::FatBinary::deserialize(*Bytes);
+  if (!FB) {
+    std::fprintf(stderr, "xgma-dbg: %s\n", FB.message().c_str());
+    return 1;
+  }
+
+  exo::ExoPlatform Platform;
+  chi::Runtime RT(Platform);
+  if (Error E = RT.loadBinary(*FB)) {
+    std::fprintf(stderr, "xgma-dbg: %s\n", E.message().c_str());
+    return 1;
+  }
+
+  // Enqueue shreds directly on the device: a debug session drives the
+  // machine itself rather than through the runtime's dispatch loop.
+  auto Table = std::make_shared<gma::SurfaceTable>();
+  for (auto &[Name, Elems] : SurfaceSpecs) {
+    exo::SharedBuffer Buf = Platform.allocateShared(Elems * 4ull, Name);
+    gma::SurfaceBinding S;
+    S.Base = Buf.Base;
+    S.Width = Elems;
+    Table->push_back(S);
+    std::printf("surface %s at 0x%llx (%u elements)\n", Name.c_str(),
+                static_cast<unsigned long long>(Buf.Base), Elems);
+  }
+  const fatbin::CodeSection *Section = FB->findByName(Kernel);
+  if (!Section) {
+    std::fprintf(stderr, "xgma-dbg: no kernel '%s'\n", Kernel.c_str());
+    return 1;
+  }
+  // Device kernel ids follow load order of XGMA sections.
+  uint32_t DeviceKernelId = 0, Counter = 0;
+  for (const fatbin::CodeSection &S : FB->sections())
+    if (S.Isa == fatbin::IsaTag::XGMA) {
+      ++Counter;
+      if (S.Name == Kernel)
+        DeviceKernelId = Counter;
+    }
+  for (unsigned T = 0; T < Shreds; ++T) {
+    gma::ShredDescriptor D;
+    D.KernelId = DeviceKernelId;
+    for (const std::string &P : Section->ScalarParams) {
+      int32_t V = 0;
+      for (auto &[Name, Val] : ParamSpecs)
+        if (Name == P)
+          V = Val;
+      D.Params.push_back(V);
+    }
+    D.Surfaces = Table;
+    Platform.device().enqueueShred(std::move(D));
+  }
+
+  xdbg::Debugger Dbg(Platform.device(), *FB);
+  Dbg.attachMemory(Platform.addressSpace());
+
+  std::FILE *In = stdin;
+  if (!Batch.empty()) {
+    In = std::fopen(Batch.c_str(), "r");
+    if (!In) {
+      std::fprintf(stderr, "xgma-dbg: cannot open %s\n", Batch.c_str());
+      return 1;
+    }
+  }
+
+  bool Started = false;
+  char LineBuf[512];
+  std::printf("(xgma-dbg) ");
+  std::fflush(stdout);
+  while (std::fgets(LineBuf, sizeof(LineBuf), In)) {
+    std::string LineStr(LineBuf);
+    if (!Batch.empty())
+      std::printf("%s", LineStr.c_str()); // echo scripted commands
+    std::vector<std::string_view> Tok;
+    for (std::string_view P : split(trim(LineStr), ' '))
+      if (!P.empty())
+        Tok.push_back(P);
+    if (Tok.empty()) {
+      std::printf("(xgma-dbg) ");
+      std::fflush(stdout);
+      continue;
+    }
+    std::string Cmd(Tok[0]);
+
+    auto Arg = [&](size_t K) {
+      return K < Tok.size() ? std::string(Tok[K]) : std::string();
+    };
+    auto CurrentShred = [&]() -> uint32_t {
+      return Dbg.currentStop() ? Dbg.currentStop()->ShredId : 0;
+    };
+
+    if (Cmd == "q" || Cmd == "quit")
+      break;
+    if (Cmd == "b") {
+      auto Bp = Dbg.setBreakpointAtLabel(Kernel, Arg(1));
+      if (Bp)
+        std::printf("breakpoint %u at label %s\n", *Bp, Arg(1).c_str());
+      else
+        std::printf("error: %s\n", Bp.message().c_str());
+    } else if (Cmd == "bl") {
+      auto Bp = Dbg.setBreakpointAtLine(
+          Kernel, static_cast<uint32_t>(parseInt(Arg(1)).value_or(1)));
+      if (Bp)
+        std::printf("breakpoint %u at line %s\n", *Bp, Arg(1).c_str());
+      else
+        std::printf("error: %s\n", Bp.message().c_str());
+    } else if (Cmd == "bd") {
+      Error E = Dbg.clearBreakpoint(
+          static_cast<uint32_t>(parseInt(Arg(1)).value_or(0)));
+      std::printf("%s\n", E ? E.message().c_str() : "deleted");
+    } else if (Cmd == "bi") {
+      for (auto &[Id, K, Pc] : Dbg.listBreakpoints())
+        std::printf("  %u: %s pc %u\n", Id, K.c_str(), Pc);
+    } else if (Cmd == "run" || Cmd == "c") {
+      auto Stop = Started ? Dbg.continueRun() : Dbg.run(0.0);
+      Started = true;
+      if (Stop)
+        printStop(*Stop);
+      else
+        std::printf("error: %s\n", Stop.message().c_str());
+    } else if (Cmd == "s") {
+      auto Stop = Dbg.stepInstruction();
+      if (Stop)
+        printStop(*Stop);
+      else
+        std::printf("error: %s\n", Stop.message().c_str());
+    } else if (Cmd == "p") {
+      std::string R = Arg(1);
+      if (R.size() > 2 && R.substr(0, 2) == "vr") {
+        auto V = Dbg.readReg(CurrentShred(),
+                             static_cast<unsigned>(
+                                 parseInt(R.substr(2)).value_or(0)));
+        if (V)
+          std::printf("%s = %d (0x%08x)\n", R.c_str(),
+                      static_cast<int32_t>(*V), *V);
+        else
+          std::printf("error: %s\n", V.message().c_str());
+      } else {
+        std::printf("usage: p vrN\n");
+      }
+    } else if (Cmd == "set") {
+      std::string R = Arg(1);
+      if (R.size() > 2 && R.substr(0, 2) == "vr") {
+        Error E = Dbg.writeReg(
+            CurrentShred(),
+            static_cast<unsigned>(parseInt(R.substr(2)).value_or(0)),
+            static_cast<uint32_t>(parseInt(Arg(2)).value_or(0)));
+        std::printf("%s\n", E ? E.message().c_str() : "ok");
+      }
+    } else if (Cmd == "dis") {
+      auto D = Dbg.disassembleCurrent(CurrentShred());
+      std::printf("%s\n", D ? D->c_str() : D.message().c_str());
+    } else if (Cmd == "l") {
+      if (Dbg.currentStop()) {
+        auto L = Dbg.sourceListing(Kernel, Dbg.currentStop()->Line, 3);
+        std::printf("%s", L ? L->c_str() : L.message().c_str());
+      } else {
+        std::printf("not stopped\n");
+      }
+    } else if (Cmd == "info") {
+      printStop(Dbg.currentStop());
+    } else {
+      std::printf("unknown command '%s' (b bl bd bi run c s p set dis l "
+                  "info q)\n",
+                  Cmd.c_str());
+    }
+    std::printf("(xgma-dbg) ");
+    std::fflush(stdout);
+  }
+  if (In != stdin)
+    std::fclose(In);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- tools/xgma-objdump.cpp - Fat binary inspector --------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Inspects fat binaries: section listing, re-assemblable disassembly,
+// embedded source, and static lint.
+//
+//   xgma-objdump file.xfb [--disasm] [--source] [--lint]
+//
+//===----------------------------------------------------------------------===//
+
+#include "fatbin/FatBinary.h"
+#include "isa/Encoding.h"
+#include "support/File.h"
+#include "xasm/Printer.h"
+#include "xopt/Lint.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace exochi;
+
+int main(int Argc, char **Argv) {
+  std::string Input;
+  bool Disasm = false, Source = false, Lint = false;
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    if (A == "--disasm")
+      Disasm = true;
+    else if (A == "--source")
+      Source = true;
+    else if (A == "--lint")
+      Lint = true;
+    else if (A == "--help" || A == "-h" || (!A.empty() && A[0] == '-')) {
+      std::fprintf(stderr,
+                   "usage: xgma-objdump <file.xfb> [--disasm] [--source] "
+                   "[--lint]\n");
+      return A == "--help" || A == "-h" ? 0 : 2;
+    } else {
+      Input = A;
+    }
+  }
+  if (Input.empty()) {
+    std::fprintf(stderr, "xgma-objdump: no input file\n");
+    return 2;
+  }
+
+  auto Bytes = readFileBytes(Input);
+  if (!Bytes) {
+    std::fprintf(stderr, "xgma-objdump: %s\n", Bytes.message().c_str());
+    return 1;
+  }
+  auto FB = fatbin::FatBinary::deserialize(*Bytes);
+  if (!FB) {
+    std::fprintf(stderr, "xgma-objdump: %s: %s\n", Input.c_str(),
+                 FB.message().c_str());
+    return 1;
+  }
+
+  std::printf("%s: fat binary, %zu section%s\n\n", Input.c_str(),
+              FB->sections().size(), FB->sections().size() == 1 ? "" : "s");
+  for (const fatbin::CodeSection &S : FB->sections()) {
+    std::printf("section %u: %-20s isa=%-5s code=%zu bytes\n", S.Id,
+                S.Name.c_str(),
+                S.Isa == fatbin::IsaTag::XGMA ? "XGMA" : "IA32",
+                S.Code.size());
+    auto PrintList = [](const char *What,
+                        const std::vector<std::string> &L) {
+      if (L.empty())
+        return;
+      std::printf("  %s:", What);
+      for (const std::string &P : L)
+        std::printf(" %s", P.c_str());
+      std::printf("\n");
+    };
+    PrintList("scalar params", S.ScalarParams);
+    PrintList("surface params", S.SurfaceParams);
+
+    if (S.Isa != fatbin::IsaTag::XGMA) {
+      std::printf("\n");
+      continue;
+    }
+    auto Prog = isa::decodeProgram(S.Code);
+    if (!Prog) {
+      std::printf("  <corrupt code section: %s>\n\n",
+                  Prog.message().c_str());
+      continue;
+    }
+    std::printf("  instructions: %zu\n", Prog->size());
+
+    if (Disasm)
+      std::printf("%s", xasm::printKernel(*Prog, S.Debug.Labels).c_str());
+    if (Source && !S.Debug.SourceText.empty())
+      std::printf("  -- source --\n%s", S.Debug.SourceText.c_str());
+    if (Lint) {
+      xopt::LintReport R = xopt::lintKernel(
+          *Prog, static_cast<unsigned>(S.ScalarParams.size()));
+      for (const std::string &W : R.Warnings)
+        std::printf("  warning: %s\n", W.c_str());
+      for (const std::string &N : R.Notes)
+        std::printf("  note: %s\n", N.c_str());
+      if (R.clean() && R.Notes.empty())
+        std::printf("  lint: clean\n");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
