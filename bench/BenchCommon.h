@@ -30,11 +30,41 @@
 namespace exochi {
 namespace bench {
 
-/// Reads the bench scale from the environment (default 0.5).
+/// Reads the bench scale from the environment (default 0.5). Non-numeric
+/// values fall back to the default with a warning — atof would silently
+/// turn them into 0, which the clamp would then promote to the minimum
+/// scale, quietly benchmarking a different workload size than requested.
 inline double benchScale() {
-  if (const char *S = std::getenv("EXOCHI_BENCH_SCALE"))
-    return std::max(0.05, std::min(1.0, std::atof(S)));
-  return 0.5;
+  const char *S = std::getenv("EXOCHI_BENCH_SCALE");
+  if (!S || !*S)
+    return 0.5;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (End == S || *End != '\0') {
+    std::fprintf(stderr,
+                 "bench: ignoring non-numeric EXOCHI_BENCH_SCALE='%s' "
+                 "(using default 0.5)\n",
+                 S);
+    return 0.5;
+  }
+  return std::max(0.05, std::min(1.0, V));
+}
+
+/// Reads the sim-thread override from the environment: EXOCHI_SIM_THREADS
+/// sets GmaConfig::SimThreads for every bench platform (0 = one per host
+/// core). Returns -1 when unset or non-numeric (keep the default).
+inline int benchSimThreads() {
+  const char *S = std::getenv("EXOCHI_SIM_THREADS");
+  if (!S || !*S)
+    return -1;
+  char *End = nullptr;
+  long V = std::strtol(S, &End, 10);
+  if (End == S || *End != '\0' || V < 0) {
+    std::fprintf(stderr,
+                 "bench: ignoring bad EXOCHI_SIM_THREADS='%s'\n", S);
+    return -1;
+  }
+  return static_cast<int>(V);
 }
 
 /// A workload wired to a fresh platform/runtime pair.
@@ -56,6 +86,8 @@ instantiate(const WorkloadFactory &Make,
             chi::MemoryModel Model = chi::MemoryModel::CCShared) {
   WorkloadInstance W;
   W.Platform = std::make_unique<exo::ExoPlatform>();
+  if (int N = benchSimThreads(); N >= 0)
+    W.Platform->setSimThreads(static_cast<unsigned>(N));
   W.RT = std::make_unique<chi::Runtime>(*W.Platform, Model);
   W.Workload = Make();
   chi::ProgramBuilder PB;

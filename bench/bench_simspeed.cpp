@@ -1,0 +1,127 @@
+//===- bench/bench_simspeed.cpp - Simulator throughput scaling -----------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures wall-clock simulator throughput (simulated instructions per
+// host second) of the parallel GMA epoch engine across sim-thread counts,
+// on a subset of the Table 2 media kernels. The simulation results are
+// bit-identical at every thread count (the bench asserts this on device
+// stats); only the host wall clock changes. Meaningful scaling requires
+// a multi-core host — on a single hardware core the extra threads only
+// add barrier overhead.
+//
+// Writes a human-readable table to stdout and machine-readable results to
+// BENCH_simspeed.json (override the path with EXOCHI_BENCH_JSON).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace exochi;
+using namespace exochi::bench;
+
+namespace {
+
+struct Result {
+  std::string Kernel;
+  unsigned Threads = 1;
+  double WallSec = 0;
+  uint64_t SimInstructions = 0;
+  double InstrPerSec = 0;
+  double SpeedupVsSerial = 1.0;
+};
+
+} // namespace
+
+int main() {
+  double Scale = benchScale();
+  unsigned HostCores = std::thread::hardware_concurrency();
+  const unsigned ThreadCounts[] = {1, 2, 4, 8};
+  constexpr int Trials = 3;
+
+  std::printf("=== Simulator throughput: parallel epoch engine "
+              "(scale %.2f, %u host cores) ===\n",
+              Scale, HostCores);
+  std::printf("%-14s %8s %10s %14s %12s %9s\n", "kernel", "threads",
+              "wall ms", "sim instrs", "instr/s", "speedup");
+
+  std::vector<Result> Results;
+  for (auto &[Name, Make] : table2Factories(Scale)) {
+    if (Name != "LinearFilter" && Name != "SepiaTone" && Name != "FGT")
+      continue;
+
+    gma::GmaRunStats SerialStats;
+    double SerialWall = 0;
+    for (unsigned T : ThreadCounts) {
+      Result R;
+      R.Kernel = Name;
+      R.Threads = T;
+      R.WallSec = 1e99;
+      // Best-of-trials wall clock; a fresh platform per trial so cache,
+      // TLB, and bus state never carry over between measurements.
+      for (int Trial = 0; Trial < Trials; ++Trial) {
+        WorkloadInstance W = instantiate(Make);
+        W.Platform->setSimThreads(T);
+        auto T0 = std::chrono::steady_clock::now();
+        chi::RegionStats S = deviceRun(W);
+        auto T1 = std::chrono::steady_clock::now();
+        R.WallSec = std::min(
+            R.WallSec, std::chrono::duration<double>(T1 - T0).count());
+        R.SimInstructions = S.Device.Instructions;
+        if (T == 1)
+          SerialStats = S.Device;
+        else if (!(S.Device == SerialStats)) {
+          std::fprintf(stderr,
+                       "bench_simspeed: FATAL: %s stats diverge at "
+                       "%u sim threads (determinism contract broken)\n",
+                       Name.c_str(), T);
+          return 1;
+        }
+      }
+      if (T == 1)
+        SerialWall = R.WallSec;
+      R.InstrPerSec =
+          static_cast<double>(R.SimInstructions) / R.WallSec;
+      R.SpeedupVsSerial = SerialWall / R.WallSec;
+      std::printf("%-14s %8u %10.2f %14llu %12.3e %8.2fx\n", Name.c_str(),
+                  T, R.WallSec * 1e3,
+                  static_cast<unsigned long long>(R.SimInstructions),
+                  R.InstrPerSec, R.SpeedupVsSerial);
+      Results.push_back(R);
+    }
+  }
+
+  const char *JsonPath = std::getenv("EXOCHI_BENCH_JSON");
+  if (!JsonPath || !*JsonPath)
+    JsonPath = "BENCH_simspeed.json";
+  FILE *F = std::fopen(JsonPath, "w");
+  if (!F) {
+    std::fprintf(stderr, "bench_simspeed: cannot write %s\n", JsonPath);
+    return 1;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"simspeed\",\n  \"scale\": %g,\n"
+                  "  \"hardware_concurrency\": %u,\n  \"trials\": %d,\n"
+                  "  \"results\": [\n",
+               Scale, HostCores, Trials);
+  for (size_t K = 0; K < Results.size(); ++K) {
+    const Result &R = Results[K];
+    std::fprintf(F,
+                 "    {\"kernel\": \"%s\", \"sim_threads\": %u, "
+                 "\"wall_seconds\": %.6f, \"sim_instructions\": %llu, "
+                 "\"instr_per_sec\": %.1f, \"speedup_vs_serial\": %.3f}%s\n",
+                 R.Kernel.c_str(), R.Threads, R.WallSec,
+                 static_cast<unsigned long long>(R.SimInstructions),
+                 R.InstrPerSec, R.SpeedupVsSerial,
+                 K + 1 < Results.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", JsonPath);
+  return 0;
+}

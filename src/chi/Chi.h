@@ -84,6 +84,10 @@ enum class Feature : uint8_t {
   LocalityScheduling,
   /// Per-shred: free-form application tag readable back (used by tools).
   ShredTag,
+  /// Host worker threads used to simulate the device (0 = one per
+  /// hardware core, 1 = serial). A simulator knob rather than a paper
+  /// API: it changes only wall-clock speed, never simulation results.
+  SimThreads,
 };
 
 /// Descriptor: the accelerator-specific access information attached to a

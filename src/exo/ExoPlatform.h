@@ -64,6 +64,11 @@ public:
   ExoProxyHandler &proxy() { return Proxy; }
   const PlatformConfig &config() const { return Config; }
 
+  /// Host worker threads used to simulate the device for subsequent runs
+  /// (0 = one per hardware core, 1 = serial). Purely a wall-clock knob:
+  /// simulation results are bit-identical for every value.
+  void setSimThreads(unsigned N) { Device.setSimThreads(N); }
+
   /// Allocates \p Bytes of demand-paged shared virtual memory. Both the
   /// IA32 sequencer and (through ATR) the exo-sequencers can access it at
   /// the same virtual addresses.

@@ -104,6 +104,18 @@ struct GmaConfig {
   /// commands and loading a thread context (paper Section 3.4).
   TimeNs ShredDispatchNs = 60.0;
 
+  /// Host worker threads used to simulate the device (0 = one per
+  /// hardware core, capped at NumEus; 1 = serial in-line execution).
+  /// Every setting produces bit-identical results: the epoch-based
+  /// engine resolves all shared-resource interactions in a fixed order
+  /// at simulation barriers (see DESIGN.md, "Parallel simulation").
+  unsigned SimThreads = 0;
+  /// Epoch length: each simulation round advances every EU to
+  /// (earliest pending event + SimHorizonNs) before the shared-resource
+  /// barrier. Part of the deterministic schedule, so changing it changes
+  /// arbitration outcomes (identically for every SimThreads value).
+  TimeNs SimHorizonNs = 400.0;
+
   /// Cycle period in nanoseconds.
   TimeNs cycleNs() const { return 1.0 / ClockGhz; }
 
@@ -182,6 +194,10 @@ struct GmaRunStats {
   uint64_t SamplerOps = 0;
   double IssueCycles = 0; ///< total EU issue cycles charged
   TimeNs ProxyStallNs = 0; ///< context-stall time due to ATR/CEH proxies
+
+  /// Field-wise equality: the parallel-simulation determinism contract
+  /// promises bit-identical stats for every GmaConfig::SimThreads value.
+  bool operator==(const GmaRunStats &) const = default;
 
   TimeNs elapsedNs() const { return FinishNs - StartNs; }
 };

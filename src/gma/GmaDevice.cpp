@@ -3,6 +3,36 @@
 // Part of the EXOCHI reproduction project.
 //
 //===----------------------------------------------------------------------===//
+//
+// Epoch-based simulation engine. Every run proceeds in rounds:
+//
+//   1. refill    (serial)   — dispatch queued shreds into idle contexts,
+//                             in EU-index order.
+//   2. advance   (parallel) — each worker thread advances its partition
+//                             of EUs up to a shared simulated-time
+//                             horizon. Instructions with only EU-local
+//                             effects (ALU, branches, predication)
+//                             execute immediately; every interaction with
+//                             a shared resource (memory/cache/TLB/bus,
+//                             the sampler, xmit/wait, spawn, proxy ATR
+//                             and CEH calls, retirement) is buffered as a
+//                             PendingOp. Ops whose result the context
+//                             needs block it until the barrier.
+//   3. resolve   (serial)   — all buffered ops are drained in
+//                             (issue time, EU index, sequence) order.
+//                             Arbitration for the bus, cache, TLB,
+//                             sampler queue and work queue happens here,
+//                             so its outcome depends only on the issue
+//                             schedule — never on the worker count.
+//
+// The per-EU advance is itself deterministic (a context's instruction
+// stream depends only on state established at round barriers), so the
+// whole simulation is bit-identical for every SimThreads value; the
+// serial path simply runs step 2 in-line. Step hooks force the serial
+// path, and a hook-requested pause resolves all buffered ops before
+// returning so debuggers observe a consistent machine.
+//
+//===----------------------------------------------------------------------===//
 
 #include "gma/GmaDevice.h"
 
@@ -12,6 +42,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 using namespace exochi;
 using namespace exochi::gma;
@@ -43,6 +74,7 @@ struct GmaDevice::Context : public ShredRegView {
   enum class State : uint8_t {
     Idle,    ///< no shred loaded
     Running, ///< executing (possibly stalled until StallUntil)
+    Blocked, ///< issued a shared-resource op; parked until the barrier
     Waiting, ///< blocked in `wait` on a register ready flag
   };
 
@@ -127,7 +159,38 @@ struct GmaDevice::Context : public ShredRegView {
   }
 };
 
-/// One execution unit with its four thread contexts and private TLB.
+/// A buffered shared-resource interaction, applied at the round barrier.
+struct GmaDevice::PendingOp {
+  enum class Kind : uint8_t {
+    Memory,    ///< Ld/St/LdBlk/StBlk (blocking)
+    Sampler,   ///< sample (blocking)
+    Exception, ///< CEH proxy call (blocking)
+    Xmit,      ///< cross-shred register send (non-blocking)
+    Wait,      ///< wait with no locally ready value (blocking)
+    Spawn,     ///< child shred enqueue (non-blocking)
+    Retire,    ///< halt / end of kernel (blocking; context idles here)
+  };
+
+  Kind K = Kind::Memory;
+  TimeNs IssueNs = 0;
+  uint32_t EuIdx = 0;
+  uint32_t Slot = 0;
+  uint64_t Seq = 0;    ///< per-EU issue sequence (sort tiebreaker)
+  uint32_t NextPc = 0; ///< pc after the op completes
+
+  isa::Instruction Instr; ///< Memory / Sampler / Exception payload
+  ExceptionKind Exc = ExceptionKind::UnsupportedType;
+  uint32_t Target = 0; ///< Xmit: destination shred id
+  uint32_t Value = 0;  ///< Xmit: value; Spawn: child parameter
+  uint8_t Reg = 0;     ///< Xmit / Wait register
+  TimeNs EndNs = 0;    ///< Retire: span end time
+  uint32_t SpawnKernel = 0;
+  std::shared_ptr<const SurfaceTable> SpawnSurfaces;
+};
+
+/// One execution unit with its four thread contexts. Everything here —
+/// including the pending-op buffer and the statistic shards — is owned
+/// exclusively by one worker thread during the advance phase.
 struct GmaDevice::Eu {
   Eu(unsigned Index, unsigned NumThreads)
       : Index(Index), Contexts(NumThreads) {
@@ -139,6 +202,16 @@ struct GmaDevice::Eu {
   TimeNs Time = 0;
   std::vector<Context> Contexts;
   int LastIssued = -1;
+
+  std::vector<PendingOp> Pending;
+  uint64_t NextSeq = 0;
+
+  // Statistic shards, merged into GmaRunStats in EU-index order at every
+  // run exit so double-precision accumulation order is fixed.
+  uint64_t ShardInstructions = 0;
+  double ShardIssueCycles = 0;
+  TimeNs ShardFinishNs = 0;
+  std::string ShardError; ///< first advance-phase error (empty = none)
 };
 
 //===----------------------------------------------------------------------===//
@@ -167,6 +240,48 @@ int64_t signExtend(int64_t V, ElemType Ty) {
   }
 }
 
+/// Issue cost in EU cycles. Wide (>8 lane) operations take two passes of
+/// the 8-wide ALU; simple move/bitwise operations co-issue in pairs
+/// (0.5 cycles), modelling the EU's dual-issue of cheap ops and the
+/// regioning/swizzle hardware that makes channel shuffling nearly free
+/// in the real media ISA.
+double issueCycles(const Instruction &I) {
+  double C;
+  switch (I.Op) {
+  case Opcode::Mov:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Not:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Asr:
+  case Opcode::Sel:
+    C = 0.5;
+    break;
+  case Opcode::Mul:
+  case Opcode::Mac:
+    C = 2;
+    break;
+  case Opcode::Div:
+    C = 8;
+    break;
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::LdBlk:
+  case Opcode::StBlk:
+  case Opcode::Sample:
+    C = 2;
+    break;
+  default:
+    C = 1;
+    break;
+  }
+  if (opcodeHasWidthType(I.Op) && I.Width > 8)
+    C *= 2;
+  return C;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -185,18 +300,18 @@ GmaDevice::GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
 GmaDevice::~GmaDevice() = default;
 
 uint32_t GmaDevice::registerKernel(KernelImage Image) {
-  uint32_t Id = NextKernelId++;
-  Kernels.emplace(Id, std::move(Image));
-  return Id;
+  Kernels.push_back(std::move(Image));
+  return static_cast<uint32_t>(Kernels.size());
 }
 
 const KernelImage *GmaDevice::kernel(uint32_t KernelId) const {
-  auto It = Kernels.find(KernelId);
-  return It == Kernels.end() ? nullptr : &It->second;
+  if (KernelId == 0 || KernelId > Kernels.size())
+    return nullptr;
+  return &Kernels[KernelId - 1];
 }
 
 uint32_t GmaDevice::enqueueShred(ShredDescriptor Desc) {
-  assert(Kernels.count(Desc.KernelId) && "enqueue of unregistered kernel");
+  assert(kernel(Desc.KernelId) && "enqueue of unregistered kernel");
   Queue.push_back(std::move(Desc));
   return NextShredId + static_cast<uint32_t>(Queue.size()) - 1;
 }
@@ -204,11 +319,27 @@ uint32_t GmaDevice::enqueueShred(ShredDescriptor Desc) {
 void GmaDevice::resetStats() {
   Stats = GmaRunStats();
   SamplerFreeAt = 0;
-  for (auto &E : Eus)
+  for (auto &E : Eus) {
     E->Time = 0;
+    E->ShardInstructions = 0;
+    E->ShardIssueCycles = 0;
+    E->ShardFinishNs = 0;
+  }
 }
 
 void GmaDevice::invalidateTlbs() { DeviceTlb.invalidateAll(); }
+
+unsigned GmaDevice::effectiveSimThreads() const {
+  if (Hook_)
+    return 1; // hooks need one well-defined serial pause point
+  unsigned N = Config.SimThreads;
+  if (N == 0) {
+    N = std::thread::hardware_concurrency();
+    if (N == 0)
+      N = 1;
+  }
+  return std::max(1u, std::min(N, Config.NumEus));
+}
 
 std::vector<uint32_t> GmaDevice::residentShreds() const {
   std::vector<uint32_t> Out;
@@ -220,6 +351,10 @@ std::vector<uint32_t> GmaDevice::residentShreds() const {
 }
 
 ShredRegView *GmaDevice::shredRegs(uint32_t ShredId) {
+  return findResident(ShredId);
+}
+
+GmaDevice::Context *GmaDevice::findResident(uint32_t ShredId) {
   for (auto &E : Eus)
     for (Context &C : E->Contexts)
       if (C.St != Context::State::Idle && C.ShredId == ShredId)
@@ -278,8 +413,8 @@ Expected<bool> GmaDevice::refillContext(Eu &E) {
     // Section 3.4): the firmware fetches it through the same translated
     // path as data, so descriptor pages take ATR misses like any other.
     uint64_t Bytes = Desc.Params.size() * 4;
-    auto Acc = accessMemory(E, C, Desc.RecordVa, Bytes, /*IsWrite=*/false,
-                            mem::GpuMemType::Cached);
+    auto Acc = accessMemoryAt(E.Time, C, Desc.RecordVa, Bytes,
+                              /*IsWrite=*/false, mem::GpuMemType::Cached);
     if (!Acc)
       return Error::make("shred descriptor fetch failed: " +
                          Acc.message());
@@ -297,31 +432,19 @@ Expected<bool> GmaDevice::refillContext(Eu &E) {
       C.Regs[K] = static_cast<uint32_t>(Desc.Params[K]);
   }
 
-  // Deliver any cross-shred register writes sent before this shred ran.
-  for (unsigned R = 0; R < NumVRegs; ++R) {
-    auto It = Mailbox.find({C.ShredId, static_cast<uint8_t>(R)});
+  // Deliver any cross-shred register writes sent before this shred ran:
+  // one mailbox lookup per dispatch instead of one per register.
+  if (!Mailbox.empty()) {
+    auto It = Mailbox.find(C.ShredId);
     if (It != Mailbox.end()) {
-      C.Regs[R] = It->second;
-      C.RegReady[R] = true;
+      for (const auto &[R, V] : It->second) {
+        C.Regs[R] = V;
+        C.RegReady[R] = true;
+      }
       Mailbox.erase(It);
     }
   }
   return true;
-}
-
-void GmaDevice::retireShred(Eu &E, Context &Ctx) {
-  Ctx.St = Context::State::Idle;
-  ++Stats.ShredsExecuted;
-  if (Tracer) {
-    ShredSpan Span;
-    Span.Eu = E.Index;
-    Span.Slot = Ctx.Slot;
-    Span.ShredId = Ctx.ShredId;
-    Span.Kernel = Ctx.Kern ? Ctx.Kern->Name : "";
-    Span.StartNs = Ctx.LoadedAtNs;
-    Span.EndNs = std::max(E.Time, Ctx.StallUntil);
-    Tracer->record(std::move(Span));
-  }
 }
 
 GmaDevice::Context *GmaDevice::pickReadyContext(Eu &E) {
@@ -345,10 +468,10 @@ GmaDevice::Context *GmaDevice::pickReadyContext(Eu &E) {
 }
 
 Expected<GmaDevice::MemAccess>
-GmaDevice::accessMemory(Eu &E, Context &Ctx, mem::VirtAddr Va, uint64_t Bytes,
-                        bool IsWrite, mem::GpuMemType MemType) {
+GmaDevice::accessMemoryAt(TimeNs Now, Context &Ctx, mem::VirtAddr Va,
+                          uint64_t Bytes, bool IsWrite,
+                          mem::GpuMemType MemType) {
   MemAccess Out;
-  TimeNs Now = E.Time;
   ++Stats.MemoryOps;
 
   uint64_t Remaining = Bytes;
@@ -439,95 +562,49 @@ GmaDevice::accessMemory(Eu &E, Context &Ctx, mem::VirtAddr Va, uint64_t Bytes,
 }
 
 //===----------------------------------------------------------------------===//
-// Instruction execution
+// Instruction execution (advance phase: EU-local effects only)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Issue cost in EU cycles. Wide (>8 lane) operations take two passes of
-/// the 8-wide ALU; simple move/bitwise operations co-issue in pairs
-/// (0.5 cycles), modelling the EU's dual-issue of cheap ops and the
-/// regioning/swizzle hardware that makes channel shuffling nearly free
-/// in the real media ISA.
-double issueCycles(const Instruction &I) {
-  double C;
-  switch (I.Op) {
-  case Opcode::Mov:
-  case Opcode::And:
-  case Opcode::Or:
-  case Opcode::Xor:
-  case Opcode::Not:
-  case Opcode::Shl:
-  case Opcode::Shr:
-  case Opcode::Asr:
-  case Opcode::Sel:
-    C = 0.5;
-    break;
-  case Opcode::Mul:
-  case Opcode::Mac:
-    C = 2;
-    break;
-  case Opcode::Div:
-    C = 8;
-    break;
-  case Opcode::Ld:
-  case Opcode::St:
-  case Opcode::LdBlk:
-  case Opcode::StBlk:
-  case Opcode::Sample:
-    C = 2;
-    break;
-  default:
-    C = 1;
-    break;
-  }
-  if (opcodeHasWidthType(I.Op) && I.Width > 8)
-    C *= 2;
-  return C;
-}
-
-} // namespace
-
-Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
+void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
   const std::vector<Instruction> &Code = Ctx.Kern->Code;
+
+  // Buffers \p Op with the common scheduling fields filled in.
+  auto Defer = [&](PendingOp Op, uint32_t NextPc) {
+    Op.IssueNs = E.Time;
+    Op.EuIdx = E.Index;
+    Op.Slot = Ctx.Slot;
+    Op.Seq = E.NextSeq++;
+    Op.NextPc = NextPc;
+    E.Pending.push_back(std::move(Op));
+  };
+
   // Running past the end of the kernel behaves as halt.
   if (Ctx.Pc >= Code.size()) {
-    retireShred(E, Ctx);
-    return Error::success();
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Retire;
+    Op.EndNs = std::max(E.Time, Ctx.StallUntil);
+    Defer(std::move(Op), Ctx.Pc);
+    Ctx.St = Context::State::Blocked;
+    return;
   }
 
   const Instruction &I = Code[Ctx.Pc];
-  ++Stats.Instructions;
-  Stats.IssueCycles += issueCycles(I);
+  ++E.ShardInstructions;
+  E.ShardIssueCycles += issueCycles(I);
   E.Time += issueCycles(I) * Config.cycleNs();
-  Stats.FinishNs = std::max(Stats.FinishNs, E.Time);
+  E.ShardFinishNs = std::max(E.ShardFinishNs, E.Time);
 
   uint32_t NextPc = Ctx.Pc + 1;
 
-  // Raise a CEH exception for instruction \p Kind; on successful proxy
-  // emulation the instruction is skipped and the shred resumes.
-  auto RaiseException = [&](ExceptionKind Kind) -> Error {
-    if (!Proxy)
-      return Error::make(formatString(
-          "shred %u: %s exception with no proxy handler", Ctx.ShredId,
-          exceptionKindName(Kind)));
-    ExceptionInfo Info;
-    Info.Kind = Kind;
-    Info.ShredId = Ctx.ShredId;
-    Info.KernelId = Ctx.KernelId;
-    Info.Pc = Ctx.Pc;
-    Info.Instr = I;
-    ++Stats.ProxyCalls;
-    auto Latency = Proxy->onException(Info, Ctx);
-    if (!Latency)
-      return Error::make(formatString(
-          "shred %u pc %u: unhandled %s exception: %s", Ctx.ShredId, Ctx.Pc,
-          exceptionKindName(Kind), Latency.message().c_str()));
-    ++Stats.ExceptionsHandled;
-    Ctx.StallUntil = E.Time + *Latency;
-    Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
-    Ctx.Pc = NextPc;
-    return Error::success();
+  // Defers a CEH exception for the proxy; the context parks until the
+  // barrier, where the (serial) proxy call decides skip-or-terminate.
+  auto RaiseException = [&](ExceptionKind Kind) {
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Exception;
+    Op.Instr = I;
+    Op.Exc = Kind;
+    Defer(std::move(Op), NextPc);
+    Ctx.St = Context::State::Blocked;
   };
 
   // Per-lane predication test.
@@ -572,9 +649,14 @@ Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
   case Opcode::Nop:
     break;
 
-  case Opcode::Halt:
-    retireShred(E, Ctx);
-    return Error::success();
+  case Opcode::Halt: {
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Retire;
+    Op.EndNs = std::max(E.Time, Ctx.StallUntil);
+    Defer(std::move(Op), NextPc);
+    Ctx.St = Context::State::Blocked;
+    return;
+  }
 
   case Opcode::Jmp:
     NextPc = static_cast<uint32_t>(I.Src0.Imm);
@@ -592,47 +674,45 @@ Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
     break;
 
   case Opcode::Spawn: {
-    ShredDescriptor Child;
-    Child.KernelId = Ctx.KernelId;
-    Child.Surfaces = Ctx.Surfaces;
-    Child.Params.push_back(static_cast<int32_t>(ScalarVal(I.Src0)));
-    Queue.push_back(std::move(Child));
+    // Non-blocking: the child lands in the work queue at the barrier, in
+    // issue-time order with every other spawn of the round.
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Spawn;
+    Op.Value = static_cast<uint32_t>(ScalarVal(I.Src0));
+    Op.SpawnKernel = Ctx.KernelId;
+    Op.SpawnSurfaces = Ctx.Surfaces;
+    Defer(std::move(Op), NextPc);
     break;
   }
 
   case Opcode::Xmit: {
-    uint32_t Target = static_cast<uint32_t>(ScalarVal(I.Src0));
-    uint32_t Value = static_cast<uint32_t>(ScalarVal(I.Src1));
-    uint8_t Reg = I.Dst.Reg0;
-    Context *Remote = nullptr;
-    for (auto &OE : Eus)
-      for (Context &C : OE->Contexts)
-        if (C.St != Context::State::Idle && C.ShredId == Target)
-          Remote = &C;
-    if (Remote) {
-      Remote->Regs[Reg] = Value;
-      Remote->RegReady[Reg] = true;
-      if (Remote->St == Context::State::Waiting && Remote->WaitReg == Reg) {
-        Remote->St = Context::State::Running;
-        Remote->StallUntil = std::max(Remote->StallUntil, E.Time);
-        Remote->RegReady[Reg] = false; // the pending wait consumes it
-      }
-    } else {
-      Mailbox[{Target, Reg}] = Value;
-    }
+    // Non-blocking: delivery happens at the barrier. A target blocked in
+    // `wait` observes it there; a running target sees the register once
+    // it next synchronizes (programs pair xmit with wait, as the paper's
+    // inter-shred protocol does).
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Xmit;
+    Op.Target = static_cast<uint32_t>(ScalarVal(I.Src0));
+    Op.Value = static_cast<uint32_t>(ScalarVal(I.Src1));
+    Op.Reg = I.Dst.Reg0;
+    Defer(std::move(Op), NextPc);
     break;
   }
 
   case Opcode::Wait: {
     uint8_t Reg = I.Dst.Reg0;
     if (Ctx.RegReady[Reg]) {
+      // Fast path: the value arrived at an earlier barrier (or at
+      // dispatch); RegReady is EU-local during the advance phase.
       Ctx.RegReady[Reg] = false;
       break;
     }
-    Ctx.St = Context::State::Waiting;
-    Ctx.WaitReg = Reg;
-    Ctx.Pc = NextPc; // resume after the wait once signalled
-    return Error::success();
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Wait;
+    Op.Reg = Reg;
+    Defer(std::move(Op), NextPc);
+    Ctx.St = Context::State::Blocked;
+    return;
   }
 
   case Opcode::Cmp: {
@@ -732,109 +812,28 @@ Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
         static_cast<size_t>(I.Src0.Imm) >= Ctx.Surfaces->size())
       return RaiseException(ExceptionKind::InvalidSurface);
     const SurfaceBinding &S = (*Ctx.Surfaces)[static_cast<size_t>(I.Src0.Imm)];
-    unsigned Esz = elemTypeSize(I.Ty);
-    bool IsWrite = I.Op == Opcode::St || I.Op == Opcode::StBlk;
     bool Is2D = I.Op == Opcode::LdBlk || I.Op == Opcode::StBlk;
 
-    // First element index accessed by lane 0.
-    int64_t FirstElem;
+    // Bounds checks read only frozen context state, so they stay in the
+    // advance phase; the timed + functional access is deferred.
     if (Is2D) {
       int64_t X = ScalarVal(I.Src1), Y = ScalarVal(I.Src2);
       if (X < 0 || Y < 0 || X + I.Width > S.Width ||
           Y >= static_cast<int64_t>(S.Height))
         return RaiseException(ExceptionKind::SurfaceBounds);
-      FirstElem = Y * static_cast<int64_t>(S.Width) + X;
     } else {
-      FirstElem = ScalarVal(I.Src1) + ScalarVal(I.Src2);
+      int64_t FirstElem = ScalarVal(I.Src1) + ScalarVal(I.Src2);
       if (FirstElem < 0 ||
           FirstElem + I.Width > static_cast<int64_t>(S.totalElements()))
         return RaiseException(ExceptionKind::SurfaceBounds);
     }
 
-    mem::VirtAddr Va = S.Base + static_cast<uint64_t>(FirstElem) * Esz;
-    uint64_t Span = static_cast<uint64_t>(I.Width) * Esz;
-
-    auto Acc = accessMemory(E, Ctx, Va, Span, IsWrite, S.MemType);
-    if (!Acc)
-      return Acc.takeError();
-
-    // Functional data movement over the returned physical segments.
-    std::vector<uint8_t> Buf(Span);
-    auto ReadSegs = [&] {
-      uint64_t Ofs = 0;
-      for (auto &[Pa, N] : Acc->Segments) {
-        PM.read(Pa, Buf.data() + Ofs, N);
-        Ofs += N;
-      }
-    };
-    auto WriteSegs = [&] {
-      uint64_t Ofs = 0;
-      for (auto &[Pa, N] : Acc->Segments) {
-        PM.write(Pa, Buf.data() + Ofs, N);
-        Ofs += N;
-      }
-    };
-
-    if (IsWrite) {
-      bool AnyMasked = false;
-      for (unsigned L = 0; L < I.Width; ++L)
-        if (!LaneEnabled(L))
-          AnyMasked = true;
-      if (AnyMasked)
-        ReadSegs(); // read-modify-write under predication
-      for (unsigned L = 0; L < I.Width; ++L) {
-        if (!LaneEnabled(L))
-          continue;
-        int64_t V = I.Ty == ElemType::F64
-                        ? 0
-                        : ReadIntLane(I.Dst, L);
-        if (I.Ty == ElemType::F64) {
-          uint64_t Wide =
-              static_cast<uint64_t>(Ctx.Regs[laneReg(I.Dst, L, I.Ty)]) |
-              (static_cast<uint64_t>(Ctx.Regs[laneReg(I.Dst, L, I.Ty) + 1])
-               << 32);
-          std::memcpy(Buf.data() + L * Esz, &Wide, 8);
-        } else {
-          // Store the low Esz bytes (two's complement truncation).
-          uint32_t U = static_cast<uint32_t>(V);
-          std::memcpy(Buf.data() + L * Esz, &U, Esz);
-        }
-      }
-      WriteSegs();
-    } else {
-      ReadSegs();
-      for (unsigned L = 0; L < I.Width; ++L) {
-        if (!LaneEnabled(L))
-          continue;
-        if (I.Ty == ElemType::F64) {
-          uint64_t Wide = 0;
-          std::memcpy(&Wide, Buf.data() + L * Esz, 8);
-          Ctx.Regs[laneReg(I.Dst, L, I.Ty)] = static_cast<uint32_t>(Wide);
-          Ctx.Regs[laneReg(I.Dst, L, I.Ty) + 1] =
-              static_cast<uint32_t>(Wide >> 32);
-        } else {
-          int64_t V = 0;
-          if (I.Ty == ElemType::I8) {
-            int8_t B;
-            std::memcpy(&B, Buf.data() + L * Esz, 1);
-            V = B;
-          } else if (I.Ty == ElemType::I16) {
-            int16_t W;
-            std::memcpy(&W, Buf.data() + L * Esz, 2);
-            V = W;
-          } else {
-            int32_t D;
-            std::memcpy(&D, Buf.data() + L * Esz, 4);
-            V = D;
-          }
-          WriteIntLane(I.Dst, L, V);
-        }
-      }
-    }
-
-    Ctx.StallUntil = Acc->Done;
-    Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
-    break;
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Memory;
+    Op.Instr = I;
+    Defer(std::move(Op), NextPc);
+    Ctx.St = Context::State::Blocked;
+    return;
   }
 
   case Opcode::Sample: {
@@ -842,62 +841,15 @@ Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
         static_cast<size_t>(I.Src0.Imm) >= Ctx.Surfaces->size())
       return RaiseException(ExceptionKind::InvalidSurface);
     const SurfaceBinding &S = (*Ctx.Surfaces)[static_cast<size_t>(I.Src0.Imm)];
-    ++Stats.SamplerOps;
-
-    float U = ReadF32Lane(I.Src1, 0), V = ReadF32Lane(I.Src2, 0);
-    // Clamp-to-edge addressing over a packed RGBA8 surface (one I32
-    // element per pixel).
-    auto Clamp = [](int X, int Hi) { return std::min(std::max(X, 0), Hi); };
-    int W = static_cast<int>(S.Width), H = static_cast<int>(S.Height);
-    if (W == 0 || H == 0)
+    if (S.Width == 0 || S.Height == 0)
       return RaiseException(ExceptionKind::SurfaceBounds);
-    float Uc = std::min(std::max(U, 0.0f), static_cast<float>(W - 1));
-    float Vc = std::min(std::max(V, 0.0f), static_cast<float>(H - 1));
-    int X0 = static_cast<int>(Uc), Y0 = static_cast<int>(Vc);
-    int X1 = Clamp(X0 + 1, W - 1), Y1 = Clamp(Y0 + 1, H - 1);
-    float Fx = Uc - static_cast<float>(X0), Fy = Vc - static_cast<float>(Y0);
 
-    // Timed fetch of the 2x2 texel block (two row segments).
-    uint32_t Texels[4] = {};
-    TimeNs Done = E.Time;
-    for (int Row = 0; Row < 2; ++Row) {
-      int Y = Row == 0 ? Y0 : Y1;
-      mem::VirtAddr Va =
-          S.Base + (static_cast<uint64_t>(Y) * S.Width + X0) * 4;
-      uint64_t Span = X1 > X0 ? 8 : 4;
-      auto Acc = accessMemory(E, Ctx, Va, Span, /*IsWrite=*/false, S.MemType);
-      if (!Acc)
-        return Acc.takeError();
-      Done = std::max(Done, Acc->Done);
-      uint8_t Tmp[8] = {};
-      uint64_t Ofs = 0;
-      for (auto &[Pa, N] : Acc->Segments) {
-        PM.read(Pa, Tmp + Ofs, N);
-        Ofs += N;
-      }
-      std::memcpy(&Texels[Row * 2 + 0], Tmp, 4);
-      std::memcpy(&Texels[Row * 2 + 1], Span == 8 ? Tmp + 4 : Tmp, 4);
-    }
-
-    for (unsigned Ch = 0; Ch < 4; ++Ch) {
-      auto Channel = [&](unsigned T) {
-        return static_cast<float>((Texels[T] >> (8 * Ch)) & 0xff);
-      };
-      float Top = Channel(0) * (1 - Fx) + Channel(1) * Fx;
-      float Bot = Channel(2) * (1 - Fx) + Channel(3) * Fx;
-      float Out = Top * (1 - Fy) + Bot * Fy;
-      uint32_t Bits;
-      std::memcpy(&Bits, &Out, 4);
-      Ctx.Regs[I.Dst.Reg0 + Ch] = Bits;
-    }
-
-    // The sampler is shared fixed-function hardware: requests serialize
-    // at its throughput before the pipeline latency.
-    TimeNs SampleSlot = std::max(Done, SamplerFreeAt);
-    SamplerFreeAt = SampleSlot + 1.0 / Config.SamplerThroughputPerNs;
-    Ctx.StallUntil = SampleSlot + Config.SamplerLatencyNs;
-    Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
-    break;
+    PendingOp Op;
+    Op.K = PendingOp::Kind::Sampler;
+    Op.Instr = I;
+    Defer(std::move(Op), NextPc);
+    Ctx.St = Context::State::Blocked;
+    return;
   }
 
   default: {
@@ -925,9 +877,10 @@ Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
         case Opcode::Avg: R = (A + B) * 0.5f; break;
         case Opcode::Abs: R = std::fabs(A); break;
         default:
-          return Error::make(formatString(
+          E.ShardError = formatString(
               "shred %u: %s is not defined for float operands", Ctx.ShredId,
-              opcodeName(I.Op)));
+              opcodeName(I.Op));
+          return;
         }
         WriteF32Lane(I.Dst, L, R);
       } else {
@@ -970,7 +923,385 @@ Error GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
   }
 
   Ctx.Pc = NextPc;
+}
+
+//===----------------------------------------------------------------------===//
+// Advance phase
+//===----------------------------------------------------------------------===//
+
+void GmaDevice::advanceEu(Eu &E, TimeNs Horizon) {
+  while (true) {
+    TimeNs T = std::numeric_limits<TimeNs>::infinity();
+    for (Context &C : E.Contexts)
+      if (C.St == Context::State::Running)
+        T = std::min(T, std::max(E.Time, C.StallUntil));
+    if (T > Horizon) // also covers "no runnable context" (T = inf)
+      return;
+
+    E.Time = T;
+    Context *Ctx = pickReadyContext(E);
+    assert(Ctx && "EU advanced to a time with no ready context");
+
+    if (Hook_) { // hooks force the serial path (effectiveSimThreads == 1)
+      StepAction A = Hook_(Ctx->ShredId, Ctx->KernelId, Ctx->Pc);
+      if (A == StepAction::Pause) {
+        PauseRequested = true;
+        return;
+      }
+    }
+
+    issueInstruction(E, *Ctx);
+    if (!E.ShardError.empty())
+      return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Resolve phase
+//===----------------------------------------------------------------------===//
+
+Error GmaDevice::resolveLoadStore(Eu &E, Context &Ctx, const PendingOp &Op) {
+  const Instruction &I = Op.Instr;
+  const SurfaceBinding &S = (*Ctx.Surfaces)[static_cast<size_t>(I.Src0.Imm)];
+  unsigned Esz = elemTypeSize(I.Ty);
+  bool IsWrite = I.Op == Opcode::St || I.Op == Opcode::StBlk;
+  bool Is2D = I.Op == Opcode::LdBlk || I.Op == Opcode::StBlk;
+
+  auto LaneEnabled = [&](unsigned Lane) {
+    if (I.PredReg == NoPred)
+      return true;
+    bool Bit = (Ctx.Preds[I.PredReg] >> Lane) & 1;
+    return I.PredNegate ? !Bit : Bit;
+  };
+  auto ReadIntLane = [&](const Operand &O, unsigned Lane) -> int64_t {
+    if (O.Kind == OperandKind::Imm)
+      return O.Imm;
+    return static_cast<int32_t>(Ctx.Regs[laneReg(O, Lane, I.Ty)]);
+  };
+  auto WriteIntLane = [&](const Operand &O, unsigned Lane, int64_t V) {
+    Ctx.Regs[laneReg(O, Lane, I.Ty)] =
+        static_cast<uint32_t>(signExtend(V, I.Ty));
+  };
+  auto ScalarVal = [&](const Operand &O) -> int64_t {
+    if (O.Kind == OperandKind::Imm)
+      return O.Imm;
+    return static_cast<int32_t>(Ctx.Regs[O.Reg0]);
+  };
+
+  // First element index accessed by lane 0 (bounds were validated at
+  // issue; the context's registers are frozen while it is blocked, so
+  // this recomputation sees the same values).
+  int64_t FirstElem;
+  if (Is2D) {
+    int64_t X = ScalarVal(I.Src1), Y = ScalarVal(I.Src2);
+    FirstElem = Y * static_cast<int64_t>(S.Width) + X;
+  } else {
+    FirstElem = ScalarVal(I.Src1) + ScalarVal(I.Src2);
+  }
+
+  mem::VirtAddr Va = S.Base + static_cast<uint64_t>(FirstElem) * Esz;
+  uint64_t Span = static_cast<uint64_t>(I.Width) * Esz;
+
+  auto Acc = accessMemoryAt(Op.IssueNs, Ctx, Va, Span, IsWrite, S.MemType);
+  if (!Acc)
+    return Acc.takeError();
+
+  // Functional data movement over the returned physical segments.
+  std::vector<uint8_t> Buf(Span);
+  auto ReadSegs = [&] {
+    uint64_t Ofs = 0;
+    for (auto &[Pa, N] : Acc->Segments) {
+      PM.read(Pa, Buf.data() + Ofs, N);
+      Ofs += N;
+    }
+  };
+  auto WriteSegs = [&] {
+    uint64_t Ofs = 0;
+    for (auto &[Pa, N] : Acc->Segments) {
+      PM.write(Pa, Buf.data() + Ofs, N);
+      Ofs += N;
+    }
+  };
+
+  if (IsWrite) {
+    bool AnyMasked = false;
+    for (unsigned L = 0; L < I.Width; ++L)
+      if (!LaneEnabled(L))
+        AnyMasked = true;
+    if (AnyMasked)
+      ReadSegs(); // read-modify-write under predication
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      if (I.Ty == ElemType::F64) {
+        uint64_t Wide =
+            static_cast<uint64_t>(Ctx.Regs[laneReg(I.Dst, L, I.Ty)]) |
+            (static_cast<uint64_t>(Ctx.Regs[laneReg(I.Dst, L, I.Ty) + 1])
+             << 32);
+        std::memcpy(Buf.data() + L * Esz, &Wide, 8);
+      } else {
+        // Store the low Esz bytes (two's complement truncation).
+        uint32_t U = static_cast<uint32_t>(ReadIntLane(I.Dst, L));
+        std::memcpy(Buf.data() + L * Esz, &U, Esz);
+      }
+    }
+    WriteSegs();
+  } else {
+    ReadSegs();
+    for (unsigned L = 0; L < I.Width; ++L) {
+      if (!LaneEnabled(L))
+        continue;
+      if (I.Ty == ElemType::F64) {
+        uint64_t Wide = 0;
+        std::memcpy(&Wide, Buf.data() + L * Esz, 8);
+        Ctx.Regs[laneReg(I.Dst, L, I.Ty)] = static_cast<uint32_t>(Wide);
+        Ctx.Regs[laneReg(I.Dst, L, I.Ty) + 1] =
+            static_cast<uint32_t>(Wide >> 32);
+      } else {
+        int64_t V = 0;
+        if (I.Ty == ElemType::I8) {
+          int8_t B;
+          std::memcpy(&B, Buf.data() + L * Esz, 1);
+          V = B;
+        } else if (I.Ty == ElemType::I16) {
+          int16_t W;
+          std::memcpy(&W, Buf.data() + L * Esz, 2);
+          V = W;
+        } else {
+          int32_t D;
+          std::memcpy(&D, Buf.data() + L * Esz, 4);
+          V = D;
+        }
+        WriteIntLane(I.Dst, L, V);
+      }
+    }
+  }
+
+  Ctx.StallUntil = Acc->Done;
+  Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
+  Ctx.Pc = Op.NextPc;
+  Ctx.St = Context::State::Running;
+  (void)E;
   return Error::success();
+}
+
+Error GmaDevice::resolveSample(Eu &E, Context &Ctx, const PendingOp &Op) {
+  const Instruction &I = Op.Instr;
+  const SurfaceBinding &S = (*Ctx.Surfaces)[static_cast<size_t>(I.Src0.Imm)];
+  ++Stats.SamplerOps;
+
+  auto ReadF32Lane0 = [&](const Operand &O) -> float {
+    uint32_t Bits = O.Kind == OperandKind::Imm
+                        ? static_cast<uint32_t>(O.Imm)
+                        : Ctx.Regs[laneReg(O, 0, I.Ty)];
+    float F;
+    std::memcpy(&F, &Bits, 4);
+    return F;
+  };
+
+  float U = ReadF32Lane0(I.Src1), V = ReadF32Lane0(I.Src2);
+  // Clamp-to-edge addressing over a packed RGBA8 surface (one I32
+  // element per pixel).
+  auto Clamp = [](int X, int Hi) { return std::min(std::max(X, 0), Hi); };
+  int W = static_cast<int>(S.Width), H = static_cast<int>(S.Height);
+  float Uc = std::min(std::max(U, 0.0f), static_cast<float>(W - 1));
+  float Vc = std::min(std::max(V, 0.0f), static_cast<float>(H - 1));
+  int X0 = static_cast<int>(Uc), Y0 = static_cast<int>(Vc);
+  int X1 = Clamp(X0 + 1, W - 1), Y1 = Clamp(Y0 + 1, H - 1);
+  float Fx = Uc - static_cast<float>(X0), Fy = Vc - static_cast<float>(Y0);
+
+  // Timed fetch of the 2x2 texel block (two row segments).
+  uint32_t Texels[4] = {};
+  TimeNs Done = Op.IssueNs;
+  for (int Row = 0; Row < 2; ++Row) {
+    int Y = Row == 0 ? Y0 : Y1;
+    mem::VirtAddr Va =
+        S.Base + (static_cast<uint64_t>(Y) * S.Width + X0) * 4;
+    uint64_t Span = X1 > X0 ? 8 : 4;
+    auto Acc =
+        accessMemoryAt(Op.IssueNs, Ctx, Va, Span, /*IsWrite=*/false,
+                       S.MemType);
+    if (!Acc)
+      return Acc.takeError();
+    Done = std::max(Done, Acc->Done);
+    uint8_t Tmp[8] = {};
+    uint64_t Ofs = 0;
+    for (auto &[Pa, N] : Acc->Segments) {
+      PM.read(Pa, Tmp + Ofs, N);
+      Ofs += N;
+    }
+    std::memcpy(&Texels[Row * 2 + 0], Tmp, 4);
+    std::memcpy(&Texels[Row * 2 + 1], Span == 8 ? Tmp + 4 : Tmp, 4);
+  }
+
+  for (unsigned Ch = 0; Ch < 4; ++Ch) {
+    auto Channel = [&](unsigned T) {
+      return static_cast<float>((Texels[T] >> (8 * Ch)) & 0xff);
+    };
+    float Top = Channel(0) * (1 - Fx) + Channel(1) * Fx;
+    float Bot = Channel(2) * (1 - Fx) + Channel(3) * Fx;
+    float Out = Top * (1 - Fy) + Bot * Fy;
+    uint32_t Bits;
+    std::memcpy(&Bits, &Out, 4);
+    Ctx.Regs[I.Dst.Reg0 + Ch] = Bits;
+  }
+
+  // The sampler is shared fixed-function hardware: requests serialize
+  // at its throughput before the pipeline latency.
+  TimeNs SampleSlot = std::max(Done, SamplerFreeAt);
+  SamplerFreeAt = SampleSlot + 1.0 / Config.SamplerThroughputPerNs;
+  Ctx.StallUntil = SampleSlot + Config.SamplerLatencyNs;
+  Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
+  Ctx.Pc = Op.NextPc;
+  Ctx.St = Context::State::Running;
+  (void)E;
+  return Error::success();
+}
+
+Error GmaDevice::resolveOne(const PendingOp &Op) {
+  Eu &E = *Eus[Op.EuIdx];
+  Context &Ctx = E.Contexts[Op.Slot];
+
+  switch (Op.K) {
+  case PendingOp::Kind::Memory:
+    return resolveLoadStore(E, Ctx, Op);
+
+  case PendingOp::Kind::Sampler:
+    return resolveSample(E, Ctx, Op);
+
+  case PendingOp::Kind::Exception: {
+    if (!Proxy)
+      return Error::make(formatString(
+          "shred %u: %s exception with no proxy handler", Ctx.ShredId,
+          exceptionKindName(Op.Exc)));
+    ExceptionInfo Info;
+    Info.Kind = Op.Exc;
+    Info.ShredId = Ctx.ShredId;
+    Info.KernelId = Ctx.KernelId;
+    Info.Pc = Ctx.Pc;
+    Info.Instr = Op.Instr;
+    ++Stats.ProxyCalls;
+    auto Latency = Proxy->onException(Info, Ctx);
+    if (!Latency)
+      return Error::make(formatString(
+          "shred %u pc %u: unhandled %s exception: %s", Ctx.ShredId, Ctx.Pc,
+          exceptionKindName(Op.Exc), Latency.message().c_str()));
+    ++Stats.ExceptionsHandled;
+    Ctx.StallUntil = Op.IssueNs + *Latency;
+    Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
+    Ctx.Pc = Op.NextPc;
+    Ctx.St = Context::State::Running;
+    return Error::success();
+  }
+
+  case PendingOp::Kind::Xmit: {
+    if (Context *Remote = findResident(Op.Target)) {
+      Remote->Regs[Op.Reg] = Op.Value;
+      Remote->RegReady[Op.Reg] = true;
+      if (Remote->St == Context::State::Waiting &&
+          Remote->WaitReg == Op.Reg) {
+        Remote->St = Context::State::Running;
+        Remote->StallUntil = std::max(Remote->StallUntil, Op.IssueNs);
+        Remote->RegReady[Op.Reg] = false; // the pending wait consumes it
+      }
+    } else {
+      auto &Box = Mailbox[Op.Target];
+      bool Replaced = false;
+      for (auto &P : Box)
+        if (P.first == Op.Reg) {
+          P.second = Op.Value;
+          Replaced = true;
+          break;
+        }
+      if (!Replaced)
+        Box.emplace_back(Op.Reg, Op.Value);
+    }
+    return Error::success();
+  }
+
+  case PendingOp::Kind::Wait: {
+    if (Ctx.RegReady[Op.Reg]) {
+      // An xmit resolved earlier (in issue-time order) this round.
+      Ctx.RegReady[Op.Reg] = false;
+      Ctx.StallUntil = std::max(Ctx.StallUntil, Op.IssueNs);
+      Ctx.St = Context::State::Running;
+    } else {
+      Ctx.WaitReg = Op.Reg;
+      Ctx.St = Context::State::Waiting;
+    }
+    Ctx.Pc = Op.NextPc; // resume after the wait once signalled
+    return Error::success();
+  }
+
+  case PendingOp::Kind::Spawn: {
+    ShredDescriptor Child;
+    Child.KernelId = Op.SpawnKernel;
+    Child.Surfaces = Op.SpawnSurfaces;
+    Child.Params.push_back(static_cast<int32_t>(Op.Value));
+    Queue.push_back(std::move(Child));
+    return Error::success();
+  }
+
+  case PendingOp::Kind::Retire: {
+    Ctx.St = Context::State::Idle;
+    ++Stats.ShredsExecuted;
+    if (Tracer) {
+      ShredSpan Span;
+      Span.Eu = E.Index;
+      Span.Slot = Ctx.Slot;
+      Span.ShredId = Ctx.ShredId;
+      Span.Kernel = Ctx.Kern ? Ctx.Kern->Name : "";
+      Span.StartNs = Ctx.LoadedAtNs;
+      Span.EndNs = Op.EndNs;
+      Tracer->record(std::move(Span));
+    }
+    return Error::success();
+  }
+  }
+  exochiUnreachable("bad PendingOp kind");
+}
+
+Error GmaDevice::resolvePending() {
+  size_t Total = 0;
+  for (auto &E : Eus)
+    Total += E->Pending.size();
+  if (Total == 0)
+    return Error::success();
+
+  std::vector<PendingOp> Ops;
+  Ops.reserve(Total);
+  for (auto &E : Eus) {
+    std::move(E->Pending.begin(), E->Pending.end(), std::back_inserter(Ops));
+    E->Pending.clear();
+  }
+
+  // The arbitration rule: earlier issue first; EU index, then per-EU
+  // issue sequence break ties. This depends only on the simulated
+  // schedule, which is identical for every worker count.
+  std::sort(Ops.begin(), Ops.end(),
+            [](const PendingOp &A, const PendingOp &B) {
+              if (A.IssueNs != B.IssueNs)
+                return A.IssueNs < B.IssueNs;
+              if (A.EuIdx != B.EuIdx)
+                return A.EuIdx < B.EuIdx;
+              return A.Seq < B.Seq;
+            });
+
+  for (const PendingOp &Op : Ops)
+    if (Error Err = resolveOne(Op))
+      return Err;
+  return Error::success();
+}
+
+void GmaDevice::mergeStatShards() {
+  for (auto &E : Eus) {
+    Stats.Instructions += E->ShardInstructions;
+    Stats.IssueCycles += E->ShardIssueCycles;
+    Stats.FinishNs = std::max(Stats.FinishNs, E->ShardFinishNs);
+    E->ShardInstructions = 0;
+    E->ShardIssueCycles = 0;
+    E->ShardFinishNs = 0;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -988,26 +1319,38 @@ Expected<RunExit> GmaDevice::run(TimeNs StartNs) {
 
 Expected<RunExit> GmaDevice::resume() {
   PausedFlag = false;
+
+  unsigned Threads = effectiveSimThreads();
+  if (Threads <= 1)
+    Pool.reset();
+  else if (!Pool || Pool->workers() != Threads - 1)
+    Pool = std::make_unique<support::ThreadPool>(Threads - 1);
+
+  // Normally a no-op: every round resolves its own ops, and a pause
+  // resolves before returning. Drains stale ops after an error exit.
+  if (Error Err = resolvePending()) {
+    mergeStatShards();
+    return Err;
+  }
+
   while (true) {
+    // Phase 1 (serial): dispatch queued shreds into idle contexts.
     for (auto &E : Eus) {
       while (true) {
         auto Refilled = refillContext(*E);
-        if (!Refilled)
+        if (!Refilled) {
+          mergeStatShards();
           return Refilled.takeError();
+        }
         if (!*Refilled)
           break;
       }
     }
 
-    // Pick the EU whose earliest-ready context has the smallest ready
-    // time. Fast-forward that EU's clock when all its contexts are
-    // momentarily stalled.
-    Eu *Best = nullptr;
-    TimeNs BestTime = std::numeric_limits<TimeNs>::infinity();
+    // Next-event horizon and termination detection.
+    TimeNs NextT = std::numeric_limits<TimeNs>::infinity();
     bool AnyResident = false, AnyWaiting = false;
-
     for (auto &E : Eus) {
-      TimeNs EuReady = std::numeric_limits<TimeNs>::infinity();
       for (Context &C : E->Contexts) {
         if (C.St == Context::State::Idle)
           continue;
@@ -1016,15 +1359,12 @@ Expected<RunExit> GmaDevice::resume() {
           AnyWaiting = true;
           continue;
         }
-        EuReady = std::min(EuReady, std::max(E->Time, C.StallUntil));
-      }
-      if (EuReady < BestTime) {
-        BestTime = EuReady;
-        Best = E.get();
+        NextT = std::min(NextT, std::max(E->Time, C.StallUntil));
       }
     }
 
-    if (!Best) {
+    if (NextT == std::numeric_limits<TimeNs>::infinity()) {
+      mergeStatShards();
       if (!AnyResident && Queue.empty())
         return RunExit::QueueDrained;
       if (AnyWaiting)
@@ -1036,19 +1376,47 @@ Expected<RunExit> GmaDevice::resume() {
       exochiUnreachable("GMA run loop stuck with no runnable context");
     }
 
-    Best->Time = std::max(Best->Time, BestTime);
-    Context *Ctx = pickReadyContext(*Best);
-    assert(Ctx && "chosen EU must have a ready context");
+    // Phase 2 (parallel): advance every EU to the horizon. Workers touch
+    // only their own EUs plus read-only kernel code and configuration.
+    TimeNs Horizon = NextT + Config.SimHorizonNs;
+    PauseRequested = false;
+    if (Threads <= 1) {
+      for (auto &E : Eus) {
+        advanceEu(*E, Horizon);
+        if (PauseRequested)
+          break;
+      }
+    } else {
+      support::ThreadPool &P = *Pool;
+      unsigned NumEus = static_cast<unsigned>(Eus.size());
+      P.run([this, Horizon, Threads, NumEus](unsigned W) {
+        for (unsigned Idx = W; Idx < NumEus; Idx += Threads)
+          advanceEu(*Eus[Idx], Horizon);
+      });
+    }
 
-    if (Hook_) {
-      StepAction A = Hook_(Ctx->ShredId, Ctx->KernelId, Ctx->Pc);
-      if (A == StepAction::Pause) {
-        PausedFlag = true;
-        return RunExit::Paused;
+    // Advance-phase errors surface in EU-index order.
+    for (auto &E : Eus) {
+      if (!E->ShardError.empty()) {
+        std::string Msg = std::move(E->ShardError);
+        E->ShardError.clear();
+        mergeStatShards();
+        return Error::make(std::move(Msg));
       }
     }
 
-    if (Error Err = issueInstruction(*Best, *Ctx))
+    // Phase 3 (serial): resolve all buffered shared-resource ops.
+    if (Error Err = resolvePending()) {
+      mergeStatShards();
       return Err;
+    }
+
+    if (PauseRequested) {
+      // The resolve above already applied everything issued before the
+      // pause, so debuggers see a machine with no in-flight operations.
+      PausedFlag = true;
+      mergeStatShards();
+      return RunExit::Paused;
+    }
   }
 }

@@ -18,6 +18,19 @@
 /// IA32 sequencer through the ProxySignalHandler (the MISP exoskeleton),
 /// which implements ATR and CEH in src/exo.
 ///
+/// The simulation itself runs as epoch-based parallel discrete-event
+/// simulation: each round, host worker threads advance disjoint EU
+/// partitions to a shared time horizon, buffering every shared-resource
+/// interaction (memory, cache, TLB, sampler, xmit/wait, spawn, proxy
+/// calls), which a single thread then resolves in (issue time, EU index)
+/// order. Because that schedule never depends on the worker count,
+/// results are bit-identical for every GmaConfig::SimThreads setting —
+/// including the serial SimThreads=1 path, which runs the same algorithm
+/// in-line. See DESIGN.md, "Parallel simulation & determinism contract".
+///
+/// The host-facing API remains single-threaded: do not call into one
+/// GmaDevice from multiple host threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXOCHI_GMA_GMADEVICE_H
@@ -27,11 +40,12 @@
 #include "gma/Trace.h"
 #include "mem/CacheModel.h"
 #include "mem/PhysicalMemory.h"
+#include "support/ThreadPool.h"
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 namespace exochi {
 namespace gma {
@@ -49,7 +63,8 @@ enum class StepAction : uint8_t {
 };
 
 /// Debugger hook: called before each instruction issues. Receives the
-/// shred id, kernel id, and pc.
+/// shred id, kernel id, and pc. Installing a hook forces serial in-line
+/// execution so the pause point is a single well-defined machine state.
 using StepHook =
     std::function<StepAction(uint32_t ShredId, uint32_t KernelId, uint32_t Pc)>;
 
@@ -59,8 +74,8 @@ enum class RunExit : uint8_t {
   Paused,       ///< a StepHook requested a pause
 };
 
-/// The device model. Not thread-safe; the whole simulation is
-/// deterministic and single-threaded.
+/// The device model. The simulation is deterministic for every
+/// SimThreads setting; the public API is not itself thread-safe.
 class GmaDevice {
 public:
   GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
@@ -79,6 +94,14 @@ public:
 
   /// Installs a shred-span trace recorder (nullptr to remove).
   void setTracer(TraceRecorder *T) { Tracer = T; }
+
+  /// Overrides GmaConfig::SimThreads: host worker threads for subsequent
+  /// runs (0 = one per hardware core). Any value yields bit-identical
+  /// simulation results; only wall-clock speed changes.
+  void setSimThreads(unsigned N) { Config.SimThreads = N; }
+
+  /// The sim-thread setting currently in effect (0 = auto).
+  unsigned simThreads() const { return Config.SimThreads; }
 
   /// Registers \p Image and returns its kernel id.
   uint32_t registerKernel(KernelImage Image);
@@ -131,21 +154,43 @@ public:
 private:
   struct Context;
   struct Eu;
+  struct PendingOp;
 
   /// Loads the next queued shred into an idle context of \p E (if any).
   /// Fails only when fetching a shared-memory descriptor record faults
-  /// unserviceably.
+  /// unserviceably. Serial phase only.
   Expected<bool> refillContext(Eu &E);
 
-  /// Issues one instruction from \p Ctx on \p E. Returns an error only on
-  /// unserviceable faults.
-  Error issueInstruction(Eu &E, Context &Ctx);
+  /// Advances \p E until no context is ready at or before \p Horizon, a
+  /// context blocks every runnable slot, a hook pauses, or an error is
+  /// recorded. Runs concurrently for distinct EUs: touches only EU-local
+  /// state plus read-only kernel images and configuration.
+  void advanceEu(Eu &E, TimeNs Horizon);
+
+  /// Issues one instruction from \p Ctx on \p E (advance phase). Local
+  /// effects apply immediately; shared-resource interactions are
+  /// buffered as PendingOps and the context blocks when the result is
+  /// needed to continue.
+  void issueInstruction(Eu &E, Context &Ctx);
 
   /// Chooses the context to issue from (switch-on-stall policy).
   Context *pickReadyContext(Eu &E);
 
-  /// Marks \p Ctx idle, bumps counters, and records its trace span.
-  void retireShred(Eu &E, Context &Ctx);
+  /// Drains every EU's buffered PendingOps in (issue time, EU, sequence)
+  /// order, applying shared-resource arbitration, functional data
+  /// movement, proxy calls, and retirement. Serial phase only.
+  Error resolvePending();
+
+  /// Folds per-EU statistic shards into Stats (in EU-index order) and
+  /// clears the shards. Called at every run/resume exit.
+  void mergeStatShards();
+
+  /// Worker threads to use for the next round (accounts for hooks, the
+  /// auto setting, and the EU count).
+  unsigned effectiveSimThreads() const;
+
+  /// The resident context executing \p ShredId, or nullptr.
+  Context *findResident(uint32_t ShredId);
 
   /// Result of a translated, timed memory access: physical segments (in
   /// address order, covering the virtual span) and the completion time.
@@ -154,13 +199,24 @@ private:
     std::vector<std::pair<mem::PhysAddr, uint64_t>> Segments;
   };
 
-  /// Translates and times a virtual span through the EU's TLB, raising
-  /// ATR proxy requests on misses. The caller performs the functional data
-  /// movement over the returned physical segments and stalls the context
-  /// until the completion time.
-  Expected<MemAccess> accessMemory(Eu &E, Context &Ctx, mem::VirtAddr Va,
-                                   uint64_t Bytes, bool IsWrite,
-                                   mem::GpuMemType MemType);
+  /// Translates and times a virtual span through the device TLB starting
+  /// at \p Now, raising ATR proxy requests on misses. The caller performs
+  /// the functional data movement over the returned physical segments and
+  /// stalls the context until the completion time. Serial phase only.
+  Expected<MemAccess> accessMemoryAt(TimeNs Now, Context &Ctx,
+                                     mem::VirtAddr Va, uint64_t Bytes,
+                                     bool IsWrite, mem::GpuMemType MemType);
+
+  /// Applies one buffered op (resolve phase).
+  Error resolveOne(const PendingOp &Op);
+
+  /// Resolves a buffered Ld/St/LdBlk/StBlk: timing through cache and
+  /// bus at the op's issue time, then functional data movement.
+  Error resolveLoadStore(Eu &E, Context &Ctx, const PendingOp &Op);
+
+  /// Resolves a buffered `sample`: timed texel fetches, bilinear filter,
+  /// and shared-sampler queue arbitration.
+  Error resolveSample(Eu &E, Context &Ctx, const PendingOp &Op);
 
   GmaConfig Config;
   mem::PhysicalMemory &PM;
@@ -172,8 +228,10 @@ private:
   StepHook Hook_;
   TraceRecorder *Tracer = nullptr;
 
-  std::map<uint32_t, KernelImage> Kernels;
-  uint32_t NextKernelId = 1;
+  /// Registered kernels, indexed by id - 1. A deque keeps KernelImage
+  /// references stable across registration (resident contexts cache
+  /// pointers into it) while kernel() stays O(1).
+  std::deque<KernelImage> Kernels;
 
   std::deque<ShredDescriptor> Queue;
   uint32_t NextShredId = 1;
@@ -181,10 +239,17 @@ private:
   std::vector<std::unique_ptr<Eu>> Eus;
   GmaRunStats Stats;
 
-  /// Cross-shred register mailbox: (shredId, reg) -> value, from xmit.
-  std::map<std::pair<uint32_t, uint8_t>, uint32_t> Mailbox;
+  /// Cross-shred register mailbox for xmit to non-resident targets:
+  /// shred id -> (reg, value) pairs, applied in one lookup at dispatch.
+  std::unordered_map<uint32_t, std::vector<std::pair<uint8_t, uint32_t>>>
+      Mailbox;
+
+  /// Worker pool for the advance phase (created lazily; sized
+  /// effectiveSimThreads() - 1).
+  std::unique_ptr<support::ThreadPool> Pool;
 
   bool PausedFlag = false;
+  bool PauseRequested = false; ///< set by a hook during a serial advance
 };
 
 } // namespace gma

@@ -1,0 +1,108 @@
+//===- support/ThreadPool.h - Persistent fork/join worker pool -------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent pool of worker threads for repeated fork/join steps: the
+/// caller broadcasts one job, every worker (and the caller itself) runs
+/// it with a distinct thread index, and run() returns once all of them
+/// have finished. Workers park on a condition variable between jobs, so
+/// an idle pool costs nothing; the join side uses a SpinBarrier because
+/// the per-round latency of the GMA epoch engine is dominated by exactly
+/// this rendezvous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SUPPORT_THREADPOOL_H
+#define EXOCHI_SUPPORT_THREADPOOL_H
+
+#include "support/Barrier.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exochi {
+namespace support {
+
+/// Fork/join pool of \p Workers background threads. run(Fn) executes
+/// Fn(0) on the calling thread and Fn(1..Workers) on the workers, then
+/// blocks until every invocation returns. Exceptions must not escape Fn.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned Workers) : Join(Workers + 1) {
+    Threads.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Threads.emplace_back([this, W] { workerLoop(W + 1); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+      ++Generation;
+    }
+    Cv.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  /// Number of background threads (total parallelism is workers() + 1).
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Runs \p Fn(Index) for Index in [0, workers()] — index 0 on the
+  /// calling thread — and returns after all invocations complete.
+  void run(const std::function<void(unsigned)> &Fn) {
+    if (Threads.empty()) {
+      Fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      Job = &Fn;
+      ++Generation;
+    }
+    Cv.notify_all();
+    Fn(0);
+    Join.arriveAndWait();
+  }
+
+private:
+  void workerLoop(unsigned Index) {
+    uint64_t Seen = 0;
+    while (true) {
+      const std::function<void(unsigned)> *J = nullptr;
+      {
+        std::unique_lock<std::mutex> L(M);
+        Cv.wait(L, [&] { return Stop || Generation != Seen; });
+        if (Stop)
+          return;
+        Seen = Generation;
+        J = Job;
+      }
+      (*J)(Index);
+      Join.arriveAndWait();
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable Cv;
+  const std::function<void(unsigned)> *Job = nullptr;
+  uint64_t Generation = 0;
+  bool Stop = false;
+  SpinBarrier Join;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace support
+} // namespace exochi
+
+#endif // EXOCHI_SUPPORT_THREADPOOL_H

@@ -68,6 +68,7 @@ bool parseSurfaceArg(const std::string &Spec, SurfaceArg &Out) {
 int main(int Argc, char **Argv) {
   std::string Input, Kernel, TracePath;
   unsigned Shreds = 1;
+  int SimThreads = -1; ///< -1 = leave the platform default
   std::vector<SurfaceArg> Surfaces;
   std::map<std::string, std::string> Params;
 
@@ -88,6 +89,18 @@ int main(int Argc, char **Argv) {
     else if (A == "--shreds")
       Shreds = static_cast<unsigned>(std::max<int64_t>(
           1, parseInt(Next()).value_or(1)));
+    else if (A == "--sim-threads" || A.rfind("--sim-threads=", 0) == 0) {
+      std::string V = A.size() > 13 && A[13] == '='
+                          ? A.substr(14)
+                          : std::string(Next());
+      auto N = parseInt(V);
+      if (!N || *N < 0) {
+        std::fprintf(stderr, "exochi-run: bad --sim-threads value '%s'\n",
+                     V.c_str());
+        return 2;
+      }
+      SimThreads = static_cast<unsigned>(*N);
+    }
     else if (A == "--surface") {
       SurfaceArg S;
       if (!parseSurfaceArg(Next(), S)) {
@@ -107,7 +120,8 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "usage: exochi-run <file.xfb> --kernel <name> "
                    "[--shreds N] [--surface n=WxH[:zero|seq|rand]] "
-                   "[--param n=<int>|shred] [--trace out.json]\n");
+                   "[--param n=<int>|shred] [--trace out.json] "
+                   "[--sim-threads N]\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "exochi-run: unknown option '%s'\n", A.c_str());
@@ -134,6 +148,8 @@ int main(int Argc, char **Argv) {
 
   exo::ExoPlatform Platform;
   chi::Runtime RT(Platform);
+  if (SimThreads >= 0)
+    RT.setFeature(chi::Feature::SimThreads, SimThreads);
   gma::TraceRecorder Tracer;
   if (!TracePath.empty())
     Platform.device().setTracer(&Tracer);
