@@ -9,6 +9,7 @@
 #include "isa/Encoding.h"
 #include "support/Format.h"
 #include "xasm/Assembler.h"
+#include "xopt/Verify.h"
 
 using namespace exochi;
 using namespace exochi::chi;
@@ -36,13 +37,19 @@ ProgramBuilder::addXgmaKernel(std::string Name, std::string AsmSource,
     return Error::make(formatString("kernel '%s': %s", Name.c_str(),
                                     K.message().c_str()));
 
-  // Static verification against the shred-dispatch ABI.
+  // Static verification against the shred-dispatch ABI: register hygiene
+  // (lint) plus the XVerify race/sync/bounds pass, both under one policy.
   if (Policy != LintPolicy::Ignore) {
     xopt::LintReport Report = xopt::lintKernel(
-        K->Code, static_cast<unsigned>(ScalarParams.size()));
+        K->Code, static_cast<unsigned>(ScalarParams.size()), Name);
+    xopt::VerifySpec Spec;
+    Spec.NumScalarParams = static_cast<unsigned>(ScalarParams.size());
+    Spec.NumSurfaceSlots = static_cast<int32_t>(SurfaceParams.size());
+    Report.append(xopt::verifyKernel(K->Code, Spec, Name));
     if (Policy == LintPolicy::RejectOnWarning && !Report.clean())
-      return Error::make(formatString("kernel '%s': %s", Name.c_str(),
-                                      Report.Warnings.front().c_str()));
+      return Error::make(
+          formatString("kernel '%s': %s", Name.c_str(),
+                       Report.firstProblem()->render(Name).c_str()));
     LintReports[Name] = std::move(Report);
   }
 

@@ -15,11 +15,76 @@ using namespace exochi;
 using namespace exochi::isa;
 using namespace exochi::xopt;
 
+const char *xopt::severityName(Severity S) {
+  switch (S) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string LintDiag::render(const std::string &Kernel) const {
+  if (Kernel.empty())
+    return Instr == NoInstr ? Msg : formatString("%u: %s", Instr, Msg.c_str());
+  if (Instr == NoInstr)
+    return formatString("%s: %s", Kernel.c_str(), Msg.c_str());
+  return formatString("%s:%u: %s", Kernel.c_str(), Instr, Msg.c_str());
+}
+
+bool LintReport::clean() const {
+  for (const LintDiag &D : Diags)
+    if (D.Sev != Severity::Note)
+      return false;
+  return true;
+}
+
+size_t LintReport::count(Severity S) const {
+  size_t N = 0;
+  for (const LintDiag &D : Diags)
+    if (D.Sev == S)
+      ++N;
+  return N;
+}
+
+std::vector<std::string> LintReport::warnings() const {
+  std::vector<std::string> Out;
+  for (const LintDiag &D : Diags)
+    if (D.Sev != Severity::Note)
+      Out.push_back(D.render(Kernel));
+  return Out;
+}
+
+std::vector<std::string> LintReport::notes() const {
+  std::vector<std::string> Out;
+  for (const LintDiag &D : Diags)
+    if (D.Sev == Severity::Note)
+      Out.push_back(D.render(Kernel));
+  return Out;
+}
+
+const LintDiag *LintReport::firstProblem() const {
+  for (const LintDiag &D : Diags)
+    if (D.Sev != Severity::Note)
+      return &D;
+  return nullptr;
+}
+
+void LintReport::append(LintReport Other) {
+  for (LintDiag &D : Other.Diags)
+    Diags.push_back(std::move(D));
+}
+
 LintReport xopt::lintKernel(const std::vector<Instruction> &Code,
-                            unsigned NumScalarParams) {
+                            unsigned NumScalarParams,
+                            std::string KernelName) {
   LintReport Report;
+  Report.Kernel = std::move(KernelName);
   if (Code.empty()) {
-    Report.Notes.push_back("kernel is empty (immediate halt)");
+    Report.note(NoInstr, "kernel is empty (immediate halt)");
     return Report;
   }
 
@@ -51,12 +116,11 @@ LintReport xopt::lintKernel(const std::vector<Instruction> &Code,
   }
   for (uint32_t Idx = 0; Idx < Code.size(); ++Idx)
     if (!Reachable[Idx])
-      Report.Notes.push_back(
-          formatString("instruction %u is unreachable: %s", Idx,
-                       disassemble(Code[Idx]).c_str()));
+      Report.note(Idx, formatString("instruction is unreachable: %s",
+                                    disassemble(Code[Idx]).c_str()));
   if (FallOff)
-    Report.Notes.push_back(
-        "control can fall off the end of the kernel (implicit halt)");
+    Report.note(NoInstr,
+                "control can fall off the end of the kernel (implicit halt)");
 
   // Definite initialization: forward fixpoint with intersection meet.
   LocSet Entry;
@@ -113,9 +177,9 @@ LintReport xopt::lintKernel(const std::vector<Instruction> &Code,
       std::string Loc = L < NumVRegs
                             ? formatString("vr%u", L)
                             : formatString("p%u", L - NumVRegs);
-      Report.Warnings.push_back(formatString(
-          "instruction %u may read uninitialized %s: %s", Idx, Loc.c_str(),
-          disassemble(Code[Idx]).c_str()));
+      Report.warn(Idx,
+                  formatString("may read uninitialized %s: %s", Loc.c_str(),
+                               disassemble(Code[Idx]).c_str()));
     }
   }
 
@@ -125,8 +189,8 @@ LintReport xopt::lintKernel(const std::vector<Instruction> &Code,
     UsedAnywhere |= U.Use;
   for (unsigned P = 0; P < NumScalarParams && P < NumVRegs; ++P)
     if (!UsedAnywhere.test(P))
-      Report.Notes.push_back(
-          formatString("scalar parameter in vr%u is never read", P));
+      Report.note(NoInstr,
+                  formatString("scalar parameter in vr%u is never read", P));
 
   return Report;
 }

@@ -13,6 +13,12 @@
 /// mistakes (like binding a parameter to a register the kernel also uses
 /// as a temporary) surface at build time instead of as silent garbage.
 ///
+/// Diagnostics carry the offending instruction index and a severity, and
+/// render as `kernel:pc: message` so a finding in a 200-instruction kernel
+/// points at the instruction instead of at the kernel as a whole. The same
+/// LintReport container also carries the deeper findings of the XVerify
+/// pass (xopt/Verify.h): both feed the chi::LintPolicy machinery.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EXOCHI_XOPT_LINT_H
@@ -20,27 +26,83 @@
 
 #include "isa/Isa.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace exochi {
 namespace xopt {
 
-/// Diagnostics from one kernel lint.
-struct LintReport {
-  /// Possible misuses (read-before-write, etc).
-  std::vector<std::string> Warnings;
-  /// Informational notes (unreachable code, implicit halt, unused params).
-  std::vector<std::string> Notes;
+/// How bad one finding is.
+enum class Severity : uint8_t {
+  Note,    ///< informational (unreachable code, implicit halt, ...)
+  Warning, ///< possible misuse on some execution (may-bugs)
+  Error,   ///< provable defect on every execution that reaches it
+};
 
-  bool clean() const { return Warnings.empty(); }
+/// Returns "note" / "warning" / "error".
+const char *severityName(Severity S);
+
+/// Instruction index used when a diagnostic concerns the whole kernel.
+constexpr uint32_t NoInstr = 0xffffffffu;
+
+/// One finding of the lint or verify pass.
+struct LintDiag {
+  Severity Sev = Severity::Warning;
+  /// Offending instruction index (NoInstr for kernel-level findings).
+  uint32_t Instr = NoInstr;
+  /// The message proper, without any location prefix.
+  std::string Msg;
+
+  /// Renders as "<kernel>:<pc>: <msg>" (or "<kernel>: <msg>" when the
+  /// diagnostic is kernel-level; bare "<msg>" when \p Kernel is empty and
+  /// there is no instruction).
+  std::string render(const std::string &Kernel) const;
+};
+
+/// Diagnostics from one kernel lint/verify run.
+struct LintReport {
+  /// Kernel name used when rendering diagnostics (may be empty).
+  std::string Kernel;
+  /// All findings, in discovery order.
+  std::vector<LintDiag> Diags;
+
+  void note(uint32_t Instr, std::string Msg) {
+    Diags.push_back({Severity::Note, Instr, std::move(Msg)});
+  }
+  void warn(uint32_t Instr, std::string Msg) {
+    Diags.push_back({Severity::Warning, Instr, std::move(Msg)});
+  }
+  void error(uint32_t Instr, std::string Msg) {
+    Diags.push_back({Severity::Error, Instr, std::move(Msg)});
+  }
+
+  /// No warnings and no errors (notes do not count against cleanliness).
+  bool clean() const;
+
+  /// Number of findings at exactly severity \p S.
+  size_t count(Severity S) const;
+
+  /// Rendered warning+error messages, in order (see LintDiag::render).
+  std::vector<std::string> warnings() const;
+
+  /// Rendered note messages, in order.
+  std::vector<std::string> notes() const;
+
+  /// The first warning-or-worse finding (nullptr when clean()).
+  const LintDiag *firstProblem() const;
+
+  /// Appends all of \p Other's findings (keeps this->Kernel).
+  void append(LintReport Other);
 };
 
 /// Lints \p Code. The first \p NumScalarParams vector registers are
 /// considered initialized at entry (the shred-dispatch ABI); lane-id and
-/// similar conventions must be written by the kernel itself.
+/// similar conventions must be written by the kernel itself. \p KernelName
+/// only labels rendered diagnostics.
 LintReport lintKernel(const std::vector<isa::Instruction> &Code,
-                      unsigned NumScalarParams);
+                      unsigned NumScalarParams,
+                      std::string KernelName = std::string());
 
 } // namespace xopt
 } // namespace exochi

@@ -130,6 +130,91 @@ TEST_F(ToolPipelineTest, AppendBuildsMultiKernelBinaries) {
   EXPECT_NE(Out3.find("already exists"), std::string::npos) << Out3;
 }
 
+TEST_F(ToolPipelineTest, LintToolVerifiesFatBinariesAndRegistry) {
+  // A racy kernel: every shred stores element 0.
+  std::string Racy = "  mov.1.dw vr8 = 0\n"
+                     "  st.1.dw (A, vr8, 0) = vr0\n"
+                     "  halt\n";
+  cantFail(writeFileBytes(
+      AsmPath, std::vector<uint8_t>(Racy.begin(), Racy.end())));
+  auto [RcAs, OutAs] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                              BinPath + " --name racy --scalars i "
+                              "--surfaces A");
+  ASSERT_EQ(RcAs, 0) << OutAs;
+
+  auto [RcLint, OutLint] = runCmd(toolsDir() + "/exochi-lint " + BinPath);
+  EXPECT_EQ(RcLint, 1) << OutLint; // warnings gate the exit status
+  EXPECT_NE(OutLint.find("race"), std::string::npos) << OutLint;
+  EXPECT_NE(OutLint.find("racy:1:"), std::string::npos) << OutLint;
+
+  // The production kernel library is warning-free (the CI gate).
+  auto [RcReg, OutReg] = runCmd(toolsDir() + "/exochi-lint --registry");
+  EXPECT_EQ(RcReg, 0) << OutReg;
+  EXPECT_NE(OutReg.find("0 error(s), 0 warning(s)"), std::string::npos)
+      << OutReg;
+
+  // No inputs at all is a usage error.
+  EXPECT_EQ(runCmd(toolsDir() + "/exochi-lint").first, 2);
+}
+
+TEST_F(ToolPipelineTest, RunnerLintModesGateDispatch) {
+  std::string Racy = "  mov.1.dw vr8 = 0\n"
+                     "  st.1.dw (A, vr8, 0) = vr0\n"
+                     "  halt\n";
+  cantFail(writeFileBytes(
+      AsmPath, std::vector<uint8_t>(Racy.begin(), Racy.end())));
+  auto [RcAs, OutAs] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                              BinPath + " --name racy --scalars i "
+                              "--surfaces A");
+  ASSERT_EQ(RcAs, 0) << OutAs;
+
+  std::string Common = " --kernel racy --shreds 2 --surface A=32x1 "
+                       "--param i=shred";
+
+  // collect (the default): diagnoses but still runs.
+  auto [RcC, OutC] =
+      runCmd(toolsDir() + "/exochi-run " + BinPath + Common);
+  EXPECT_EQ(RcC, 0) << OutC;
+  EXPECT_NE(OutC.find("race"), std::string::npos) << OutC;
+  EXPECT_NE(OutC.find("ran 'racy'"), std::string::npos) << OutC;
+
+  // reject: refuses to dispatch.
+  auto [RcR, OutR] = runCmd(toolsDir() + "/exochi-run " + BinPath + Common +
+                            " --lint=reject");
+  EXPECT_EQ(RcR, 1) << OutR;
+  EXPECT_NE(OutR.find("rejected by --lint=reject"), std::string::npos)
+      << OutR;
+  EXPECT_EQ(OutR.find("ran 'racy'"), std::string::npos) << OutR;
+
+  // ignore: silent.
+  auto [RcI, OutI] = runCmd(toolsDir() + "/exochi-run " + BinPath + Common +
+                            " --lint=ignore");
+  EXPECT_EQ(RcI, 0) << OutI;
+  EXPECT_EQ(OutI.find("race"), std::string::npos) << OutI;
+
+  // Bad mode is a usage error.
+  EXPECT_EQ(runCmd(toolsDir() + "/exochi-run " + BinPath + Common +
+                   " --lint=sometimes")
+                .first,
+            2);
+}
+
+TEST_F(ToolPipelineTest, ObjdumpLintShowsVerifierFindings) {
+  std::string Oob = "  mov.1.dw vr8 = -3\n"
+                    "  ld.1.dw vr9 = (A, vr8, 0)\n"
+                    "  halt\n";
+  cantFail(
+      writeFileBytes(AsmPath, std::vector<uint8_t>(Oob.begin(), Oob.end())));
+  auto [RcAs, OutAs] = runCmd(toolsDir() + "/xgma-as " + AsmPath + " -o " +
+                              BinPath + " --name oob --surfaces A");
+  ASSERT_EQ(RcAs, 0) << OutAs;
+  auto [RcDump, OutDump] =
+      runCmd(toolsDir() + "/xgma-objdump " + BinPath + " --lint");
+  ASSERT_EQ(RcDump, 0) << OutDump;
+  EXPECT_NE(OutDump.find("error"), std::string::npos) << OutDump;
+  EXPECT_NE(OutDump.find("provably negative"), std::string::npos) << OutDump;
+}
+
 TEST_F(ToolPipelineTest, UsageErrorsExitNonZero) {
   EXPECT_NE(runCmd(toolsDir() + "/xgma-as").first, 0);
   EXPECT_NE(runCmd(toolsDir() + "/xgma-objdump /nonexistent.xfb").first, 0);

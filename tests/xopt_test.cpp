@@ -86,6 +86,59 @@ TEST(CfgTest, SuccessorsOfBranches) {
   EXPECT_TRUE(successors(Code, 4).empty()); // halt
 }
 
+TEST(CfgTest, BrAsFinalInstructionFallsOffEnd) {
+  // A conditional branch as the last instruction: the not-taken edge is
+  // the one-past-the-end fall-off index, which models an implicit halt.
+  auto Code = assembleOrDie("top:\n"
+                            "  add.1.dw vr8 = vr0, 1\n"
+                            "  cmp.lt.1.dw p1 = vr8, 4\n"
+                            "  br p1, top\n");
+  EXPECT_EQ(successors(Code, 2), (std::vector<uint32_t>{3, 0}));
+  auto Live = liveOut(Code); // must tolerate the out-of-range successor
+  ASSERT_EQ(Live.size(), 3u);
+  EXPECT_TRUE(Live[2].test(0)); // vr0 is live around the back edge
+}
+
+TEST(CfgTest, BackEdgeOnlyLoopConverges) {
+  // An infinite loop whose body is reached only through its back edge
+  // after the first iteration; the fixpoint must still terminate.
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 0\n"
+                            "spin:\n"
+                            "  add.1.dw vr8 = vr8, 1\n"
+                            "  jmp spin\n");
+  EXPECT_EQ(successors(Code, 2), (std::vector<uint32_t>{1}));
+  auto Live = liveOut(Code);
+  EXPECT_TRUE(Live[2].test(8)); // vr8 is loop-carried forever
+  EXPECT_TRUE(lintKernel(Code, 0).clean());
+}
+
+TEST(CfgTest, UnreachableExitBlock) {
+  // The halt exists but can never execute; liveness treats it as a
+  // normal node and lint reports it as unreachable.
+  auto Code = assembleOrDie("spin:\n"
+                            "  jmp spin\n"
+                            "  halt\n");
+  EXPECT_EQ(successors(Code, 0), (std::vector<uint32_t>{0}));
+  auto Live = liveOut(Code);
+  EXPECT_TRUE(Live[0].none());
+  LintReport R = lintKernel(Code, 0);
+  bool Unreachable = false;
+  for (const std::string &N : R.notes())
+    if (N.find("unreachable") != std::string::npos)
+      Unreachable = true;
+  EXPECT_TRUE(Unreachable);
+}
+
+TEST(CfgTest, EmptyKernel) {
+  // An empty program is a legal kernel (immediate halt on dispatch).
+  std::vector<Instruction> Code;
+  EXPECT_TRUE(liveOut(Code).empty());
+  LintReport R = lintKernel(Code, 0);
+  EXPECT_TRUE(R.clean());
+  ASSERT_FALSE(R.notes().empty());
+  EXPECT_NE(R.notes()[0].find("empty"), std::string::npos);
+}
+
 TEST(LivenessTest, ValueDeadAfterLastUse) {
   auto Code = assembleOrDie("  mov.1.dw vr1 = 5\n"
                             "  add.1.dw vr2 = vr1, 1\n"
@@ -391,7 +444,7 @@ TEST(LintTest, CleanKernelHasNoWarnings) {
                             "  st.1.dw (surf0, vr9, 0) = vr8\n"
                             "  halt\n");
   LintReport R = lintKernel(Code, /*NumScalarParams=*/1);
-  EXPECT_TRUE(R.clean()) << R.Warnings.front();
+  EXPECT_TRUE(R.clean()) << R.warnings().front();
 }
 
 TEST(LintTest, ReadBeforeWriteWarns) {
@@ -400,7 +453,8 @@ TEST(LintTest, ReadBeforeWriteWarns) {
                             "  halt\n");
   LintReport R = lintKernel(Code, 1);
   ASSERT_FALSE(R.clean());
-  EXPECT_NE(R.Warnings[0].find("vr9"), std::string::npos);
+  EXPECT_NE(R.warnings()[0].find("vr9"), std::string::npos);
+  EXPECT_EQ(R.firstProblem()->Instr, 0u); // the offending instruction
 }
 
 TEST(LintTest, ParamsCountAsInitialized) {
@@ -421,7 +475,7 @@ TEST(LintTest, PathSensitiveInitialization) {
                             "  halt\n");
   LintReport R = lintKernel(Code, 1);
   ASSERT_FALSE(R.clean());
-  EXPECT_NE(R.Warnings[0].find("vr8"), std::string::npos);
+  EXPECT_NE(R.warnings()[0].find("vr8"), std::string::npos);
 
   // Written on both arms -> clean.
   auto Code2 = assembleOrDie("  cmp.eq.1.dw p1 = vr0, 0\n"
@@ -454,8 +508,8 @@ TEST(LintTest, UnreachableCodeNoted) {
                             "end:\n"
                             "  halt\n");
   LintReport R = lintKernel(Code, 0);
-  ASSERT_FALSE(R.Notes.empty());
-  EXPECT_NE(R.Notes[0].find("unreachable"), std::string::npos);
+  ASSERT_FALSE(R.notes().empty());
+  EXPECT_NE(R.notes()[0].find("unreachable"), std::string::npos);
 }
 
 TEST(LintTest, FallOffAndUnusedParamsNoted) {
@@ -464,7 +518,7 @@ TEST(LintTest, FallOffAndUnusedParamsNoted) {
   LintReport R = lintKernel(Code, 3); // vr1, vr2 unused
   EXPECT_TRUE(R.clean());
   bool FallOff = false, Unused = false;
-  for (const std::string &N : R.Notes) {
+  for (const std::string &N : R.notes()) {
     if (N.find("fall off") != std::string::npos)
       FallOff = true;
     if (N.find("vr2") != std::string::npos)
@@ -480,7 +534,7 @@ TEST(LintTest, UninitializedPredicateWarns) {
                             "  halt\n");
   LintReport R = lintKernel(Code, 1);
   ASSERT_FALSE(R.clean());
-  EXPECT_NE(R.Warnings[0].find("p5"), std::string::npos);
+  EXPECT_NE(R.warnings()[0].find("p5"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//

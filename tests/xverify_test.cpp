@@ -1,0 +1,401 @@
+//===- tests/xverify_test.cpp - XVerify race/sync/bounds verifier tests -------===//
+//
+// Exercises the three analyses of xopt::verifyKernel (DESIGN.md §10):
+// inter-shred race detection, sync-protocol checks, and value-range
+// bounds/divide verification — including the no-false-positive contracts
+// on clean control kernels and on the production kernel library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xopt/Verify.h"
+
+#include "chi/ProgramBuilder.h"
+#include "kernels/Workloads.h"
+#include "xasm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::isa;
+using namespace exochi::xopt;
+
+namespace {
+
+std::vector<Instruction> assembleOrDie(const char *Asm) {
+  auto K = xasm::assembleKernel(Asm, xasm::SymbolBindings());
+  EXPECT_TRUE(static_cast<bool>(K)) << K.message();
+  return K->Code;
+}
+
+/// A spec with \p NumParams scalar parameters and \p NumSurfaces bound
+/// surface slots of unknown geometry.
+VerifySpec specFor(unsigned NumParams, int32_t NumSurfaces = 1) {
+  VerifySpec S;
+  S.NumScalarParams = NumParams;
+  S.NumSurfaceSlots = NumSurfaces;
+  return S;
+}
+
+bool anyDiagContains(const LintReport &R, const char *Sub) {
+  for (const LintDiag &D : R.Diags)
+    if (D.Msg.find(Sub) != std::string::npos)
+      return true;
+  return false;
+}
+
+std::string allDiags(const LintReport &R) {
+  std::string Out;
+  for (const LintDiag &D : R.Diags)
+    Out += std::string(severityName(D.Sev)) + ": " + D.render(R.Kernel) + "\n";
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Defect class 1: inter-shred races
+//===----------------------------------------------------------------------===//
+
+TEST(XVerifyRaceTest, UniformStoreIsWriteWriteRace) {
+  // Every shred writes element 0: a textbook write/write race.
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 0\n"
+                            "  st.1.dw (surf0, vr8, 0) = vr0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1), "uniform");
+  ASSERT_EQ(R.count(Severity::Warning), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "write/write race")) << allDiags(R);
+  EXPECT_EQ(R.firstProblem()->Instr, 1u);
+  // Diagnostics render as kernel:pc.
+  EXPECT_NE(R.warnings()[0].find("uniform:1:"), std::string::npos);
+}
+
+TEST(XVerifyRaceTest, InsufficientStrideRaces) {
+  // Stride 4 per shred id but 8 elements written: neighbouring shreds
+  // overlap by 4 elements.
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  shl.1.dw vr8 = vr8, 2\n"
+                            "  st.8.dw (surf0, vr8, 0) = [vr0..vr7]\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(0));
+  EXPECT_TRUE(anyDiagContains(R, "race")) << allDiags(R);
+  EXPECT_GE(R.count(Severity::Warning), 1u);
+}
+
+TEST(XVerifyRaceTest, SidStridedDisjointStoreIsClean) {
+  // Stride 8, 8 elements written: a perfect partition by shred id — the
+  // clean control for InsufficientStrideRaces.
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  shl.1.dw vr8 = vr8, 3\n"
+                            "  st.8.dw (surf0, vr8, 0) = [vr0..vr7]\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(0));
+  EXPECT_TRUE(R.Diags.empty()) << allDiags(R);
+}
+
+TEST(XVerifyRaceTest, ParamDerivedFootprintsAreTrustedByContract) {
+  // Coordinates derived from scalar parameters are partitioned by the
+  // dispatcher (each shred gets its own tile): never reported as races
+  // and at most noted for bounds.
+  auto Code = assembleOrDie("  shl.1.dw vr8 = vr0, 3\n"
+                            "  st.8.dw (surf0, vr8, 0) = [vr0..vr7]\n"
+                            "  ld.8.dw [vr16..vr23] = (surf0, vr8, 0)\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(R.clean()) << allDiags(R);
+  EXPECT_EQ(R.count(Severity::Warning), 0u);
+  EXPECT_EQ(R.count(Severity::Error), 0u);
+}
+
+TEST(XVerifyRaceTest, XmitWaitOrderingSuppressesRace) {
+  // Token-passing mutual exclusion: the store is bracketed by a wait
+  // before and an xmit after on the same sync register, so the static
+  // happens-before shadow suppresses the uniform-store race.
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  xmit vr8, vr9 = vr0\n"
+                            "  wait vr9\n"
+                            "  mov.1.dw vr10 = 0\n"
+                            "  st.1.dw (surf0, vr10, 0) = vr0\n"
+                            "  xmit vr8, vr9 = vr0\n"
+                            "  wait vr9\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(R.Diags.empty()) << allDiags(R);
+}
+
+TEST(XVerifyRaceTest, UnorderedStoreStillRaces) {
+  // Same kernel minus the trailing xmit: no xmit follows the store on
+  // every path, so the ordering argument collapses and the race returns.
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  xmit vr8, vr9 = vr0\n"
+                            "  wait vr9\n"
+                            "  mov.1.dw vr10 = 0\n"
+                            "  st.1.dw (surf0, vr10, 0) = vr0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(anyDiagContains(R, "race")) << allDiags(R);
+}
+
+TEST(XVerifyRaceTest, TwoDUniformBlockStoreRaces) {
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 0\n"
+                            "  mov.1.dw vr9 = 0\n"
+                            "  stblk.8.dw (surf0, vr8, vr9) = [vr0..vr7]\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(anyDiagContains(R, "write/write race")) << allDiags(R);
+}
+
+TEST(XVerifyRaceTest, TwoDDisjointRowsAreClean) {
+  // Row = shred id: the y footprints of distinct shreds never meet, and
+  // a 2-D race needs overlap in both axes.
+  auto Code = assembleOrDie("  sid vr9\n"
+                            "  mov.1.dw vr8 = 0\n"
+                            "  stblk.8.dw (surf0, vr8, vr9) = [vr0..vr7]\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(0));
+  EXPECT_TRUE(R.Diags.empty()) << allDiags(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Defect class 2: sync-protocol violations
+//===----------------------------------------------------------------------===//
+
+TEST(XVerifySyncTest, WaitWithNoXmitIsDeadlock) {
+  auto Code = assembleOrDie("  wait vr9\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(0));
+  ASSERT_EQ(R.count(Severity::Warning), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "no xmit"));
+  EXPECT_TRUE(anyDiagContains(R, "deadlock"));
+}
+
+TEST(XVerifySyncTest, SelfWaitCycleFlagged) {
+  // The only matching xmit is behind the wait: no shred of this kernel
+  // can ever produce the signal the wait consumes.
+  auto Code = assembleOrDie("  mov.1.dw vr10 = 0\n"
+                            "  wait vr9\n"
+                            "  sid vr8\n"
+                            "  xmit vr8, vr9 = vr0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(anyDiagContains(R, "self-wait cycle")) << allDiags(R);
+}
+
+TEST(XVerifySyncTest, XmitBeforeWaitIsClean) {
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  xmit vr8, vr9 = vr0\n"
+                            "  wait vr9\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(R.Diags.empty()) << allDiags(R);
+}
+
+TEST(XVerifySyncTest, XmitToProvablyInvalidShredIdIsError) {
+  // Shred ids are 1-based; target 0 can never name a shred.
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 0\n"
+                            "  xmit vr8, vr9 = vr0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "provably invalid"));
+}
+
+TEST(XVerifySyncTest, XmitMaybeInvalidTargetWarns) {
+  // sid - 1 is 0 for the first shred: possibly invalid.
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  sub.1.dw vr8 = vr8, 1\n"
+                            "  xmit vr8, vr9 = vr0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  ASSERT_GE(R.count(Severity::Warning), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "may target an invalid shred id"));
+}
+
+TEST(XVerifySyncTest, UnconditionalSelfSpawnIsError) {
+  // Every execution spawns a child running the same kernel: the shred
+  // tree never quiesces.
+  auto Code = assembleOrDie("  spawn vr0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "respawns"));
+}
+
+TEST(XVerifySyncTest, GuardedSpawnIsClean) {
+  // A spawn behind a data-dependent branch can be skipped, so the
+  // recursion has an exit.
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  cmp.gt.1.dw p1 = vr8, 3\n"
+                            "  br p1, done\n"
+                            "  spawn vr0\n"
+                            "done:\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(R.Diags.empty()) << allDiags(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Defect class 3: surface bounds
+//===----------------------------------------------------------------------===//
+
+TEST(XVerifyBoundsTest, ConstantIndexProvablyOutOfBounds) {
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 100\n"
+                            "  ld.1.dw vr9 = (surf0, vr8, 0)\n"
+                            "  halt\n");
+  VerifySpec Spec = specFor(0);
+  Spec.Surfaces[0] = {64, 1};
+  LintReport R = verifyKernel(Code, Spec);
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "provably out of bounds"));
+  EXPECT_EQ(R.firstProblem()->Instr, 1u);
+}
+
+TEST(XVerifyBoundsTest, AccessWidthCountsAgainstExtent) {
+  // First element 60 is in range, but the 8-wide access runs to 67 on a
+  // 64-element surface.
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 60\n"
+                            "  ld.8.dw [vr16..vr23] = (surf0, vr8, 0)\n"
+                            "  halt\n");
+  VerifySpec Spec = specFor(0);
+  Spec.Surfaces[0] = {64, 1};
+  LintReport R = verifyKernel(Code, Spec);
+  EXPECT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+
+  // The last in-bounds first element, 56, is clean.
+  auto Ok = assembleOrDie("  mov.1.dw vr8 = 56\n"
+                          "  ld.8.dw [vr16..vr23] = (surf0, vr8, 0)\n"
+                          "  halt\n");
+  EXPECT_TRUE(verifyKernel(Ok, Spec).Diags.empty());
+}
+
+TEST(XVerifyBoundsTest, BoundedIndexMayBeOutOfBoundsWarns) {
+  // sid & 127 can exceed the 64-element surface but does not have to.
+  auto Code = assembleOrDie("  sid vr8\n"
+                            "  and.1.dw vr8 = vr8, 127\n"
+                            "  ld.1.dw vr9 = (surf0, vr8, 0)\n"
+                            "  halt\n");
+  VerifySpec Spec = specFor(0);
+  Spec.Surfaces[0] = {64, 1};
+  LintReport R = verifyKernel(Code, Spec);
+  ASSERT_EQ(R.count(Severity::Warning), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "may be out of bounds"));
+}
+
+TEST(XVerifyBoundsTest, NegativeIndexFaultsEvenWithoutGeometry) {
+  auto Code = assembleOrDie("  mov.1.dw vr8 = -5\n"
+                            "  ld.1.dw vr9 = (surf0, vr8, 0)\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(0));
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "provably negative"));
+}
+
+TEST(XVerifyBoundsTest, UnboundSurfaceSlotIsError) {
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 0\n"
+                            "  ld.1.dw vr9 = (surf1, vr8, 0)\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(0, /*NumSurfaces=*/1));
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "surface slot 1"));
+}
+
+TEST(XVerifyBoundsTest, BlockAccessChecksBothAxes) {
+  auto Code = assembleOrDie("  mov.1.dw vr8 = 0\n"
+                            "  mov.1.dw vr9 = 50\n"
+                            "  ldblk.8.dw [vr16..vr23] = (surf0, vr8, vr9)\n"
+                            "  halt\n");
+  VerifySpec Spec = specFor(0);
+  Spec.Surfaces[0] = {16, 32}; // 16 wide, 32 rows; y = 50 is off the end
+  LintReport R = verifyKernel(Code, Spec);
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "block y"));
+}
+
+TEST(XVerifyBoundsTest, ParamRangeSharpensTheVerdict) {
+  // The same kernel is silent with an unconstrained parameter, clean
+  // with a known-good value, and a provable error with a known-bad one.
+  auto Code = assembleOrDie("  ld.8.dw [vr16..vr23] = (surf0, vr0, 0)\n"
+                            "  halt\n");
+  VerifySpec Spec = specFor(1);
+  Spec.Surfaces[0] = {64, 1};
+  EXPECT_TRUE(verifyKernel(Code, Spec).clean());
+
+  Spec.ParamRanges[0] = Range::point(8);
+  EXPECT_TRUE(verifyKernel(Code, Spec).Diags.empty());
+
+  Spec.ParamRanges[0] = Range::point(60);
+  LintReport R = verifyKernel(Code, Spec);
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "provably out of bounds"));
+}
+
+//===----------------------------------------------------------------------===//
+// Defect class 4: divide by zero
+//===----------------------------------------------------------------------===//
+
+TEST(XVerifyDivTest, DivideByConstantZeroIsError) {
+  auto Code = assembleOrDie("  div.1.dw vr8 = vr0, 0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  ASSERT_EQ(R.count(Severity::Error), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "divides by zero"));
+}
+
+TEST(XVerifyDivTest, PredicatedDivideByZeroOnlyWarns) {
+  // The predicate can keep every faulting lane disabled.
+  auto Code = assembleOrDie("  cmp.eq.1.dw p1 = vr0, 7\n"
+                            "  (p1) div.1.dw vr8 = vr0, 0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_EQ(R.count(Severity::Error), 0u) << allDiags(R);
+  ASSERT_EQ(R.count(Severity::Warning), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "when the predicate is set"));
+}
+
+TEST(XVerifyDivTest, BoundedDivisorContainingZeroWarns) {
+  auto Code = assembleOrDie("  sid vr9\n"
+                            "  and.1.dw vr9 = vr9, 3\n"
+                            "  div.1.dw vr8 = vr0, vr9\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  ASSERT_EQ(R.count(Severity::Warning), 1u) << allDiags(R);
+  EXPECT_TRUE(anyDiagContains(R, "may divide by zero"));
+}
+
+TEST(XVerifyDivTest, DivisorFromParamIsOnlyNoted) {
+  // A raw parameter divisor is the dispatcher's responsibility: noted,
+  // not warned, so clean production kernels stay clean.
+  auto Code = assembleOrDie("  div.1.dw vr8 = vr1, vr0\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(2));
+  EXPECT_TRUE(R.clean()) << allDiags(R);
+  EXPECT_GE(R.count(Severity::Note), 1u);
+}
+
+TEST(XVerifyDivTest, ProvablyNonzeroDivisorIsClean) {
+  // (sid & 3) + 1 is in [1, 4]: no fault possible.
+  auto Code = assembleOrDie("  sid vr9\n"
+                            "  and.1.dw vr9 = vr9, 3\n"
+                            "  add.1.dw vr9 = vr9, 1\n"
+                            "  div.1.dw vr8 = vr0, vr9\n"
+                            "  halt\n");
+  LintReport R = verifyKernel(Code, specFor(1));
+  EXPECT_TRUE(R.Diags.empty()) << allDiags(R);
+}
+
+//===----------------------------------------------------------------------===//
+// The production kernel library verifies clean (the CI gate behind
+// `exochi-lint --registry`).
+//===----------------------------------------------------------------------===//
+
+TEST(XVerifyRegistryTest, AllTable2KernelsVerifyClean) {
+  chi::ProgramBuilder PB;
+  auto Workloads = kernels::createTable2Workloads(0.25);
+  ASSERT_FALSE(Workloads.empty());
+  for (const auto &W : Workloads) {
+    Error E = W->compile(PB);
+    ASSERT_FALSE(static_cast<bool>(E)) << W->name() << ": " << E.message();
+    const LintReport *R = PB.lintReport(W->name());
+    ASSERT_NE(R, nullptr) << W->name();
+    EXPECT_TRUE(R->clean()) << W->name() << ":\n" << allDiags(*R);
+  }
+}

@@ -1,0 +1,151 @@
+//===- tools/exochi-lint.cpp - Static kernel verifier driver ------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+// Runs the full static verification stack (register-hygiene lint plus the
+// XVerify race/sync/bounds pass, DESIGN.md §10) over every XGMA kernel of
+// the given fat binaries, and — with --registry — over the production
+// kernel library (the ten Table 2 media workloads). CI gates on the exit
+// status: 0 when every kernel is clean of warnings and errors.
+//
+//   exochi-lint [file.xfb ...] [--registry] [--notes]
+//
+//===----------------------------------------------------------------------===//
+
+#include "chi/ProgramBuilder.h"
+#include "isa/Encoding.h"
+#include "kernels/MediaWorkload.h"
+#include "support/File.h"
+#include "xopt/Verify.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace exochi;
+
+namespace {
+
+struct Totals {
+  size_t Kernels = 0;
+  size_t Errors = 0;
+  size_t Warnings = 0;
+  size_t Notes = 0;
+};
+
+void printReport(const xopt::LintReport &R, bool ShowNotes, Totals &T) {
+  ++T.Kernels;
+  size_t Problems = 0;
+  for (const xopt::LintDiag &D : R.Diags) {
+    switch (D.Sev) {
+    case xopt::Severity::Error:
+      ++T.Errors;
+      ++Problems;
+      break;
+    case xopt::Severity::Warning:
+      ++T.Warnings;
+      ++Problems;
+      break;
+    case xopt::Severity::Note:
+      ++T.Notes;
+      if (!ShowNotes)
+        continue;
+      break;
+    }
+    std::printf("%s: %s\n", xopt::severityName(D.Sev),
+                D.render(R.Kernel).c_str());
+  }
+  if (Problems == 0)
+    std::printf("%s: clean\n", R.Kernel.c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Inputs;
+  bool Registry = false, ShowNotes = false;
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    if (A == "--registry")
+      Registry = true;
+    else if (A == "--notes")
+      ShowNotes = true;
+    else if (A == "--help" || A == "-h" || (!A.empty() && A[0] == '-')) {
+      std::fprintf(stderr,
+                   "usage: exochi-lint [file.xfb ...] [--registry] "
+                   "[--notes]\n"
+                   "  verifies every XGMA kernel; exit 1 when any kernel "
+                   "has warnings or errors\n"
+                   "  --registry  also verify the built-in Table 2 kernel "
+                   "library\n"
+                   "  --notes     print informational notes as well\n");
+      return A == "--help" || A == "-h" ? 0 : 2;
+    } else {
+      Inputs.push_back(A);
+    }
+  }
+  if (Inputs.empty() && !Registry) {
+    std::fprintf(stderr, "exochi-lint: no fat binary and no --registry; "
+                         "nothing to verify\n");
+    return 2;
+  }
+
+  Totals T;
+
+  for (const std::string &Input : Inputs) {
+    auto Bytes = readFileBytes(Input);
+    if (!Bytes) {
+      std::fprintf(stderr, "exochi-lint: %s\n", Bytes.message().c_str());
+      return 2;
+    }
+    auto FB = fatbin::FatBinary::deserialize(*Bytes);
+    if (!FB) {
+      std::fprintf(stderr, "exochi-lint: %s: %s\n", Input.c_str(),
+                   FB.message().c_str());
+      return 2;
+    }
+    for (const fatbin::CodeSection &S : FB->sections()) {
+      if (S.Isa != fatbin::IsaTag::XGMA)
+        continue;
+      auto Prog = isa::decodeProgram(S.Code);
+      if (!Prog) {
+        std::fprintf(stderr, "exochi-lint: %s/%s: %s\n", Input.c_str(),
+                     S.Name.c_str(), Prog.message().c_str());
+        return 2;
+      }
+      xopt::LintReport R = xopt::lintKernel(
+          *Prog, static_cast<unsigned>(S.ScalarParams.size()), S.Name);
+      xopt::VerifySpec Spec;
+      Spec.NumScalarParams = static_cast<unsigned>(S.ScalarParams.size());
+      Spec.NumSurfaceSlots = static_cast<int32_t>(S.SurfaceParams.size());
+      R.append(xopt::verifyKernel(*Prog, Spec, S.Name));
+      printReport(R, ShowNotes, T);
+    }
+  }
+
+  if (Registry) {
+    // The production kernel library: compiling through ProgramBuilder
+    // runs lint + verify exactly as application builds do.
+    chi::ProgramBuilder PB;
+    auto Workloads = kernels::createTable2Workloads(0.25);
+    for (const auto &W : Workloads) {
+      if (Error E = W->compile(PB)) {
+        std::fprintf(stderr, "exochi-lint: %s: %s\n", W->name().c_str(),
+                     E.message().c_str());
+        return 2;
+      }
+      const xopt::LintReport *R = PB.lintReport(W->name());
+      if (!R) {
+        std::fprintf(stderr, "exochi-lint: %s: no report\n",
+                     W->name().c_str());
+        return 2;
+      }
+      printReport(*R, ShowNotes, T);
+    }
+  }
+
+  std::printf("exochi-lint: %zu kernel(s), %zu error(s), %zu warning(s), "
+              "%zu note(s)\n",
+              T.Kernels, T.Errors, T.Warnings, T.Notes);
+  return T.Errors + T.Warnings ? 1 : 0;
+}

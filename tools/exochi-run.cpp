@@ -20,9 +20,11 @@
 #include "chi/ParallelRegion.h"
 #include "gma/Trace.h"
 #include "chi/Runtime.h"
+#include "isa/Encoding.h"
 #include "support/File.h"
 #include "support/Random.h"
 #include "support/StringUtils.h"
+#include "xopt/Verify.h"
 
 #include <cstdio>
 #include <map>
@@ -66,7 +68,7 @@ bool parseSurfaceArg(const std::string &Spec, SurfaceArg &Out) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Input, Kernel, TracePath;
+  std::string Input, Kernel, TracePath, LintMode = "collect";
   unsigned Shreds = 1;
   int SimThreads = -1; ///< -1 = leave the platform default
   std::vector<SurfaceArg> Surfaces;
@@ -101,7 +103,18 @@ int main(int Argc, char **Argv) {
       }
       SimThreads = static_cast<unsigned>(*N);
     }
-    else if (A == "--surface") {
+    else if (A == "--lint" || A.rfind("--lint=", 0) == 0) {
+      LintMode = A.size() > 6 && A[6] == '=' ? A.substr(7)
+                                             : std::string(Next());
+      if (LintMode != "ignore" && LintMode != "collect" &&
+          LintMode != "reject") {
+        std::fprintf(stderr,
+                     "exochi-run: --lint must be ignore, collect, or "
+                     "reject (got '%s')\n",
+                     LintMode.c_str());
+        return 2;
+      }
+    } else if (A == "--surface") {
       SurfaceArg S;
       if (!parseSurfaceArg(Next(), S)) {
         std::fprintf(stderr, "exochi-run: bad --surface spec\n");
@@ -121,7 +134,7 @@ int main(int Argc, char **Argv) {
                    "usage: exochi-run <file.xfb> --kernel <name> "
                    "[--shreds N] [--surface n=WxH[:zero|seq|rand]] "
                    "[--param n=<int>|shred] [--trace out.json] "
-                   "[--sim-threads N]\n");
+                   "[--sim-threads N] [--lint=ignore|collect|reject]\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "exochi-run: unknown option '%s'\n", A.c_str());
@@ -144,6 +157,44 @@ int main(int Argc, char **Argv) {
   if (!FB) {
     std::fprintf(stderr, "exochi-run: %s\n", FB.message().c_str());
     return 1;
+  }
+
+  // --lint: statically verify the kernel before dispatch, sharpened with
+  // the geometry and parameter values this invocation actually binds.
+  if (LintMode != "ignore") {
+    const fatbin::CodeSection *Sec = FB->findByName(Kernel);
+    if (Sec && Sec->Isa == fatbin::IsaTag::XGMA) {
+      auto Prog = isa::decodeProgram(Sec->Code);
+      if (!Prog) {
+        std::fprintf(stderr, "exochi-run: %s\n", Prog.message().c_str());
+        return 1;
+      }
+      xopt::LintReport R = xopt::lintKernel(
+          *Prog, static_cast<unsigned>(Sec->ScalarParams.size()), Kernel);
+      xopt::VerifySpec Spec;
+      Spec.NumScalarParams = static_cast<unsigned>(Sec->ScalarParams.size());
+      Spec.NumSurfaceSlots = static_cast<int32_t>(Sec->SurfaceParams.size());
+      for (size_t Slot = 0; Slot < Sec->SurfaceParams.size(); ++Slot)
+        for (const SurfaceArg &S : Surfaces)
+          if (S.Name == Sec->SurfaceParams[Slot])
+            Spec.Surfaces[static_cast<int32_t>(Slot)] = {S.W, S.H};
+      for (size_t P = 0; P < Sec->ScalarParams.size(); ++P) {
+        auto It = Params.find(Sec->ScalarParams[P]);
+        if (It != Params.end() && It->second != "shred")
+          Spec.ParamRanges[static_cast<unsigned>(P)] =
+              xopt::Range::point(parseInt(It->second).value_or(0));
+      }
+      R.append(xopt::verifyKernel(*Prog, Spec, Kernel));
+      for (const xopt::LintDiag &D : R.Diags)
+        std::fprintf(stderr, "exochi-run: %s: %s\n",
+                     xopt::severityName(D.Sev), D.render(R.Kernel).c_str());
+      if (LintMode == "reject" && !R.clean()) {
+        std::fprintf(stderr,
+                     "exochi-run: kernel '%s' rejected by --lint=reject\n",
+                     Kernel.c_str());
+        return 1;
+      }
+    }
   }
 
   exo::ExoPlatform Platform;

@@ -127,12 +127,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   if (const xopt::LintReport *R = PB.lintReport(Name)) {
-    for (const std::string &W : R->Warnings)
-      std::fprintf(stderr, "xgma-as: warning: %s: %s\n", Name.c_str(),
-                   W.c_str());
-    for (const std::string &N : R->Notes)
-      std::fprintf(stderr, "xgma-as: note: %s: %s\n", Name.c_str(),
-                   N.c_str());
+    for (const xopt::LintDiag &D : R->Diags)
+      std::fprintf(stderr, "xgma-as: %s: %s\n", xopt::severityName(D.Sev),
+                   D.render(R->Kernel).c_str());
   }
   if (Optimize) {
     xopt::OptStats S = PB.optStats(Name);

@@ -16,6 +16,7 @@
 #include "support/File.h"
 #include "xasm/Printer.h"
 #include "xopt/Lint.h"
+#include "xopt/Verify.h"
 
 #include <cstdio>
 #include <string>
@@ -95,13 +96,18 @@ int main(int Argc, char **Argv) {
     if (Source && !S.Debug.SourceText.empty())
       std::printf("  -- source --\n%s", S.Debug.SourceText.c_str());
     if (Lint) {
+      // Register-hygiene lint plus the XVerify race/sync/bounds pass,
+      // reconstructed from the section's ABI metadata.
       xopt::LintReport R = xopt::lintKernel(
-          *Prog, static_cast<unsigned>(S.ScalarParams.size()));
-      for (const std::string &W : R.Warnings)
-        std::printf("  warning: %s\n", W.c_str());
-      for (const std::string &N : R.Notes)
-        std::printf("  note: %s\n", N.c_str());
-      if (R.clean() && R.Notes.empty())
+          *Prog, static_cast<unsigned>(S.ScalarParams.size()), S.Name);
+      xopt::VerifySpec Spec;
+      Spec.NumScalarParams = static_cast<unsigned>(S.ScalarParams.size());
+      Spec.NumSurfaceSlots = static_cast<int32_t>(S.SurfaceParams.size());
+      R.append(xopt::verifyKernel(*Prog, Spec, S.Name));
+      for (const xopt::LintDiag &D : R.Diags)
+        std::printf("  %s: %s\n", xopt::severityName(D.Sev),
+                    D.render(R.Kernel).c_str());
+      if (R.Diags.empty())
         std::printf("  lint: clean\n");
     }
     std::printf("\n");
