@@ -109,6 +109,15 @@ struct Descriptor {
   }
 };
 
+/// Runtime-wide FaultLab resilience totals, accumulated across every
+/// dispatched region (all zero when injection is disarmed).
+struct ChiStats {
+  uint64_t FaultsInjected = 0; ///< injector decisions across device + proxy
+  uint64_t Retried = 0;        ///< proxy transient / CEH timeout retries
+  uint64_t Redispatched = 0;   ///< shreds re-dispatched (EU or IA32 lane)
+  uint64_t Offlined = 0;       ///< EUs taken out of rotation
+};
+
 /// Statistics of one executed parallel region / task-queue wave.
 struct RegionStats {
   TimeNs SubmitNs = 0;      ///< when the master encountered the construct

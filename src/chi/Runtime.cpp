@@ -316,6 +316,19 @@ Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
   Stats.Device = Device.stats();
   Stats.DeviceFinishNs = Stats.Device.FinishNs;
 
+  // Accumulate FaultLab resilience totals: device counters reset per run,
+  // proxy counters persist across dispatches, so the latter are deltas.
+  const exo::ProxyStats &PS = Platform.proxy().stats();
+  uint64_t ProxyRetries = PS.TransientRetries + PS.CehRetries;
+  FaultStats.FaultsInjected += Stats.Device.FaultsInjected +
+                               (PS.InjectedFaults - LastProxyInjected);
+  FaultStats.Retried += ProxyRetries - LastProxyRetries;
+  FaultStats.Redispatched +=
+      Stats.Device.ShredsRedispatched + Stats.Device.HostRedispatches;
+  FaultStats.Offlined += Stats.Device.EusOfflined;
+  LastProxyInjected = PS.InjectedFaults;
+  LastProxyRetries = ProxyRetries;
+
   TimeNs End = std::max(Stats.DeviceFinishNs, BackgroundFlushDone);
 
   switch (Model) {

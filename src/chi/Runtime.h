@@ -137,6 +137,10 @@ public:
   /// Total shreds spawned since construction (Table 2 reporting).
   uint64_t totalShredsSpawned() const { return TotalShreds; }
 
+  /// FaultLab resilience totals accumulated across every dispatch (zero
+  /// when injection is disarmed).
+  const ChiStats &faultStats() const { return FaultStats; }
+
   //===--------------------------------------------------------------------===//
   // Master-shred (IA32) work
   //===--------------------------------------------------------------------===//
@@ -175,6 +179,12 @@ private:
 
   TimeNs Clock = 0;
   uint64_t TotalShreds = 0;
+
+  /// Runtime-wide FaultLab totals; proxy counters are accumulated as
+  /// deltas against the values seen at the previous dispatch.
+  ChiStats FaultStats;
+  uint64_t LastProxyInjected = 0;
+  uint64_t LastProxyRetries = 0;
 };
 
 } // namespace chi

@@ -69,6 +69,21 @@ public:
   /// simulation results are bit-identical for every value.
   void setSimThreads(unsigned N) { Device.setSimThreads(N); }
 
+  /// Installs a FaultLab injector at every probe site across the stack
+  /// (device refill/resolve phases + proxy ATR/CEH paths). Pass nullptr
+  /// to disarm. The injector must outlive the runs it is armed for.
+  void armFaultInjection(fault::FaultInjector *Inj) {
+    Device.setFaultInjector(Inj);
+    Proxy.setFaultInjector(Inj);
+  }
+
+  /// Retry budget of the degradation ladder: proxy transient-fault /
+  /// CEH-timeout retries and device shred re-dispatches.
+  void setMaxRetries(unsigned K) {
+    Proxy.setMaxRetries(K);
+    Device.setMaxRedispatch(K);
+  }
+
   /// Allocates \p Bytes of demand-paged shared virtual memory. Both the
   /// IA32 sequencer and (through ATR) the exo-sequencers can access it at
   /// the same virtual addresses.

@@ -32,6 +32,11 @@
 #include <cstdint>
 
 namespace exochi {
+
+namespace fault {
+class FaultInjector;
+}
+
 namespace exo {
 
 /// Latency parameters of the MISP signalling / proxy-execution path.
@@ -44,6 +49,12 @@ struct ProxyParams {
   gma::TimeNs FaultServiceNs = 1500.0;
   /// Software emulation of one faulting instruction (CEH).
   gma::TimeNs EmulationNs = 1200.0;
+  /// FaultLab: bounded retries for injected transient proxy faults and
+  /// CEH handler timeouts before the fault is reported upward.
+  unsigned MaxRetries = 3;
+  /// Per-instruction cost of the IA32 host lane executing an orphaned
+  /// shred functionally (degradation ladder, last rung).
+  gma::TimeNs OrphanInstrNs = 5.0;
 };
 
 /// How the structured-exception-handling layer treats integer divide by
@@ -61,6 +72,14 @@ struct ProxyStats {
   uint64_t PteTranscodes = 0;
   uint64_t ExceptionsEmulated = 0;
   uint64_t DivZeroHandled = 0;
+
+  // FaultLab resilience counters (all zero when injection is disarmed).
+  uint64_t InjectedFaults = 0;      ///< injector decisions taken at proxy sites
+  uint64_t TransientRetries = 0;    ///< ATR retries after transient faults
+  uint64_t CehRetries = 0;          ///< CEH handler timeout retries
+  uint64_t DoubleFaults = 0;        ///< second walk missed after fault service
+  uint64_t OrphansEmulated = 0;     ///< orphan shreds run on the host lane
+  uint64_t OrphanInstructions = 0;  ///< instructions interpreted on that lane
 };
 
 /// The IA32-side proxy handler installed into the GMA device.
@@ -71,6 +90,13 @@ public:
 
   void setDivZeroPolicy(DivZeroPolicy P) { DivZero = P; }
 
+  /// Installs the FaultLab injector consulted at the proxy's probe sites
+  /// (nullptr to remove). A disarmed injector costs ~nothing.
+  void setFaultInjector(fault::FaultInjector *I) { Inj = I; }
+
+  /// Retry budget for injected transient faults / handler timeouts.
+  void setMaxRetries(unsigned K) { Params.MaxRetries = K; }
+
   const ProxyStats &stats() const { return Stats; }
   void resetStats() { Stats = ProxyStats(); }
 
@@ -80,16 +106,24 @@ public:
                                           mem::Tlb &Tlb) override;
   Expected<gma::TimeNs> onException(const gma::ExceptionInfo &Info,
                                     gma::ShredRegView &Regs) override;
+  Expected<gma::TimeNs> onShredOrphaned(const gma::OrphanShred &O) override;
 
 private:
   /// Emulates a double-precision (df) ALU/compare/convert instruction
   /// with IEEE-double semantics through the register view.
   Error emulateF64(const isa::Instruction &I, gma::ShredRegView &Regs);
 
+  /// Copies between host buffer and shared virtual memory, servicing
+  /// demand-page faults through the OS. Unlike Ia32AddressSpace::read /
+  /// write (which abort), unserviceable faults come back as an Error so
+  /// the host lane can diagnose rather than kill the process.
+  Error hostCopy(mem::VirtAddr Va, void *Buf, uint64_t Size, bool IsWrite);
+
   mem::Ia32AddressSpace &AS;
   ProxyParams Params;
   DivZeroPolicy DivZero = DivZeroPolicy::Fault;
   ProxyStats Stats;
+  fault::FaultInjector *Inj = nullptr;
 };
 
 } // namespace exo

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace exochi {
@@ -79,6 +80,16 @@ struct ShredDescriptor {
   /// paper, and the firmware fetches them through ATR-translated reads at
   /// dispatch. Params then only conveys the record length.
   mem::VirtAddr RecordVa = 0;
+  /// When nonzero, dispatch reuses this shred id instead of allocating a
+  /// fresh one. Set by the FaultLab degradation ladder when a shred is
+  /// re-queued after an EU failure, so xmit targets and traces keep
+  /// addressing the same logical shred.
+  uint32_t FixedShredId = 0;
+  /// How many times this shred has been re-dispatched after a fault.
+  /// Restart-from-descriptor assumes idempotent kernels (each attempt
+  /// recomputes the same outputs); GmaConfig::MaxShredRedispatch bounds
+  /// the retries before the IA32 host lane takes over.
+  uint8_t Redispatches = 0;
 };
 
 /// Device geometry and first-order timing parameters. Defaults model the
@@ -115,6 +126,16 @@ struct GmaConfig {
   /// barrier. Part of the deterministic schedule, so changing it changes
   /// arbitration outcomes (identically for every SimThreads value).
   TimeNs SimHorizonNs = 400.0;
+
+  /// A shred blocked in `wait` longer than this (simulated time) fails
+  /// the run with a diagnosed timeout instead of deadlocking silently
+  /// (FaultLab: a dropped MISP signal becomes a bounded, named error).
+  /// 0 disables the timeout. The default is far above any legitimate
+  /// wait in the modelled workloads.
+  TimeNs WaitTimeoutNs = 1e9;
+  /// Times a faulted shred may be re-queued onto surviving EUs before
+  /// the last-resort IA32 host lane runs it (degradation ladder step 3).
+  unsigned MaxShredRedispatch = 3;
 
   /// Cycle period in nanoseconds.
   TimeNs cycleNs() const { return 1.0 / ClockGhz; }
@@ -155,6 +176,20 @@ public:
   virtual void writePredLane(unsigned PredReg, unsigned Lane, bool Set) = 0;
 };
 
+/// A shred the device can no longer run (its EU failed and either no EU
+/// survives or the re-dispatch budget is spent): everything the IA32
+/// host lane needs to execute it functionally instead.
+struct OrphanShred {
+  uint32_t ShredId = 0;
+  uint32_t KernelId = 0;
+  std::string KernelName;
+  /// Decoded kernel code (owned by the device; valid for the call).
+  const std::vector<isa::Instruction> *Code = nullptr;
+  std::vector<int32_t> Params;
+  std::shared_ptr<const SurfaceTable> Surfaces;
+  mem::VirtAddr RecordVa = 0; ///< authoritative params, when nonzero
+};
+
 /// The MISP exoskeleton signalling interface: the device raises
 /// user-level interrupts to the OS-managed sequencer through this, and
 /// the exo layer (src/exo) implements proxy execution behind it.
@@ -175,6 +210,12 @@ public:
   /// skipped), or an error to terminate the shred.
   virtual Expected<TimeNs> onException(const ExceptionInfo &Info,
                                        ShredRegView &Regs) = 0;
+
+  /// Last resort of the FaultLab degradation ladder: run orphan \p O on
+  /// the IA32 core (the paper's Fig. 10 cooperative machinery as a
+  /// failover lane). Returns the host execution latency, or an error when
+  /// no host lane exists (the default) or the shred cannot run there.
+  virtual Expected<TimeNs> onShredOrphaned(const OrphanShred &O);
 };
 
 /// Aggregate statistics of one device run.
@@ -194,6 +235,14 @@ struct GmaRunStats {
   uint64_t SamplerOps = 0;
   double IssueCycles = 0; ///< total EU issue cycles charged
   TimeNs ProxyStallNs = 0; ///< context-stall time due to ATR/CEH proxies
+
+  // FaultLab resilience counters (all zero when injection is disarmed).
+  uint64_t FaultsInjected = 0;     ///< injector decisions taken at device sites
+  uint64_t EusOfflined = 0;        ///< EUs removed after a hard-fail
+  uint64_t ShredsRedispatched = 0; ///< shreds re-queued onto surviving EUs
+  uint64_t HostRedispatches = 0;   ///< orphans executed on the IA32 lane
+  uint64_t MailboxDropped = 0;     ///< xmit signals lost by injection
+  uint64_t MailboxDuplicated = 0;  ///< xmit signals delivered twice
 
   /// Field-wise equality: the parallel-simulation determinism contract
   /// promises bit-identical stats for every GmaConfig::SimThreads value.

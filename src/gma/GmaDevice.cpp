@@ -36,6 +36,7 @@
 
 #include "gma/GmaDevice.h"
 
+#include "fault/FaultInjector.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -50,6 +51,12 @@ using namespace exochi::isa;
 
 ShredRegView::~ShredRegView() = default;
 ProxySignalHandler::~ProxySignalHandler() = default;
+
+Expected<TimeNs> ProxySignalHandler::onShredOrphaned(const OrphanShred &O) {
+  return Error::make(formatString(
+      "shred %u (kernel '%s'): no IA32 re-dispatch lane installed",
+      O.ShredId, O.KernelName.c_str()));
+}
 
 const char *gma::exceptionKindName(ExceptionKind K) {
   switch (K) {
@@ -91,6 +98,10 @@ struct GmaDevice::Context : public ShredRegView {
   uint8_t WaitReg = 0;
   unsigned Slot = 0;          ///< thread-context index within the EU
   TimeNs LoadedAtNs = 0;      ///< dispatch time of the resident shred
+  TimeNs WaitSinceNs = 0;     ///< issue time of the pending `wait`
+  /// The dispatched descriptor, kept so a faulted shred can be
+  /// re-dispatched from scratch (FaultLab degradation ladder).
+  ShredDescriptor Desc;
 
   /// Stride-prefetcher state: a few tracked miss streams per context.
   /// A miss that continues a trained stream (same stride as last time)
@@ -202,6 +213,7 @@ struct GmaDevice::Eu {
   TimeNs Time = 0;
   std::vector<Context> Contexts;
   int LastIssued = -1;
+  bool Offline = false; ///< hard-failed: no refills, buffered ops dropped
 
   std::vector<PendingOp> Pending;
   uint64_t NextSeq = 0;
@@ -324,7 +336,19 @@ void GmaDevice::resetStats() {
     E->ShardInstructions = 0;
     E->ShardIssueCycles = 0;
     E->ShardFinishNs = 0;
+    E->Offline = false; // a fresh run starts with a healed device
   }
+}
+
+bool GmaDevice::injectionArmed() const {
+  return Injector && Injector->armed();
+}
+
+bool GmaDevice::anyOnlineEu() const {
+  for (const auto &E : Eus)
+    if (!E->Offline)
+      return true;
+  return false;
 }
 
 void GmaDevice::invalidateTlbs() { DeviceTlb.invalidateAll(); }
@@ -379,7 +403,7 @@ std::optional<uint32_t> GmaDevice::shredKernel(uint32_t ShredId) const {
 }
 
 Expected<bool> GmaDevice::refillContext(Eu &E) {
-  if (Queue.empty())
+  if (E.Offline || Queue.empty())
     return false;
   Context *Free = nullptr;
   for (Context &C : E.Contexts)
@@ -398,38 +422,51 @@ Expected<bool> GmaDevice::refillContext(Eu &E) {
   std::memset(C.Preds, 0, sizeof(C.Preds));
   std::memset(C.RegReady, 0, sizeof(C.RegReady));
   C.Pc = 0;
-  C.ShredId = NextShredId++;
+  // A re-dispatched shred keeps its id so xmit targets and the trace
+  // still address the same logical shred.
+  C.ShredId = Desc.FixedShredId ? Desc.FixedShredId : NextShredId++;
   C.KernelId = Desc.KernelId;
   C.Kern = kernel(Desc.KernelId);
   assert(C.Kern && "dispatching unregistered kernel");
-  C.Surfaces = std::move(Desc.Surfaces);
+  C.Desc = std::move(Desc); // kept for fault re-dispatch
+  C.Surfaces = C.Desc.Surfaces;
   C.St = Context::State::Running;
   // Firmware dispatch cost (descriptor -> hardware command translation).
   C.StallUntil = E.Time + Config.ShredDispatchNs;
   C.LoadedAtNs = E.Time;
+  C.WaitSinceNs = 0;
 
-  if (Desc.RecordVa != 0 && !Desc.Params.empty()) {
+  if (C.Desc.RecordVa != 0 && !C.Desc.Params.empty()) {
     // The continuation record lives in shared virtual memory (paper
     // Section 3.4): the firmware fetches it through the same translated
     // path as data, so descriptor pages take ATR misses like any other.
-    uint64_t Bytes = Desc.Params.size() * 4;
-    auto Acc = accessMemoryAt(E.Time, C, Desc.RecordVa, Bytes,
+    uint64_t Bytes = C.Desc.Params.size() * 4;
+    auto Acc = accessMemoryAt(E.Time, C, C.Desc.RecordVa, Bytes,
                               /*IsWrite=*/false, mem::GpuMemType::Cached);
-    if (!Acc)
+    if (!Acc) {
+      if (injectionArmed()) {
+        // Survive an injected descriptor-fetch fault: send the shred back
+        // through the re-dispatch ladder (bounded by MaxShredRedispatch,
+        // then the IA32 host lane).
+        if (Error Err = redispatchShred(E, C))
+          return Err;
+        return true;
+      }
       return Error::make("shred descriptor fetch failed: " +
                          Acc.message());
+    }
     std::vector<uint8_t> Buf(Bytes);
     uint64_t Ofs = 0;
     for (auto &[Pa, N] : Acc->Segments) {
       PM.read(Pa, Buf.data() + Ofs, N);
       Ofs += N;
     }
-    for (size_t K = 0; K < Desc.Params.size() && K < NumVRegs; ++K)
+    for (size_t K = 0; K < C.Desc.Params.size() && K < NumVRegs; ++K)
       std::memcpy(&C.Regs[K], Buf.data() + K * 4, 4);
     C.StallUntil = std::max(C.StallUntil, Acc->Done);
   } else {
-    for (size_t K = 0; K < Desc.Params.size() && K < NumVRegs; ++K)
-      C.Regs[K] = static_cast<uint32_t>(Desc.Params[K]);
+    for (size_t K = 0; K < C.Desc.Params.size() && K < NumVRegs; ++K)
+      C.Regs[K] = static_cast<uint32_t>(C.Desc.Params[K]);
   }
 
   // Deliver any cross-shred register writes sent before this shred ran:
@@ -1158,16 +1195,106 @@ Error GmaDevice::resolveSample(Eu &E, Context &Ctx, const PendingOp &Op) {
   return Error::success();
 }
 
+//===----------------------------------------------------------------------===//
+// FaultLab degradation ladder (serial phases only)
+//===----------------------------------------------------------------------===//
+
+Error GmaDevice::hostRedispatch(ShredDescriptor Desc, uint32_t ShredId,
+                                TimeNs Now) {
+  const KernelImage *K = kernel(Desc.KernelId);
+  if (!K)
+    return Error::make(formatString(
+        "shred %u: orphaned with unregistered kernel %u", ShredId,
+        Desc.KernelId));
+  if (!Proxy)
+    return Error::make(formatString(
+        "shred %u: orphaned with no proxy handler installed", ShredId));
+
+  OrphanShred O;
+  O.ShredId = ShredId;
+  O.KernelId = Desc.KernelId;
+  O.KernelName = K->Name;
+  O.Code = &K->Code;
+  O.Params = std::move(Desc.Params);
+  O.Surfaces = std::move(Desc.Surfaces);
+  O.RecordVa = Desc.RecordVa;
+
+  ++Stats.ProxyCalls;
+  auto Latency = Proxy->onShredOrphaned(O);
+  if (!Latency)
+    return Error::make(formatString(
+        "shred %u: EU re-dispatch exhausted and IA32 host lane failed: %s",
+        ShredId, Latency.message().c_str()));
+  ++Stats.HostRedispatches;
+  ++Stats.ShredsExecuted;
+  Stats.ProxyStallNs += *Latency;
+  Stats.FinishNs = std::max(Stats.FinishNs, Now + *Latency);
+  return Error::success();
+}
+
+Error GmaDevice::redispatchShred(Eu &E, Context &Ctx) {
+  ShredDescriptor Desc = Ctx.Desc;
+  Desc.FixedShredId = Ctx.ShredId;
+  Desc.Redispatches = static_cast<uint8_t>(Ctx.Desc.Redispatches + 1);
+  Ctx.St = Context::State::Idle;
+  // Once the retry budget is spent (or no EU survives to retry on), the
+  // shred falls through to the last rung: functional execution on the
+  // IA32 core through the proxy's host lane.
+  if (Desc.Redispatches > Config.MaxShredRedispatch || !anyOnlineEu())
+    return hostRedispatch(std::move(Desc), Ctx.ShredId, E.Time);
+  ++Stats.ShredsRedispatched;
+  Queue.push_back(std::move(Desc));
+  return Error::success();
+}
+
+Error GmaDevice::offlineEu(Eu &E) {
+  E.Offline = true;
+  ++Stats.EusOfflined;
+  for (Context &C : E.Contexts)
+    if (C.St != Context::State::Idle)
+      if (Error Err = redispatchShred(E, C))
+        return Err;
+  return Error::success();
+}
+
 Error GmaDevice::resolveOne(const PendingOp &Op) {
   Eu &E = *Eus[Op.EuIdx];
   Context &Ctx = E.Contexts[Op.Slot];
 
-  switch (Op.K) {
-  case PendingOp::Kind::Memory:
-    return resolveLoadStore(E, Ctx, Op);
+  // A hard-failed EU drops its already-buffered ops — in-flight signals
+  // from wedged hardware are simply lost. Its resident shreds were
+  // re-dispatched when the EU went offline, so nothing dangles.
+  if (E.Offline)
+    return Error::success();
 
-  case PendingOp::Kind::Sampler:
-    return resolveSample(E, Ctx, Op);
+  // EuHardFail probe: a blocking shared-resource interaction is where a
+  // wedged EU manifests. Keyed by EU index so a given EU fails at the
+  // same (deterministic) occurrence for every SimThreads value.
+  if (injectionArmed() &&
+      (Op.K == PendingOp::Kind::Memory || Op.K == PendingOp::Kind::Sampler ||
+       Op.K == PendingOp::Kind::Exception) &&
+      Injector->shouldInject(fault::FaultKind::EuHardFail, E.Index)) {
+    ++Stats.FaultsInjected;
+    return offlineEu(E);
+  }
+
+  switch (Op.K) {
+  case PendingOp::Kind::Memory: {
+    Error Err = resolveLoadStore(E, Ctx, Op);
+    // Under injection, a failed access is survivable: restart the shred
+    // from its descriptor (functional writes only happen after the whole
+    // access translates, so no partial mutation escaped).
+    if (Err && injectionArmed())
+      return redispatchShred(E, Ctx);
+    return Err;
+  }
+
+  case PendingOp::Kind::Sampler: {
+    Error Err = resolveSample(E, Ctx, Op);
+    if (Err && injectionArmed())
+      return redispatchShred(E, Ctx);
+    return Err;
+  }
 
   case PendingOp::Kind::Exception: {
     if (!Proxy)
@@ -1182,10 +1309,15 @@ Error GmaDevice::resolveOne(const PendingOp &Op) {
     Info.Instr = Op.Instr;
     ++Stats.ProxyCalls;
     auto Latency = Proxy->onException(Info, Ctx);
-    if (!Latency)
+    if (!Latency) {
+      // Under injection a CEH failure (e.g. exhausted handler timeouts)
+      // degrades to a shred restart instead of killing the run.
+      if (injectionArmed())
+        return redispatchShred(E, Ctx);
       return Error::make(formatString(
           "shred %u pc %u: unhandled %s exception: %s", Ctx.ShredId, Ctx.Pc,
           exceptionKindName(Op.Exc), Latency.message().c_str()));
+    }
     ++Stats.ExceptionsHandled;
     Ctx.StallUntil = Op.IssueNs + *Latency;
     Stats.FinishNs = std::max(Stats.FinishNs, Ctx.StallUntil);
@@ -1195,26 +1327,44 @@ Error GmaDevice::resolveOne(const PendingOp &Op) {
   }
 
   case PendingOp::Kind::Xmit: {
-    if (Context *Remote = findResident(Op.Target)) {
-      Remote->Regs[Op.Reg] = Op.Value;
-      Remote->RegReady[Op.Reg] = true;
-      if (Remote->St == Context::State::Waiting &&
-          Remote->WaitReg == Op.Reg) {
-        Remote->St = Context::State::Running;
-        Remote->StallUntil = std::max(Remote->StallUntil, Op.IssueNs);
-        Remote->RegReady[Op.Reg] = false; // the pending wait consumes it
+    unsigned Deliveries = 1;
+    if (injectionArmed()) {
+      // MISP signal faults, keyed by (target shred, register) so the same
+      // logical signal is dropped/duplicated at every SimThreads value.
+      uint64_t SigKey = (static_cast<uint64_t>(Op.Target) << 8) | Op.Reg;
+      if (Injector->shouldInject(fault::FaultKind::MailboxDrop, SigKey)) {
+        ++Stats.FaultsInjected;
+        ++Stats.MailboxDropped;
+        return Error::success(); // signal lost; the waiter's timeout names it
       }
-    } else {
-      auto &Box = Mailbox[Op.Target];
-      bool Replaced = false;
-      for (auto &P : Box)
-        if (P.first == Op.Reg) {
-          P.second = Op.Value;
-          Replaced = true;
-          break;
+      if (Injector->shouldInject(fault::FaultKind::MailboxDup, SigKey)) {
+        ++Stats.FaultsInjected;
+        ++Stats.MailboxDuplicated;
+        Deliveries = 2; // register writes are idempotent; must be benign
+      }
+    }
+    for (unsigned D = 0; D < Deliveries; ++D) {
+      if (Context *Remote = findResident(Op.Target)) {
+        Remote->Regs[Op.Reg] = Op.Value;
+        Remote->RegReady[Op.Reg] = true;
+        if (Remote->St == Context::State::Waiting &&
+            Remote->WaitReg == Op.Reg) {
+          Remote->St = Context::State::Running;
+          Remote->StallUntil = std::max(Remote->StallUntil, Op.IssueNs);
+          Remote->RegReady[Op.Reg] = false; // the pending wait consumes it
         }
-      if (!Replaced)
-        Box.emplace_back(Op.Reg, Op.Value);
+      } else {
+        auto &Box = Mailbox[Op.Target];
+        bool Replaced = false;
+        for (auto &P : Box)
+          if (P.first == Op.Reg) {
+            P.second = Op.Value;
+            Replaced = true;
+            break;
+          }
+        if (!Replaced)
+          Box.emplace_back(Op.Reg, Op.Value);
+      }
     }
     return Error::success();
   }
@@ -1227,6 +1377,7 @@ Error GmaDevice::resolveOne(const PendingOp &Op) {
       Ctx.St = Context::State::Running;
     } else {
       Ctx.WaitReg = Op.Reg;
+      Ctx.WaitSinceNs = Op.IssueNs;
       Ctx.St = Context::State::Waiting;
     }
     Ctx.Pc = Op.NextPc; // resume after the wait once signalled
@@ -1363,14 +1514,60 @@ Expected<RunExit> GmaDevice::resume() {
       }
     }
 
+    // Per-`wait` timeout: a shred starved of its xmit signal (e.g. a
+    // dropped MISP mailbox message) becomes a bounded, diagnosed error
+    // instead of an eventual silent hang. Compared against the next
+    // event time so the check is part of the deterministic schedule.
+    if (Config.WaitTimeoutNs > 0 &&
+        NextT != std::numeric_limits<TimeNs>::infinity()) {
+      for (auto &E : Eus)
+        for (Context &C : E->Contexts)
+          if (C.St == Context::State::Waiting &&
+              NextT - C.WaitSinceNs > Config.WaitTimeoutNs) {
+            mergeStatShards();
+            return Error::make(formatString(
+                "shred %u: `wait vr%u` timed out after %.0f ns blocked "
+                "(signal lost or sender failed)",
+                C.ShredId, static_cast<unsigned>(C.WaitReg),
+                NextT - C.WaitSinceNs));
+          }
+    }
+
     if (NextT == std::numeric_limits<TimeNs>::infinity()) {
+      // Every EU hard-failed with work still queued: drain the queue
+      // through the IA32 host lane (degradation ladder, last rung).
+      if (!AnyResident && !Queue.empty() && !anyOnlineEu()) {
+        while (!Queue.empty()) {
+          ShredDescriptor Desc = std::move(Queue.front());
+          Queue.pop_front();
+          uint32_t Id =
+              Desc.FixedShredId ? Desc.FixedShredId : NextShredId++;
+          if (Error Err = hostRedispatch(std::move(Desc), Id, Stats.FinishNs)) {
+            mergeStatShards();
+            return Err;
+          }
+        }
+      }
       mergeStatShards();
       if (!AnyResident && Queue.empty())
         return RunExit::QueueDrained;
-      if (AnyWaiting)
+      if (AnyWaiting) {
+        // Name the stuck shreds: "deadlock" alone sends the user to the
+        // debugger; the register list usually identifies the protocol bug.
+        std::string Who;
+        for (auto &E : Eus)
+          for (Context &C : E->Contexts)
+            if (C.St == Context::State::Waiting) {
+              if (!Who.empty())
+                Who += ", ";
+              Who += formatString("shred %u on vr%u", C.ShredId,
+                                  static_cast<unsigned>(C.WaitReg));
+            }
         return Error::make(
             "deadlock: every resident shred is blocked in `wait` and the "
-            "work queue cannot make progress");
+            "work queue cannot make progress (" +
+            Who + ")");
+      }
       // Resident contexts exist but none runnable and none waiting —
       // impossible by construction.
       exochiUnreachable("GMA run loop stuck with no runnable context");

@@ -48,6 +48,11 @@
 #include <unordered_map>
 
 namespace exochi {
+
+namespace fault {
+class FaultInjector;
+}
+
 namespace gma {
 
 /// A kernel registered with the device: decoded code ready to dispatch.
@@ -92,8 +97,24 @@ public:
   /// Installs a debugger step hook (nullptr to remove).
   void setStepHook(StepHook Hook) { Hook_ = std::move(Hook); }
 
-  /// Installs a shred-span trace recorder (nullptr to remove).
-  void setTracer(TraceRecorder *T) { Tracer = T; }
+  /// Installs a shred-span trace recorder (nullptr to remove). Passes the
+  /// device geometry along so trace rows and occupancy account for every
+  /// hardware context, including idle ones.
+  void setTracer(TraceRecorder *T) {
+    Tracer = T;
+    if (T)
+      T->setGeometry(Config.NumEus, Config.ThreadsPerEu);
+  }
+
+  /// Installs the FaultLab injector consulted at the device's serial-phase
+  /// probe sites (nullptr to remove). A disarmed injector costs ~nothing.
+  void setFaultInjector(fault::FaultInjector *Inj) { Injector = Inj; }
+
+  /// Re-dispatch budget before orphans go to the IA32 host lane.
+  void setMaxRedispatch(unsigned N) { Config.MaxShredRedispatch = N; }
+
+  /// Per-`wait` timeout (simulated ns; 0 disables).
+  void setWaitTimeoutNs(TimeNs T) { Config.WaitTimeoutNs = T; }
 
   /// Overrides GmaConfig::SimThreads: host worker threads for subsequent
   /// runs (0 = one per hardware core). Any value yields bit-identical
@@ -192,6 +213,26 @@ private:
   /// The resident context executing \p ShredId, or nullptr.
   Context *findResident(uint32_t ShredId);
 
+  /// True when an armed FaultLab injector is installed (the gate on every
+  /// device probe site and recovery path).
+  bool injectionArmed() const;
+
+  /// True when at least one EU has not been offlined by a hard-fail.
+  bool anyOnlineEu() const;
+
+  /// FaultLab degradation: takes \p E out of rotation and re-dispatches
+  /// every shred resident on it. Serial phase only.
+  Error offlineEu(Eu &E);
+
+  /// Re-dispatches the shred in \p Ctx after a fault: restart from its
+  /// saved descriptor on a surviving EU, or — once the budget is spent or
+  /// no EU survives — on the IA32 host lane. Idles the context.
+  Error redispatchShred(Eu &E, Context &Ctx);
+
+  /// Runs an orphaned shred descriptor through the proxy's IA32 lane
+  /// (ProxySignalHandler::onShredOrphaned) and books its stats/latency.
+  Error hostRedispatch(ShredDescriptor Desc, uint32_t ShredId, TimeNs Now);
+
   /// Result of a translated, timed memory access: physical segments (in
   /// address order, covering the virtual span) and the completion time.
   struct MemAccess {
@@ -227,6 +268,7 @@ private:
   ProxySignalHandler *Proxy = nullptr;
   StepHook Hook_;
   TraceRecorder *Tracer = nullptr;
+  fault::FaultInjector *Injector = nullptr;
 
   /// Registered kernels, indexed by id - 1. A deque keeps KernelImage
   /// references stable across registration (resident contexts cache

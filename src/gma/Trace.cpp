@@ -14,7 +14,54 @@
 using namespace exochi;
 using namespace exochi::gma;
 
+namespace {
+
+/// Escapes \p S for embedding in a JSON string literal (kernel names come
+/// from user-controlled fat-binary metadata).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", static_cast<unsigned>(
+                                           static_cast<unsigned char>(C)));
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
 std::string TraceRecorder::toChromeJson() const {
+  // Rows are flattened as Eu * stride + Slot. The stride must come from
+  // the device geometry: a fixed constant collides rows as soon as a
+  // device is configured with more contexts per EU than the constant.
+  unsigned Stride = ThreadsPerEu_;
+  if (Stride == 0) {
+    for (const ShredSpan &S : Spans)
+      Stride = std::max(Stride, S.Slot + 1);
+    Stride = std::max(Stride, 1u);
+  }
+
   std::string Out = "{\"traceEvents\":[\n";
   bool First = true;
 
@@ -29,7 +76,8 @@ std::string TraceRecorder::toChromeJson() const {
     First = false;
     Out += formatString("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
                         "\"tid\":%u,\"args\":{\"name\":\"EU%u ctx%u\"}}",
-                        Row.first * 16 + Row.second, Row.first, Row.second);
+                        Row.first * Stride + Row.second, Row.first,
+                        Row.second);
   }
 
   for (const ShredSpan &S : Spans) {
@@ -39,8 +87,8 @@ std::string TraceRecorder::toChromeJson() const {
     Out += formatString(
         "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
         "\"pid\":0,\"tid\":%u,\"args\":{\"shred\":%u}}",
-        S.Kernel.c_str(), S.StartNs / 1000.0,
-        (S.EndNs - S.StartNs) / 1000.0, S.Eu * 16 + S.Slot, S.ShredId);
+        jsonEscape(S.Kernel).c_str(), S.StartNs / 1000.0,
+        (S.EndNs - S.StartNs) / 1000.0, S.Eu * Stride + S.Slot, S.ShredId);
   }
   Out += "\n]}\n";
   return Out;
@@ -58,10 +106,16 @@ double TraceRecorder::occupancy() const {
   }
   if (Hi <= Lo || Busy.empty())
     return 0.0;
+  // The divisor is every hardware context the device has, not just the
+  // ones that happened to run a shred: contexts that sat idle are lost
+  // capacity and must drag the ratio down.
+  double Contexts = static_cast<double>(NumEus_) * ThreadsPerEu_;
+  if (Contexts == 0)
+    Contexts = static_cast<double>(Busy.size());
   double Total = 0;
   for (const auto &[Row, B] : Busy) {
     (void)Row;
     Total += B;
   }
-  return Total / (static_cast<double>(Busy.size()) * (Hi - Lo));
+  return Total / (Contexts * (Hi - Lo));
 }

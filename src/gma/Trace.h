@@ -40,6 +40,16 @@ public:
   void record(ShredSpan Span) { Spans.push_back(std::move(Span)); }
   void clear() { Spans.clear(); }
 
+  /// Device geometry the spans come from. GmaDevice::setTracer passes it
+  /// along so trace rows get a collision-free tid stride and occupancy
+  /// accounts for contexts that never ran a shred. Both default to 0
+  /// ("unknown"), in which case the recorder falls back to deriving them
+  /// from the spans it saw.
+  void setGeometry(unsigned NumEus, unsigned ThreadsPerEu) {
+    NumEus_ = NumEus;
+    ThreadsPerEu_ = ThreadsPerEu;
+  }
+
   const std::vector<ShredSpan> &spans() const { return Spans; }
 
   /// Exports the spans in the Chrome trace-event JSON format. Rows (tids)
@@ -47,12 +57,16 @@ public:
   /// time.
   std::string toChromeJson() const;
 
-  /// Fraction of the busiest context's span during which each context was
-  /// occupied (a quick occupancy summary: 1.0 = perfectly packed).
+  /// Fraction of the observed span during which each hardware context was
+  /// occupied (1.0 = perfectly packed). The divisor is the device's total
+  /// context count when the geometry is known, so idle contexts count
+  /// against occupancy instead of silently inflating it.
   double occupancy() const;
 
 private:
   std::vector<ShredSpan> Spans;
+  unsigned NumEus_ = 0;
+  unsigned ThreadsPerEu_ = 0;
 };
 
 } // namespace gma

@@ -36,6 +36,19 @@ enum class FaultKind {
   WriteProtection, ///< Write to a read-only mapping.
 };
 
+/// Returns a human-readable name for \p K (for fault diagnostics).
+inline const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::NotPresent:
+    return "not-present";
+  case FaultKind::DemandPage:
+    return "demand-page";
+  case FaultKind::WriteProtection:
+    return "write-protection";
+  }
+  return "unknown";
+}
+
 /// Description of a translation fault, delivered to the OS/proxy layer.
 struct PageFault {
   VirtAddr Addr = 0;

@@ -3,6 +3,7 @@
 #include "fatbin/FatBinary.h"
 
 #include "isa/Encoding.h"
+#include "support/Random.h"
 #include "xasm/Assembler.h"
 
 #include <gtest/gtest.h>
@@ -108,6 +109,101 @@ TEST(FatBinaryTest, RejectsTrailingGarbage) {
   auto Back = FatBinary::deserialize(Bytes);
   EXPECT_FALSE(static_cast<bool>(Back));
   EXPECT_NE(Back.message().find("trailing"), std::string::npos);
+}
+
+// The container format has no padding and ends with a trailing-bytes
+// check, so EVERY strict prefix of a valid serialization must be
+// rejected — never accepted, never crash.
+TEST(FatBinaryTest, RejectsEveryPrefixTruncation) {
+  FatBinary FB;
+  FB.addSection(makeSection("k1"));
+  FB.addSection(makeSection("k2"));
+  auto Bytes = FB.serialize();
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    std::vector<uint8_t> T(Bytes.begin(),
+                           Bytes.begin() + static_cast<ptrdiff_t>(Cut));
+    auto Back = FatBinary::deserialize(T);
+    ASSERT_FALSE(static_cast<bool>(Back)) << "prefix of " << Cut
+                                          << " bytes parsed";
+    EXPECT_FALSE(Back.message().empty()) << "cut=" << Cut;
+  }
+}
+
+// A length prefix pointing past the end of the buffer (the classic
+// reader bug) must come back as a clean truncation error, not a read
+// past the buffer or a multi-gigabyte allocation.
+TEST(FatBinaryTest, RejectsBadLengthFields) {
+  FatBinary FB;
+  FB.addSection(makeSection("k"));
+  auto Bytes = FB.serialize();
+
+  // Layout: magic(4) version(4) count(4) | id(4) isa(1) nameLen(4) ...
+  constexpr size_t NameLenOff = 4 + 4 + 4 + 4 + 1;
+  auto Corrupt = [&](size_t Off, uint32_t V) {
+    std::vector<uint8_t> C = Bytes;
+    C[Off + 0] = static_cast<uint8_t>(V);
+    C[Off + 1] = static_cast<uint8_t>(V >> 8);
+    C[Off + 2] = static_cast<uint8_t>(V >> 16);
+    C[Off + 3] = static_cast<uint8_t>(V >> 24);
+    return FatBinary::deserialize(C);
+  };
+
+  auto BadName = Corrupt(NameLenOff, 0xffffffffu);
+  EXPECT_FALSE(static_cast<bool>(BadName));
+  EXPECT_NE(BadName.message().find("truncated"), std::string::npos)
+      << BadName.message();
+
+  // Section count far beyond the data: the reader must fail at the
+  // first missing section rather than looping forever.
+  auto BadCount = Corrupt(8, 0x10000000u);
+  EXPECT_FALSE(static_cast<bool>(BadCount));
+  EXPECT_NE(BadCount.message().find("truncated"), std::string::npos)
+      << BadCount.message();
+
+  auto BadVersion = Corrupt(4, 0xdeadbeefu);
+  EXPECT_FALSE(static_cast<bool>(BadVersion));
+  EXPECT_NE(BadVersion.message().find("version"), std::string::npos)
+      << BadVersion.message();
+}
+
+TEST(FatBinaryTest, RejectsBadIsaTag) {
+  FatBinary FB;
+  FB.addSection(makeSection("k"));
+  auto Bytes = FB.serialize();
+  Bytes[4 + 4 + 4 + 4] = 0x7f; // isa byte of section 0
+  auto Back = FatBinary::deserialize(Bytes);
+  EXPECT_FALSE(static_cast<bool>(Back));
+  EXPECT_NE(Back.message().find("ISA"), std::string::npos) << Back.message();
+}
+
+// Fuzz the reader: random byte flips over a valid image, and raw random
+// buffers. Every outcome must be a clean parse or a clean Error —
+// deterministic seed so a failure reproduces.
+TEST(FatBinaryTest, FuzzedImagesNeverCrash) {
+  FatBinary FB;
+  FB.addSection(makeSection("alpha"));
+  FB.addSection(makeSection("beta"));
+  auto Valid = FB.serialize();
+
+  Rng R(0xfa7b175ULL);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    std::vector<uint8_t> T = Valid;
+    unsigned Flips = 1 + static_cast<unsigned>(R.nextBelow(8));
+    for (unsigned F = 0; F < Flips; ++F)
+      T[R.nextBelow(T.size())] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
+    auto Back = FatBinary::deserialize(T);
+    if (!Back)
+      EXPECT_FALSE(Back.message().empty());
+  }
+
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    std::vector<uint8_t> T(R.nextBelow(96));
+    for (uint8_t &B : T)
+      B = static_cast<uint8_t>(R.next());
+    auto Back = FatBinary::deserialize(T);
+    if (!Back)
+      EXPECT_FALSE(Back.message().empty());
+  }
 }
 
 TEST(FatBinaryTest, AssembledKernelRoundTripsThroughContainer) {

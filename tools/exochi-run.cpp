@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "chi/ParallelRegion.h"
+#include "fault/FaultInjector.h"
 #include "gma/Trace.h"
 #include "chi/Runtime.h"
 #include "isa/Encoding.h"
@@ -69,6 +70,9 @@ bool parseSurfaceArg(const std::string &Spec, SurfaceArg &Out) {
 
 int main(int Argc, char **Argv) {
   std::string Input, Kernel, TracePath, LintMode = "collect";
+  std::string InjectSpec;
+  uint64_t InjectSeed = 1;
+  int MaxRetries = -1; ///< -1 = leave the platform default
   unsigned Shreds = 1;
   int SimThreads = -1; ///< -1 = leave the platform default
   std::vector<SurfaceArg> Surfaces;
@@ -103,7 +107,32 @@ int main(int Argc, char **Argv) {
       }
       SimThreads = static_cast<unsigned>(*N);
     }
-    else if (A == "--lint" || A.rfind("--lint=", 0) == 0) {
+    else if (A == "--inject" || A.rfind("--inject=", 0) == 0)
+      InjectSpec = A.size() > 8 && A[8] == '=' ? A.substr(9)
+                                               : std::string(Next());
+    else if (A == "--inject-seed" || A.rfind("--inject-seed=", 0) == 0) {
+      std::string V = A.size() > 13 && A[13] == '='
+                          ? A.substr(14)
+                          : std::string(Next());
+      auto N = parseInt(V);
+      if (!N || *N < 0) {
+        std::fprintf(stderr, "exochi-run: bad --inject-seed value '%s'\n",
+                     V.c_str());
+        return 2;
+      }
+      InjectSeed = static_cast<uint64_t>(*N);
+    } else if (A == "--max-retries" || A.rfind("--max-retries=", 0) == 0) {
+      std::string V = A.size() > 13 && A[13] == '='
+                          ? A.substr(14)
+                          : std::string(Next());
+      auto N = parseInt(V);
+      if (!N || *N < 0) {
+        std::fprintf(stderr, "exochi-run: bad --max-retries value '%s'\n",
+                     V.c_str());
+        return 2;
+      }
+      MaxRetries = static_cast<int>(*N);
+    } else if (A == "--lint" || A.rfind("--lint=", 0) == 0) {
       LintMode = A.size() > 6 && A[6] == '=' ? A.substr(7)
                                              : std::string(Next());
       if (LintMode != "ignore" && LintMode != "collect" &&
@@ -134,7 +163,12 @@ int main(int Argc, char **Argv) {
                    "usage: exochi-run <file.xfb> --kernel <name> "
                    "[--shreds N] [--surface n=WxH[:zero|seq|rand]] "
                    "[--param n=<int>|shred] [--trace out.json] "
-                   "[--sim-threads N] [--lint=ignore|collect|reject]\n");
+                   "[--sim-threads N] [--lint=ignore|collect|reject]\n"
+                   "       [--inject <kind:rate,...|all:rate>] "
+                   "[--inject-seed N] [--max-retries K]\n"
+                   "  --inject kinds: atr-transient, atr-fatal, ceh-timeout,"
+                   " eu-hard-fail,\n"
+                   "                  mailbox-drop, mailbox-dup, all\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "exochi-run: unknown option '%s'\n", A.c_str());
@@ -199,6 +233,18 @@ int main(int Argc, char **Argv) {
 
   exo::ExoPlatform Platform;
   chi::Runtime RT(Platform);
+  fault::FaultInjector Inj;
+  if (!InjectSpec.empty()) {
+    auto Parsed = fault::FaultInjector::parse(InjectSpec, InjectSeed);
+    if (!Parsed) {
+      std::fprintf(stderr, "exochi-run: %s\n", Parsed.message().c_str());
+      return 2;
+    }
+    Inj = std::move(*Parsed);
+    Platform.armFaultInjection(&Inj);
+  }
+  if (MaxRetries >= 0)
+    Platform.setMaxRetries(static_cast<unsigned>(MaxRetries));
   if (SimThreads >= 0)
     RT.setFeature(chi::Feature::SimThreads, SimThreads);
   gma::TraceRecorder Tracer;
@@ -257,6 +303,19 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(S->Device.Instructions),
               static_cast<unsigned long long>(S->Device.TlbMisses),
               static_cast<unsigned long long>(S->Device.ExceptionsHandled));
+
+  if (Inj.armed()) {
+    const chi::ChiStats &FS = RT.faultStats();
+    std::printf("faults: %llu injected (%zu sites), %llu retried, "
+                "%llu shreds re-dispatched (%llu on IA32), %llu EUs "
+                "offlined\n",
+                static_cast<unsigned long long>(FS.FaultsInjected),
+                Inj.fired().size(),
+                static_cast<unsigned long long>(FS.Retried),
+                static_cast<unsigned long long>(FS.Redispatched),
+                static_cast<unsigned long long>(S->Device.HostRedispatches),
+                static_cast<unsigned long long>(FS.Offlined));
+  }
 
   if (!TracePath.empty()) {
     std::string Json = Tracer.toChromeJson();
