@@ -127,6 +127,9 @@ struct RegionStats {
   TimeNs CopyNs = 0;        ///< DataCopy transfer time
   TimeNs FlushNs = 0;       ///< NonCCShared flush time (critical path only)
   uint64_t ShredsSpawned = 0;
+  /// The region hit its RegionSpec::DeadlineNs budget and was preempted
+  /// at an epoch boundary (Device.ShredsPreempted counts the casualties).
+  bool DeadlinePreempted = false;
   gma::GmaRunStats Device;
 
   TimeNs totalNs() const { return EndNs - SubmitNs; }

@@ -310,9 +310,13 @@ Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
   }
   TotalShreds += Spec.NumThreads;
 
+  if (Spec.DeadlineNs > 0)
+    Device.setDeadlineNs(DeviceStart + Spec.DeadlineNs);
   auto Exit = Device.run(DeviceStart);
+  Device.setDeadlineNs(0);
   if (!Exit)
     return Exit.takeError();
+  Stats.DeadlinePreempted = (*Exit == gma::RunExit::DeadlinePreempted);
   Stats.Device = Device.stats();
   Stats.DeviceFinishNs = Stats.Device.FinishNs;
 

@@ -50,6 +50,12 @@ struct RegionSpec {
   /// shared + descriptor clauses: variable name -> descriptor id, in the
   /// kernel's surface-parameter order resolved by name.
   std::map<std::string, uint32_t> SharedDescs;
+  /// ExoServe deadline budget in simulated ns, measured from the first
+  /// shred dispatch (0 = none). When the device's next event would land
+  /// beyond it, the run is preempted at that epoch boundary and the
+  /// region completes with RegionStats::DeadlinePreempted set — not an
+  /// error. Deterministic for every SimThreads value.
+  TimeNs DeadlineNs = 0;
 };
 
 /// Handle to a dispatched (possibly still pending) region.

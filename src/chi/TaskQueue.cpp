@@ -57,6 +57,15 @@ Expected<TaskQueue::QueueStats> TaskQueue::finish() {
     Spec.KernelName = KernelName;
     Spec.NumThreads = static_cast<unsigned>(Wave.size());
     Spec.SharedDescs = SharedDescs;
+    if (BudgetNs > 0) {
+      // Each wave runs under whatever remains of the whole-drain budget.
+      TimeNs Used = RT.now() - Stats.StartNs;
+      if (Used >= BudgetNs) {
+        Stats.DeadlinePreempted = true;
+        break;
+      }
+      Spec.DeadlineNs = BudgetNs - Used;
+    }
     // Each shred of the wave receives its task's captureprivate values.
     // Collect the union of captured names, defaulting absent ones to 0.
     for (TaskId T : Wave)
@@ -78,14 +87,22 @@ Expected<TaskQueue::QueueStats> TaskQueue::finish() {
     auto H = RT.dispatch(Spec);
     if (!H)
       return H.takeError();
+    ++Stats.Waves;
+
+    if (const RegionStats *RS = RT.regionStats(*H);
+        RS && RS->DeadlinePreempted) {
+      Stats.DeadlinePreempted = true;
+      break;
+    }
 
     for (TaskId T : Wave)
       Done[T] = true;
     Remaining -= Wave.size();
-    ++Stats.Waves;
+    Stats.TasksCompleted += Wave.size();
   }
 
   Stats.EndNs = RT.now();
+  // A preempted drain drops the tasks it never completed.
   Tasks.clear();
   return Stats;
 }

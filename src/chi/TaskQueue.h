@@ -37,6 +37,11 @@ public:
   struct QueueStats {
     unsigned Waves = 0;
     uint64_t Tasks = 0;
+    uint64_t TasksCompleted = 0; ///< tasks whose wave ran to completion
+    /// The queue hit its deadlineNs() budget: a wave was preempted (or
+    /// the budget was exhausted between waves) and the remaining tasks
+    /// were dropped.
+    bool DeadlinePreempted = false;
     TimeNs StartNs = 0;
     TimeNs EndNs = 0;
     TimeNs totalNs() const { return EndNs - StartNs; }
@@ -81,6 +86,15 @@ public:
   /// Opens a subordinate queue under \p Enclosing.
   SubQueue nestedIn(TaskId Enclosing) { return SubQueue(*this, Enclosing); }
 
+  /// ExoServe deadline budget over the whole drain (simulated ns; 0 =
+  /// none): each wave is dispatched with the remaining budget, and a
+  /// preempted wave — or an exhausted budget between waves — stops the
+  /// drain with QueueStats::DeadlinePreempted set.
+  TaskQueue &deadlineNs(TimeNs Budget) {
+    BudgetNs = Budget;
+    return *this;
+  }
+
   /// Drains the queue respecting dependencies. Fails on unknown or
   /// cyclic dependencies.
   Expected<QueueStats> finish();
@@ -97,6 +111,7 @@ private:
   std::string KernelName;
   std::map<std::string, uint32_t> SharedDescs;
   std::vector<TaskRecord> Tasks;
+  TimeNs BudgetNs = 0;
 };
 
 } // namespace chi

@@ -53,6 +53,8 @@ bool FaultInjector::shouldInject(FaultKind K, uint64_t Key) {
     return false;
 
   Fired.push_back({K, Key, Occ});
+  if (Observer)
+    Observer(Fired.back());
   return true;
 }
 

@@ -31,6 +31,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -109,6 +110,14 @@ public:
   /// SimThreads value).
   const std::vector<FaultSite> &fired() const { return Fired; }
 
+  /// Called synchronously with every fired site, in probe order (probe
+  /// sites live in serial phases, so the callback needs no locking).
+  /// Lets higher layers — the ExoServe circuit breaker and ServeStats —
+  /// consume the fault stream live instead of diffing the fired() log.
+  /// nullptr removes; survives reset().
+  using FireObserver = std::function<void(const FaultSite &)>;
+  void setObserver(FireObserver O) { Observer = std::move(O); }
+
   /// Clears occurrence counters and the fired log; keeps seed and rates.
   /// Call between runs that must replay identically.
   void reset() {
@@ -122,6 +131,7 @@ private:
   /// (kind, key) -> number of probes so far.
   std::map<std::pair<uint8_t, uint64_t>, uint64_t> Occurrences;
   std::vector<FaultSite> Fired;
+  FireObserver Observer;
 };
 
 } // namespace fault

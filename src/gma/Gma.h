@@ -244,6 +244,16 @@ struct GmaRunStats {
   uint64_t MailboxDropped = 0;     ///< xmit signals lost by injection
   uint64_t MailboxDuplicated = 0;  ///< xmit signals delivered twice
 
+  // ExoServe counters.
+  /// Shreds cancelled (resident or still queued) when the run hit its
+  /// deadline budget and exited with RunExit::DeadlinePreempted.
+  uint64_t ShredsPreempted = 0;
+  /// EU indices offlined by hard-fails this run, in offline order (a
+  /// serial-phase event, so the order is part of the deterministic
+  /// schedule). The ExoServe circuit breaker consumes this as its
+  /// per-EU failure signal.
+  std::vector<unsigned> OfflinedEus;
+
   /// Field-wise equality: the parallel-simulation determinism contract
   /// promises bit-identical stats for every GmaConfig::SimThreads value.
   bool operator==(const GmaRunStats &) const = default;

@@ -214,6 +214,9 @@ struct GmaDevice::Eu {
   std::vector<Context> Contexts;
   int LastIssued = -1;
   bool Offline = false; ///< hard-failed: no refills, buffered ops dropped
+  /// Quarantined by the ExoServe circuit breaker: no refills, but unlike
+  /// Offline this is a between-runs policy state that resetStats keeps.
+  bool Quarantined = false;
 
   std::vector<PendingOp> Pending;
   uint64_t NextSeq = 0;
@@ -337,7 +340,13 @@ void GmaDevice::resetStats() {
     E->ShardIssueCycles = 0;
     E->ShardFinishNs = 0;
     E->Offline = false; // a fresh run starts with a healed device
+    // E->Quarantined survives: the circuit breaker, not the device,
+    // decides when a misbehaving EU rejoins the rotation.
   }
+  // Run setup rewinds the injector's per-site occurrence counters and
+  // fired log so back-to-back jobs replay the same fault schedule.
+  if (Injector)
+    Injector->reset();
 }
 
 bool GmaDevice::injectionArmed() const {
@@ -346,9 +355,19 @@ bool GmaDevice::injectionArmed() const {
 
 bool GmaDevice::anyOnlineEu() const {
   for (const auto &E : Eus)
-    if (!E->Offline)
+    if (!E->Offline && !E->Quarantined)
       return true;
   return false;
+}
+
+void GmaDevice::setEuQuarantine(unsigned EuIdx, bool On) {
+  assert(EuIdx < Eus.size() && "EU index out of range");
+  Eus[EuIdx]->Quarantined = On;
+}
+
+bool GmaDevice::euQuarantined(unsigned EuIdx) const {
+  assert(EuIdx < Eus.size() && "EU index out of range");
+  return Eus[EuIdx]->Quarantined;
 }
 
 void GmaDevice::invalidateTlbs() { DeviceTlb.invalidateAll(); }
@@ -403,7 +422,7 @@ std::optional<uint32_t> GmaDevice::shredKernel(uint32_t ShredId) const {
 }
 
 Expected<bool> GmaDevice::refillContext(Eu &E) {
-  if (E.Offline || Queue.empty())
+  if (E.Offline || E.Quarantined || Queue.empty())
     return false;
   Context *Free = nullptr;
   for (Context &C : E.Contexts)
@@ -1250,6 +1269,7 @@ Error GmaDevice::redispatchShred(Eu &E, Context &Ctx) {
 Error GmaDevice::offlineEu(Eu &E) {
   E.Offline = true;
   ++Stats.EusOfflined;
+  Stats.OfflinedEus.push_back(E.Index);
   for (Context &C : E.Contexts)
     if (C.St != Context::State::Idle)
       if (Error Err = redispatchShred(E, C))
@@ -1444,6 +1464,31 @@ Error GmaDevice::resolvePending() {
   return Error::success();
 }
 
+void GmaDevice::preemptAll(TimeNs Now) {
+  for (auto &E : Eus) {
+    assert(E->Pending.empty() && "preemption with buffered ops in flight");
+    for (Context &C : E->Contexts) {
+      if (C.St == Context::State::Idle)
+        continue;
+      ++Stats.ShredsPreempted;
+      if (Tracer) {
+        ShredSpan Span;
+        Span.Eu = E->Index;
+        Span.Slot = C.Slot;
+        Span.ShredId = C.ShredId;
+        Span.Kernel = C.Kern ? C.Kern->Name : "";
+        Span.StartNs = C.LoadedAtNs;
+        Span.EndNs = Now;
+        Tracer->record(std::move(Span));
+      }
+      C.St = Context::State::Idle;
+    }
+  }
+  Stats.ShredsPreempted += Queue.size();
+  Queue.clear();
+  Stats.FinishNs = std::max(Stats.FinishNs, Now);
+}
+
 void GmaDevice::mergeStatShards() {
   for (auto &E : Eus) {
     Stats.Instructions += E->ShardInstructions;
@@ -1512,6 +1557,22 @@ Expected<RunExit> GmaDevice::resume() {
         }
         NextT = std::min(NextT, std::max(E->Time, C.StallUntil));
       }
+    }
+
+    // ExoServe watchdog: the deadline budget is enforced here, at the
+    // serial epoch boundary where no buffered op is in flight. The next
+    // event time is part of the canonical schedule, so the decision is
+    // identical for every SimThreads value. NextT == infinity (every
+    // resident shred blocked in `wait`) also trips the deadline: an
+    // overrunning deadlocked job becomes a bounded preemption instead of
+    // an error. The all-EUs-failed host-drain fallback below is exempt
+    // (anyOnlineEu() false): its functional completion is the last rung
+    // of the degradation ladder, not device time.
+    if (DeadlineNs > 0 && NextT > DeadlineNs &&
+        (AnyResident || (!Queue.empty() && anyOnlineEu()))) {
+      preemptAll(DeadlineNs);
+      mergeStatShards();
+      return RunExit::DeadlinePreempted;
     }
 
     // Per-`wait` timeout: a shred starved of its xmit signal (e.g. a

@@ -75,8 +75,9 @@ using StepHook =
 
 /// Why GmaDevice::run returned.
 enum class RunExit : uint8_t {
-  QueueDrained, ///< all shreds completed
-  Paused,       ///< a StepHook requested a pause
+  QueueDrained,      ///< all shreds completed
+  Paused,            ///< a StepHook requested a pause
+  DeadlinePreempted, ///< the deadline budget expired (ExoServe watchdog)
 };
 
 /// The device model. The simulation is deterministic for every
@@ -115,6 +116,25 @@ public:
 
   /// Per-`wait` timeout (simulated ns; 0 disables).
   void setWaitTimeoutNs(TimeNs T) { Config.WaitTimeoutNs = T; }
+
+  /// ExoServe watchdog: absolute simulated time at which the current run
+  /// is preempted (0 disables). Checked at the serial epoch boundary —
+  /// after refill, before the advance phase — where the machine has no
+  /// in-flight operations, so preemption lands at the same point of the
+  /// canonical schedule for every SimThreads value. A run whose last
+  /// event completes exactly at the deadline finishes normally; the
+  /// first round whose next event would land strictly beyond it returns
+  /// RunExit::DeadlinePreempted with resident and queued shreds
+  /// cancelled (counted in GmaRunStats::ShredsPreempted).
+  void setDeadlineNs(TimeNs D) { DeadlineNs = D; }
+  TimeNs deadlineNs() const { return DeadlineNs; }
+
+  /// ExoServe circuit breaker: takes EU \p EuIdx out of refill rotation
+  /// (quarantine) or readmits it. Unlike a hard-fail offline, quarantine
+  /// survives resetStats() — it represents a policy decision above the
+  /// device, applied between runs and lifted only by the caller.
+  void setEuQuarantine(unsigned EuIdx, bool On);
+  bool euQuarantined(unsigned EuIdx) const;
 
   /// Overrides GmaConfig::SimThreads: host worker threads for subsequent
   /// runs (0 = one per hardware core). Any value yields bit-identical
@@ -206,6 +226,11 @@ private:
   /// clears the shards. Called at every run/resume exit.
   void mergeStatShards();
 
+  /// Deadline preemption: idles every resident context (recording its
+  /// span up to \p Now) and cancels the queue. Serial phase only, with
+  /// no buffered PendingOps in flight.
+  void preemptAll(TimeNs Now);
+
   /// Worker threads to use for the next round (accounts for hooks, the
   /// auto setting, and the EU count).
   unsigned effectiveSimThreads() const;
@@ -289,6 +314,9 @@ private:
   /// Worker pool for the advance phase (created lazily; sized
   /// effectiveSimThreads() - 1).
   std::unique_ptr<support::ThreadPool> Pool;
+
+  /// Absolute simulated-time deadline of the current run (0 = none).
+  TimeNs DeadlineNs = 0;
 
   bool PausedFlag = false;
   bool PauseRequested = false; ///< set by a hook during a serial advance

@@ -1,0 +1,76 @@
+//===- serve/Breaker.cpp -------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Breaker.h"
+
+#include <algorithm>
+
+using namespace exochi;
+using namespace exochi::serve;
+
+Breaker::Breaker(unsigned NumEus, BreakerConfig Config)
+    : Config(Config), Eus(NumEus) {
+  for (EuState &E : Eus)
+    E.NextCooldown = Config.CooldownJobs;
+}
+
+void Breaker::noteFault(const fault::FaultSite &Site) {
+  if (Site.Kind != fault::FaultKind::EuHardFail)
+    return;
+  if (Site.Key < Eus.size())
+    PendingFails.insert(static_cast<unsigned>(Site.Key));
+}
+
+void Breaker::trip(EuState &E) {
+  E.St = State::Open;
+  E.ConsecFails = 0;
+  E.Cooldown = E.NextCooldown;
+  E.NextCooldown = std::min(E.NextCooldown * 2, Config.MaxCooldownJobs);
+  ++Counters.Trips;
+}
+
+void Breaker::onJobEnd(const std::vector<unsigned> &OfflinedEus) {
+  std::set<unsigned> Failed(PendingFails);
+  PendingFails.clear();
+  for (unsigned Eu : OfflinedEus)
+    if (Eu < Eus.size())
+      Failed.insert(Eu);
+
+  for (unsigned K = 0; K < Eus.size(); ++K) {
+    EuState &E = Eus[K];
+    bool DidFail = Failed.count(K) != 0;
+    switch (E.St) {
+    case State::Closed:
+      if (DidFail) {
+        if (++E.ConsecFails >= Config.TripThreshold)
+          trip(E);
+      } else {
+        E.ConsecFails = 0;
+      }
+      break;
+    case State::Open:
+      // An Open EU is quarantined and cannot fail; it serves cooldown.
+      if (E.Cooldown == 0 || --E.Cooldown == 0) {
+        E.St = State::HalfOpen;
+        ++Counters.Probes;
+      }
+      break;
+    case State::HalfOpen:
+      if (DidFail) {
+        trip(E); // probe failed: back to Open with a longer cooldown
+      } else {
+        // One clean job readmits the EU. (A probe the scheduler never
+        // exercised is indistinguishable from a clean one; the next
+        // failure re-trips within TripThreshold jobs anyway.)
+        E.St = State::Closed;
+        E.ConsecFails = 0;
+        E.NextCooldown = Config.CooldownJobs;
+        ++Counters.Readmits;
+      }
+      break;
+    }
+  }
+}

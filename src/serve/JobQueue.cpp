@@ -1,0 +1,70 @@
+//===- serve/JobQueue.cpp ------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobQueue.h"
+
+using namespace exochi;
+using namespace exochi::serve;
+
+void JobQueue::remove(unsigned Pri, size_t Index) {
+  std::deque<Entry> &Q = ByPriority[Pri];
+  auto It = ClientCounts.find(Q[Index].ClientId);
+  if (It != ClientCounts.end() && --It->second == 0)
+    ClientCounts.erase(It);
+  Q.erase(Q.begin() + static_cast<std::ptrdiff_t>(Index));
+  --Count;
+}
+
+JobQueue::Admission JobQueue::tryAdmit(JobId Id, Priority Pri,
+                                       uint32_t ClientId) {
+  Admission A;
+  if (clientLoad(ClientId) >= Config.PerClientCap) {
+    A.Reason = RejectReason::ClientQuota;
+    return A;
+  }
+  if (Count >= Config.Capacity) {
+    // Load shedding: evict the youngest job of the lowest occupied
+    // priority class strictly below the arrival. "Youngest" loses the
+    // least queueing investment; an arrival no better than everything
+    // queued is the one rejected.
+    unsigned Victim = NumPriorities;
+    for (unsigned P = 0; P < static_cast<unsigned>(Pri); ++P)
+      if (!ByPriority[P].empty()) {
+        Victim = P;
+        break;
+      }
+    if (Victim == NumPriorities) {
+      A.Reason = RejectReason::QueueFull;
+      return A;
+    }
+    A.Shed = ByPriority[Victim].back().Id;
+    remove(Victim, ByPriority[Victim].size() - 1);
+  }
+  ByPriority[static_cast<unsigned>(Pri)].push_back({Id, ClientId});
+  ++ClientCounts[ClientId];
+  ++Count;
+  A.Admitted = true;
+  return A;
+}
+
+std::optional<JobId> JobQueue::pop() {
+  for (unsigned P = NumPriorities; P-- > 0;) {
+    if (ByPriority[P].empty())
+      continue;
+    JobId Id = ByPriority[P].front().Id;
+    remove(P, 0);
+    return Id;
+  }
+  return std::nullopt;
+}
+
+std::vector<JobId> JobQueue::drainAll() {
+  std::vector<JobId> Out;
+  Out.reserve(Count);
+  while (auto Id = pop())
+    Out.push_back(*Id);
+  return Out;
+}

@@ -1,0 +1,82 @@
+//===- serve/JobQueue.h - Bounded admission queue with quotas & shedding ----===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ExoServe admission queue: bounded capacity, per-client quotas,
+/// strict-priority pop with FIFO order within a priority class, and
+/// load-shedding — a full queue admits a higher-priority arrival by
+/// evicting the youngest queued job of the lowest occupied class below
+/// it. All decisions depend only on the submission sequence, so the
+/// queue replays identically across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SERVE_JOBQUEUE_H
+#define EXOCHI_SERVE_JOBQUEUE_H
+
+#include "serve/Serve.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace exochi {
+namespace serve {
+
+struct JobQueueConfig {
+  size_t Capacity = 32;    ///< total queued jobs across all clients
+  size_t PerClientCap = 16; ///< queued jobs per client
+};
+
+/// Bounded priority queue of job ids. Stores only scheduling metadata;
+/// the Server owns the JobRecords.
+class JobQueue {
+public:
+  explicit JobQueue(JobQueueConfig Config = {}) : Config(Config) {}
+
+  /// Admission outcome: either the job entered the queue (possibly by
+  /// shedding a victim), or a rejection with its reason.
+  struct Admission {
+    bool Admitted = false;
+    RejectReason Reason = RejectReason::None; ///< set when !Admitted
+    JobId Shed = 0; ///< evicted victim (0 = none); already removed
+  };
+
+  /// Tries to admit job \p Id. Quota is checked before capacity so a
+  /// greedy client is told about its quota, not the queue.
+  Admission tryAdmit(JobId Id, Priority Pri, uint32_t ClientId);
+
+  /// Pops the oldest job of the highest occupied priority class.
+  std::optional<JobId> pop();
+
+  /// Removes every queued job (a cancelling drain), in pop order.
+  std::vector<JobId> drainAll();
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  size_t clientLoad(uint32_t ClientId) const {
+    auto It = ClientCounts.find(ClientId);
+    return It == ClientCounts.end() ? 0 : It->second;
+  }
+
+private:
+  struct Entry {
+    JobId Id = 0;
+    uint32_t ClientId = 0;
+  };
+
+  void remove(unsigned Pri, size_t Index);
+
+  JobQueueConfig Config;
+  std::deque<Entry> ByPriority[NumPriorities];
+  std::map<uint32_t, size_t> ClientCounts;
+  size_t Count = 0;
+};
+
+} // namespace serve
+} // namespace exochi
+
+#endif // EXOCHI_SERVE_JOBQUEUE_H

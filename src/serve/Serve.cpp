@@ -1,0 +1,74 @@
+//===- serve/Serve.cpp ---------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "support/Format.h"
+
+using namespace exochi;
+using namespace exochi::serve;
+
+const char *serve::priorityName(Priority P) {
+  switch (P) {
+  case Priority::Low:
+    return "low";
+  case Priority::Normal:
+    return "normal";
+  case Priority::High:
+    return "high";
+  }
+  exochiUnreachable("bad Priority");
+}
+
+const char *serve::rejectReasonName(RejectReason R) {
+  switch (R) {
+  case RejectReason::None:
+    return "none";
+  case RejectReason::QueueFull:
+    return "queue-full";
+  case RejectReason::ClientQuota:
+    return "client-quota";
+  case RejectReason::ZeroBudget:
+    return "zero-budget";
+  case RejectReason::Draining:
+    return "draining";
+  case RejectReason::LoadShed:
+    return "load-shed";
+  }
+  exochiUnreachable("bad RejectReason");
+}
+
+const char *serve::jobStateName(JobState S) {
+  switch (S) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Completed:
+    return "completed";
+  case JobState::Rejected:
+    return "rejected";
+  case JobState::DeadlinePreempted:
+    return "deadline-preempted";
+  case JobState::Drained:
+    return "drained";
+  case JobState::Failed:
+    return "failed";
+  }
+  exochiUnreachable("bad JobState");
+}
+
+std::string DrainSummary::toJson() const {
+  return formatString(
+      "{\"queued_at_drain\": %llu, \"ran_to_completion\": %llu, "
+      "\"preempted\": %llu, \"failed\": %llu, \"cancelled\": %llu, "
+      "\"drain_start_ns\": %.0f, \"drain_end_ns\": %.0f}",
+      static_cast<unsigned long long>(QueuedAtDrain),
+      static_cast<unsigned long long>(RanToCompletion),
+      static_cast<unsigned long long>(Preempted),
+      static_cast<unsigned long long>(Failed),
+      static_cast<unsigned long long>(Cancelled), DrainStartNs, DrainEndNs);
+}

@@ -1,0 +1,218 @@
+//===- serve/Server.cpp --------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "support/Format.h"
+
+using namespace exochi;
+using namespace exochi::serve;
+
+Server::Server(chi::Runtime &RT, ServerConfig Config,
+               fault::FaultInjector *Inj)
+    : RT(RT), Config(Config), Inj(Inj), Queue(Config.Queue),
+      Dog(RT.platform().config().Gma, Config.Watchdog),
+      Brk(RT.platform().config().Gma.NumEus, Config.Breaker) {
+  if (Inj)
+    Inj->setObserver([this](const fault::FaultSite &Site) {
+      ++Stats.FaultSignals[static_cast<unsigned>(Site.Kind)];
+      Brk.noteFault(Site);
+    });
+}
+
+Server::~Server() {
+  if (Inj)
+    Inj->setObserver(nullptr);
+}
+
+const JobRecord *Server::job(JobId Id) const {
+  if (Id == 0 || Id > Jobs.size())
+    return nullptr;
+  return &Jobs[Id - 1];
+}
+
+void Server::reject(JobRecord &R, RejectReason Reason) {
+  R.State = JobState::Rejected;
+  R.Reason = Reason;
+  switch (Reason) {
+  case RejectReason::QueueFull:
+    ++Stats.RejectedQueueFull;
+    break;
+  case RejectReason::ClientQuota:
+    ++Stats.RejectedClientQuota;
+    break;
+  case RejectReason::ZeroBudget:
+    ++Stats.RejectedZeroBudget;
+    break;
+  case RejectReason::Draining:
+    ++Stats.RejectedDraining;
+    break;
+  case RejectReason::LoadShed:
+    ++Stats.Shed;
+    break;
+  case RejectReason::None:
+    break;
+  }
+}
+
+Server::SubmitResult Server::submit(JobSpec Spec) {
+  ++Stats.Submitted;
+  JobRecord R;
+  R.Id = static_cast<JobId>(Jobs.size() + 1);
+  R.ClientId = Spec.ClientId;
+  R.Pri = Spec.Pri;
+  R.SubmitNs = RT.now();
+
+  SubmitResult Res;
+  Res.Id = R.Id;
+
+  if (Draining) {
+    reject(R, RejectReason::Draining);
+  } else if (Dog.effectiveBudgetCycles(Spec) == 0) {
+    // A zero-cycle budget cannot run even one epoch: answer now instead
+    // of queueing work guaranteed to die at its first boundary.
+    reject(R, RejectReason::ZeroBudget);
+  } else {
+    JobQueue::Admission A = Queue.tryAdmit(R.Id, R.Pri, R.ClientId);
+    if (A.Admitted) {
+      R.State = JobState::Queued;
+      ++Stats.Admitted;
+      if (A.Shed)
+        reject(record(A.Shed), RejectReason::LoadShed);
+      Res.Shed = A.Shed;
+    } else {
+      reject(R, A.Reason);
+    }
+  }
+
+  Res.Admitted = (R.State == JobState::Queued);
+  Res.Reason = R.Reason;
+  Jobs.push_back(R);
+  Specs.push_back(std::move(Spec));
+  return Res;
+}
+
+void Server::applyQuarantine() {
+  gma::GmaDevice &Device = RT.platform().device();
+  for (unsigned K = 0; K < Brk.numEus(); ++K)
+    Device.setEuQuarantine(K, Brk.quarantined(K));
+}
+
+void Server::runJob(JobRecord &R) {
+  R.State = JobState::Running;
+  R.StartNs = RT.now();
+
+  // Quarantine first so this dispatch never lands on a tripped EU; the
+  // device falls back to its host lane if the breaker opened every EU.
+  applyQuarantine();
+
+  chi::RegionSpec Region = Specs[R.Id - 1].Region;
+  Dog.armRegion(Region, Dog.effectiveBudgetCycles(Specs[R.Id - 1]));
+
+  auto H = RT.dispatch(Region);
+  if (!H) {
+    // Safety valve: a malformed job (unknown kernel, freed descriptor,
+    // unserviceable fault outside injection) terminates as Failed — an
+    // answer, never a hang — and does not poison the server.
+    R.State = JobState::Failed;
+    R.Error = H.message();
+    ++Stats.Failed;
+    Brk.onJobEnd({});
+  } else {
+    R.Region = *H;
+    const chi::RegionStats *RS = RT.regionStats(*H);
+    R.State = Dog.classify(*RS);
+    R.ShredsPreempted = RS->Device.ShredsPreempted;
+    if (R.State == JobState::DeadlinePreempted)
+      ++Stats.DeadlinePreempted;
+    else
+      ++Stats.Completed;
+    Brk.onJobEnd(RS->Device.OfflinedEus);
+  }
+  R.EndNs = RT.now();
+
+  // Mirror breaker counters into the served stats surface.
+  Stats.BreakerTrips = Brk.stats().Trips;
+  Stats.BreakerProbes = Brk.stats().Probes;
+  Stats.BreakerReadmits = Brk.stats().Readmits;
+}
+
+std::optional<JobId> Server::runNext() {
+  auto Id = Queue.pop();
+  if (!Id)
+    return std::nullopt;
+  runJob(record(*Id));
+  return Id;
+}
+
+void Server::runAll() {
+  while (runNext())
+    ;
+}
+
+DrainSummary Server::drain(bool CancelQueued) {
+  Draining = true;
+  DrainSummary Summary;
+  Summary.QueuedAtDrain = Queue.size();
+  Summary.DrainStartNs = RT.now();
+
+  if (CancelQueued) {
+    for (JobId Id : Queue.drainAll()) {
+      JobRecord &R = record(Id);
+      R.State = JobState::Drained;
+      ++Stats.Drained;
+      ++Summary.Cancelled;
+    }
+  } else {
+    while (auto Id = Queue.pop()) {
+      JobRecord &R = record(*Id);
+      runJob(R);
+      switch (R.State) {
+      case JobState::Completed:
+        ++Summary.RanToCompletion;
+        break;
+      case JobState::DeadlinePreempted:
+        ++Summary.Preempted;
+        break;
+      default:
+        ++Summary.Failed;
+        break;
+      }
+    }
+  }
+
+  Summary.DrainEndNs = RT.now();
+  return Summary;
+}
+
+std::string Server::statsJson() const {
+  uint64_t FaultSignals = 0;
+  for (uint64_t N : Stats.FaultSignals)
+    FaultSignals += N;
+  return formatString(
+      "{\"submitted\": %llu, \"admitted\": %llu, \"completed\": %llu, "
+      "\"deadline_preempted\": %llu, \"drained\": %llu, \"failed\": %llu, "
+      "\"shed\": %llu, \"rejected_queue_full\": %llu, "
+      "\"rejected_client_quota\": %llu, \"rejected_zero_budget\": %llu, "
+      "\"rejected_draining\": %llu, \"breaker_trips\": %llu, "
+      "\"breaker_probes\": %llu, \"breaker_readmits\": %llu, "
+      "\"fault_signals\": %llu}",
+      static_cast<unsigned long long>(Stats.Submitted),
+      static_cast<unsigned long long>(Stats.Admitted),
+      static_cast<unsigned long long>(Stats.Completed),
+      static_cast<unsigned long long>(Stats.DeadlinePreempted),
+      static_cast<unsigned long long>(Stats.Drained),
+      static_cast<unsigned long long>(Stats.Failed),
+      static_cast<unsigned long long>(Stats.Shed),
+      static_cast<unsigned long long>(Stats.RejectedQueueFull),
+      static_cast<unsigned long long>(Stats.RejectedClientQuota),
+      static_cast<unsigned long long>(Stats.RejectedZeroBudget),
+      static_cast<unsigned long long>(Stats.RejectedDraining),
+      static_cast<unsigned long long>(Stats.BreakerTrips),
+      static_cast<unsigned long long>(Stats.BreakerProbes),
+      static_cast<unsigned long long>(Stats.BreakerReadmits),
+      static_cast<unsigned long long>(FaultSignals));
+}

@@ -1,0 +1,109 @@
+//===- serve/Server.h - The ExoServe front door -----------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ExoServe server: owns the admission queue, watchdog, and circuit
+/// breaker, and drives jobs through one chi::Runtime. Single-threaded
+/// like the rest of the stack: submit() enqueues, runNext()/runAll()
+/// execute, drain() closes admission and empties the queue. Every job
+/// reaches a terminal JobState — under overload, faults, or deadline
+/// pressure the server rejects, preempts, or degrades, but never hangs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_SERVE_SERVER_H
+#define EXOCHI_SERVE_SERVER_H
+
+#include "serve/Breaker.h"
+#include "serve/JobQueue.h"
+#include "serve/Watchdog.h"
+
+#include <optional>
+
+namespace exochi {
+namespace serve {
+
+struct ServerConfig {
+  JobQueueConfig Queue;
+  WatchdogConfig Watchdog;
+  BreakerConfig Breaker;
+};
+
+class Server {
+public:
+  /// Binds the server to \p RT's platform. When \p Inj is non-null the
+  /// server installs itself as the injector's fire observer for its
+  /// lifetime (ServeStats::FaultSignals + breaker hard-fail plumbing).
+  Server(chi::Runtime &RT, ServerConfig Config = {},
+         fault::FaultInjector *Inj = nullptr);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Outcome of a submit: the job id always identifies a JobRecord, so
+  /// rejected jobs stay inspectable (state Rejected + reason).
+  struct SubmitResult {
+    JobId Id = 0;
+    bool Admitted = false;
+    RejectReason Reason = RejectReason::None;
+    JobId Shed = 0; ///< job evicted to admit this one (0 = none)
+  };
+
+  /// Admission: quota/capacity/priority policy runs here; no device work.
+  SubmitResult submit(JobSpec Spec);
+
+  /// Pops and runs the highest-priority queued job to a terminal state
+  /// (Completed / DeadlinePreempted / Failed). Returns its id, or
+  /// nullopt when the queue is empty.
+  std::optional<JobId> runNext();
+
+  /// Runs until the queue is empty.
+  void runAll();
+
+  /// Graceful drain: closes admission, then either runs every queued job
+  /// to its terminal state (each still under its own deadline) or — with
+  /// \p CancelQueued — marks them Drained without running. Always
+  /// terminates: jobs are deadline-bounded, fault degradation is
+  /// bounded, and admission is closed. Idempotent on an empty queue.
+  DrainSummary drain(bool CancelQueued = false);
+
+  bool draining() const { return Draining; }
+
+  const ServeStats &stats() const { return Stats; }
+  const Breaker &breaker() const { return Brk; }
+  const JobQueue &queue() const { return Queue; }
+  const std::vector<JobRecord> &jobs() const { return Jobs; }
+  /// The record of \p Id (1-based submission order); nullptr if unknown.
+  const JobRecord *job(JobId Id) const;
+
+  /// One-line JSON of the ServeStats counters.
+  std::string statsJson() const;
+
+private:
+  JobRecord &record(JobId Id) { return Jobs[Id - 1]; }
+  void reject(JobRecord &R, RejectReason Reason);
+  /// Dispatches \p R (already popped) to a terminal state.
+  void runJob(JobRecord &R);
+  /// Applies breaker state to the device's quarantine flags.
+  void applyQuarantine();
+
+  chi::Runtime &RT;
+  ServerConfig Config;
+  fault::FaultInjector *Inj;
+  JobQueue Queue;
+  Watchdog Dog;
+  Breaker Brk;
+  std::vector<JobRecord> Jobs; ///< indexed by JobId - 1
+  std::vector<JobSpec> Specs;  ///< parallel to Jobs (specs of queued work)
+  ServeStats Stats;
+  bool Draining = false;
+};
+
+} // namespace serve
+} // namespace exochi
+
+#endif // EXOCHI_SERVE_SERVER_H

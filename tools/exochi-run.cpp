@@ -15,12 +15,17 @@
 // Surface fills: zero | seq (element index) | rand. Param values: an
 // integer, or `shred` for the shred's index.
 //
+// --serve N runs the same dispatch as N ExoServe jobs through the
+// admission queue / watchdog / circuit breaker instead of one direct
+// region (--clients, --deadline, --drain-after shape the workload).
+//
 //===----------------------------------------------------------------------===//
 
 #include "chi/ParallelRegion.h"
 #include "fault/FaultInjector.h"
 #include "gma/Trace.h"
 #include "chi/Runtime.h"
+#include "serve/Server.h"
 #include "isa/Encoding.h"
 #include "support/File.h"
 #include "support/Random.h"
@@ -75,6 +80,10 @@ int main(int Argc, char **Argv) {
   int MaxRetries = -1; ///< -1 = leave the platform default
   unsigned Shreds = 1;
   int SimThreads = -1; ///< -1 = leave the platform default
+  int64_t ServeJobs = 0;      ///< --serve: number of ExoServe jobs (0 = off)
+  int64_t ServeClients = 4;   ///< --clients: synthetic client count
+  int64_t DeadlineCycles = -1; ///< --deadline: per-job budget (-1 = none)
+  int64_t DrainAfter = -1;    ///< --drain-after: jobs to run before drain
   std::vector<SurfaceArg> Surfaces;
   std::map<std::string, std::string> Params;
 
@@ -88,13 +97,46 @@ int main(int Argc, char **Argv) {
       }
       return Argv[++K];
     };
+    // Matches `--flag V` and `--flag=V`, leaving the value in Val.
+    auto matchValueOpt = [&](const char *Name, std::string &Val) -> bool {
+      std::string Prefix = std::string(Name) + "=";
+      if (A == Name) {
+        Val = Next();
+        return true;
+      }
+      if (A.rfind(Prefix, 0) == 0) {
+        Val = A.substr(Prefix.size());
+        return true;
+      }
+      return false;
+    };
+    // Numeric option values are validated, never silently defaulted: a
+    // malformed or out-of-range value is a usage error.
+    auto parseCount = [&](const char *Flag, const std::string &V,
+                          int64_t Min) -> int64_t {
+      auto N = parseInt(V);
+      if (!N || *N < Min) {
+        std::fprintf(stderr, "exochi-run: bad %s value '%s'\n", Flag,
+                     V.c_str());
+        std::exit(2);
+      }
+      return *N;
+    };
+    std::string Val;
     if (A == "--kernel")
       Kernel = Next();
     else if (A == "--trace")
       TracePath = Next();
-    else if (A == "--shreds")
-      Shreds = static_cast<unsigned>(std::max<int64_t>(
-          1, parseInt(Next()).value_or(1)));
+    else if (matchValueOpt("--shreds", Val))
+      Shreds = static_cast<unsigned>(parseCount("--shreds", Val, 1));
+    else if (matchValueOpt("--serve", Val))
+      ServeJobs = parseCount("--serve", Val, 1);
+    else if (matchValueOpt("--clients", Val))
+      ServeClients = parseCount("--clients", Val, 1);
+    else if (matchValueOpt("--deadline", Val))
+      DeadlineCycles = parseCount("--deadline", Val, 0);
+    else if (matchValueOpt("--drain-after", Val))
+      DrainAfter = parseCount("--drain-after", Val, 0);
     else if (A == "--sim-threads" || A.rfind("--sim-threads=", 0) == 0) {
       std::string V = A.size() > 13 && A[13] == '='
                           ? A.substr(14)
@@ -157,7 +199,15 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "exochi-run: bad --param spec\n");
         return 2;
       }
-      Params[Spec.substr(0, Eq)] = Spec.substr(Eq + 1);
+      std::string Value = Spec.substr(Eq + 1);
+      if (Value != "shred" && !parseInt(Value)) {
+        std::fprintf(stderr,
+                     "exochi-run: bad --param value '%s' (need an integer "
+                     "or 'shred')\n",
+                     Value.c_str());
+        return 2;
+      }
+      Params[Spec.substr(0, Eq)] = std::move(Value);
     } else if (A == "--help" || A == "-h") {
       std::fprintf(stderr,
                    "usage: exochi-run <file.xfb> --kernel <name> "
@@ -166,9 +216,17 @@ int main(int Argc, char **Argv) {
                    "[--sim-threads N] [--lint=ignore|collect|reject]\n"
                    "       [--inject <kind:rate,...|all:rate>] "
                    "[--inject-seed N] [--max-retries K]\n"
+                   "       [--serve N] [--clients M] [--deadline CYCLES] "
+                   "[--drain-after K]\n"
                    "  --inject kinds: atr-transient, atr-fatal, ceh-timeout,"
                    " eu-hard-fail,\n"
-                   "                  mailbox-drop, mailbox-dup, all\n");
+                   "                  mailbox-drop, mailbox-dup, all\n"
+                   "  --serve N: submit the dispatch as N ExoServe jobs "
+                   "(mixed priorities,\n"
+                   "             round-robin over --clients M); --deadline "
+                   "sets each job's\n"
+                   "             cycle budget; --drain-after K drains "
+                   "gracefully after K jobs\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "exochi-run: unknown option '%s'\n", A.c_str());
@@ -216,7 +274,7 @@ int main(int Argc, char **Argv) {
         auto It = Params.find(Sec->ScalarParams[P]);
         if (It != Params.end() && It->second != "shred")
           Spec.ParamRanges[static_cast<unsigned>(P)] =
-              xopt::Range::point(parseInt(It->second).value_or(0));
+              xopt::Range::point(*parseInt(It->second)); // validated above
       }
       R.append(xopt::verifyKernel(*Prog, Spec, Kernel));
       for (const xopt::LintDiag &D : R.Diags)
@@ -284,10 +342,71 @@ int main(int Argc, char **Argv) {
       Region.privateVar(Name,
                         [](unsigned T) { return static_cast<int32_t>(T); });
     else
-      Region.firstprivate(Name, static_cast<int32_t>(
-                                    parseInt(Value).value_or(0)));
+      Region.firstprivate(Name,
+                          static_cast<int32_t>(*parseInt(Value))); // validated
   }
   Region.numThreads(Shreds);
+
+  if (ServeJobs > 0) {
+    // ExoServe mode: the same dispatch becomes N jobs with mixed
+    // priorities from a round-robin of synthetic clients, submitted up
+    // front so the admission queue, quotas, and load shedding engage.
+    serve::Server Srv(RT, serve::ServerConfig(),
+                      Inj.armed() ? &Inj : nullptr);
+    for (int64_t J = 0; J < ServeJobs; ++J) {
+      serve::JobSpec JS;
+      JS.ClientId = static_cast<uint32_t>(J % ServeClients);
+      JS.Pri = static_cast<serve::Priority>(J % serve::NumPriorities);
+      JS.Region = Region.spec();
+      JS.DeadlineCycles = DeadlineCycles;
+      Srv.submit(std::move(JS));
+    }
+    int64_t Ran = 0;
+    while ((DrainAfter < 0 || Ran < DrainAfter) && Srv.runNext())
+      ++Ran;
+    serve::DrainSummary D = Srv.drain();
+
+    const serve::ServeStats &SS = Srv.stats();
+    std::printf("served '%s': %llu jobs from %lld clients: %llu completed, "
+                "%llu deadline-preempted, %llu rejected, %llu shed, "
+                "%llu failed\n",
+                Kernel.c_str(),
+                static_cast<unsigned long long>(SS.Submitted),
+                static_cast<long long>(ServeClients),
+                static_cast<unsigned long long>(SS.Completed),
+                static_cast<unsigned long long>(SS.DeadlinePreempted),
+                static_cast<unsigned long long>(SS.RejectedQueueFull +
+                                                SS.RejectedClientQuota +
+                                                SS.RejectedZeroBudget +
+                                                SS.RejectedDraining),
+                static_cast<unsigned long long>(SS.Shed),
+                static_cast<unsigned long long>(SS.Failed));
+    std::printf("serve-stats: %s\n", Srv.statsJson().c_str());
+    std::printf("drain-summary: %s\n", D.toJson().c_str());
+
+    if (Inj.armed()) {
+      const chi::ChiStats &FS = RT.faultStats();
+      std::printf("faults: %llu injected, %llu retried, %llu shreds "
+                  "re-dispatched, %llu EUs offlined, %llu breaker trips\n",
+                  static_cast<unsigned long long>(FS.FaultsInjected),
+                  static_cast<unsigned long long>(FS.Retried),
+                  static_cast<unsigned long long>(FS.Redispatched),
+                  static_cast<unsigned long long>(FS.Offlined),
+                  static_cast<unsigned long long>(SS.BreakerTrips));
+    }
+
+    if (!TracePath.empty()) {
+      std::string Json = Tracer.toChromeJson();
+      if (Error E = writeFileBytes(
+              TracePath, std::vector<uint8_t>(Json.begin(), Json.end()))) {
+        std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu shred spans to %s\n", Tracer.spans().size(),
+                  TracePath.c_str());
+    }
+    return 0;
+  }
 
   auto H = Region.execute();
   if (!H) {
