@@ -20,12 +20,14 @@
 #include "exo/ExoPlatform.h"
 #include "kernels/Workloads.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace exochi {
 namespace bench {
@@ -65,6 +67,32 @@ inline int benchSimThreads() {
     return -1;
   }
   return static_cast<int>(V);
+}
+
+/// Tail-latency summary of one sample set (any unit; the caller picks).
+struct Percentiles {
+  double P50 = 0, P95 = 0, P99 = 0;
+};
+
+/// p50/p95/p99 of \p Samples by linear interpolation between order
+/// statistics (the common "linear" quantile definition). Shared by the
+/// serve and net harnesses so their tail numbers are comparable.
+inline Percentiles latencyPercentiles(std::vector<double> Samples) {
+  Percentiles P;
+  if (Samples.empty())
+    return P;
+  std::sort(Samples.begin(), Samples.end());
+  auto At = [&](double Q) {
+    double Pos = Q * static_cast<double>(Samples.size() - 1);
+    size_t Lo = static_cast<size_t>(Pos);
+    size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+    double Frac = Pos - static_cast<double>(Lo);
+    return Samples[Lo] * (1.0 - Frac) + Samples[Hi] * Frac;
+  };
+  P.P50 = At(0.50);
+  P.P95 = At(0.95);
+  P.P99 = At(0.99);
+  return P;
 }
 
 /// A workload wired to a fresh platform/runtime pair.

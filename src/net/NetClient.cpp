@@ -1,0 +1,134 @@
+//===- net/NetClient.cpp -------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetClient.h"
+
+#include "support/Format.h"
+
+using namespace exochi;
+using namespace exochi::net;
+
+Expected<NetClient> NetClient::handshake(Expected<Socket> S, double TimeoutSec,
+                                         const std::string &Name) {
+  if (!S)
+    return S.takeError();
+  if (Error E = S->setTimeout(TimeoutSec))
+    return E;
+  NetClient C(std::move(*S));
+  if (Error E = C.send(wire::encode(wire::HelloMsg{wire::Version, Name})))
+    return E;
+  auto F = C.expect(wire::MsgType::Welcome);
+  if (!F)
+    return F.takeError();
+  auto W = wire::decodeWelcome(F->Body);
+  if (!W)
+    return W.takeError();
+  if (W->WireVersion != wire::Version)
+    return Error::make(formatString("server speaks wire version %u, not %u",
+                                    W->WireVersion, wire::Version));
+  C.ClientId = W->ClientId;
+  return C;
+}
+
+Expected<NetClient> NetClient::connectTcp(const std::string &Host,
+                                          uint16_t Port, double TimeoutSec,
+                                          const std::string &Name) {
+  return handshake(tcpConnect(Host, Port), TimeoutSec, Name);
+}
+
+Expected<NetClient> NetClient::connectUnix(const std::string &Path,
+                                           double TimeoutSec,
+                                           const std::string &Name) {
+  return handshake(unixConnect(Path), TimeoutSec, Name);
+}
+
+Expected<wire::Frame> NetClient::readFrame() {
+  for (;;) {
+    if (In.poisoned())
+      return Error::make("stream error: " + In.error());
+    if (auto F = In.next())
+      return std::move(*F);
+    std::vector<uint8_t> Chunk;
+    std::string Err;
+    long K = Sock.recvSome(Chunk, 64 * 1024, Err);
+    if (K == 0)
+      return Error::make("connection closed by server");
+    if (K < 0)
+      return Error::make(Err.empty() ? "recv failed (timeout?)" : Err);
+    In.feed(Chunk);
+  }
+}
+
+Expected<wire::Frame> NetClient::expect(wire::MsgType Want) {
+  for (;;) {
+    auto F = readFrame();
+    if (!F)
+      return F.takeError();
+    if (F->Type == Want)
+      return F;
+    if (F->Type == wire::MsgType::Result) {
+      auto R = wire::decodeResult(F->Body);
+      if (!R)
+        return R.takeError();
+      Results.push_back(std::move(*R));
+      continue;
+    }
+    if (F->Type == wire::MsgType::Error) {
+      auto E = wire::decodeError(F->Body);
+      return Error::make("server error: " +
+                         (E ? E->Reason : std::string("unreadable reason")));
+    }
+    return Error::make(formatString("unexpected %s frame (wanted %s)",
+                                    wire::msgTypeName(F->Type),
+                                    wire::msgTypeName(Want)));
+  }
+}
+
+Expected<wire::ResultMsg> NetClient::readResult() {
+  if (!Results.empty()) {
+    wire::ResultMsg R = std::move(Results.front());
+    Results.pop_front();
+    return R;
+  }
+  auto F = expect(wire::MsgType::Result);
+  if (!F)
+    return F.takeError();
+  return wire::decodeResult(F->Body);
+}
+
+Expected<std::string> NetClient::drain(bool Cancel) {
+  if (Error E = send(wire::encode(
+          wire::DrainMsg{static_cast<uint8_t>(Cancel ? 1 : 0)})))
+    return E;
+  auto F = expect(wire::MsgType::DrainDone);
+  if (!F)
+    return F.takeError();
+  auto M = wire::decodeDrainDone(F->Body);
+  if (!M)
+    return M.takeError();
+  return std::move(M->Json);
+}
+
+Expected<std::string> NetClient::stats() {
+  if (Error E = send(wire::frame(wire::MsgType::StatsReq, {})))
+    return E;
+  auto F = expect(wire::MsgType::StatsJson);
+  if (!F)
+    return F.takeError();
+  auto M = wire::decodeStatsJson(F->Body);
+  if (!M)
+    return M.takeError();
+  return std::move(M->Json);
+}
+
+Expected<wire::SurfaceDataMsg> NetClient::fetch(const std::string &Name) {
+  if (Error E = send(wire::encode(wire::FetchMsg{Name})))
+    return E;
+  auto F = expect(wire::MsgType::SurfaceData);
+  if (!F)
+    return F.takeError();
+  return wire::decodeSurfaceData(F->Body);
+}

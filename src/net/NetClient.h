@@ -1,0 +1,107 @@
+//===- net/NetClient.h - ExoNet client library -------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client library for the ExoNet wire protocol: connect, say
+/// hello, declare surfaces, submit jobs, and read back Results /
+/// surface data / stats. One NetClient owns one connection; calls are
+/// synchronous. The send path (surface/submit/runJobs/bye) and the read
+/// path (readResult) share no mutable state, so one sender thread plus
+/// one reader thread on the same NetClient is safe — but each path
+/// belongs to at most one thread, and the request/reply calls (drain,
+/// stats, fetch) use both paths and require exclusive use. Many
+/// NetClients (each its own connection and server-side identity) may
+/// run concurrently.
+///
+/// Submission is pipelined: submit() only writes the frame, and the
+/// matching Result arrives whenever the job reaches a terminal state —
+/// possibly interleaved with other frame types, which the library
+/// queues internally. Every read honors the socket timeout, so a dead
+/// or wedged server surfaces as an Error, never a hang.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_NET_NETCLIENT_H
+#define EXOCHI_NET_NETCLIENT_H
+
+#include "net/Socket.h"
+#include "net/Wire.h"
+
+#include <deque>
+
+namespace exochi {
+namespace net {
+
+class NetClient {
+public:
+  /// Connects and performs the Hello/Welcome handshake. \p TimeoutSec
+  /// bounds every subsequent blocking read and write.
+  static Expected<NetClient> connectTcp(const std::string &Host, uint16_t Port,
+                                        double TimeoutSec = 120.0,
+                                        const std::string &Name = "client");
+  static Expected<NetClient> connectUnix(const std::string &Path,
+                                         double TimeoutSec = 120.0,
+                                         const std::string &Name = "client");
+
+  NetClient(NetClient &&) = default;
+  NetClient &operator=(NetClient &&) = default;
+
+  /// The server-assigned identity (ExoServe ClientId for quotas).
+  uint32_t clientId() const { return ClientId; }
+
+  /// Declares or updates a named surface (no acknowledgement: protocol
+  /// errors arrive as an Error frame on the next read).
+  Error surface(const wire::SurfaceMsg &M) { return send(wire::encode(M)); }
+
+  /// Submits one job; the Result arrives asynchronously (readResult).
+  Error submit(const wire::SubmitMsg &M) { return send(wire::encode(M)); }
+
+  /// Asks the server to run up to \p MaxJobs (0 = all) of this client's
+  /// held jobs now.
+  Error runJobs(uint32_t MaxJobs = 0) {
+    return send(wire::encode(wire::RunMsg{MaxJobs}));
+  }
+
+  /// Blocks until the next Result frame for this client (FIFO across
+  /// this connection's jobs in terminal order).
+  Expected<wire::ResultMsg> readResult();
+
+  /// Drains the server; returns the DrainSummary JSON. Results for
+  /// still-queued jobs arrive first and are queued for readResult().
+  Expected<std::string> drain(bool Cancel = false);
+
+  /// Combined serve+net stats JSON.
+  Expected<std::string> stats();
+
+  /// Reads back a named surface's contents.
+  Expected<wire::SurfaceDataMsg> fetch(const std::string &Name);
+
+  /// Orderly goodbye (the server closes the connection).
+  Error bye() { return send(wire::encode(wire::ByeMsg{})); }
+
+private:
+  NetClient(Socket S) : Sock(std::move(S)) {}
+
+  Error send(const std::vector<uint8_t> &Frame) { return Sock.sendAll(Frame); }
+  /// Blocks for the next frame on the wire (timeout-bounded).
+  Expected<wire::Frame> readFrame();
+  /// Blocks until a frame of type \p Want arrives; Result frames seen on
+  /// the way are queued, an Error frame becomes an Error return.
+  Expected<wire::Frame> expect(wire::MsgType Want);
+
+  static Expected<NetClient> handshake(Expected<Socket> S, double TimeoutSec,
+                                       const std::string &Name);
+
+  Socket Sock;
+  wire::FrameParser In;
+  std::deque<wire::ResultMsg> Results; ///< Results read while expecting
+  uint32_t ClientId = 0;
+};
+
+} // namespace net
+} // namespace exochi
+
+#endif // EXOCHI_NET_NETCLIENT_H

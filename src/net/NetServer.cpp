@@ -1,0 +1,554 @@
+//===- net/NetServer.cpp -------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetServer.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace exochi;
+using namespace exochi::net;
+
+NetServer::NetServer(chi::Runtime &RT, NetServerConfig Config,
+                     fault::FaultInjector *Inj)
+    : RT(RT), Config(Config), Srv(RT, Config.Serve, Inj) {
+  int Pipe[2] = {-1, -1};
+  if (::pipe(Pipe) == 0) {
+    WakeR = Pipe[0];
+    WakeW = Pipe[1];
+    // Both ends non-blocking: the drain loop in run() reads until
+    // EAGAIN, and a full pipe must never block stop().
+    ::fcntl(WakeR, F_SETFL, O_NONBLOCK);
+    ::fcntl(WakeW, F_SETFL, O_NONBLOCK);
+  }
+}
+
+NetServer::~NetServer() {
+  if (WakeR >= 0)
+    ::close(WakeR);
+  if (WakeW >= 0)
+    ::close(WakeW);
+  if (!UnixPath.empty())
+    ::unlink(UnixPath.c_str());
+}
+
+Expected<uint16_t> NetServer::listenTcp(uint16_t Port) {
+  if (Running.load(std::memory_order_relaxed))
+    return Error::make("cannot add a listener while the loop is running");
+  uint16_t Bound = 0;
+  auto L = tcpListen(Port, Bound);
+  if (!L)
+    return L.takeError();
+  if (Error E = L->setNonBlocking(true))
+    return E;
+  Listeners.push_back(std::move(*L));
+  return Bound;
+}
+
+Error NetServer::listenUnix(const std::string &Path) {
+  if (Running.load(std::memory_order_relaxed))
+    return Error::make("cannot add a listener while the loop is running");
+  auto L = unixListen(Path);
+  if (!L)
+    return L.takeError();
+  if (Error E = L->setNonBlocking(true))
+    return E;
+  Listeners.push_back(std::move(*L));
+  UnixPath = Path;
+  return Error::success();
+}
+
+void NetServer::stop() {
+  Running.store(false, std::memory_order_relaxed);
+  if (WakeW >= 0) {
+    uint8_t B = 1;
+    while (::write(WakeW, &B, 1) < 0 && errno == EINTR)
+      ;
+  }
+}
+
+NetServer::Conn *NetServer::connById(uint32_t ClientId) {
+  auto It = ById.find(ClientId);
+  return It == ById.end() ? nullptr : It->second;
+}
+
+bool NetServer::wantRead(const Conn &C) {
+  if (C.Closing || C.In.poisoned())
+    return false;
+  // Backpressure: once a Submit is parked on the quota, stop reading
+  // the socket — frames already buffered wait behind the parked one and
+  // TCP pushes back on the sender instead of the server buffering
+  // unboundedly.
+  if (C.Deferred) {
+    ++Net.BackpressureStalls;
+    return false;
+  }
+  return true;
+}
+
+void NetServer::flushOut(Conn &C) {
+  while (C.OutOff < C.Out.size()) {
+    long K = ::send(C.Sock.fd(), C.Out.data() + C.OutOff,
+                    C.Out.size() - C.OutOff, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (K > 0) {
+      C.OutOff += static_cast<size_t>(K);
+      Net.BytesOut += static_cast<uint64_t>(K);
+      continue;
+    }
+    if (K < 0 && errno == EINTR)
+      continue;
+    if (K < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return; // poll for POLLOUT
+    // Peer vanished mid-write: close without retry.
+    C.Closing = true;
+    C.Out.clear();
+    C.OutOff = 0;
+    return;
+  }
+  C.Out.clear();
+  C.OutOff = 0;
+}
+
+void NetServer::queueFrame(Conn &C, std::vector<uint8_t> Frame) {
+  ++Net.FramesOut;
+  C.Out.insert(C.Out.end(), Frame.begin(), Frame.end());
+  flushOut(C);
+}
+
+void NetServer::protocolError(Conn &C, const std::string &Reason) {
+  ++Net.Malformed;
+  queueFrame(C, wire::encode(wire::ErrorMsg{Reason}));
+  C.Closing = true;
+}
+
+void NetServer::fillSurface(const SurfaceRec &Rec, const wire::SurfaceMsg &M) {
+  exo::ExoPlatform &P = RT.platform();
+  uint64_t Elems = static_cast<uint64_t>(Rec.W) * Rec.H;
+  switch (M.Fill) {
+  case wire::SurfaceFill::Data:
+    P.write(Rec.Base, M.Data.data(), M.Data.size());
+    break;
+  case wire::SurfaceFill::Zero:
+    for (uint64_t E = 0; E < Elems; ++E)
+      P.store<uint32_t>(Rec.Base + E * 4, 0);
+    break;
+  case wire::SurfaceFill::Seq:
+    for (uint64_t E = 0; E < Elems; ++E)
+      P.store<uint32_t>(Rec.Base + E * 4, static_cast<uint32_t>(E));
+    break;
+  }
+}
+
+Error NetServer::ensureSurface(Conn &C, const wire::SurfaceMsg &M) {
+  auto It = C.Surfaces.find(M.Name);
+  if (It == C.Surfaces.end()) {
+    exo::SharedBuffer Buf = RT.platform().allocateShared(
+        static_cast<uint64_t>(M.Width) * M.Height * 4,
+        formatString("net:c%u:%s", C.ClientId, M.Name.c_str()));
+    auto Desc = RT.allocDesc(chi::TargetIsa::X3000, Buf.Base,
+                             static_cast<chi::SurfaceMode>(M.Mode), M.Width,
+                             M.Height);
+    if (!Desc)
+      return Desc.takeError();
+    It = C.Surfaces
+             .emplace(M.Name,
+                      SurfaceRec{*Desc, Buf.Base, M.Width, M.Height, M.Mode})
+             .first;
+  } else if (It->second.W != M.Width || It->second.H != M.Height) {
+    // Reshape would invalidate the descriptor queued jobs already bind.
+    return Error::make(formatString(
+        "surface '%s' is %ux%u; redeclaring as %ux%u is a protocol error",
+        M.Name.c_str(), It->second.W, It->second.H, M.Width, M.Height));
+  }
+  fillSurface(It->second, M);
+  return Error::success();
+}
+
+void NetServer::handleSubmit(Conn &C, const std::vector<uint8_t> &Body) {
+  auto M = wire::decodeSubmit(Body);
+  if (!M) {
+    protocolError(C, "bad submit: " + M.message());
+    return;
+  }
+
+  // Pre-admission failures (upload/bind problems) are answered with a
+  // Failed Result carrying the reason and JobId 0 — the job never
+  // existed server-side, but the client still gets a terminal answer
+  // for its tag.
+  auto failNow = [&](const std::string &Why) {
+    wire::ResultMsg R;
+    R.Tag = M->Tag;
+    R.JobId = 0;
+    R.State = static_cast<uint8_t>(serve::JobState::Failed);
+    R.Error = Why;
+    queueFrame(C, wire::encode(R));
+  };
+
+  for (const wire::SurfaceMsg &U : M->Uploads)
+    if (Error E = ensureSurface(C, U)) {
+      failNow(E.message());
+      return;
+    }
+
+  serve::JobSpec Spec;
+  Spec.ClientId = C.ClientId;
+  Spec.Pri = static_cast<serve::Priority>(M->Pri);
+  Spec.DeadlineCycles = M->DeadlineCycles;
+  Spec.Region.KernelName = M->Kernel;
+  Spec.Region.NumThreads = M->Shreds;
+  for (const std::string &Name : M->Bind) {
+    auto It = C.Surfaces.find(Name);
+    if (It == C.Surfaces.end()) {
+      failNow(formatString("unknown surface '%s'", Name.c_str()));
+      return;
+    }
+    Spec.Region.SharedDescs[Name] = It->second.Desc;
+  }
+  for (const wire::ParamArg &P : M->Params) {
+    switch (P.Kind) {
+    case wire::ParamKind::Value:
+      Spec.Region.Firstprivate[P.Name] = P.Value;
+      break;
+    case wire::ParamKind::Shred:
+      Spec.Region.Private[P.Name] = [](unsigned T) {
+        return static_cast<int32_t>(T);
+      };
+      break;
+    case wire::ParamKind::ShredOffset: {
+      int32_t Off = P.Value;
+      Spec.Region.Private[P.Name] = [Off](unsigned T) {
+        return static_cast<int32_t>(T) + Off;
+      };
+      break;
+    }
+    }
+  }
+
+  serve::Server::SubmitResult Res = Srv.submit(std::move(Spec));
+  bool Hold = (M->Flags & wire::SubmitHold) != 0;
+  Pending[Res.Id] = PendingJob{C.ClientId, M->Tag, Hold && Res.Admitted};
+  if (Res.Admitted && Hold)
+    Held.insert(Res.Id);
+  // Rejections (and shed victims) are terminal already; the sweep
+  // answers them immediately.
+  sweepResults();
+}
+
+void NetServer::handleFrame(Conn &C, const wire::Frame &F) {
+  ++Net.FramesIn;
+  if (!C.SaidHello && F.Type != wire::MsgType::Hello) {
+    protocolError(C, formatString("expected hello, got %s frame",
+                                  wire::msgTypeName(F.Type)));
+    return;
+  }
+
+  switch (F.Type) {
+  case wire::MsgType::Hello: {
+    auto M = wire::decodeHello(F.Body);
+    if (!M) {
+      protocolError(C, "bad hello: " + M.message());
+      return;
+    }
+    if (M->WireVersion != wire::Version) {
+      protocolError(C, formatString("wire version %u not supported (want %u)",
+                                    M->WireVersion, wire::Version));
+      return;
+    }
+    C.SaidHello = true;
+    queueFrame(C, wire::encode(wire::WelcomeMsg{wire::Version, C.ClientId}));
+    return;
+  }
+  case wire::MsgType::Surface: {
+    auto M = wire::decodeSurface(F.Body);
+    if (!M) {
+      protocolError(C, "bad surface: " + M.message());
+      return;
+    }
+    if (Error E = ensureSurface(C, *M))
+      protocolError(C, E.message());
+    return;
+  }
+  case wire::MsgType::Submit:
+    handleSubmit(C, F.Body);
+    return;
+  case wire::MsgType::Run: {
+    auto M = wire::decodeRun(F.Body);
+    if (!M) {
+      protocolError(C, "bad run: " + M.message());
+      return;
+    }
+    // Run up to MaxJobs (0 = all) of the *sender's* held jobs, oldest
+    // first, each as a coalescable batch head. Held jobs of other
+    // clients stay put: the served schedule is a pure function of each
+    // connection's own frame order.
+    uint32_t Budget = M->MaxJobs ? M->MaxJobs : ~0u;
+    auto Mine = [&](serve::JobId Id) {
+      auto It = Pending.find(Id);
+      return Held.count(Id) && It != Pending.end() &&
+             It->second.ClientId == C.ClientId;
+    };
+    while (Budget > 0) {
+      std::vector<serve::JobId> Ran =
+          Srv.runNextBatch(Config.CoalesceWindow, Mine);
+      if (Ran.empty())
+        break;
+      for (serve::JobId Id : Ran)
+        Held.erase(Id);
+      Budget -= std::min<uint32_t>(Budget, static_cast<uint32_t>(Ran.size()));
+      sweepResults();
+    }
+    return;
+  }
+  case wire::MsgType::Drain: {
+    auto M = wire::decodeDrain(F.Body);
+    if (!M) {
+      protocolError(C, "bad drain: " + M.message());
+      return;
+    }
+    serve::DrainSummary D = Srv.drain(M->Cancel != 0);
+    Held.clear();
+    Drained = true;
+    sweepResults();
+    queueFrame(C, wire::encode(wire::DrainDoneMsg{D.toJson()}));
+    return;
+  }
+  case wire::MsgType::StatsReq: {
+    queueFrame(C, wire::encode(wire::StatsJsonMsg{statsJson()}));
+    return;
+  }
+  case wire::MsgType::Fetch: {
+    auto M = wire::decodeFetch(F.Body);
+    if (!M) {
+      protocolError(C, "bad fetch: " + M.message());
+      return;
+    }
+    auto It = C.Surfaces.find(M->Name);
+    if (It == C.Surfaces.end()) {
+      protocolError(C, formatString("unknown surface '%s'", M->Name.c_str()));
+      return;
+    }
+    const SurfaceRec &Rec = It->second;
+    wire::SurfaceDataMsg Out;
+    Out.Name = M->Name;
+    Out.Width = Rec.W;
+    Out.Height = Rec.H;
+    Out.Data.resize(static_cast<size_t>(Rec.W) * Rec.H * 4);
+    RT.platform().read(Rec.Base, Out.Data.data(), Out.Data.size());
+    queueFrame(C, wire::encode(Out));
+    return;
+  }
+  case wire::MsgType::Bye:
+    C.Closing = true;
+    return;
+  default:
+    protocolError(C, formatString("unexpected %s frame from a client",
+                                  wire::msgTypeName(F.Type)));
+    return;
+  }
+}
+
+void NetServer::serviceRead(Conn &C) {
+  std::vector<uint8_t> Chunk;
+  std::string Err;
+  long K = C.Sock.recvSome(Chunk, Config.ReadChunkBytes, Err);
+  if (K == 0 || K == -1) {
+    C.Closing = true; // orderly EOF or a dead peer
+    return;
+  }
+  if (K == -2)
+    return; // spurious wakeup
+  Net.BytesIn += static_cast<uint64_t>(K);
+  C.In.feed(Chunk);
+  pumpFrames(C);
+}
+
+void NetServer::pumpFrames(Conn &C) {
+  while (!C.Closing) {
+    wire::Frame F;
+    if (C.Deferred) {
+      // Retry the parked Submit only once the quota has room again;
+      // everything behind it keeps waiting so frame order holds.
+      if (Config.Backpressure && !Srv.draining() &&
+          !Srv.acceptingFrom(C.ClientId))
+        return;
+      F = std::move(*C.Deferred);
+      C.Deferred.reset();
+    } else if (auto N = C.In.next()) {
+      F = std::move(*N);
+      if (F.Type == wire::MsgType::Submit && Config.Backpressure &&
+          C.SaidHello && !Srv.draining() &&
+          !Srv.acceptingFrom(C.ClientId)) {
+        C.Deferred = std::move(F);
+        return;
+      }
+    } else {
+      break;
+    }
+    handleFrame(C, F);
+  }
+  if (!C.Closing && C.In.poisoned())
+    protocolError(C, C.In.error());
+}
+
+void NetServer::pumpAll() {
+  for (Conn &C : Conns)
+    if (C.Deferred)
+      pumpFrames(C);
+}
+
+void NetServer::acceptClients(Socket &Listener) {
+  for (;;) {
+    auto S = acceptOne(Listener);
+    if (!S) {
+      S.takeError(); // transient (EAGAIN etc.): try again next round
+      return;
+    }
+    if (Error E = S->setNonBlocking(true)) {
+      (void)E.message();
+      continue;
+    }
+    ++Net.Accepted;
+    Conns.emplace_back();
+    Conn &C = Conns.back();
+    C.Sock = std::move(*S);
+    C.ClientId = NextClientId++;
+    ById[C.ClientId] = &C;
+    if (Conns.size() > Config.MaxConns)
+      protocolError(C, "server full");
+  }
+}
+
+void NetServer::sweepResults() {
+  for (auto It = Pending.begin(); It != Pending.end();) {
+    const serve::JobRecord *J = Srv.job(It->first);
+    if (!J || !J->terminal()) {
+      ++It;
+      continue;
+    }
+    Held.erase(It->first);
+    wire::ResultMsg R;
+    R.Tag = It->second.Tag;
+    R.JobId = J->Id;
+    R.State = static_cast<uint8_t>(J->State);
+    R.Reason = static_cast<uint8_t>(J->Reason);
+    R.BatchSize = J->BatchSize;
+    R.ShredsPreempted = J->ShredsPreempted;
+    R.SubmitNs = J->SubmitNs;
+    R.StartNs = J->StartNs;
+    R.EndNs = J->EndNs;
+    R.Error = J->Error;
+    if (Conn *C = connById(It->second.ClientId); C && !C->Closing)
+      queueFrame(*C, wire::encode(R));
+    else
+      ++Net.ResultsDropped;
+    It = Pending.erase(It);
+  }
+}
+
+void NetServer::runAutonomous() {
+  // One non-held batch per loop iteration keeps the loop responsive to
+  // new frames between dispatches (a dispatch is synchronous simulated
+  // work).
+  if (Srv.queue().size() <= Held.size())
+    return;
+  auto NotHeld = [&](serve::JobId Id) { return Held.count(Id) == 0; };
+  std::vector<serve::JobId> Ran =
+      Srv.runNextBatch(Config.CoalesceWindow, NotHeld);
+  if (!Ran.empty())
+    sweepResults();
+}
+
+void NetServer::run() {
+  Running.store(true, std::memory_order_relaxed);
+  while (Running.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> P;
+    P.push_back({WakeR, POLLIN, 0});
+    for (Socket &L : Listeners)
+      P.push_back({L.fd(), POLLIN, 0});
+    std::vector<Conn *> Polled;
+    for (Conn &C : Conns) {
+      short Ev = 0;
+      if (wantRead(C))
+        Ev |= POLLIN;
+      if (C.OutOff < C.Out.size())
+        Ev |= POLLOUT;
+      if (Ev) {
+        P.push_back({C.Sock.fd(), Ev, 0});
+        Polled.push_back(&C);
+      }
+    }
+
+    bool Runnable = Srv.queue().size() > Held.size();
+    int Timeout = Runnable ? 0 : 50;
+    int N = ::poll(P.data(), P.size(), Timeout);
+    if (N < 0 && errno != EINTR)
+      break;
+
+    size_t Idx = 0;
+    if (P[Idx].revents & POLLIN) {
+      uint8_t Sink[64];
+      while (::read(WakeR, Sink, sizeof(Sink)) > 0)
+        ;
+    }
+    ++Idx;
+    for (Socket &L : Listeners) {
+      if (P[Idx].revents & POLLIN)
+        acceptClients(L);
+      ++Idx;
+    }
+    for (Conn *C : Polled) {
+      short Re = P[Idx++].revents;
+      if (Re & POLLOUT)
+        flushOut(*C);
+      if (Re & (POLLIN | POLLHUP | POLLERR))
+        serviceRead(*C);
+    }
+
+    runAutonomous();
+    pumpAll(); // completed work freed quota: retry parked submits
+
+    // Reap connections that are closing and fully flushed (or dead).
+    for (auto It = Conns.begin(); It != Conns.end();) {
+      bool Flushed = It->OutOff >= It->Out.size();
+      if (It->Closing && Flushed) {
+        ++Net.Closed;
+        ById.erase(It->ClientId);
+        It = Conns.erase(It);
+      } else {
+        ++It;
+      }
+    }
+
+    // Exit-on-drain waits for every client to say goodbye so a drainer
+    // can still fetch surfaces / stats after its DrainDone.
+    if (Drained && Config.ExitOnDrain && Conns.empty())
+      break;
+  }
+  Running.store(false, std::memory_order_relaxed);
+}
+
+std::string NetServer::statsJson() const {
+  return formatString(
+      "{\"serve\": %s, \"net\": {\"accepted\": %llu, \"closed\": %llu, "
+      "\"frames_in\": %llu, \"frames_out\": %llu, \"bytes_in\": %llu, "
+      "\"bytes_out\": %llu, \"malformed\": %llu, "
+      "\"backpressure_stalls\": %llu, \"results_dropped\": %llu}}",
+      Srv.statsJson().c_str(), static_cast<unsigned long long>(Net.Accepted),
+      static_cast<unsigned long long>(Net.Closed),
+      static_cast<unsigned long long>(Net.FramesIn),
+      static_cast<unsigned long long>(Net.FramesOut),
+      static_cast<unsigned long long>(Net.BytesIn),
+      static_cast<unsigned long long>(Net.BytesOut),
+      static_cast<unsigned long long>(Net.Malformed),
+      static_cast<unsigned long long>(Net.BackpressureStalls),
+      static_cast<unsigned long long>(Net.ResultsDropped));
+}

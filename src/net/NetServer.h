@@ -1,0 +1,190 @@
+//===- net/NetServer.h - The ExoNet socket front end -------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExoNetServer: a poll-based TCP / unix-domain socket front end over
+/// serve::Server (DESIGN.md §13). One thread owns the event loop, the
+/// admission queue, and the device — frames from many concurrent
+/// clients are serialized into the same deterministic submission
+/// sequence ExoServe has always consumed.
+///
+/// Responsibilities:
+///  - accept multiple clients, each with a server-assigned identity
+///    that becomes the ExoServe ClientId (quotas are per connection);
+///  - translate Submit frames into serve::Server::submit calls and
+///    stream every job's terminal answer (including machine-readable
+///    rejection reasons) back as Result frames;
+///  - backpressure: while serve::Server::acceptingFrom(client) is
+///    false the client's socket is simply not read — bytes pile up in
+///    the kernel's TCP buffers and eventually block the sender, instead
+///    of the server buffering unboundedly or shedding work it could
+///    have answered later;
+///  - request coalescing: with CoalesceWindow > 1, compatible
+///    same-kernel jobs queued together are merged into one multi-shred
+///    dispatch (serve::Server::runNextBatch) and their results
+///    demultiplexed per client;
+///  - reject malformed frames with a reason and close the offending
+///    connection — never crash, never hang, never poison other
+///    clients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_NET_NETSERVER_H
+#define EXOCHI_NET_NETSERVER_H
+
+#include "net/Socket.h"
+#include "net/Wire.h"
+#include "serve/Server.h"
+
+#include <atomic>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace exochi {
+namespace net {
+
+struct NetServerConfig {
+  serve::ServerConfig Serve;
+  /// Maximum jobs merged into one dispatch (1 = coalescing off).
+  unsigned CoalesceWindow = 1;
+  /// Gate socket reads on serve::Server::acceptingFrom. Off, overload
+  /// is answered by admission rejections instead (PR 5 semantics, used
+  /// by the deterministic replay soak).
+  bool Backpressure = true;
+  /// Leave the event loop once a Drain frame has been served and every
+  /// client has disconnected (exochi-run --listen uses this so a
+  /// client-issued drain terminates the process cleanly while the
+  /// drainer can still fetch surfaces and stats first).
+  bool ExitOnDrain = false;
+  size_t ReadChunkBytes = 64 * 1024;
+  size_t MaxConns = 64;
+};
+
+/// Transport-level counters (the serve-level ones live in ServeStats).
+struct NetStats {
+  uint64_t Accepted = 0;
+  uint64_t Closed = 0;
+  uint64_t FramesIn = 0;
+  uint64_t FramesOut = 0;
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+  uint64_t Malformed = 0;      ///< connections killed by bad frames
+  uint64_t BackpressureStalls = 0; ///< poll rounds a client went unread
+  uint64_t ResultsDropped = 0; ///< results whose client had vanished
+};
+
+class NetServer {
+public:
+  /// Binds to \p RT like serve::Server does; the injector (optional)
+  /// feeds breaker signals exactly as in the in-process stack.
+  NetServer(chi::Runtime &RT, NetServerConfig Config = {},
+            fault::FaultInjector *Inj = nullptr);
+  ~NetServer();
+
+  NetServer(const NetServer &) = delete;
+  NetServer &operator=(const NetServer &) = delete;
+
+  /// Listens on 127.0.0.1:\p Port (0 = ephemeral); returns the bound
+  /// port. May be combined with listenUnix — the loop serves both.
+  /// All listeners must be set up before run() starts: the loop reads
+  /// the listener list without locks, so both calls fail once the loop
+  /// is live.
+  Expected<uint16_t> listenTcp(uint16_t Port);
+  /// Listens on a unix-domain socket at \p Path.
+  Error listenUnix(const std::string &Path);
+
+  /// Runs the event loop until stop() (thread-safe) or — with
+  /// ExitOnDrain — until a drain has been served and flushed. Everything
+  /// except stop() happens on the calling thread; stats accessors are
+  /// only meaningful once run() has returned.
+  void run();
+  void stop();
+
+  const NetStats &netStats() const { return Net; }
+  const serve::Server &server() const { return Srv; }
+  /// One JSON object combining ServeStats and NetStats.
+  std::string statsJson() const;
+
+private:
+  struct SurfaceRec {
+    uint32_t Desc = 0;
+    mem::VirtAddr Base = 0;
+    uint32_t W = 0, H = 1;
+    uint8_t Mode = 2;
+  };
+
+  struct Conn {
+    Socket Sock;
+    uint32_t ClientId = 0;
+    wire::FrameParser In;
+    std::vector<uint8_t> Out;
+    size_t OutOff = 0;
+    bool SaidHello = false;
+    bool Closing = false; ///< flush Out, then close
+    /// A Submit frame parked because the client's admission quota is
+    /// exhausted (backpressure). Later frames wait behind it in the
+    /// parser so per-connection order is preserved; while it is parked
+    /// the socket goes unread and TCP pushes back on the sender.
+    std::optional<wire::Frame> Deferred;
+    std::map<std::string, SurfaceRec> Surfaces;
+  };
+
+  struct PendingJob {
+    uint32_t ClientId = 0;
+    uint64_t Tag = 0;
+    bool Hold = false;
+  };
+
+  void acceptClients(Socket &Listener);
+  /// Reads one chunk off the socket into the frame parser.
+  void serviceRead(Conn &C);
+  /// Handles parked + parsed frames in order, stopping at a Submit the
+  /// admission quota cannot take yet (it parks in Conn::Deferred).
+  void pumpFrames(Conn &C);
+  void pumpAll();
+  void handleFrame(Conn &C, const wire::Frame &F);
+  void handleSubmit(Conn &C, const std::vector<uint8_t> &Body);
+  /// Declare-or-update a per-client surface.
+  Error ensureSurface(Conn &C, const wire::SurfaceMsg &M);
+  void fillSurface(const SurfaceRec &Rec, const wire::SurfaceMsg &M);
+
+  /// Appends a frame to the connection's outgoing buffer and tries an
+  /// opportunistic non-blocking flush.
+  void queueFrame(Conn &C, std::vector<uint8_t> Frame);
+  void flushOut(Conn &C);
+  /// Sends a protocol Error frame and marks the connection closing.
+  void protocolError(Conn &C, const std::string &Reason);
+
+  /// Streams Result frames for every pending job that reached a
+  /// terminal state (called after every submit / run / drain step).
+  void sweepResults();
+  /// Runs at most one autonomous (non-held) batch.
+  void runAutonomous();
+  bool wantRead(const Conn &C);
+  Conn *connById(uint32_t ClientId);
+
+  chi::Runtime &RT;
+  NetServerConfig Config;
+  serve::Server Srv;
+  std::vector<Socket> Listeners;
+  std::string UnixPath; ///< unlinked on destruction
+  std::list<Conn> Conns;
+  std::map<uint32_t, Conn *> ById;
+  std::map<serve::JobId, PendingJob> Pending;
+  std::set<serve::JobId> Held;
+  NetStats Net;
+  uint32_t NextClientId = 1;
+  bool Drained = false;
+  std::atomic<bool> Running{false};
+  int WakeR = -1, WakeW = -1; ///< self-pipe: stop() wakes poll()
+};
+
+} // namespace net
+} // namespace exochi
+
+#endif // EXOCHI_NET_NETSERVER_H

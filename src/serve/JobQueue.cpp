@@ -61,6 +61,37 @@ std::optional<JobId> JobQueue::pop() {
   return std::nullopt;
 }
 
+std::optional<JobId> JobQueue::popEligible(const JobPred &Eligible) {
+  if (!Eligible)
+    return pop();
+  for (unsigned P = NumPriorities; P-- > 0;) {
+    std::deque<Entry> &Q = ByPriority[P];
+    for (size_t K = 0; K < Q.size(); ++K) {
+      if (!Eligible(Q[K].Id))
+        continue;
+      JobId Id = Q[K].Id;
+      remove(P, K);
+      return Id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<JobId> JobQueue::collectBatch(Priority Pri, size_t MaxN,
+                                          const JobPred &Match) {
+  std::vector<JobId> Out;
+  std::deque<Entry> &Q = ByPriority[static_cast<unsigned>(Pri)];
+  for (size_t K = 0; K < Q.size() && Out.size() < MaxN;) {
+    if (Match(Q[K].Id)) {
+      Out.push_back(Q[K].Id);
+      remove(static_cast<unsigned>(Pri), K);
+    } else {
+      ++K;
+    }
+  }
+  return Out;
+}
+
 std::vector<JobId> JobQueue::drainAll() {
   std::vector<JobId> Out;
   Out.reserve(Count);

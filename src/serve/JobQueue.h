@@ -20,6 +20,7 @@
 #include "serve/Serve.h"
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 
@@ -51,6 +52,23 @@ public:
 
   /// Pops the oldest job of the highest occupied priority class.
   std::optional<JobId> pop();
+
+  /// Predicate over queued job ids (eligibility / compatibility tests
+  /// supplied by the Server, which owns the specs).
+  using JobPred = std::function<bool(JobId)>;
+
+  /// Pops the oldest *eligible* job of the highest priority class that
+  /// has one — ExoNet uses this to keep held jobs queued while
+  /// autonomous traffic flows past them. FIFO order is preserved among
+  /// the jobs skipped over.
+  std::optional<JobId> popEligible(const JobPred &Eligible);
+
+  /// After popping a batch head of class \p Pri, removes up to \p MaxN
+  /// more queued jobs of the *same* class, in FIFO order, for which
+  /// \p Match returns true (the request coalescer's collection step;
+  /// restricting members to one class keeps strict-priority semantics).
+  std::vector<JobId> collectBatch(Priority Pri, size_t MaxN,
+                                  const JobPred &Match);
 
   /// Removes every queued job (a cancelling drain), in pop order.
   std::vector<JobId> drainAll();

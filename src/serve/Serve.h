@@ -109,6 +109,9 @@ struct JobRecord {
   TimeNs StartNs = 0;           ///< master clock at dispatch
   TimeNs EndNs = 0;             ///< master clock after the dispatch
   uint64_t ShredsPreempted = 0; ///< casualties of a deadline preemption
+                                ///< (batch-wide when coalesced)
+  /// Jobs merged into the dispatch that ran this one (1 = ran alone).
+  uint32_t BatchSize = 1;
 
   bool terminal() const {
     return State != JobState::Queued && State != JobState::Running;
@@ -132,6 +135,10 @@ struct ServeStats {
   uint64_t BreakerTrips = 0;    ///< EU transitions into Open
   uint64_t BreakerProbes = 0;   ///< EU transitions into HalfOpen
   uint64_t BreakerReadmits = 0; ///< HalfOpen probes that closed again
+  /// Request coalescing (ExoNet): dispatches that merged more than one
+  /// compatible same-kernel job, and the extra jobs that rode along.
+  uint64_t CoalescedBatches = 0;
+  uint64_t CoalescedJobs = 0;
   /// Injector fires observed while serving, by fault kind (FaultLab
   /// signal plumbing through FaultInjector::setObserver).
   uint64_t FaultSignals[fault::NumFaultKinds] = {};

@@ -101,38 +101,110 @@ void Server::applyQuarantine() {
     Device.setEuQuarantine(K, Brk.quarantined(K));
 }
 
-void Server::runJob(JobRecord &R) {
-  R.State = JobState::Running;
-  R.StartNs = RT.now();
+void Server::runJob(JobRecord &R) { runBatch({R.Id}); }
+
+bool Server::coalescable(JobId A, JobId B) const {
+  const JobSpec &SA = Specs[A - 1], &SB = Specs[B - 1];
+  if (SA.Pri != SB.Pri || SA.DeadlineCycles != SB.DeadlineCycles)
+    return false;
+  const chi::RegionSpec &RA = SA.Region, &RB = SB.Region;
+  if (RA.KernelName != RB.KernelName || RA.MasterNowait || RB.MasterNowait)
+    return false;
+  if (RA.NumThreads == 0 || RB.NumThreads == 0)
+    return false;
+  // Members must bind the same surfaces and broadcast constants; private
+  // per-shred variables only need matching *names* — each member's own
+  // generator runs over its local index range after the remap.
+  if (RA.SharedDescs != RB.SharedDescs || RA.Firstprivate != RB.Firstprivate)
+    return false;
+  if (RA.Private.size() != RB.Private.size())
+    return false;
+  auto ItA = RA.Private.begin();
+  auto ItB = RB.Private.begin();
+  for (; ItA != RA.Private.end(); ++ItA, ++ItB)
+    if (ItA->first != ItB->first)
+      return false;
+  return true;
+}
+
+void Server::runBatch(const std::vector<JobId> &Members) {
+  const JobSpec &HeadSpec = Specs[Members.front() - 1];
+
+  for (JobId Id : Members) {
+    JobRecord &R = record(Id);
+    R.State = JobState::Running;
+    R.StartNs = RT.now();
+    R.BatchSize = static_cast<uint32_t>(Members.size());
+  }
 
   // Quarantine first so this dispatch never lands on a tripped EU; the
   // device falls back to its host lane if the breaker opened every EU.
   applyQuarantine();
 
-  chi::RegionSpec Region = Specs[R.Id - 1].Region;
-  Dog.armRegion(Region, Dog.effectiveBudgetCycles(Specs[R.Id - 1]));
+  chi::RegionSpec Region = HeadSpec.Region;
+  if (Members.size() > 1) {
+    // Concatenate the members' shred ranges into one dispatch and remap
+    // every private per-shred variable so member k sees local indices
+    // 0..N_k-1 at its base offset.
+    struct Part {
+      unsigned Base, Count;
+      std::function<int32_t(unsigned)> Fn;
+    };
+    unsigned Total = 0;
+    std::vector<std::pair<unsigned, const chi::RegionSpec *>> Layout;
+    for (JobId Id : Members) {
+      Layout.emplace_back(Total, &Specs[Id - 1].Region);
+      Total += Specs[Id - 1].Region.NumThreads;
+    }
+    Region.NumThreads = Total;
+    for (const auto &[Name, Fn] : HeadSpec.Region.Private) {
+      (void)Fn;
+      std::vector<Part> Parts;
+      Parts.reserve(Layout.size());
+      for (const auto &[Base, Spec] : Layout)
+        Parts.push_back({Base, Spec->NumThreads, Spec->Private.at(Name)});
+      Region.Private[Name] = [Parts](unsigned T) -> int32_t {
+        for (const Part &P : Parts)
+          if (T >= P.Base && T < P.Base + P.Count)
+            return P.Fn(T - P.Base);
+        return 0;
+      };
+    }
+    ++Stats.CoalescedBatches;
+    Stats.CoalescedJobs += Members.size() - 1;
+  }
+
+  Dog.armRegion(Region, Dog.effectiveBudgetCycles(HeadSpec));
 
   auto H = RT.dispatch(Region);
   if (!H) {
     // Safety valve: a malformed job (unknown kernel, freed descriptor,
     // unserviceable fault outside injection) terminates as Failed — an
     // answer, never a hang — and does not poison the server.
-    R.State = JobState::Failed;
-    R.Error = H.message();
-    ++Stats.Failed;
+    for (JobId Id : Members) {
+      JobRecord &R = record(Id);
+      R.State = JobState::Failed;
+      R.Error = H.message();
+      R.EndNs = RT.now();
+      ++Stats.Failed;
+    }
     Brk.onJobEnd({});
   } else {
-    R.Region = *H;
     const chi::RegionStats *RS = RT.regionStats(*H);
-    R.State = Dog.classify(*RS);
-    R.ShredsPreempted = RS->Device.ShredsPreempted;
-    if (R.State == JobState::DeadlinePreempted)
-      ++Stats.DeadlinePreempted;
-    else
-      ++Stats.Completed;
+    JobState St = Dog.classify(*RS);
+    for (JobId Id : Members) {
+      JobRecord &R = record(Id);
+      R.Region = *H;
+      R.State = St;
+      R.ShredsPreempted = RS->Device.ShredsPreempted;
+      if (St == JobState::DeadlinePreempted)
+        ++Stats.DeadlinePreempted;
+      else
+        ++Stats.Completed;
+      R.EndNs = RT.now();
+    }
     Brk.onJobEnd(RS->Device.OfflinedEus);
   }
-  R.EndNs = RT.now();
 
   // Mirror breaker counters into the served stats surface.
   Stats.BreakerTrips = Brk.stats().Trips;
@@ -146,6 +218,25 @@ std::optional<JobId> Server::runNext() {
     return std::nullopt;
   runJob(record(*Id));
   return Id;
+}
+
+std::vector<JobId> Server::runNextBatch(unsigned MaxBatch,
+                                        const JobQueue::JobPred &Eligible) {
+  auto HeadId = Queue.popEligible(Eligible);
+  if (!HeadId)
+    return {};
+  std::vector<JobId> Members{*HeadId};
+  if (MaxBatch > 1) {
+    JobId Head = *HeadId;
+    auto Match = [&](JobId Id) {
+      return (!Eligible || Eligible(Id)) && coalescable(Head, Id);
+    };
+    for (JobId Id :
+         Queue.collectBatch(record(Head).Pri, MaxBatch - 1, Match))
+      Members.push_back(Id);
+  }
+  runBatch(Members);
+  return Members;
 }
 
 void Server::runAll() {
@@ -199,6 +290,7 @@ std::string Server::statsJson() const {
       "\"rejected_client_quota\": %llu, \"rejected_zero_budget\": %llu, "
       "\"rejected_draining\": %llu, \"breaker_trips\": %llu, "
       "\"breaker_probes\": %llu, \"breaker_readmits\": %llu, "
+      "\"coalesced_batches\": %llu, \"coalesced_jobs\": %llu, "
       "\"fault_signals\": %llu}",
       static_cast<unsigned long long>(Stats.Submitted),
       static_cast<unsigned long long>(Stats.Admitted),
@@ -214,5 +306,7 @@ std::string Server::statsJson() const {
       static_cast<unsigned long long>(Stats.BreakerTrips),
       static_cast<unsigned long long>(Stats.BreakerProbes),
       static_cast<unsigned long long>(Stats.BreakerReadmits),
+      static_cast<unsigned long long>(Stats.CoalescedBatches),
+      static_cast<unsigned long long>(Stats.CoalescedJobs),
       static_cast<unsigned long long>(FaultSignals));
 }

@@ -61,8 +61,31 @@ public:
   /// nullopt when the queue is empty.
   std::optional<JobId> runNext();
 
+  /// Pops the highest-priority *eligible* job and — when \p MaxBatch > 1
+  /// — coalesces up to MaxBatch-1 further eligible queued jobs of the
+  /// same priority class that are dispatch-compatible with it (same
+  /// kernel, surface descriptors, firstprivate values, private variable
+  /// names, deadline budget, not master_nowait) into ONE multi-shred
+  /// dispatch: shred ranges are concatenated and each member's private
+  /// per-shred variables are remapped to its local index range. Every
+  /// member reaches the same terminal state; ShredsPreempted is the
+  /// batch-wide count and BatchSize records the merge width. Returns
+  /// the member ids in pop order (empty = nothing eligible). The batch
+  /// composition is a pure function of the queue contents, so coalesced
+  /// runs keep the determinism contract.
+  std::vector<JobId> runNextBatch(unsigned MaxBatch,
+                                  const JobQueue::JobPred &Eligible = {});
+
   /// Runs until the queue is empty.
   void runAll();
+
+  /// Per-client backpressure signal: whether admission would currently
+  /// welcome more load from \p Client. ExoNet stops reading a client's
+  /// socket while this is false instead of buffering unboundedly.
+  bool acceptingFrom(uint32_t Client) const {
+    return !Draining &&
+           Queue.clientLoad(Client) < Config.Queue.PerClientCap;
+  }
 
   /// Graceful drain: closes admission, then either runs every queued job
   /// to its terminal state (each still under its own deadline) or — with
@@ -88,6 +111,11 @@ private:
   void reject(JobRecord &R, RejectReason Reason);
   /// Dispatches \p R (already popped) to a terminal state.
   void runJob(JobRecord &R);
+  /// Dispatches the popped \p Members (all mutually compatible) as one
+  /// merged region; every member reaches the same terminal state.
+  void runBatch(const std::vector<JobId> &Members);
+  /// Whether jobs \p A and \p B may share one dispatch.
+  bool coalescable(JobId A, JobId B) const;
   /// Applies breaker state to the device's quarantine flags.
   void applyQuarantine();
 

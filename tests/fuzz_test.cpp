@@ -10,6 +10,7 @@
 #include "exo/ExoPlatform.h"
 #include "fatbin/FatBinary.h"
 #include "isa/Encoding.h"
+#include "net/Wire.h"
 #include "support/Random.h"
 #include "xasm/Assembler.h"
 
@@ -197,6 +198,172 @@ TEST(AssemblerFuzzTest, MutatedValidSourceNeverCrashes) {
     }
     auto K = xasm::assembleKernel(Src, xasm::SymbolBindings());
     (void)K; // accept or reject; just never crash
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ExoNet wire-frame fuzz
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+namespace wire = net::wire;
+
+/// A representative valid Submit frame (header + body) to mutate.
+std::vector<uint8_t> sampleSubmitFrame() {
+  wire::SubmitMsg M;
+  M.Tag = 17;
+  M.Pri = 1;
+  M.Flags = wire::SubmitHold;
+  M.Shreds = 8;
+  M.Kernel = "vecadd";
+  M.Params = {{"i", wire::ParamKind::Shred, 0},
+              {"k", wire::ParamKind::Value, 9}};
+  M.Bind = {"A", "B", "C"};
+  wire::SurfaceMsg Up;
+  Up.Name = "A";
+  Up.Width = 4;
+  Up.Fill = wire::SurfaceFill::Data;
+  Up.Data.assign(16, 0x7f);
+  M.Uploads = {Up};
+  return wire::encode(M);
+}
+
+/// Runs \p Bytes through a fresh parser; decodes any frames it yields.
+/// The contract under hostile input: an explicit parse/decode error or
+/// a structurally valid message — never a crash, hang, or silent
+/// out-of-bounds read.
+void feedAndDrain(const std::vector<uint8_t> &Bytes) {
+  wire::FrameParser P;
+  P.feed(Bytes);
+  while (auto F = P.next()) {
+    switch (F->Type) {
+    case wire::MsgType::Submit:
+      (void)wire::decodeSubmit(F->Body);
+      break;
+    case wire::MsgType::Surface:
+      (void)wire::decodeSurface(F->Body);
+      break;
+    case wire::MsgType::Hello:
+      (void)wire::decodeHello(F->Body);
+      break;
+    case wire::MsgType::Result:
+      (void)wire::decodeResult(F->Body);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzTest, RandomBytesNeverCrashTheParser) {
+  Rng R(GetParam() * 0x1f3 + 11);
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    std::vector<uint8_t> Bytes(R.nextInRange(0, 256));
+    for (auto &B : Bytes)
+      B = R.nextByte();
+    feedAndDrain(Bytes);
+  }
+}
+
+TEST_P(WireFuzzTest, MutatedSubmitFramesDecodeOrReject) {
+  auto Base = sampleSubmitFrame();
+  Rng R(GetParam() * 131 + 3);
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    auto Mutated = Base;
+    switch (R.nextBelow(3)) {
+    case 0: // bit flips (past the magic, so frames still parse)
+      for (unsigned F = 0; F < 4; ++F)
+        Mutated[4 + R.nextBelow(Mutated.size() - 4)] ^= R.nextByte();
+      break;
+    case 1: // truncation
+      Mutated.resize(R.nextBelow(Mutated.size()));
+      break;
+    default: // garbage extension
+      for (unsigned F = 0; F < 16; ++F)
+        Mutated.push_back(R.nextByte());
+      break;
+    }
+    feedAndDrain(Mutated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Range<uint64_t>(0, 6));
+
+// Truncating a valid two-frame stream at every prefix length either
+// yields a strict prefix of the full frame sequence (need-more) or a
+// poisoned parser with a reason — never a bogus frame, never a crash.
+TEST(WireFuzzTest, EveryTruncationIsNeedMoreOrError) {
+  std::vector<uint8_t> Stream = sampleSubmitFrame();
+  auto Second = wire::encode(wire::RunMsg{2});
+  Stream.insert(Stream.end(), Second.begin(), Second.end());
+
+  // Frame boundaries of the intact stream, for prefix comparison.
+  std::vector<size_t> Boundaries;
+  {
+    wire::FrameParser P;
+    size_t Fed = 0;
+    for (uint8_t B : Stream) {
+      P.feed(&B, 1);
+      ++Fed;
+      while (P.next())
+        Boundaries.push_back(Fed);
+    }
+    ASSERT_EQ(Boundaries.size(), 2u);
+  }
+
+  for (size_t Cut = 0; Cut < Stream.size(); ++Cut) {
+    wire::FrameParser P;
+    P.feed(Stream.data(), Cut);
+    unsigned Yielded = 0;
+    while (P.next())
+      ++Yielded;
+    EXPECT_TRUE(P.error().empty()) << "cut=" << Cut << ": " << P.error();
+    // Exactly the frames whose boundary fits inside the cut.
+    unsigned Want = 0;
+    for (size_t B : Boundaries)
+      Want += B <= Cut;
+    EXPECT_EQ(Yielded, Want) << "cut=" << Cut;
+  }
+}
+
+TEST(WireFuzzTest, BadMagicVersionAndOversizeRejectWithReason) {
+  // Bad magic.
+  {
+    auto F = sampleSubmitFrame();
+    F[0] = 'Y';
+    wire::FrameParser P;
+    P.feed(F);
+    EXPECT_FALSE(P.next().has_value());
+    ASSERT_TRUE(P.poisoned());
+    EXPECT_NE(P.error().find("magic"), std::string::npos) << P.error();
+  }
+  // Unknown version.
+  {
+    auto F = sampleSubmitFrame();
+    F[4] = 0x77;
+    F[5] = 0x77;
+    wire::FrameParser P;
+    P.feed(F);
+    EXPECT_FALSE(P.next().has_value());
+    ASSERT_TRUE(P.poisoned());
+    EXPECT_NE(P.error().find("version"), std::string::npos) << P.error();
+  }
+  // Oversized body length: rejected at the header, nothing buffered.
+  {
+    auto F = sampleSubmitFrame();
+    uint32_t Huge = wire::MaxBodyBytes + 5;
+    for (int B = 0; B < 4; ++B)
+      F[8 + B] = static_cast<uint8_t>(Huge >> (B * 8));
+    wire::FrameParser P;
+    P.feed(F);
+    EXPECT_FALSE(P.next().has_value());
+    ASSERT_TRUE(P.poisoned());
+    EXPECT_EQ(P.buffered(), 0u);
   }
 }
 

@@ -1,0 +1,665 @@
+//===- tests/net_test.cpp - ExoNet socket front end ---------------------------===//
+//
+// Tests for the ExoNet layer (DESIGN.md §13): wire-protocol round-trips
+// and strict rejection, the TCP and unix-socket end-to-end paths through
+// serve::Server, zero-budget rejection over the wire, backpressure by
+// unread sockets, request coalescing, malformed-frame survival, the
+// multi-client concurrency soak (the TSan lane for this label), and the
+// 8-seed chaos soak replayed through the socket path bit-identically at
+// SimThreads 1 and 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetClient.h"
+#include "net/NetServer.h"
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+#include "fault/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace exochi;
+using namespace exochi::net;
+
+namespace {
+
+constexpr const char *VecAddAsm = R"(
+  shl.1.dw vr1 = i, 3
+  ld.8.dw  [vr2..vr9]   = (A, vr1, 0)
+  ld.8.dw  [vr10..vr17] = (B, vr1, 0)
+  add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+  st.8.dw  (C, vr1, 0)  = [vr18..vr25]
+  halt
+)";
+
+/// Platform + runtime + vecadd + a NetServer event loop on a background
+/// thread, listening on an ephemeral TCP port.
+struct NetRig {
+  exo::ExoPlatform Platform;
+  chi::Runtime RT;
+  std::unique_ptr<NetServer> Server;
+  std::thread Loop;
+  uint16_t Port = 0;
+
+  explicit NetRig(NetServerConfig NC = {}, fault::FaultInjector *Inj = nullptr,
+                  unsigned SimThreads = 1, const std::string &UnixPath = "")
+      : RT(Platform) {
+    Platform.setSimThreads(SimThreads);
+    if (Inj)
+      Platform.armFaultInjection(Inj);
+    chi::ProgramBuilder PB;
+    cantFail(PB.addXgmaKernel("vecadd", VecAddAsm, {"i"}, {"A", "B", "C"})
+                 .takeError());
+    cantFail(RT.loadBinary(PB.take()));
+    Server = std::make_unique<NetServer>(RT, NC, Inj);
+    Port = cantFail(Server->listenTcp(0));
+    // Listeners must exist before the loop thread: run() reads the
+    // listener list without locks.
+    if (!UnixPath.empty())
+      cantFail(Server->listenUnix(UnixPath));
+    Loop = std::thread([this] { Server->run(); });
+  }
+
+  /// Stops the loop; NetServer stats accessors are valid afterwards.
+  void shutdown() {
+    if (!Loop.joinable())
+      return;
+    Server->stop();
+    Loop.join();
+  }
+
+  ~NetRig() { shutdown(); }
+};
+
+/// A 32-bit little-endian surface payload: element K = Fn(K).
+std::vector<uint8_t> surfaceWords(unsigned N, int32_t (*Fn)(unsigned)) {
+  std::vector<uint8_t> Out;
+  Out.reserve(N * 4);
+  for (unsigned K = 0; K < N; ++K) {
+    uint32_t V = static_cast<uint32_t>(Fn(K));
+    for (int B = 0; B < 4; ++B)
+      Out.push_back(static_cast<uint8_t>(V >> (B * 8)));
+  }
+  return Out;
+}
+
+/// Declares the vecadd surfaces on \p C: A[k]=k, B[k]=10k, C zeroed.
+void declareVecAddSurfaces(NetClient &C, unsigned N = 64) {
+  wire::SurfaceMsg A;
+  A.Name = "A";
+  A.Width = N;
+  A.Mode = 0;
+  A.Fill = wire::SurfaceFill::Data;
+  A.Data = surfaceWords(N, [](unsigned K) { return static_cast<int32_t>(K); });
+  ASSERT_FALSE(static_cast<bool>(C.surface(A)));
+  wire::SurfaceMsg B = A;
+  B.Name = "B";
+  B.Data =
+      surfaceWords(N, [](unsigned K) { return static_cast<int32_t>(K * 10); });
+  ASSERT_FALSE(static_cast<bool>(C.surface(B)));
+  wire::SurfaceMsg Out;
+  Out.Name = "C";
+  Out.Width = N;
+  Out.Mode = 1;
+  Out.Fill = wire::SurfaceFill::Zero;
+  ASSERT_FALSE(static_cast<bool>(C.surface(Out)));
+}
+
+wire::SubmitMsg vecAddSubmit(uint64_t Tag, uint32_t Shreds = 8,
+                             uint8_t Flags = 0) {
+  wire::SubmitMsg M;
+  M.Tag = Tag;
+  M.Flags = Flags;
+  M.Shreds = Shreds;
+  M.Kernel = "vecadd";
+  M.Params = {{"i", wire::ParamKind::Shred, 0}};
+  M.Bind = {"A", "B", "C"};
+  return M;
+}
+
+/// Fetches surface "C" and checks element K == 11*K over [0, N).
+void expectVecAddResult(NetClient &C, unsigned N = 64) {
+  auto D = C.fetch("C");
+  ASSERT_TRUE(static_cast<bool>(D)) << D.message();
+  ASSERT_EQ(D->Data.size(), N * 4u);
+  for (unsigned K = 0; K < N; ++K) {
+    uint32_t V = 0;
+    for (int B = 0; B < 4; ++B)
+      V |= static_cast<uint32_t>(D->Data[K * 4 + B]) << (B * 8);
+    ASSERT_EQ(static_cast<int32_t>(V), static_cast<int32_t>(K * 11))
+        << "element " << K;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wire round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(WireTest, SubmitRoundTripsThroughParser) {
+  wire::SubmitMsg M;
+  M.Tag = 0xdeadbeefcafeull;
+  M.Pri = 2;
+  M.Flags = wire::SubmitHold;
+  M.DeadlineCycles = 1234;
+  M.Shreds = 8;
+  M.Kernel = "vecadd";
+  M.Params = {{"i", wire::ParamKind::Shred, 0},
+              {"base", wire::ParamKind::ShredOffset, 16},
+              {"gain", wire::ParamKind::Value, -7}};
+  M.Bind = {"A", "B", "C"};
+  wire::SurfaceMsg Up;
+  Up.Name = "A";
+  Up.Width = 8;
+  Up.Fill = wire::SurfaceFill::Data;
+  Up.Data.assign(32, 0xab);
+  M.Uploads = {Up};
+
+  wire::FrameParser P;
+  P.feed(wire::encode(M));
+  auto F = P.next();
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->Type, wire::MsgType::Submit);
+  EXPECT_FALSE(P.next().has_value());
+  EXPECT_EQ(P.buffered(), 0u);
+
+  auto D = wire::decodeSubmit(F->Body);
+  ASSERT_TRUE(static_cast<bool>(D)) << D.message();
+  EXPECT_EQ(D->Tag, M.Tag);
+  EXPECT_EQ(D->Pri, M.Pri);
+  EXPECT_EQ(D->Flags, M.Flags);
+  EXPECT_EQ(D->DeadlineCycles, M.DeadlineCycles);
+  EXPECT_EQ(D->Shreds, M.Shreds);
+  EXPECT_EQ(D->Kernel, M.Kernel);
+  ASSERT_EQ(D->Params.size(), 3u);
+  EXPECT_EQ(D->Params[1].Name, "base");
+  EXPECT_EQ(D->Params[1].Kind, wire::ParamKind::ShredOffset);
+  EXPECT_EQ(D->Params[1].Value, 16);
+  EXPECT_EQ(D->Params[2].Value, -7);
+  EXPECT_EQ(D->Bind, M.Bind);
+  ASSERT_EQ(D->Uploads.size(), 1u);
+  EXPECT_EQ(D->Uploads[0].Name, "A");
+  EXPECT_EQ(D->Uploads[0].Data, Up.Data);
+}
+
+TEST(WireTest, ResultRoundTripPreservesClocks) {
+  wire::ResultMsg M;
+  M.Tag = 7;
+  M.JobId = 42;
+  M.State = static_cast<uint8_t>(serve::JobState::DeadlinePreempted);
+  M.Reason = static_cast<uint8_t>(serve::RejectReason::None);
+  M.BatchSize = 4;
+  M.ShredsPreempted = 3;
+  M.SubmitNs = 1.25;
+  M.StartNs = 2.5;
+  M.EndNs = 1e9 + 0.125;
+  M.Error = "";
+  auto Enc = wire::encode(M);
+  wire::FrameParser P;
+  P.feed(Enc);
+  auto F = P.next();
+  ASSERT_TRUE(F.has_value());
+  auto D = wire::decodeResult(F->Body);
+  ASSERT_TRUE(static_cast<bool>(D)) << D.message();
+  EXPECT_EQ(D->BatchSize, 4u);
+  EXPECT_EQ(D->ShredsPreempted, 3u);
+  EXPECT_EQ(D->SubmitNs, 1.25);
+  EXPECT_EQ(D->EndNs, 1e9 + 0.125);
+}
+
+TEST(WireTest, StrictDecodeRejectsTrailingGarbage) {
+  auto Enc = wire::encode(wire::RunMsg{3});
+  wire::FrameParser P;
+  P.feed(Enc);
+  auto F = P.next();
+  ASSERT_TRUE(F.has_value());
+  F->Body.push_back(0); // one trailing byte
+  auto D = wire::decodeRun(F->Body);
+  EXPECT_FALSE(static_cast<bool>(D));
+}
+
+TEST(WireTest, ParserPoisonsOnBadMagicAndStaysPoisoned) {
+  wire::FrameParser P;
+  std::vector<uint8_t> Junk = {'X', 'N', 'O', 'T', 1, 0, 1, 0, 0, 0, 0, 0};
+  P.feed(Junk);
+  EXPECT_FALSE(P.next().has_value());
+  EXPECT_TRUE(P.poisoned());
+  EXPECT_NE(P.error().find("magic"), std::string::npos) << P.error();
+  // A valid frame after the poison must NOT resynchronize the stream.
+  P.feed(wire::encode(wire::ByeMsg{}));
+  EXPECT_FALSE(P.next().has_value());
+  EXPECT_TRUE(P.poisoned());
+}
+
+TEST(WireTest, ParserRejectsOversizedBodyLengthAtHeader) {
+  wire::Writer W;
+  W.u8('X');
+  W.u8('N');
+  W.u8('E');
+  W.u8('T');
+  W.u16(wire::Version);
+  W.u16(static_cast<uint16_t>(wire::MsgType::Submit));
+  W.u32(wire::MaxBodyBytes + 1);
+  wire::FrameParser P;
+  P.feed(W.bytes());
+  EXPECT_FALSE(P.next().has_value());
+  EXPECT_TRUE(P.poisoned());
+  EXPECT_EQ(P.buffered(), 0u) << "oversized bodies must not be buffered";
+}
+
+TEST(WireTest, DribbledBytesYieldSameFrames) {
+  std::vector<uint8_t> Stream = wire::encode(wire::HelloMsg{1, "dribble"});
+  auto Run = wire::encode(wire::RunMsg{5});
+  Stream.insert(Stream.end(), Run.begin(), Run.end());
+
+  wire::FrameParser Whole, ByByte;
+  Whole.feed(Stream);
+  for (uint8_t B : Stream)
+    ByByte.feed(&B, 1);
+  for (int K = 0; K < 2; ++K) {
+    auto A = Whole.next(), B = ByByte.next();
+    ASSERT_TRUE(A.has_value());
+    ASSERT_TRUE(B.has_value());
+    EXPECT_EQ(A->Type, B->Type);
+    EXPECT_EQ(A->Body, B->Body);
+  }
+  EXPECT_FALSE(Whole.next().has_value());
+  EXPECT_FALSE(ByByte.next().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end over TCP and unix sockets
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerTest, TcpEndToEndVecAdd) {
+  NetRig R;
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "e2e");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  EXPECT_NE(C->clientId(), 0u);
+  declareVecAddSurfaces(*C);
+  ASSERT_FALSE(static_cast<bool>(C->submit(vecAddSubmit(99))));
+  auto Res = C->readResult();
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->Tag, 99u);
+  EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Completed));
+  EXPECT_EQ(Res->BatchSize, 1u);
+  EXPECT_GE(Res->EndNs, Res->StartNs);
+  expectVecAddResult(*C);
+  EXPECT_FALSE(static_cast<bool>(C->bye()));
+  R.shutdown();
+  EXPECT_EQ(R.Server->netStats().Malformed, 0u);
+  EXPECT_EQ(R.Server->server().stats().Completed, 1u);
+}
+
+TEST(NetServerTest, UnixSocketEndToEndVecAdd) {
+  std::string Path = testing::TempDir() + "/exonet_test.sock";
+  ::unlink(Path.c_str());
+  NetRig R({}, nullptr, 1, Path);
+  auto C = NetClient::connectUnix(Path, 30.0, "unix-e2e");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  declareVecAddSurfaces(*C);
+  ASSERT_FALSE(static_cast<bool>(C->submit(vecAddSubmit(1))));
+  auto Res = C->readResult();
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Completed));
+  expectVecAddResult(*C);
+}
+
+TEST(NetServerTest, ZeroBudgetRejectedOverWire) {
+  NetRig R;
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "budget");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  declareVecAddSurfaces(*C);
+  wire::SubmitMsg M = vecAddSubmit(5);
+  M.DeadlineCycles = 0;
+  ASSERT_FALSE(static_cast<bool>(C->submit(M)));
+  auto Res = C->readResult();
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->Tag, 5u);
+  EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Rejected));
+  EXPECT_EQ(Res->Reason, static_cast<uint8_t>(serve::RejectReason::ZeroBudget));
+}
+
+TEST(NetServerTest, UnknownSurfaceBindFailsJobNotConnection) {
+  NetRig R;
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "badbind");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  declareVecAddSurfaces(*C);
+  wire::SubmitMsg Bad = vecAddSubmit(1);
+  Bad.Bind.push_back("undeclared");
+  ASSERT_FALSE(static_cast<bool>(C->submit(Bad)));
+  auto Res = C->readResult();
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Failed));
+  EXPECT_EQ(Res->JobId, 0u) << "never reached admission";
+  EXPECT_NE(Res->Error.find("undeclared"), std::string::npos) << Res->Error;
+  // The connection survives: the next submit completes normally.
+  ASSERT_FALSE(static_cast<bool>(C->submit(vecAddSubmit(2))));
+  auto Ok = C->readResult();
+  ASSERT_TRUE(static_cast<bool>(Ok)) << Ok.message();
+  EXPECT_EQ(Ok->State, static_cast<uint8_t>(serve::JobState::Completed));
+}
+
+TEST(NetServerTest, ReshapingASurfaceIsAProtocolError) {
+  NetRig R;
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "reshape");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  wire::SurfaceMsg S;
+  S.Name = "A";
+  S.Width = 64;
+  ASSERT_FALSE(static_cast<bool>(C->surface(S)));
+  S.Width = 32;
+  ASSERT_FALSE(static_cast<bool>(C->surface(S)));
+  // The server answers with an Error frame and closes.
+  auto Res = C->readResult();
+  ASSERT_FALSE(static_cast<bool>(Res));
+  EXPECT_NE(Res.message().find("protocol error"), std::string::npos)
+      << Res.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure & coalescing
+//===----------------------------------------------------------------------===//
+
+// With backpressure on, a client that bursts far past its admission
+// quota sees zero quota rejections: the server parks the overflow
+// submit and stops reading that socket until completed work frees
+// quota. Every job completes.
+TEST(NetServerTest, BackpressureAbsorbsBurstWithoutRejections) {
+  NetServerConfig NC;
+  NC.Serve.Queue.PerClientCap = 4;
+  NetRig R(NC);
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "burst");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  declareVecAddSurfaces(*C);
+  constexpr unsigned Jobs = 32;
+  for (unsigned J = 0; J < Jobs; ++J)
+    ASSERT_FALSE(static_cast<bool>(C->submit(vecAddSubmit(J))));
+  for (unsigned J = 0; J < Jobs; ++J) {
+    auto Res = C->readResult();
+    ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+    EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Completed))
+        << "job " << Res->Tag;
+  }
+  expectVecAddResult(*C);
+  EXPECT_FALSE(static_cast<bool>(C->bye()));
+  R.shutdown();
+  EXPECT_EQ(R.Server->server().stats().RejectedClientQuota, 0u);
+  EXPECT_EQ(R.Server->server().stats().Completed, Jobs);
+  EXPECT_GT(R.Server->netStats().BackpressureStalls, 0u);
+}
+
+// Held single-shred jobs that tile a 64-element range via ShredOffset
+// merge into multi-shred dispatches under CoalesceWindow=4; every
+// member completes and the full output range is correct.
+TEST(NetServerTest, CoalescingMergesHeldTiledJobs) {
+  NetServerConfig NC;
+  NC.CoalesceWindow = 4;
+  NetRig R(NC);
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "coalesce");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  declareVecAddSurfaces(*C);
+  for (unsigned J = 0; J < 8; ++J) {
+    wire::SubmitMsg M = vecAddSubmit(J, /*Shreds=*/1, wire::SubmitHold);
+    M.Params = {{"i", wire::ParamKind::ShredOffset,
+                 static_cast<int32_t>(J)}};
+    ASSERT_FALSE(static_cast<bool>(C->submit(M)));
+  }
+  ASSERT_FALSE(static_cast<bool>(C->runJobs()));
+  unsigned Merged = 0;
+  for (unsigned J = 0; J < 8; ++J) {
+    auto Res = C->readResult();
+    ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+    EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Completed))
+        << "job " << Res->Tag;
+    Merged += Res->BatchSize > 1;
+  }
+  EXPECT_GT(Merged, 0u) << "no result carried a batch size > 1";
+  expectVecAddResult(*C);
+  EXPECT_FALSE(static_cast<bool>(C->bye()));
+  R.shutdown();
+  EXPECT_GE(R.Server->server().stats().CoalescedBatches, 1u);
+  EXPECT_GE(R.Server->server().stats().CoalescedJobs, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed frames over a real socket
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerTest, GarbageBytesGetErrorFrameAndClose) {
+  NetRig R;
+  auto S = tcpConnect("127.0.0.1", R.Port);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+  ASSERT_FALSE(static_cast<bool>(S->setTimeout(30.0)));
+  std::vector<uint8_t> Garbage(64, 0x5a);
+  ASSERT_FALSE(static_cast<bool>(S->sendAll(Garbage)));
+
+  // The server answers with one Error frame, then EOF.
+  wire::FrameParser P;
+  std::vector<uint8_t> In;
+  std::string RecvErr;
+  bool SawEof = false;
+  for (int K = 0; K < 100 && !SawEof; ++K) {
+    long N = S->recvSome(In, 4096, RecvErr);
+    if (N == 0)
+      SawEof = true;
+    else if (N < 0)
+      break; // timeout/error: fail below via SawEof
+  }
+  EXPECT_TRUE(SawEof) << "server must close a poisoned connection: "
+                      << RecvErr;
+  P.feed(In);
+  auto F = P.next();
+  ASSERT_TRUE(F.has_value()) << "no Error frame before close";
+  EXPECT_EQ(F->Type, wire::MsgType::Error);
+  auto E = wire::decodeError(F->Body);
+  ASSERT_TRUE(static_cast<bool>(E)) << E.message();
+  EXPECT_FALSE(E->Reason.empty());
+
+  // The server survives: a well-behaved client is unaffected.
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "after");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  declareVecAddSurfaces(*C);
+  ASSERT_FALSE(static_cast<bool>(C->submit(vecAddSubmit(0))));
+  auto Res = C->readResult();
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Completed));
+  R.shutdown();
+  EXPECT_GE(R.Server->netStats().Malformed, 1u);
+}
+
+TEST(NetServerTest, MidFrameDisconnectDoesNotWedgeServer) {
+  NetRig R;
+  {
+    auto S = tcpConnect("127.0.0.1", R.Port);
+    ASSERT_TRUE(static_cast<bool>(S)) << S.message();
+    // A valid header promising a 100-byte Submit body, then only 10
+    // bytes, then close.
+    wire::Writer W;
+    W.u8('X');
+    W.u8('N');
+    W.u8('E');
+    W.u8('T');
+    W.u16(wire::Version);
+    W.u16(static_cast<uint16_t>(wire::MsgType::Submit));
+    W.u32(100);
+    for (int K = 0; K < 10; ++K)
+      W.u8(0);
+    ASSERT_FALSE(static_cast<bool>(S->sendAll(W.bytes())));
+  } // socket closes here, mid-frame
+
+  auto C = NetClient::connectTcp("127.0.0.1", R.Port, 30.0, "post-cut");
+  ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+  declareVecAddSurfaces(*C);
+  ASSERT_FALSE(static_cast<bool>(C->submit(vecAddSubmit(0))));
+  auto Res = C->readResult();
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->State, static_cast<uint8_t>(serve::JobState::Completed));
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-client concurrency soak (the TSan lane: client threads + the
+// server loop + the parallel simulator under EXOCHI_SANITIZE=thread)
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerTest, ConcurrentClientsAllAnswered) {
+  NetServerConfig NC;
+  // Per-client quotas bind before global capacity, so overload is
+  // absorbed by backpressure instead of queue-full rejections.
+  NC.Serve.Queue.Capacity = 64;
+  NetRig R(NC, nullptr, /*SimThreads=*/4);
+  constexpr unsigned Clients = 4, Jobs = 16;
+  std::atomic<unsigned> Completed{0};
+  std::vector<std::thread> Threads;
+  for (unsigned K = 0; K < Clients; ++K) {
+    Threads.emplace_back([&, K] {
+      auto C = NetClient::connectTcp("127.0.0.1", R.Port, 60.0,
+                                     "soak-" + std::to_string(K));
+      ASSERT_TRUE(static_cast<bool>(C)) << C.message();
+      declareVecAddSurfaces(*C);
+      for (unsigned J = 0; J < Jobs; ++J)
+        ASSERT_FALSE(static_cast<bool>(C->submit(vecAddSubmit(J))));
+      for (unsigned J = 0; J < Jobs; ++J) {
+        auto Res = C->readResult();
+        ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+        if (Res->State == static_cast<uint8_t>(serve::JobState::Completed))
+          ++Completed;
+      }
+      expectVecAddResult(*C);
+      EXPECT_FALSE(static_cast<bool>(C->bye()));
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Completed.load(), Clients * Jobs)
+      << "every job from every client must complete";
+  R.shutdown();
+  EXPECT_EQ(R.Server->netStats().ResultsDropped, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos soak through the socket path: liveness + determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Everything observable about one served-over-sockets workload. Jobs is
+/// indexed by Tag so cross-connection delivery order doesn't matter.
+struct NetSoakOutcome {
+  std::vector<std::tuple<uint8_t, uint8_t, uint64_t, double, double>> Jobs;
+  std::string DrainJson;
+
+  bool operator==(const NetSoakOutcome &) const = default;
+};
+
+/// The serve_test chaos mix replayed through sockets: 64 mixed-priority
+/// jobs from 4 connections against a 24-deep queue under `all:0.1`
+/// injection, 6 of each client's held jobs run, then a graceful drain.
+/// Hold/run/drain plus a stats round-trip after every frame serialize
+/// the cross-connection arrival order, making the workload a pure
+/// function of the seed (DESIGN.md §13). Backpressure is off: quota
+/// rejections are part of the workload here.
+NetSoakOutcome runNetSoak(uint64_t Seed, unsigned SimThreads) {
+  fault::FaultInjector Inj =
+      cantFail(fault::FaultInjector::parse("all:0.1", Seed));
+  NetServerConfig NC;
+  NC.Serve.Queue.Capacity = 24;
+  NC.Serve.Queue.PerClientCap = 10;
+  NC.Serve.Breaker.TripThreshold = 1;
+  NC.Serve.Watchdog.DefaultBudgetCycles = 100000;
+  NC.Backpressure = false;
+  NetRig R(NC, &Inj, SimThreads);
+
+  constexpr unsigned Conns = 4, NumJobs = 64;
+  std::vector<NetClient> Cs;
+  for (unsigned K = 0; K < Conns; ++K) {
+    auto C = NetClient::connectTcp("127.0.0.1", R.Port, 60.0,
+                                   "chaos-" + std::to_string(K));
+    EXPECT_TRUE(static_cast<bool>(C)) << C.message();
+    declareVecAddSurfaces(*C);
+    Cs.push_back(std::move(*C));
+  }
+
+  // A stats round-trip after every frame: the reply proves the server
+  // consumed the frame, so the global arrival order is exactly the
+  // submission order regardless of TCP timing.
+  auto Sync = [&](NetClient &C) {
+    auto S = C.stats();
+    EXPECT_TRUE(static_cast<bool>(S)) << S.message();
+  };
+
+  for (unsigned J = 0; J < NumJobs; ++J) {
+    int64_t Cycles = -1;
+    if (J % 8 == 7)
+      Cycles = 0;
+    else if (J % 5 == 0)
+      Cycles = 40;
+    wire::SubmitMsg M = vecAddSubmit(J, /*Shreds=*/8, wire::SubmitHold);
+    M.Pri = static_cast<uint8_t>(J % serve::NumPriorities);
+    M.DeadlineCycles = Cycles;
+    NetClient &C = Cs[J % Conns];
+    EXPECT_FALSE(static_cast<bool>(C.submit(M)));
+    Sync(C);
+  }
+  for (unsigned K = 0; K < Conns; ++K) {
+    EXPECT_FALSE(static_cast<bool>(Cs[K].runJobs(6)));
+    Sync(Cs[K]);
+  }
+
+  NetSoakOutcome Out;
+  auto D = Cs[0].drain();
+  EXPECT_TRUE(static_cast<bool>(D)) << D.message();
+  Out.DrainJson = *D;
+
+  Out.Jobs.resize(NumJobs);
+  for (unsigned K = 0; K < Conns; ++K) {
+    for (unsigned N = 0; N < NumJobs / Conns; ++N) {
+      auto Res = Cs[K].readResult();
+      EXPECT_TRUE(static_cast<bool>(Res)) << Res.message();
+      if (!Res)
+        return Out;
+      EXPECT_LT(Res->Tag, NumJobs);
+      Out.Jobs[Res->Tag] = {Res->State, Res->Reason, Res->ShredsPreempted,
+                            Res->StartNs, Res->EndNs};
+    }
+    EXPECT_FALSE(static_cast<bool>(Cs[K].bye()));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(NetSoakTest, ChaosSoakTerminalAndBitIdenticalAcrossSimThreads) {
+  for (uint64_t Seed : {1u, 2u, 3u, 5u, 7u, 11u, 13u, 42u}) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    NetSoakOutcome Serial = runNetSoak(Seed, /*SimThreads=*/1);
+
+    // Liveness: all 64 jobs answered with a terminal state over the
+    // wire; injected faults degrade, never fail.
+    ASSERT_EQ(Serial.Jobs.size(), 64u);
+    unsigned ZeroBudget = 0;
+    for (size_t K = 0; K < Serial.Jobs.size(); ++K) {
+      uint8_t St = std::get<0>(Serial.Jobs[K]);
+      EXPECT_NE(St, static_cast<uint8_t>(serve::JobState::Queued))
+          << "job " << K;
+      EXPECT_NE(St, static_cast<uint8_t>(serve::JobState::Running))
+          << "job " << K;
+      EXPECT_NE(St, static_cast<uint8_t>(serve::JobState::Failed))
+          << "job " << K;
+      ZeroBudget +=
+          St == static_cast<uint8_t>(serve::JobState::Rejected) &&
+          std::get<1>(Serial.Jobs[K]) ==
+              static_cast<uint8_t>(serve::RejectReason::ZeroBudget);
+    }
+    EXPECT_EQ(ZeroBudget, 8u);
+
+    NetSoakOutcome Parallel = runNetSoak(Seed, /*SimThreads=*/4);
+    EXPECT_TRUE(Parallel == Serial)
+        << "socket-served workload diverges at SimThreads=4";
+  }
+}

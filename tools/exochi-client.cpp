@@ -1,0 +1,320 @@
+//===- tools/exochi-client.cpp - ExoNet command-line client -------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Submits jobs to a running `exochi-run --listen` server over the ExoNet
+// wire protocol and prints each job's terminal answer:
+//
+//   exochi-client --port 4510 --kernel vecadd --shreds 8 --jobs 4
+//                 --surface A=64x1:seq --surface B=64x1:seq
+//                 --surface C=64x1:zero --param i=shred
+//                 --fetch C --stats --drain
+//
+// Param values: an integer (firstprivate), `shred` (the shred index), or
+// `shred+K` (shred index + K — lets many small jobs tile one surface).
+// --hold queues jobs without running them until --run-held; --drain asks
+// the server to finish everything and exit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetClient.h"
+#include "serve/Serve.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace exochi;
+using namespace exochi::net;
+
+namespace {
+
+bool parseSurfaceSpec(const std::string &Spec, wire::SurfaceMsg &Out) {
+  // name=WxH[:zero|seq]
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  Out.Name = Spec.substr(0, Eq);
+  std::string Rest = Spec.substr(Eq + 1);
+  std::string Fill = "zero";
+  size_t Colon = Rest.find(':');
+  if (Colon != std::string::npos) {
+    Fill = Rest.substr(Colon + 1);
+    Rest = Rest.substr(0, Colon);
+  }
+  if (Fill == "zero")
+    Out.Fill = wire::SurfaceFill::Zero;
+  else if (Fill == "seq")
+    Out.Fill = wire::SurfaceFill::Seq;
+  else
+    return false;
+  size_t X = Rest.find('x');
+  if (X == std::string::npos)
+    return false;
+  auto W = parseInt(Rest.substr(0, X));
+  auto H = parseInt(Rest.substr(X + 1));
+  if (!W || !H || *W <= 0 || *H <= 0)
+    return false;
+  Out.Width = static_cast<uint32_t>(*W);
+  Out.Height = static_cast<uint32_t>(*H);
+  return true;
+}
+
+bool parseParamSpec(const std::string &Spec, wire::ParamArg &Out) {
+  // name=<int> | name=shred | name=shred+K
+  size_t Eq = Spec.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  Out.Name = Spec.substr(0, Eq);
+  std::string V = Spec.substr(Eq + 1);
+  if (V == "shred") {
+    Out.Kind = wire::ParamKind::Shred;
+    return true;
+  }
+  if (V.rfind("shred+", 0) == 0) {
+    auto K = parseInt(V.substr(6));
+    if (!K)
+      return false;
+    Out.Kind = wire::ParamKind::ShredOffset;
+    Out.Value = static_cast<int32_t>(*K);
+    return true;
+  }
+  auto N = parseInt(V);
+  if (!N)
+    return false;
+  Out.Kind = wire::ParamKind::Value;
+  Out.Value = static_cast<int32_t>(*N);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Host = "127.0.0.1", UnixPath, Kernel;
+  int64_t Port = -1, Jobs = 1, Shreds = 1, Pri = 1, Deadline = -1;
+  double TimeoutSec = 120.0;
+  bool Hold = false, RunHeld = false, Stats = false, Drain = false,
+       DrainCancel = false;
+  std::vector<wire::SurfaceMsg> Surfaces;
+  std::vector<wire::ParamArg> Params;
+  std::vector<std::string> Fetches;
+
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    auto Next = [&]() -> const char * {
+      if (K + 1 >= Argc) {
+        std::fprintf(stderr, "exochi-client: missing value for %s\n",
+                     A.c_str());
+        std::exit(2);
+      }
+      return Argv[++K];
+    };
+    auto matchValueOpt = [&](const char *Name, std::string &Val) -> bool {
+      std::string Prefix = std::string(Name) + "=";
+      if (A == Name) {
+        Val = Next();
+        return true;
+      }
+      if (A.rfind(Prefix, 0) == 0) {
+        Val = A.substr(Prefix.size());
+        return true;
+      }
+      return false;
+    };
+    // Numeric option values are validated, never silently defaulted.
+    auto parseCount = [&](const char *Flag, const std::string &V,
+                          int64_t Min, int64_t Max) -> int64_t {
+      auto N = parseInt(V);
+      if (!N || *N < Min || *N > Max) {
+        std::fprintf(stderr, "exochi-client: bad %s value '%s'\n", Flag,
+                     V.c_str());
+        std::exit(2);
+      }
+      return *N;
+    };
+    std::string Val;
+    if (matchValueOpt("--host", Val))
+      Host = Val;
+    else if (matchValueOpt("--port", Val))
+      Port = parseCount("--port", Val, 1, 65535);
+    else if (matchValueOpt("--unix", Val))
+      UnixPath = Val;
+    else if (matchValueOpt("--kernel", Val))
+      Kernel = Val;
+    else if (matchValueOpt("--jobs", Val))
+      Jobs = parseCount("--jobs", Val, 1, 1 << 20);
+    else if (matchValueOpt("--shreds", Val))
+      Shreds = parseCount("--shreds", Val, 1, 1 << 20);
+    else if (matchValueOpt("--pri", Val))
+      Pri = parseCount("--pri", Val, 0, 2);
+    else if (matchValueOpt("--deadline", Val))
+      Deadline = parseCount("--deadline", Val, 0, INT64_MAX);
+    else if (matchValueOpt("--timeout", Val)) {
+      char *End = nullptr;
+      TimeoutSec = std::strtod(Val.c_str(), &End);
+      if (End == Val.c_str() || *End != '\0' || TimeoutSec <= 0) {
+        std::fprintf(stderr, "exochi-client: bad --timeout value '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+    } else if (A == "--surface") {
+      wire::SurfaceMsg S;
+      if (!parseSurfaceSpec(Next(), S)) {
+        std::fprintf(stderr,
+                     "exochi-client: bad --surface spec (name=WxH[:zero|seq])\n");
+        return 2;
+      }
+      Surfaces.push_back(std::move(S));
+    } else if (A == "--param") {
+      wire::ParamArg P;
+      if (!parseParamSpec(Next(), P)) {
+        std::fprintf(stderr, "exochi-client: bad --param spec "
+                             "(name=<int>|shred|shred+K)\n");
+        return 2;
+      }
+      Params.push_back(std::move(P));
+    } else if (matchValueOpt("--fetch", Val))
+      Fetches.push_back(Val);
+    else if (A == "--hold")
+      Hold = true;
+    else if (A == "--run-held")
+      RunHeld = true;
+    else if (A == "--stats")
+      Stats = true;
+    else if (A == "--drain")
+      Drain = true;
+    else if (A == "--drain-cancel")
+      Drain = DrainCancel = true;
+    else if (A == "--help" || A == "-h") {
+      std::fprintf(stderr,
+                   "usage: exochi-client (--port P | --unix PATH) [--host IP]"
+                   " [--timeout SEC]\n"
+                   "       --kernel NAME [--jobs N] [--shreds N] [--pri 0|1|2]"
+                   " [--deadline CYCLES]\n"
+                   "       [--surface n=WxH[:zero|seq]] "
+                   "[--param n=<int>|shred|shred+K]\n"
+                   "       [--hold] [--run-held] [--fetch NAME] [--stats] "
+                   "[--drain | --drain-cancel]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "exochi-client: unknown option '%s'\n", A.c_str());
+      return 2;
+    }
+  }
+  if ((Port < 0) == UnixPath.empty()) {
+    std::fprintf(stderr,
+                 "exochi-client: need exactly one of --port or --unix\n");
+    return 2;
+  }
+
+  auto Client =
+      Port >= 0
+          ? NetClient::connectTcp(Host, static_cast<uint16_t>(Port),
+                                  TimeoutSec, "exochi-client")
+          : NetClient::connectUnix(UnixPath, TimeoutSec, "exochi-client");
+  if (!Client) {
+    std::fprintf(stderr, "exochi-client: %s\n", Client.message().c_str());
+    return 1;
+  }
+  std::printf("connected (client id %u)\n", Client->clientId());
+
+  for (const wire::SurfaceMsg &S : Surfaces)
+    if (Error E = Client->surface(S)) {
+      std::fprintf(stderr, "exochi-client: %s\n", E.message().c_str());
+      return 1;
+    }
+
+  int64_t Outstanding = 0;
+  if (!Kernel.empty()) {
+    for (int64_t J = 0; J < Jobs; ++J) {
+      wire::SubmitMsg M;
+      M.Tag = static_cast<uint64_t>(J);
+      M.Pri = static_cast<uint8_t>(Pri);
+      M.Flags = Hold ? wire::SubmitHold : 0;
+      M.DeadlineCycles = Deadline;
+      M.Shreds = static_cast<uint32_t>(Shreds);
+      M.Kernel = Kernel;
+      M.Params = Params;
+      for (const wire::SurfaceMsg &S : Surfaces)
+        M.Bind.push_back(S.Name);
+      if (Error E = Client->submit(M)) {
+        std::fprintf(stderr, "exochi-client: %s\n", E.message().c_str());
+        return 1;
+      }
+      ++Outstanding;
+    }
+  }
+
+  if (RunHeld)
+    if (Error E = Client->runJobs(0)) {
+      std::fprintf(stderr, "exochi-client: %s\n", E.message().c_str());
+      return 1;
+    }
+
+  std::string DrainJson;
+  if (Drain) {
+    auto J = Client->drain(DrainCancel);
+    if (!J) {
+      std::fprintf(stderr, "exochi-client: %s\n", J.message().c_str());
+      return 1;
+    }
+    DrainJson = *J;
+  }
+
+  int Failures = 0;
+  for (int64_t J = 0; J < Outstanding; ++J) {
+    auto R = Client->readResult();
+    if (!R) {
+      std::fprintf(stderr, "exochi-client: %s\n", R.message().c_str());
+      return 1;
+    }
+    const char *State =
+        serve::jobStateName(static_cast<serve::JobState>(R->State));
+    std::printf("job tag=%llu id=%u: %s",
+                static_cast<unsigned long long>(R->Tag), R->JobId, State);
+    if (R->Reason)
+      std::printf(" (%s)", serve::rejectReasonName(
+                               static_cast<serve::RejectReason>(R->Reason)));
+    if (R->BatchSize > 1)
+      std::printf(" [coalesced x%u]", R->BatchSize);
+    if (!R->Error.empty())
+      std::printf(" error: %s", R->Error.c_str());
+    std::printf("\n");
+    if (static_cast<serve::JobState>(R->State) != serve::JobState::Completed)
+      ++Failures;
+  }
+
+  for (const std::string &Name : Fetches) {
+    auto D = Client->fetch(Name);
+    if (!D) {
+      std::fprintf(stderr, "exochi-client: %s\n", D.message().c_str());
+      return 1;
+    }
+    std::printf("%s[0..7] =", Name.c_str());
+    for (size_t K = 0; K < 8 && K * 4 + 3 < D->Data.size(); ++K) {
+      uint32_t V = static_cast<uint32_t>(D->Data[K * 4]) |
+                   static_cast<uint32_t>(D->Data[K * 4 + 1]) << 8 |
+                   static_cast<uint32_t>(D->Data[K * 4 + 2]) << 16 |
+                   static_cast<uint32_t>(D->Data[K * 4 + 3]) << 24;
+      std::printf(" %d", static_cast<int32_t>(V));
+    }
+    std::printf("\n");
+  }
+
+  if (Stats) {
+    auto S = Client->stats();
+    if (!S) {
+      std::fprintf(stderr, "exochi-client: %s\n", S.message().c_str());
+      return 1;
+    }
+    std::printf("stats: %s\n", S->c_str());
+  }
+  if (!DrainJson.empty())
+    std::printf("drain-summary: %s\n", DrainJson.c_str());
+
+  (void)Client->bye();
+  return Failures ? 1 : 0;
+}

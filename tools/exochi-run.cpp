@@ -25,6 +25,7 @@
 #include "fault/FaultInjector.h"
 #include "gma/Trace.h"
 #include "chi/Runtime.h"
+#include "net/NetServer.h"
 #include "serve/Server.h"
 #include "isa/Encoding.h"
 #include "support/File.h"
@@ -84,6 +85,10 @@ int main(int Argc, char **Argv) {
   int64_t ServeClients = 4;   ///< --clients: synthetic client count
   int64_t DeadlineCycles = -1; ///< --deadline: per-job budget (-1 = none)
   int64_t DrainAfter = -1;    ///< --drain-after: jobs to run before drain
+  int64_t ListenPort = -1;    ///< --listen: TCP port (0 = ephemeral, -1 = off)
+  std::string ListenUnix;     ///< --listen-unix: unix socket path
+  int64_t CoalesceWindow = 1; ///< --coalesce-window: max jobs per dispatch
+  std::string StatsOut;       ///< --stats-out: stats JSON file
   std::vector<SurfaceArg> Surfaces;
   std::map<std::string, std::string> Params;
 
@@ -137,6 +142,19 @@ int main(int Argc, char **Argv) {
       DeadlineCycles = parseCount("--deadline", Val, 0);
     else if (matchValueOpt("--drain-after", Val))
       DrainAfter = parseCount("--drain-after", Val, 0);
+    else if (matchValueOpt("--listen", Val)) {
+      ListenPort = parseCount("--listen", Val, 0);
+      if (ListenPort > 65535) {
+        std::fprintf(stderr, "exochi-run: bad --listen port '%s'\n",
+                     Val.c_str());
+        return 2;
+      }
+    } else if (matchValueOpt("--listen-unix", Val))
+      ListenUnix = Val;
+    else if (matchValueOpt("--coalesce-window", Val))
+      CoalesceWindow = parseCount("--coalesce-window", Val, 1);
+    else if (matchValueOpt("--stats-out", Val))
+      StatsOut = Val;
     else if (A == "--sim-threads" || A.rfind("--sim-threads=", 0) == 0) {
       std::string V = A.size() > 13 && A[13] == '='
                           ? A.substr(14)
@@ -217,7 +235,9 @@ int main(int Argc, char **Argv) {
                    "       [--inject <kind:rate,...|all:rate>] "
                    "[--inject-seed N] [--max-retries K]\n"
                    "       [--serve N] [--clients M] [--deadline CYCLES] "
-                   "[--drain-after K]\n"
+                   "[--drain-after K] [--stats-out FILE]\n"
+                   "       [--listen PORT] [--listen-unix PATH] "
+                   "[--coalesce-window N]\n"
                    "  --inject kinds: atr-transient, atr-fatal, ceh-timeout,"
                    " eu-hard-fail,\n"
                    "                  mailbox-drop, mailbox-dup, all\n"
@@ -226,7 +246,13 @@ int main(int Argc, char **Argv) {
                    "             round-robin over --clients M); --deadline "
                    "sets each job's\n"
                    "             cycle budget; --drain-after K drains "
-                   "gracefully after K jobs\n");
+                   "gracefully after K jobs\n"
+                   "  --listen PORT: serve the loaded kernels over the "
+                   "ExoNet wire protocol on\n"
+                   "                 127.0.0.1:PORT (0 = ephemeral; the "
+                   "bound port is printed);\n"
+                   "                 --coalesce-window N merges up to N "
+                   "compatible jobs per dispatch\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "exochi-run: unknown option '%s'\n", A.c_str());
@@ -235,8 +261,10 @@ int main(int Argc, char **Argv) {
       Input = A;
     }
   }
-  if (Input.empty() || Kernel.empty()) {
-    std::fprintf(stderr, "exochi-run: need an input file and --kernel\n");
+  bool ListenMode = ListenPort >= 0 || !ListenUnix.empty();
+  if (Input.empty() || (Kernel.empty() && !ListenMode)) {
+    std::fprintf(stderr, "exochi-run: need an input file and --kernel "
+                         "(unless listening)\n");
     return 2;
   }
 
@@ -253,7 +281,7 @@ int main(int Argc, char **Argv) {
 
   // --lint: statically verify the kernel before dispatch, sharpened with
   // the geometry and parameter values this invocation actually binds.
-  if (LintMode != "ignore") {
+  if (LintMode != "ignore" && !Kernel.empty()) {
     const fatbin::CodeSection *Sec = FB->findByName(Kernel);
     if (Sec && Sec->Isa == fatbin::IsaTag::XGMA) {
       auto Prog = isa::decodeProgram(Sec->Code);
@@ -311,6 +339,44 @@ int main(int Argc, char **Argv) {
   if (Error E = RT.loadBinary(*FB)) {
     std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
     return 1;
+  }
+
+  if (ListenMode) {
+    // ExoNet mode: serve the loaded fat binary's kernels to socket
+    // clients. Kernels, surfaces, and geometry all come from the wire;
+    // the process exits after a client-issued Drain.
+    net::NetServerConfig NC;
+    NC.CoalesceWindow = static_cast<unsigned>(CoalesceWindow);
+    NC.ExitOnDrain = true;
+    net::NetServer Server(RT, NC, Inj.armed() ? &Inj : nullptr);
+    if (ListenPort >= 0) {
+      auto Port = Server.listenTcp(static_cast<uint16_t>(ListenPort));
+      if (!Port) {
+        std::fprintf(stderr, "exochi-run: %s\n", Port.message().c_str());
+        return 1;
+      }
+      std::printf("exochi-run: listening on 127.0.0.1:%u\n", *Port);
+    }
+    if (!ListenUnix.empty()) {
+      if (Error E = Server.listenUnix(ListenUnix)) {
+        std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
+        return 1;
+      }
+      std::printf("exochi-run: listening on unix:%s\n", ListenUnix.c_str());
+    }
+    std::fflush(stdout); // let a parent scrape the bound port now
+    Server.run();
+    std::string Json = Server.statsJson();
+    std::printf("net-stats: %s\n", Json.c_str());
+    if (!StatsOut.empty()) {
+      if (Error E = writeFileBytes(
+              StatsOut, std::vector<uint8_t>(Json.begin(), Json.end()))) {
+        std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
+        return 1;
+      }
+      std::printf("wrote stats to %s\n", StatsOut.c_str());
+    }
+    return 0;
   }
 
   // Allocate and fill surfaces; build the region.
@@ -383,6 +449,17 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(SS.Failed));
     std::printf("serve-stats: %s\n", Srv.statsJson().c_str());
     std::printf("drain-summary: %s\n", D.toJson().c_str());
+
+    if (!StatsOut.empty()) {
+      std::string Json = "{\"serve_stats\": " + Srv.statsJson() +
+                         ", \"drain_summary\": " + D.toJson() + "}\n";
+      if (Error E = writeFileBytes(
+              StatsOut, std::vector<uint8_t>(Json.begin(), Json.end()))) {
+        std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
+        return 1;
+      }
+      std::printf("wrote stats to %s\n", StatsOut.c_str());
+    }
 
     if (Inj.armed()) {
       const chi::ChiStats &FS = RT.faultStats();
