@@ -88,6 +88,15 @@ enum class Feature : uint8_t {
   /// hardware core, 1 = serial). A simulator knob rather than a paper
   /// API: it changes only wall-clock speed, never simulation results.
   SimThreads,
+  /// Execution backend for XGMA dispatches: 0 = the cycle-level device
+  /// model (default), 1 = XJIT, the host-native fast lane (surface
+  /// outputs bit-identical; timing statistics are estimates), 2 = XJIT
+  /// with per-access checks forced on even when XVerify would elide
+  /// them (diagnostic mode, used to measure the elision gain). Kernels
+  /// the fast lane cannot represent (spawn) or that fail its static
+  /// eligibility gate silently fall back to the cycle backend, as do
+  /// runs with execution hooks or a tracer attached.
+  Backend,
 };
 
 /// Descriptor: the accelerator-specific access information attached to a

@@ -8,6 +8,9 @@
 
 #include "isa/Encoding.h"
 #include "support/Format.h"
+#include "xjit/Xjit.h"
+#include "xopt/Lint.h"
+#include "xopt/Verify.h"
 
 #include <algorithm>
 
@@ -29,6 +32,8 @@ const char *chi::memoryModelName(MemoryModel M) {
 Runtime::Runtime(exo::ExoPlatform &Platform, MemoryModel Model)
     : Platform(Platform), Model(Model) {}
 
+Runtime::~Runtime() = default;
+
 Error Runtime::loadBinary(const fatbin::FatBinary &Binary) {
   for (const fatbin::CodeSection &S : Binary.sections()) {
     if (S.Isa != fatbin::IsaTag::XGMA)
@@ -40,10 +45,24 @@ Error Runtime::loadBinary(const fatbin::FatBinary &Binary) {
     if (!Prog)
       return Error::make(formatString("kernel '%s': %s", S.Name.c_str(),
                                       Prog.message().c_str()));
+    LoadedKernel LK;
+    // XJIT eligibility gate: the fast lane only accepts kernels it can
+    // represent (no spawn) whose static lint + ABI-level XVerify pass is
+    // free of Error-severity findings. Ineligible kernels silently stay
+    // on the cycle backend whatever Feature::Backend says.
+    LK.FastEligible = xjit::JitEngine::supports(*Prog);
+    if (LK.FastEligible) {
+      unsigned NumParams = static_cast<unsigned>(S.ScalarParams.size());
+      xopt::LintReport Rep = xopt::lintKernel(*Prog, NumParams, S.Name);
+      xopt::VerifySpec Spec;
+      Spec.NumScalarParams = NumParams;
+      Spec.NumSurfaceSlots = static_cast<int32_t>(S.SurfaceParams.size());
+      Rep.append(xopt::verifyKernel(*Prog, Spec, S.Name));
+      LK.FastEligible = Rep.count(xopt::Severity::Error) == 0;
+    }
     gma::KernelImage Img;
     Img.Code = std::move(*Prog);
     Img.Name = S.Name;
-    LoadedKernel LK;
     LK.DeviceKernelId = Platform.device().registerKernel(std::move(Img));
     LK.Section = S;
     Loaded.emplace(S.Name, std::move(LK));
@@ -288,6 +307,8 @@ Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
         Spec.KernelName + ".shredq");
     RecordBase = Records.Base;
   }
+  std::vector<gma::ShredDescriptor> Descs;
+  Descs.reserve(Spec.NumThreads);
   for (unsigned T = 0; T < Spec.NumThreads; ++T) {
     gma::ShredDescriptor D;
     D.KernelId = LK.DeviceKernelId;
@@ -306,18 +327,44 @@ Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
                    static_cast<uint64_t>(T) * NumParams * 4;
       Platform.write(D.RecordVa, D.Params.data(), NumParams * 4);
     }
-    Device.enqueueShred(std::move(D));
+    Descs.push_back(std::move(D));
   }
   TotalShreds += Spec.NumThreads;
 
-  if (Spec.DeadlineNs > 0)
-    Device.setDeadlineNs(DeviceStart + Spec.DeadlineNs);
-  auto Exit = Device.run(DeviceStart);
-  Device.setDeadlineNs(0);
-  if (!Exit)
-    return Exit.takeError();
-  Stats.DeadlinePreempted = (*Exit == gma::RunExit::DeadlinePreempted);
-  Stats.Device = Device.stats();
+  // Backend selection (Feature::Backend): XJIT, the host-native fast
+  // lane, runs eligible kernels with surface outputs bit-identical to
+  // the cycle model. Execution hooks and tracers need the cycle
+  // backend's per-instruction event stream, so they force a fallback.
+  int64_t BackendSel = feature(Feature::Backend);
+  bool UseFast =
+      BackendSel != 0 && LK.FastEligible && !Device.hasExecutionHooks();
+  if (UseFast) {
+    if (!Jit)
+      Jit = std::make_unique<xjit::JitEngine>(
+          Device, Platform.physicalMemory(), &Platform.proxy());
+    xjit::JitRunRequest Req;
+    Req.KernelId = LK.DeviceKernelId;
+    Req.Shreds = std::move(Descs);
+    Req.StartNs = DeviceStart;
+    Req.DeadlineNs = Spec.DeadlineNs > 0 ? DeviceStart + Spec.DeadlineNs : 0;
+    Req.ForceChecked = BackendSel == 2;
+    auto Res = Jit->run(Req);
+    if (!Res)
+      return Res.takeError();
+    Stats.DeadlinePreempted = (Res->Exit == gma::RunExit::DeadlinePreempted);
+    Stats.Device = std::move(Res->Stats);
+  } else {
+    for (gma::ShredDescriptor &D : Descs)
+      Device.enqueueShred(std::move(D));
+    if (Spec.DeadlineNs > 0)
+      Device.setDeadlineNs(DeviceStart + Spec.DeadlineNs);
+    auto Exit = Device.run(DeviceStart);
+    Device.setDeadlineNs(0);
+    if (!Exit)
+      return Exit.takeError();
+    Stats.DeadlinePreempted = (*Exit == gma::RunExit::DeadlinePreempted);
+    Stats.Device = Device.stats();
+  }
   Stats.DeviceFinishNs = Stats.Device.FinishNs;
 
   // Accumulate FaultLab resilience totals: device counters reset per run,

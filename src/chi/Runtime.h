@@ -31,10 +31,16 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace exochi {
+
+namespace xjit {
+class JitEngine;
+}
+
 namespace chi {
 
 /// One clause-bound parallel dispatch (the dynamic instance of a
@@ -65,6 +71,7 @@ using RegionHandle = uint32_t;
 class Runtime {
 public:
   Runtime(exo::ExoPlatform &Platform, MemoryModel Model = MemoryModel::CCShared);
+  ~Runtime();
 
   /// Loads every XGMA section of \p Binary onto the device. Must be
   /// called before dispatching regions that name those kernels.
@@ -171,8 +178,16 @@ private:
   struct LoadedKernel {
     uint32_t DeviceKernelId = 0;
     fatbin::CodeSection Section;
+    /// True when the kernel passed the XJIT eligibility gate at load:
+    /// representable on the fast lane (no spawn) and free of
+    /// Error-severity lint/XVerify findings under the dispatch ABI.
+    bool FastEligible = false;
   };
   std::map<std::string, LoadedKernel> Loaded;
+
+  /// The XJIT fast-lane engine, constructed on first fast dispatch
+  /// (Feature::Backend != 0); owns compiled traces and its ATR TLB.
+  std::unique_ptr<xjit::JitEngine> Jit;
 
   std::map<uint32_t, Descriptor> Descriptors;
   uint32_t NextDesc = 1;

@@ -25,13 +25,32 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace exochi {
 namespace gma {
 
 using mem::TimeNs;
+
+/// Which execution backend ran (or should run) a dispatch. The cycle
+/// backend is the cycle-level GmaDevice interpreter — the semantics
+/// reference; the fast backend is the XJIT host-native functional lane
+/// (src/xjit), selectable per run via chi::Feature::Backend. Surface
+/// outputs are bit-identical between the two; timing/occupancy
+/// statistics are backend-specific.
+enum class BackendKind : uint8_t {
+  Cycle, ///< cycle-level interpreter (the differential oracle)
+  Fast,  ///< XJIT host-native functional lane
+};
+
+/// Returns "cycle" or "fast".
+const char *backendName(BackendKind K);
+
+/// Parses a backend name ("cycle" / "fast"); nullopt for anything else.
+std::optional<BackendKind> parseBackendName(std::string_view Name);
 
 /// How a surface may be accessed by shreds (paper Table 1: descriptors are
 /// allocated with an input/output mode).
@@ -220,6 +239,11 @@ public:
 
 /// Aggregate statistics of one device run.
 struct GmaRunStats {
+  /// Which backend executed the run (cycle interpreter or XJIT fast
+  /// lane). Functional counters mean the same thing on both; timing
+  /// fields are cycle-accurate only on the cycle backend (the fast lane
+  /// reports a deterministic issue-cycle estimate).
+  BackendKind Backend = BackendKind::Cycle;
   TimeNs StartNs = 0;
   TimeNs FinishNs = 0;
   uint64_t ShredsExecuted = 0;
@@ -260,6 +284,10 @@ struct GmaRunStats {
 
   TimeNs elapsedNs() const { return FinishNs - StartNs; }
 };
+
+/// One-line JSON rendering of \p S (machine-readable device stats for
+/// tools; includes the active backend).
+std::string runStatsJson(const GmaRunStats &S);
 
 } // namespace gma
 } // namespace exochi

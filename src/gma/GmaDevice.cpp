@@ -58,6 +58,50 @@ Expected<TimeNs> ProxySignalHandler::onShredOrphaned(const OrphanShred &O) {
       O.ShredId, O.KernelName.c_str()));
 }
 
+const char *gma::backendName(BackendKind K) {
+  switch (K) {
+  case BackendKind::Cycle:
+    return "cycle";
+  case BackendKind::Fast:
+    return "fast";
+  }
+  exochiUnreachable("bad BackendKind");
+}
+
+std::optional<BackendKind> gma::parseBackendName(std::string_view Name) {
+  if (Name == "cycle")
+    return BackendKind::Cycle;
+  if (Name == "fast")
+    return BackendKind::Fast;
+  return std::nullopt;
+}
+
+std::string gma::runStatsJson(const GmaRunStats &S) {
+  return formatString(
+      "{\"backend\": \"%s\", \"start_ns\": %.1f, \"finish_ns\": %.1f, "
+      "\"shreds\": %llu, \"instructions\": %llu, \"memory_ops\": %llu, "
+      "\"bytes_loaded\": %llu, \"bytes_stored\": %llu, "
+      "\"tlb_misses\": %llu, \"proxy_calls\": %llu, "
+      "\"exceptions_handled\": %llu, \"sampler_ops\": %llu, "
+      "\"issue_cycles\": %.1f, \"faults_injected\": %llu, "
+      "\"shreds_redispatched\": %llu, \"host_redispatches\": %llu, "
+      "\"shreds_preempted\": %llu}",
+      backendName(S.Backend), S.StartNs, S.FinishNs,
+      static_cast<unsigned long long>(S.ShredsExecuted),
+      static_cast<unsigned long long>(S.Instructions),
+      static_cast<unsigned long long>(S.MemoryOps),
+      static_cast<unsigned long long>(S.BytesLoaded),
+      static_cast<unsigned long long>(S.BytesStored),
+      static_cast<unsigned long long>(S.TlbMisses),
+      static_cast<unsigned long long>(S.ProxyCalls),
+      static_cast<unsigned long long>(S.ExceptionsHandled),
+      static_cast<unsigned long long>(S.SamplerOps), S.IssueCycles,
+      static_cast<unsigned long long>(S.FaultsInjected),
+      static_cast<unsigned long long>(S.ShredsRedispatched),
+      static_cast<unsigned long long>(S.HostRedispatches),
+      static_cast<unsigned long long>(S.ShredsPreempted));
+}
+
 const char *gma::exceptionKindName(ExceptionKind K) {
   switch (K) {
   case ExceptionKind::UnsupportedType:
@@ -93,6 +137,7 @@ struct GmaDevice::Context : public ShredRegView {
   uint32_t ShredId = 0;
   uint32_t KernelId = 0;
   const KernelImage *Kern = nullptr;
+  const isa::DecodedKernel *Dec = nullptr; ///< Kern->Decoded.get()
   std::shared_ptr<const SurfaceTable> Surfaces;
   TimeNs StallUntil = 0;
   uint8_t WaitReg = 0;
@@ -255,47 +300,9 @@ int64_t signExtend(int64_t V, ElemType Ty) {
   }
 }
 
-/// Issue cost in EU cycles. Wide (>8 lane) operations take two passes of
-/// the 8-wide ALU; simple move/bitwise operations co-issue in pairs
-/// (0.5 cycles), modelling the EU's dual-issue of cheap ops and the
-/// regioning/swizzle hardware that makes channel shuffling nearly free
-/// in the real media ISA.
-double issueCycles(const Instruction &I) {
-  double C;
-  switch (I.Op) {
-  case Opcode::Mov:
-  case Opcode::And:
-  case Opcode::Or:
-  case Opcode::Xor:
-  case Opcode::Not:
-  case Opcode::Shl:
-  case Opcode::Shr:
-  case Opcode::Asr:
-  case Opcode::Sel:
-    C = 0.5;
-    break;
-  case Opcode::Mul:
-  case Opcode::Mac:
-    C = 2;
-    break;
-  case Opcode::Div:
-    C = 8;
-    break;
-  case Opcode::Ld:
-  case Opcode::St:
-  case Opcode::LdBlk:
-  case Opcode::StBlk:
-  case Opcode::Sample:
-    C = 2;
-    break;
-  default:
-    C = 1;
-    break;
-  }
-  if (opcodeHasWidthType(I.Op) && I.Width > 8)
-    C *= 2;
-  return C;
-}
+// Issue cost in EU cycles is precomputed per instruction at kernel
+// registration (isa::decodedIssueCycles); the interpreter reads it from
+// the DecodedInsn instead of re-deriving it every step.
 
 } // namespace
 
@@ -315,6 +322,11 @@ GmaDevice::GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
 GmaDevice::~GmaDevice() = default;
 
 uint32_t GmaDevice::registerKernel(KernelImage Image) {
+  // Pre-decode once per registration: the interpreter executes from the
+  // operand-resolved form instead of re-deriving lane/register mappings
+  // and issue costs on every step.
+  if (!Image.Decoded)
+    Image.Decoded = isa::decodeKernel(Image.Code);
   Kernels.push_back(std::move(Image));
   return static_cast<uint32_t>(Kernels.size());
 }
@@ -447,6 +459,7 @@ Expected<bool> GmaDevice::refillContext(Eu &E) {
   C.KernelId = Desc.KernelId;
   C.Kern = kernel(Desc.KernelId);
   assert(C.Kern && "dispatching unregistered kernel");
+  C.Dec = C.Kern->Decoded.get();
   C.Desc = std::move(Desc); // kept for fault re-dispatch
   C.Surfaces = C.Desc.Surfaces;
   C.St = Context::State::Running;
@@ -645,9 +658,10 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
   }
 
   const Instruction &I = Code[Ctx.Pc];
+  const isa::DecodedInsn &DI = Ctx.Dec->Insns[Ctx.Pc];
   ++E.ShardInstructions;
-  E.ShardIssueCycles += issueCycles(I);
-  E.Time += issueCycles(I) * Config.cycleNs();
+  E.ShardIssueCycles += DI.IssueCycles;
+  E.Time += DI.IssueCycles * Config.cycleNs();
   E.ShardFinishNs = std::max(E.ShardFinishNs, E.Time);
 
   uint32_t NextPc = Ctx.Pc + 1;
@@ -671,32 +685,37 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
     return I.PredNegate ? !Bit : Bit;
   };
 
-  // Lane readers (integer semantics use 64-bit intermediates).
-  auto ReadIntLane = [&](const Operand &O, unsigned Lane) -> int64_t {
-    if (O.Kind == OperandKind::Imm)
+  // Lane readers over the pre-decoded operands (integer semantics use
+  // 64-bit intermediates). The decoded stride already encodes broadcast
+  // vs. per-lane register groups and F64 pairs.
+  auto ReadIntLane = [&](const isa::DecodedOperand &O,
+                         unsigned Lane) -> int64_t {
+    if (O.IsImm)
       return O.Imm;
-    return static_cast<int32_t>(Ctx.Regs[laneReg(O, Lane, I.Ty)]);
+    return static_cast<int32_t>(Ctx.Regs[O.Reg0 + Lane * O.Stride]);
   };
-  auto ReadF32Lane = [&](const Operand &O, unsigned Lane) -> float {
-    uint32_t Bits = O.Kind == OperandKind::Imm
-                        ? static_cast<uint32_t>(O.Imm)
-                        : Ctx.Regs[laneReg(O, Lane, I.Ty)];
+  auto ReadF32Lane = [&](const isa::DecodedOperand &O,
+                         unsigned Lane) -> float {
+    uint32_t Bits = O.IsImm ? static_cast<uint32_t>(O.Imm)
+                            : Ctx.Regs[O.Reg0 + Lane * O.Stride];
     float F;
     std::memcpy(&F, &Bits, 4);
     return F;
   };
-  auto WriteIntLane = [&](const Operand &O, unsigned Lane, int64_t V) {
-    Ctx.Regs[laneReg(O, Lane, I.Ty)] =
+  auto WriteIntLane = [&](const isa::DecodedOperand &O, unsigned Lane,
+                          int64_t V) {
+    Ctx.Regs[O.Reg0 + Lane * O.Stride] =
         static_cast<uint32_t>(signExtend(V, I.Ty));
   };
-  auto WriteF32Lane = [&](const Operand &O, unsigned Lane, float F) {
+  auto WriteF32Lane = [&](const isa::DecodedOperand &O, unsigned Lane,
+                          float F) {
     uint32_t Bits;
     std::memcpy(&Bits, &F, 4);
-    Ctx.Regs[laneReg(O, Lane, I.Ty)] = Bits;
+    Ctx.Regs[O.Reg0 + Lane * O.Stride] = Bits;
   };
   // Scalar value of an index operand.
-  auto ScalarVal = [&](const Operand &O) -> int64_t {
-    if (O.Kind == OperandKind::Imm)
+  auto ScalarVal = [&](const isa::DecodedOperand &O) -> int64_t {
+    if (O.IsImm)
       return O.Imm;
     return static_cast<int32_t>(Ctx.Regs[O.Reg0]);
   };
@@ -734,7 +753,7 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
     // issue-time order with every other spawn of the round.
     PendingOp Op;
     Op.K = PendingOp::Kind::Spawn;
-    Op.Value = static_cast<uint32_t>(ScalarVal(I.Src0));
+    Op.Value = static_cast<uint32_t>(ScalarVal(DI.Src0));
     Op.SpawnKernel = Ctx.KernelId;
     Op.SpawnSurfaces = Ctx.Surfaces;
     Defer(std::move(Op), NextPc);
@@ -748,8 +767,8 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
     // inter-shred protocol does).
     PendingOp Op;
     Op.K = PendingOp::Kind::Xmit;
-    Op.Target = static_cast<uint32_t>(ScalarVal(I.Src0));
-    Op.Value = static_cast<uint32_t>(ScalarVal(I.Src1));
+    Op.Target = static_cast<uint32_t>(ScalarVal(DI.Src0));
+    Op.Value = static_cast<uint32_t>(ScalarVal(DI.Src1));
     Op.Reg = I.Dst.Reg0;
     Defer(std::move(Op), NextPc);
     break;
@@ -779,7 +798,7 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
         continue;
       bool R = false;
       if (I.Ty == ElemType::F32) {
-        float A = ReadF32Lane(I.Src0, L), B = ReadF32Lane(I.Src1, L);
+        float A = ReadF32Lane(DI.Src0, L), B = ReadF32Lane(DI.Src1, L);
         switch (I.Cmp) {
         case CmpOp::Eq: R = A == B; break;
         case CmpOp::Ne: R = A != B; break;
@@ -789,7 +808,7 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
         case CmpOp::Ge: R = A >= B; break;
         }
       } else {
-        int64_t A = ReadIntLane(I.Src0, L), B = ReadIntLane(I.Src1, L);
+        int64_t A = ReadIntLane(DI.Src0, L), B = ReadIntLane(DI.Src1, L);
         switch (I.Cmp) {
         case CmpOp::Eq: R = A == B; break;
         case CmpOp::Ne: R = A != B; break;
@@ -811,11 +830,11 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
       bool Bit = (Ctx.Preds[I.PredReg] >> L) & 1;
       if (I.PredNegate)
         Bit = !Bit;
-      const Operand &Src = Bit ? I.Src0 : I.Src1;
+      const isa::DecodedOperand &Src = Bit ? DI.Src0 : DI.Src1;
       if (I.Ty == ElemType::F32)
-        WriteF32Lane(I.Dst, L, ReadF32Lane(Src, L));
+        WriteF32Lane(DI.Dst, L, ReadF32Lane(Src, L));
       else
-        WriteIntLane(I.Dst, L, ReadIntLane(Src, L));
+        WriteIntLane(DI.Dst, L, ReadIntLane(Src, L));
     }
     break;
   }
@@ -826,26 +845,17 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
     for (unsigned L = 0; L < I.Width; ++L) {
       if (!LaneEnabled(L))
         continue;
-      // Read in source type.
+      // Read in source type (DI.Src0 was decoded with SrcTy's stride).
       double V;
       if (I.SrcTy == ElemType::F32) {
-        uint32_t Bits = I.Src0.Kind == OperandKind::Imm
-                            ? static_cast<uint32_t>(I.Src0.Imm)
-                            : Ctx.Regs[laneReg(I.Src0, L, I.SrcTy)];
-        float F;
-        std::memcpy(&F, &Bits, 4);
-        V = F;
+        V = ReadF32Lane(DI.Src0, L);
       } else {
-        int64_t IV = I.Src0.Kind == OperandKind::Imm
-                         ? I.Src0.Imm
-                         : static_cast<int32_t>(
-                               Ctx.Regs[laneReg(I.Src0, L, I.SrcTy)]);
-        V = static_cast<double>(signExtend(IV, I.SrcTy));
+        V = static_cast<double>(signExtend(ReadIntLane(DI.Src0, L), I.SrcTy));
       }
       // Write in destination type (saturating for narrow integers, as
       // media ISAs do).
       if (I.Ty == ElemType::F32) {
-        WriteF32Lane(I.Dst, L, static_cast<float>(V));
+        WriteF32Lane(DI.Dst, L, static_cast<float>(V));
       } else {
         double Lo, Hi;
         switch (I.Ty) {
@@ -854,7 +864,7 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
         default: Lo = -2147483648.0; Hi = 2147483647.0; break;
         }
         double Clamped = std::min(std::max(std::trunc(V), Lo), Hi);
-        WriteIntLane(I.Dst, L, static_cast<int64_t>(Clamped));
+        WriteIntLane(DI.Dst, L, static_cast<int64_t>(Clamped));
       }
     }
     break;
@@ -873,12 +883,12 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
     // Bounds checks read only frozen context state, so they stay in the
     // advance phase; the timed + functional access is deferred.
     if (Is2D) {
-      int64_t X = ScalarVal(I.Src1), Y = ScalarVal(I.Src2);
+      int64_t X = ScalarVal(DI.Src1), Y = ScalarVal(DI.Src2);
       if (X < 0 || Y < 0 || X + I.Width > S.Width ||
           Y >= static_cast<int64_t>(S.Height))
         return RaiseException(ExceptionKind::SurfaceBounds);
     } else {
-      int64_t FirstElem = ScalarVal(I.Src1) + ScalarVal(I.Src2);
+      int64_t FirstElem = ScalarVal(DI.Src1) + ScalarVal(DI.Src2);
       if (FirstElem < 0 ||
           FirstElem + I.Width > static_cast<int64_t>(S.totalElements()))
         return RaiseException(ExceptionKind::SurfaceBounds);
@@ -917,16 +927,15 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
       if (!LaneEnabled(L))
         continue;
       if (I.Ty == ElemType::F32) {
-        float A = ReadF32Lane(I.Src0, L);
-        float B = I.Src1.Kind == OperandKind::None ? 0.0f
-                                                   : ReadF32Lane(I.Src1, L);
+        float A = ReadF32Lane(DI.Src0, L);
+        float B = ReadF32Lane(DI.Src1, L);
         float R = 0;
         switch (I.Op) {
         case Opcode::Mov: R = A; break;
         case Opcode::Add: R = A + B; break;
         case Opcode::Sub: R = A - B; break;
         case Opcode::Mul: R = A * B; break;
-        case Opcode::Mac: R = ReadF32Lane(I.Dst, L) + A * B; break;
+        case Opcode::Mac: R = ReadF32Lane(DI.Dst, L) + A * B; break;
         case Opcode::Div: R = A / B; break; // IEEE inf/nan, no fault
         case Opcode::Min: R = std::min(A, B); break;
         case Opcode::Max: R = std::max(A, B); break;
@@ -938,18 +947,17 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
               opcodeName(I.Op));
           return;
         }
-        WriteF32Lane(I.Dst, L, R);
+        WriteF32Lane(DI.Dst, L, R);
       } else {
-        int64_t A = ReadIntLane(I.Src0, L);
-        int64_t B =
-            I.Src1.Kind == OperandKind::None ? 0 : ReadIntLane(I.Src1, L);
+        int64_t A = ReadIntLane(DI.Src0, L);
+        int64_t B = ReadIntLane(DI.Src1, L);
         int64_t R = 0;
         switch (I.Op) {
         case Opcode::Mov: R = A; break;
         case Opcode::Add: R = A + B; break;
         case Opcode::Sub: R = A - B; break;
         case Opcode::Mul: R = A * B; break;
-        case Opcode::Mac: R = ReadIntLane(I.Dst, L) + A * B; break;
+        case Opcode::Mac: R = ReadIntLane(DI.Dst, L) + A * B; break;
         case Opcode::Div:
           if (B == 0)
             return RaiseException(ExceptionKind::DivideByZero);
@@ -971,7 +979,7 @@ void GmaDevice::issueInstruction(Eu &E, Context &Ctx) {
         default:
           exochiUnreachable("unhandled ALU opcode");
         }
-        WriteIntLane(I.Dst, L, R);
+        WriteIntLane(DI.Dst, L, R);
       }
     }
     break;

@@ -38,10 +38,12 @@
 
 #include "gma/Gma.h"
 #include "gma/Trace.h"
+#include "isa/Decoded.h"
 #include "mem/CacheModel.h"
 #include "mem/PhysicalMemory.h"
 #include "support/ThreadPool.h"
 
+#include <cassert>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -59,6 +61,10 @@ namespace gma {
 struct KernelImage {
   std::vector<isa::Instruction> Code;
   std::string Name;
+  /// Operand-resolved form, filled in at registration (shared across
+  /// devices through the process-wide decode cache). Both the cycle
+  /// interpreter and the XJIT fast lane execute from it.
+  std::shared_ptr<const isa::DecodedKernel> Decoded;
 };
 
 /// Action a debugger step hook may request after each instruction.
@@ -153,6 +159,32 @@ public:
   /// Appends a shred to the software work queue and returns its shred id.
   /// The queue may hold far more shreds than there are hardware contexts.
   uint32_t enqueueShred(ShredDescriptor Desc);
+
+  /// Reserves \p N consecutive shred ids from the device's allocation
+  /// sequence and returns the first. The XJIT fast lane draws its ids
+  /// here so `sid`-dependent addressing matches the cycle backend
+  /// bit-for-bit and ids never collide across backends. Must not be
+  /// called while shreds are queued (their ids are already implied).
+  uint32_t allocShredIds(uint32_t N) {
+    assert(Queue.empty() && "id reservation with shreds queued");
+    uint32_t First = NextShredId;
+    NextShredId += N;
+    return First;
+  }
+
+  /// True when a debugger step hook or tracer is installed — execution
+  /// observers that only the cycle backend can drive (dispatch falls
+  /// back to it while they are attached).
+  bool hasExecutionHooks() const {
+    return static_cast<bool>(Hook_) || Tracer != nullptr;
+  }
+
+  /// The installed FaultLab injector (nullptr when none): shared with the
+  /// fast lane so both backends probe one fault schedule.
+  fault::FaultInjector *faultInjector() const { return Injector; }
+
+  /// Current device configuration (including set* overrides).
+  const GmaConfig &config() const { return Config; }
 
   /// Number of shreds waiting in the queue (excluding resident ones).
   size_t queuedShreds() const { return Queue.size(); }

@@ -139,6 +139,9 @@ struct ServeStats {
   /// compatible same-kernel job, and the extra jobs that rode along.
   uint64_t CoalescedBatches = 0;
   uint64_t CoalescedJobs = 0;
+  /// Jobs whose dispatch actually ran on the XJIT fast lane (requires
+  /// Feature::Backend set to fast AND the kernel to be fast-eligible).
+  uint64_t FastLaneJobs = 0;
   /// Injector fires observed while serving, by fault kind (FaultLab
   /// signal plumbing through FaultInjector::setObserver).
   uint64_t FaultSignals[fault::NumFaultKinds] = {};

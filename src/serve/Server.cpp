@@ -192,6 +192,8 @@ void Server::runBatch(const std::vector<JobId> &Members) {
   } else {
     const chi::RegionStats *RS = RT.regionStats(*H);
     JobState St = Dog.classify(*RS);
+    if (RS->Device.Backend == gma::BackendKind::Fast)
+      Stats.FastLaneJobs += Members.size();
     for (JobId Id : Members) {
       JobRecord &R = record(Id);
       R.Region = *H;
@@ -284,7 +286,8 @@ std::string Server::statsJson() const {
   for (uint64_t N : Stats.FaultSignals)
     FaultSignals += N;
   return formatString(
-      "{\"submitted\": %llu, \"admitted\": %llu, \"completed\": %llu, "
+      "{\"backend\": \"%s\", \"fast_lane_jobs\": %llu, "
+      "\"submitted\": %llu, \"admitted\": %llu, \"completed\": %llu, "
       "\"deadline_preempted\": %llu, \"drained\": %llu, \"failed\": %llu, "
       "\"shed\": %llu, \"rejected_queue_full\": %llu, "
       "\"rejected_client_quota\": %llu, \"rejected_zero_budget\": %llu, "
@@ -292,6 +295,10 @@ std::string Server::statsJson() const {
       "\"breaker_probes\": %llu, \"breaker_readmits\": %llu, "
       "\"coalesced_batches\": %llu, \"coalesced_jobs\": %llu, "
       "\"fault_signals\": %llu}",
+      gma::backendName(RT.feature(chi::Feature::Backend) != 0
+                           ? gma::BackendKind::Fast
+                           : gma::BackendKind::Cycle),
+      static_cast<unsigned long long>(Stats.FastLaneJobs),
       static_cast<unsigned long long>(Stats.Submitted),
       static_cast<unsigned long long>(Stats.Admitted),
       static_cast<unsigned long long>(Stats.Completed),

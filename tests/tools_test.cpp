@@ -37,8 +37,12 @@ std::pair<int, std::string> runCmd(const std::string &Cmd) {
 struct ToolPipelineTest : public ::testing::Test {
   void SetUp() override {
     Dir = ::testing::TempDir();
-    AsmPath = Dir + "/tp_vecadd.xasm";
-    BinPath = Dir + "/tp_vecadd.xfb";
+    // Per-test file names: the fixture's tests run concurrently under
+    // `ctest -j` and must not share scratch files.
+    std::string Tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    AsmPath = Dir + "/tp_vecadd_" + Tag + ".xasm";
+    BinPath = Dir + "/tp_vecadd_" + Tag + ".xfb";
     std::string Src = "  mul.1.dw vr1 = i, 8\n"
                       "  ld.8.dw [vr2..vr9] = (A, vr1, 0)\n"
                       "  add.8.dw [vr2..vr9] = [vr2..vr9], [vr2..vr9]\n"
@@ -84,7 +88,7 @@ TEST_F(ToolPipelineTest, AssembleInspectRunDebug) {
       << OutRun;
 
   // 4) Scripted debug session: break, inspect, continue.
-  std::string Script = Dir + "/tp_script.txt";
+  std::string Script = BinPath + ".script.txt";
   std::string Cmds = "bl 2\nrun\np vr1\nc\nq\n";
   cantFail(writeFileBytes(Script,
                           std::vector<uint8_t>(Cmds.begin(), Cmds.end())));

@@ -1,0 +1,653 @@
+//===- tests/xjit_test.cpp - XJIT fast-lane differential suite ---------------===//
+//
+// The cycle interpreter is the oracle: every test here runs the same
+// workload on both backends and requires bit-identical surface outputs
+// (DESIGN.md §14). Functional counters (shreds, instructions, memory
+// traffic) must also agree; timing/occupancy statistics are exempt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xjit/Xjit.h"
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ProxyExecution.h"
+#include "fault/FaultInjector.h"
+#include "kernels/Workloads.h"
+#include "mem/AddressSpace.h"
+#include "xasm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::gma;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Device-level rig: one GmaDevice + production proxy + a JitEngine bound
+// to it, so a workload can be dispatched to either backend directly.
+//===----------------------------------------------------------------------===//
+
+struct EngineRig {
+  explicit EngineRig(GmaConfig Config = GmaConfig())
+      : AS(PM), Device(Config, PM, Bus), Proxy(AS),
+        Jit(Device, PM, &Proxy) {
+    Device.setProxyHandler(&Proxy);
+  }
+
+  mem::VirtAddr alloc(uint64_t Bytes) {
+    mem::VirtAddr Va = Allocator.allocate(Bytes);
+    AS.reserve(Va, (Bytes + mem::PageSize - 1) & ~mem::PageOffsetMask,
+               /*Writable=*/true, "test");
+    return Va;
+  }
+
+  uint32_t loadKernel(const char *Asm, const xasm::SymbolBindings &Binds,
+                      std::string Name) {
+    auto K = xasm::assembleKernel(Asm, Binds);
+    EXPECT_TRUE(static_cast<bool>(K)) << K.message();
+    KernelImage Img;
+    Img.Code = K->Code;
+    Img.Name = std::move(Name);
+    return Device.registerKernel(std::move(Img));
+  }
+
+  void arm(fault::FaultInjector &Inj) {
+    Device.setFaultInjector(&Inj);
+    Proxy.setFaultInjector(&Inj);
+  }
+
+  /// Runs \p Shreds on the fast lane (resetting device stats first, as
+  /// Runtime::dispatch does for both backends).
+  Expected<xjit::JitRunResult>
+  runFast(uint32_t KernelId, std::vector<ShredDescriptor> Shreds,
+          TimeNs DeadlineNs = 0, bool ForceChecked = false) {
+    Device.resetStats();
+    xjit::JitRunRequest Req;
+    Req.KernelId = KernelId;
+    Req.Shreds = std::move(Shreds);
+    Req.DeadlineNs = DeadlineNs;
+    Req.ForceChecked = ForceChecked;
+    return Jit.run(Req);
+  }
+
+  mem::PhysicalMemory PM;
+  mem::MemoryBus Bus;
+  mem::Ia32AddressSpace AS;
+  mem::VirtualAllocator Allocator;
+  GmaDevice Device;
+  exo::ExoProxyHandler Proxy;
+  xjit::JitEngine Jit;
+};
+
+constexpr unsigned VecN = 1024;
+
+struct VecAdd {
+  uint32_t Kid = 0;
+  mem::VirtAddr C = 0;
+  std::vector<ShredDescriptor> Shreds;
+};
+
+/// The ATR-heavy idempotent vector-add from the FaultLab suite.
+VecAdd buildVecAdd(EngineRig &R) {
+  VecAdd W;
+  mem::VirtAddr A = R.alloc(VecN * 4), B = R.alloc(VecN * 4);
+  W.C = R.alloc(VecN * 4);
+  for (unsigned K = 0; K < VecN; ++K) {
+    R.AS.store<int32_t>(A + K * 4, static_cast<int32_t>(K * 3));
+    R.AS.store<int32_t>(B + K * 4, static_cast<int32_t>(7000 - K));
+  }
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("i", 0);
+  Binds.bindSurface("A", 0);
+  Binds.bindSurface("B", 1);
+  Binds.bindSurface("C", 2);
+  W.Kid = R.loadKernel(R"(
+    shl.1.dw vr1 = i, 3
+    ld.8.dw  [vr2..vr9]   = (A, vr1, 0)
+    ld.8.dw  [vr10..vr17] = (B, vr1, 0)
+    add.8.dw [vr18..vr25] = [vr2..vr9], [vr10..vr17]
+    st.8.dw  (C, vr1, 0)  = [vr18..vr25]
+    halt
+  )",
+                      Binds, "vecadd");
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({A, VecN, 1, isa::ElemType::I32, SurfaceMode::Input,
+                       mem::GpuMemType::Cached});
+  Surfaces->push_back({B, VecN, 1, isa::ElemType::I32, SurfaceMode::Input,
+                       mem::GpuMemType::Cached});
+  Surfaces->push_back({W.C, VecN, 1, isa::ElemType::I32, SurfaceMode::Output,
+                       mem::GpuMemType::Cached});
+  for (unsigned I = 0; I < VecN / 8; ++I) {
+    ShredDescriptor D;
+    D.KernelId = W.Kid;
+    D.Params = {static_cast<int32_t>(I)};
+    D.Surfaces = Surfaces;
+    W.Shreds.push_back(std::move(D));
+  }
+  return W;
+}
+
+std::vector<uint8_t> readBytes(EngineRig &R, mem::VirtAddr Va,
+                               uint64_t Bytes) {
+  std::vector<uint8_t> Out(Bytes);
+  R.AS.read(Va, Out.data(), Bytes);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine-level differential: same workload on both backends, identical
+// surface bytes and functional counters.
+//===----------------------------------------------------------------------===//
+
+TEST(XjitEngineTest, VecAddMatchesCycleBackendBitForBit) {
+  // Oracle: the cycle interpreter.
+  EngineRig RC;
+  VecAdd WC = buildVecAdd(RC);
+  for (ShredDescriptor &D : WC.Shreds)
+    RC.Device.enqueueShred(std::move(D));
+  auto ExitC = RC.Device.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(ExitC)) << ExitC.message();
+  GmaRunStats Cycle = RC.Device.stats();
+  std::vector<uint8_t> MemC = readBytes(RC, WC.C, VecN * 4);
+
+  // Candidate: the fast lane on a fresh, identically-built platform.
+  EngineRig RF;
+  VecAdd WF = buildVecAdd(RF);
+  auto Res = RF.runFast(WF.Kid, std::move(WF.Shreds));
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->Exit, RunExit::QueueDrained);
+  EXPECT_TRUE(Res->ElidedChecks)
+      << "vecadd under full geometry/params should verify clean";
+  EXPECT_EQ(readBytes(RF, WF.C, VecN * 4), MemC);
+
+  // Functional counters agree; only timing/occupancy are estimates.
+  const GmaRunStats &Fast = Res->Stats;
+  EXPECT_EQ(Fast.Backend, BackendKind::Fast);
+  EXPECT_EQ(Cycle.Backend, BackendKind::Cycle);
+  EXPECT_EQ(Fast.ShredsExecuted, Cycle.ShredsExecuted);
+  EXPECT_EQ(Fast.Instructions, Cycle.Instructions);
+  EXPECT_EQ(Fast.MemoryOps, Cycle.MemoryOps);
+  EXPECT_EQ(Fast.BytesLoaded, Cycle.BytesLoaded);
+  EXPECT_EQ(Fast.BytesStored, Cycle.BytesStored);
+  EXPECT_EQ(Fast.IssueCycles, Cycle.IssueCycles);
+}
+
+TEST(XjitEngineTest, ForceCheckedProducesIdenticalOutput) {
+  EngineRig RA, RB;
+  VecAdd WA = buildVecAdd(RA), WB = buildVecAdd(RB);
+  auto ResA = RA.runFast(WA.Kid, std::move(WA.Shreds));
+  ASSERT_TRUE(static_cast<bool>(ResA)) << ResA.message();
+  ASSERT_TRUE(ResA->ElidedChecks);
+  auto ResB = RB.runFast(WB.Kid, std::move(WB.Shreds), /*DeadlineNs=*/0,
+                         /*ForceChecked=*/true);
+  ASSERT_TRUE(static_cast<bool>(ResB)) << ResB.message();
+  EXPECT_FALSE(ResB->ElidedChecks);
+  EXPECT_EQ(readBytes(RA, WA.C, VecN * 4), readBytes(RB, WB.C, VecN * 4));
+}
+
+TEST(XjitEngineTest, StatsJsonNamesTheFastBackend) {
+  EngineRig R;
+  VecAdd W = buildVecAdd(R);
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  std::string Json = runStatsJson(Res->Stats);
+  EXPECT_NE(Json.find("\"backend\": \"fast\""), std::string::npos) << Json;
+}
+
+TEST(XjitEngineTest, RejectsUnknownAndSpawnKernels) {
+  EngineRig R;
+  auto Res = R.runFast(/*KernelId=*/99, {});
+  ASSERT_FALSE(static_cast<bool>(Res));
+  EXPECT_NE(Res.message().find("unregistered kernel"), std::string::npos);
+
+  // `spawn` (dynamic shred trees) is the one construct the lane refuses.
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("child", 0);
+  auto K = xasm::assembleKernel(R"(
+    spawn vr0
+    halt
+  )",
+                                Binds);
+  ASSERT_TRUE(static_cast<bool>(K)) << K.message();
+  EXPECT_FALSE(xjit::JitEngine::supports(K->Code));
+}
+
+//===----------------------------------------------------------------------===//
+// MISP signalling (xmit/wait) on the fast lane, with and without faults.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Mailbox {
+  uint32_t Kid = 0;
+  mem::VirtAddr Out = 0;
+  std::vector<ShredDescriptor> Shreds;
+};
+
+/// Producer xmits 777 to a consumer parked in `wait`, while a third
+/// shred spins — the FaultLab mailbox scenario, team-internal ids only.
+/// Fast-lane shred ids are FirstId.. in dispatch order, so the consumer
+/// (first descriptor) receives id FirstId and the producer targets it.
+Mailbox buildMailbox(EngineRig &R, uint32_t ConsumerId) {
+  Mailbox W;
+  W.Out = R.alloc(4 * 4);
+  xasm::SymbolBindings Binds;
+  Binds.bindScalar("role", 0);
+  Binds.bindScalar("peer", 1);
+  Binds.bindSurface("out", 0);
+  W.Kid = R.loadKernel(R"(
+    cmp.eq.1.dw p1 = role, 1
+    br p1, consumer
+    ; producer
+    xmit peer, vr20 = 777
+    halt
+  consumer:
+    wait vr20
+    st.1.dw (out, role, 0) = vr20
+    halt
+  )",
+                      Binds, "mailbox");
+  auto Surfaces = std::make_shared<SurfaceTable>();
+  Surfaces->push_back({W.Out, 4, 1, isa::ElemType::I32, SurfaceMode::Output,
+                       mem::GpuMemType::Cached});
+  ShredDescriptor Consumer;
+  Consumer.KernelId = W.Kid;
+  Consumer.Params = {1, 0};
+  Consumer.Surfaces = Surfaces;
+  ShredDescriptor Producer;
+  Producer.KernelId = W.Kid;
+  Producer.Params = {0, static_cast<int32_t>(ConsumerId)};
+  Producer.Surfaces = Surfaces;
+  W.Shreds.push_back(std::move(Consumer));
+  W.Shreds.push_back(std::move(Producer));
+  return W;
+}
+
+} // namespace
+
+TEST(XjitSignalTest, XmitWakesWaitingConsumer) {
+  EngineRig R;
+  // The engine reserves ids from the device sequence: first dispatch of
+  // a fresh device starts at id 1, so the consumer is shred 1.
+  Mailbox W = buildMailbox(R, /*ConsumerId=*/1);
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->Exit, RunExit::QueueDrained);
+  EXPECT_EQ(R.AS.load<int32_t>(W.Out + 1 * 4), 777);
+}
+
+TEST(XjitSignalTest, DroppedSignalDiagnosedAsTimeout) {
+  EngineRig R;
+  fault::FaultInjector Inj(/*Seed=*/1);
+  Inj.setRate(fault::FaultKind::MailboxDrop, 1.0);
+  R.arm(Inj);
+  Mailbox W = buildMailbox(R, /*ConsumerId=*/1);
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+  ASSERT_FALSE(static_cast<bool>(Res));
+  EXPECT_NE(Res.message().find("timed out"), std::string::npos)
+      << Res.message();
+  EXPECT_NE(Res.message().find("wait"), std::string::npos) << Res.message();
+}
+
+TEST(XjitSignalTest, DuplicatedSignalIsBenign) {
+  EngineRig R;
+  fault::FaultInjector Inj(/*Seed=*/1);
+  Inj.setRate(fault::FaultKind::MailboxDup, 1.0);
+  R.arm(Inj);
+  Mailbox W = buildMailbox(R, /*ConsumerId=*/1);
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(R.AS.load<int32_t>(W.Out + 1 * 4), 777);
+  EXPECT_GT(Res->Stats.MailboxDuplicated, 0u);
+}
+
+TEST(XjitSignalTest, LostSignalWithoutInjectionIsDeadlock) {
+  EngineRig R;
+  Mailbox W = buildMailbox(R, /*ConsumerId=*/1);
+  W.Shreds.pop_back(); // no producer: the consumer waits forever
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+  ASSERT_FALSE(static_cast<bool>(Res));
+  EXPECT_NE(Res.message().find("deadlock"), std::string::npos)
+      << Res.message();
+  EXPECT_NE(Res.message().find("vr20"), std::string::npos) << Res.message();
+}
+
+//===----------------------------------------------------------------------===//
+// FaultLab composition: EU hard-fails degrade through the re-dispatch
+// ladder; the output survives bit-for-bit.
+//===----------------------------------------------------------------------===//
+
+TEST(XjitFaultTest, SurvivesEuHardFailsWithCorrectOutput) {
+  EngineRig R;
+  fault::FaultInjector Inj(/*Seed=*/42);
+  Inj.setRate(fault::FaultKind::EuHardFail, 0.01);
+  R.arm(Inj);
+  VecAdd W = buildVecAdd(R);
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_GT(Res->Stats.FaultsInjected, 0u) << "rate too low for the probes";
+  EXPECT_GT(Res->Stats.ShredsRedispatched + Res->Stats.HostRedispatches, 0u);
+  for (unsigned K = 0; K < VecN; ++K)
+    ASSERT_EQ(R.AS.load<int32_t>(W.C + K * 4),
+              static_cast<int32_t>(K * 3 + 7000 - K));
+}
+
+TEST(XjitFaultTest, SurvivesMixedInjectionWithCorrectOutput) {
+  for (uint64_t Seed : {7u, 21u}) {
+    SCOPED_TRACE("seed=" + std::to_string(Seed));
+    EngineRig R;
+    fault::FaultInjector Inj =
+        cantFail(fault::FaultInjector::parse("all:0.02", Seed));
+    R.arm(Inj);
+    VecAdd W = buildVecAdd(R);
+    auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+    ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+    EXPECT_GT(Inj.fired().size(), 0u);
+    for (unsigned K = 0; K < VecN; ++K)
+      ASSERT_EQ(R.AS.load<int32_t>(W.C + K * 4),
+                static_cast<int32_t>(K * 3 + 7000 - K));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CEH on the fast lane: divide-by-zero raises to the proxy, which
+// emulates the instruction and resumes past it — same as the oracle.
+//===----------------------------------------------------------------------===//
+
+TEST(XjitCehTest, DivideByZeroMatchesCycleBackend) {
+  auto Build = [](EngineRig &R, uint32_t &Kid, mem::VirtAddr &Out,
+                  std::vector<ShredDescriptor> &Shreds) {
+    // The SEH layer's resumable policy (paper Section 3.3): the handler
+    // writes 0 into the offending lanes and execution continues.
+    R.Proxy.setDivZeroPolicy(exo::DivZeroPolicy::WriteZero);
+    Out = R.alloc(8 * 4);
+    xasm::SymbolBindings Binds;
+    Binds.bindScalar("num", 0);
+    Binds.bindSurface("out", 0);
+    // Lane-varying divisor includes a zero: the CEH path must emulate
+    // the whole divide and the survivors' quotients must be exact.
+    Kid = R.loadKernel(R"(
+      mov.8.dw [vr10..vr17] = num
+      mov.1.dw vr20 = 0
+      mov.1.dw vr21 = 1
+      mov.1.dw vr22 = 2
+      mov.1.dw vr23 = 3
+      mov.1.dw vr24 = 4
+      mov.1.dw vr25 = 5
+      mov.1.dw vr26 = 6
+      mov.1.dw vr27 = 7
+      div.8.dw [vr30..vr37] = [vr10..vr17], [vr20..vr27]
+      st.8.dw (out, 0, 0) = [vr30..vr37]
+      halt
+    )",
+                      Binds, "divz");
+    auto Surfaces = std::make_shared<SurfaceTable>();
+    Surfaces->push_back({Out, 8, 1, isa::ElemType::I32, SurfaceMode::Output,
+                         mem::GpuMemType::Cached});
+    ShredDescriptor D;
+    D.KernelId = Kid;
+    D.Params = {5040};
+    D.Surfaces = Surfaces;
+    Shreds.push_back(std::move(D));
+  };
+
+  EngineRig RC;
+  uint32_t KidC;
+  mem::VirtAddr OutC;
+  std::vector<ShredDescriptor> ShredsC;
+  Build(RC, KidC, OutC, ShredsC);
+  for (ShredDescriptor &D : ShredsC)
+    RC.Device.enqueueShred(std::move(D));
+  auto ExitC = RC.Device.run(0.0);
+  ASSERT_TRUE(static_cast<bool>(ExitC)) << ExitC.message();
+  ASSERT_GT(RC.Device.stats().ExceptionsHandled, 0u);
+
+  EngineRig RF;
+  uint32_t KidF;
+  mem::VirtAddr OutF;
+  std::vector<ShredDescriptor> ShredsF;
+  Build(RF, KidF, OutF, ShredsF);
+  auto Res = RF.runFast(KidF, std::move(ShredsF));
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_GT(Res->Stats.ExceptionsHandled, 0u);
+  EXPECT_EQ(readBytes(RF, OutF, 8 * 4), readBytes(RC, OutC, 8 * 4));
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline preemption at fast-lane safepoints.
+//===----------------------------------------------------------------------===//
+
+TEST(XjitDeadlineTest, PreemptsWhenEstimatePassesDeadline) {
+  EngineRig R;
+  VecAdd W = buildVecAdd(R);
+  size_t Team = W.Shreds.size();
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds), /*DeadlineNs=*/1.0);
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_EQ(Res->Exit, RunExit::DeadlinePreempted);
+  EXPECT_GT(Res->Stats.ShredsPreempted, 0u);
+  EXPECT_LT(Res->Stats.ShredsExecuted, Team);
+  EXPECT_EQ(Res->Stats.FinishNs, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// chi-level differential: every Table 2 kernel, cycle vs fast, via the
+// Feature::Backend selector.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using kernels::MediaWorkload;
+
+struct WorkloadRig {
+  explicit WorkloadRig(std::unique_ptr<MediaWorkload> WL)
+      : Workload(std::move(WL)), RT(Platform) {
+    chi::ProgramBuilder PB;
+    cantFail(Workload->compile(PB));
+    Binary = PB.take();
+    cantFail(RT.loadBinary(Binary));
+    cantFail(Workload->setup(RT));
+  }
+
+  std::unique_ptr<MediaWorkload> Workload;
+  exo::ExoPlatform Platform;
+  chi::Runtime RT;
+  fatbin::FatBinary Binary;
+};
+
+std::unique_ptr<MediaWorkload> makeSmallWorkload(int Index) {
+  using namespace kernels;
+  switch (Index) {
+  case 0:
+    return createLinearFilter(64, 32);
+  case 1:
+    return createSepiaTone(64, 32);
+  case 2:
+    return createFGT(64, 32);
+  case 3:
+    return createBicubic(64, 32, 3);
+  case 4:
+    return createKalman(64, 32, 3);
+  case 5:
+    return createFMD(64, 32, 12);
+  case 6:
+    return createAlphaBlend(64, 32, 3);
+  case 7:
+    return createBOB(64, 32, 4);
+  case 8:
+    return createADVDI(64, 32, 4);
+  default:
+    return createProcAmp(64, 32, 3);
+  }
+}
+
+std::string kernelCaseName(const ::testing::TestParamInfo<int> &Info) {
+  static const char *Names[] = {"LinearFilter", "SepiaTone", "FGT",
+                                "Bicubic",      "Kalman",    "FMD",
+                                "AlphaBlend",   "BOB",       "ADVDI",
+                                "ProcAmp"};
+  return Names[Info.param];
+}
+
+/// Full dispatch on \p Backend: asserts the run actually executed on
+/// the expected backend and that the shared output is bit-identical to
+/// the IA32 host reference (MediaWorkload::compareSharedToReference
+/// compares every visible element for exact equality, so two backends
+/// that both pass are bit-identical to each other).
+void runOn(WorkloadRig &Rig, int64_t Backend, BackendKind Expect) {
+  Rig.RT.setFeature(chi::Feature::Backend, Backend);
+  MediaWorkload &WL = *Rig.Workload;
+  auto H = WL.dispatchDevice(Rig.RT, 0, WL.totalStrips());
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  const chi::RegionStats *St = Rig.RT.regionStats(*H);
+  ASSERT_NE(St, nullptr);
+  EXPECT_EQ(St->Device.Backend, Expect)
+      << WL.name() << ": wrong backend for selector " << Backend;
+  Error E = WL.compareSharedToReference(Rig.RT);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+}
+
+} // namespace
+
+class XjitTable2Test : public ::testing::TestWithParam<int> {};
+
+// The load-bearing contract: for every Table 2 kernel, the fast lane —
+// in both elided and forced-check modes — reproduces the cycle backend's
+// exact output surface (all three runs must equal the bit-exact host
+// reference, hence each other).
+TEST_P(XjitTable2Test, FastLaneBitIdenticalToCycleOracle) {
+  WorkloadRig Rig(makeSmallWorkload(GetParam()));
+  cantFail(Rig.Workload->hostCompute(0, Rig.Workload->totalStrips()));
+  runOn(Rig, 0, BackendKind::Cycle);
+  runOn(Rig, 1, BackendKind::Fast);
+  runOn(Rig, 2, BackendKind::Fast);
+}
+
+// `--inject` composition at the runtime level: the fast lane completes
+// every Table 2 kernel correctly under mixed fault injection.
+TEST_P(XjitTable2Test, FastLaneSurvivesInjectionWithCorrectOutput) {
+  WorkloadRig Rig(makeSmallWorkload(GetParam()));
+  fault::FaultInjector Inj =
+      cantFail(fault::FaultInjector::parse("all:0.02", /*Seed=*/7));
+  Rig.Platform.armFaultInjection(&Inj);
+  Rig.RT.setFeature(chi::Feature::Backend, 1);
+  Error E = Rig.Workload->verify(Rig.RT);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, XjitTable2Test, ::testing::Range(0, 10),
+                         kernelCaseName);
+
+//===----------------------------------------------------------------------===//
+// Geometry sweep: partial tiles and non-square shapes stay bit-identical.
+//===----------------------------------------------------------------------===//
+
+struct SizeCase {
+  uint32_t W, H, Frames;
+};
+
+class XjitSizeSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, SizeCase>> {};
+
+TEST_P(XjitSizeSweepTest, BitIdenticalAcrossGeometries) {
+  auto [Kernel, Size] = GetParam();
+  auto Make = [Kernel = Kernel, Size = Size] {
+    using namespace kernels;
+    switch (Kernel) {
+    case 0:
+      return createLinearFilter(Size.W, Size.H);
+    case 1:
+      return createBOB(Size.W, Size.H, Size.Frames);
+    case 2:
+      return createBicubic(Size.W, Size.H, Size.Frames);
+    default:
+      return createKalman(Size.W, Size.H, Size.Frames);
+    }
+  };
+  WorkloadRig Rig(Make());
+  cantFail(Rig.Workload->hostCompute(0, Rig.Workload->totalStrips()));
+  runOn(Rig, 0, BackendKind::Cycle);
+  runOn(Rig, 1, BackendKind::Fast);
+}
+
+namespace {
+
+std::vector<std::tuple<int, SizeCase>> sizeSweepCases() {
+  const SizeCase Sizes[] = {
+      {40, 24, 2}, {72, 40, 3}, {104, 56, 2}, {256, 18, 2}};
+  std::vector<std::tuple<int, SizeCase>> Out;
+  for (int Kernel = 0; Kernel < 4; ++Kernel)
+    for (const SizeCase &S : Sizes)
+      Out.emplace_back(Kernel, S);
+  return Out;
+}
+
+std::string sizeCaseName(
+    const ::testing::TestParamInfo<std::tuple<int, SizeCase>> &Info) {
+  static const char *Names[] = {"LinearFilter", "BOB", "Bicubic", "Kalman"};
+  const SizeCase &S = std::get<1>(Info.param);
+  return std::string(Names[std::get<0>(Info.param)]) + "_" +
+         std::to_string(S.W) + "x" + std::to_string(S.H) + "x" +
+         std::to_string(S.Frames);
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Geometries, XjitSizeSweepTest,
+                         ::testing::ValuesIn(sizeSweepCases()), sizeCaseName);
+
+//===----------------------------------------------------------------------===//
+// Backend selection and fallback gating in the runtime.
+//===----------------------------------------------------------------------===//
+
+TEST(XjitSelectionTest, DefaultBackendIsCycle) {
+  WorkloadRig Rig(makeSmallWorkload(1));
+  MediaWorkload &WL = *Rig.Workload;
+  auto H = WL.dispatchDevice(Rig.RT, 0, WL.totalStrips());
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  EXPECT_EQ(Rig.RT.regionStats(*H)->Device.Backend, BackendKind::Cycle);
+}
+
+TEST(XjitSelectionTest, ExecutionHooksForceCycleFallback) {
+  WorkloadRig Rig(makeSmallWorkload(1));
+  Rig.RT.setFeature(chi::Feature::Backend, 1);
+  uint64_t Steps = 0;
+  Rig.Platform.device().setStepHook([&](uint32_t, uint32_t, uint32_t) {
+    ++Steps;
+    return StepAction::Continue;
+  });
+  MediaWorkload &WL = *Rig.Workload;
+  auto H = WL.dispatchDevice(Rig.RT, 0, WL.totalStrips());
+  ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+  EXPECT_EQ(Rig.RT.regionStats(*H)->Device.Backend, BackendKind::Cycle);
+  EXPECT_GT(Steps, 0u) << "the hook must actually observe execution";
+}
+
+TEST(XjitSelectionTest, BackendSwitchesPerDispatchMidSession) {
+  // One session, alternating backends: the engine and device share the
+  // kernel registry and shred-id sequence, so runs interleave freely.
+  WorkloadRig Rig(makeSmallWorkload(0));
+  MediaWorkload &WL = *Rig.Workload;
+  cantFail(WL.hostCompute(0, WL.totalStrips()));
+  for (int64_t Sel : {0, 1, 0, 2}) {
+    SCOPED_TRACE("backend=" + std::to_string(Sel));
+    Rig.RT.setFeature(chi::Feature::Backend, Sel);
+    auto H = WL.dispatchDevice(Rig.RT, 0, WL.totalStrips());
+    ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+    EXPECT_EQ(Rig.RT.regionStats(*H)->Device.Backend,
+              Sel == 0 ? BackendKind::Cycle : BackendKind::Fast);
+    Error E = WL.compareSharedToReference(Rig.RT);
+    EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  }
+}
+
+TEST(XjitSelectionTest, ParseBackendNameIsStrict) {
+  EXPECT_EQ(parseBackendName("cycle"), BackendKind::Cycle);
+  EXPECT_EQ(parseBackendName("fast"), BackendKind::Fast);
+  EXPECT_FALSE(parseBackendName("jit").has_value());
+  EXPECT_FALSE(parseBackendName("").has_value());
+  EXPECT_FALSE(parseBackendName("Fast").has_value());
+}

@@ -23,6 +23,7 @@
 
 #include "chi/ParallelRegion.h"
 #include "fault/FaultInjector.h"
+#include "gma/Gma.h"
 #include "gma/Trace.h"
 #include "chi/Runtime.h"
 #include "net/NetServer.h"
@@ -34,6 +35,7 @@
 #include "xopt/Verify.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -81,6 +83,7 @@ int main(int Argc, char **Argv) {
   int MaxRetries = -1; ///< -1 = leave the platform default
   unsigned Shreds = 1;
   int SimThreads = -1; ///< -1 = leave the platform default
+  std::string Backend; ///< --backend: cycle|fast ("" = EXOCHI_BACKEND/default)
   int64_t ServeJobs = 0;      ///< --serve: number of ExoServe jobs (0 = off)
   int64_t ServeClients = 4;   ///< --clients: synthetic client count
   int64_t DeadlineCycles = -1; ///< --deadline: per-job budget (-1 = none)
@@ -166,6 +169,15 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       SimThreads = static_cast<unsigned>(*N);
+    } else if (matchValueOpt("--backend", Val)) {
+      if (!gma::parseBackendName(Val)) {
+        std::fprintf(stderr,
+                     "exochi-run: bad --backend value '%s' (need cycle or "
+                     "fast)\n",
+                     Val.c_str());
+        return 2;
+      }
+      Backend = Val;
     }
     else if (A == "--inject" || A.rfind("--inject=", 0) == 0)
       InjectSpec = A.size() > 8 && A[8] == '=' ? A.substr(9)
@@ -231,13 +243,18 @@ int main(int Argc, char **Argv) {
                    "usage: exochi-run <file.xfb> --kernel <name> "
                    "[--shreds N] [--surface n=WxH[:zero|seq|rand]] "
                    "[--param n=<int>|shred] [--trace out.json] "
-                   "[--sim-threads N] [--lint=ignore|collect|reject]\n"
+                   "[--sim-threads N] [--backend cycle|fast] "
+                   "[--lint=ignore|collect|reject]\n"
                    "       [--inject <kind:rate,...|all:rate>] "
                    "[--inject-seed N] [--max-retries K]\n"
                    "       [--serve N] [--clients M] [--deadline CYCLES] "
                    "[--drain-after K] [--stats-out FILE]\n"
                    "       [--listen PORT] [--listen-unix PATH] "
                    "[--coalesce-window N]\n"
+                   "  --backend fast: run verified kernels on the XJIT "
+                   "host-native lane\n"
+                   "                  (EXOCHI_BACKEND env works too; flag "
+                   "wins; default cycle)\n"
                    "  --inject kinds: atr-transient, atr-fatal, ceh-timeout,"
                    " eu-hard-fail,\n"
                    "                  mailbox-drop, mailbox-dup, all\n"
@@ -333,6 +350,21 @@ int main(int Argc, char **Argv) {
     Platform.setMaxRetries(static_cast<unsigned>(MaxRetries));
   if (SimThreads >= 0)
     RT.setFeature(chi::Feature::SimThreads, SimThreads);
+  if (Backend.empty())
+    if (const char *Env = std::getenv("EXOCHI_BACKEND"))
+      Backend = Env;
+  if (!Backend.empty()) {
+    auto B = gma::parseBackendName(Backend);
+    if (!B) { // only reachable via EXOCHI_BACKEND; the flag is pre-checked
+      std::fprintf(stderr,
+                   "exochi-run: bad EXOCHI_BACKEND value '%s' (need cycle "
+                   "or fast)\n",
+                   Backend.c_str());
+      return 2;
+    }
+    RT.setFeature(chi::Feature::Backend,
+                  *B == gma::BackendKind::Fast ? 1 : 0);
+  }
   gma::TraceRecorder Tracer;
   if (!TracePath.empty())
     Platform.device().setTracer(&Tracer);
@@ -491,9 +523,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   const chi::RegionStats *S = RT.regionStats(*H);
-  std::printf("ran '%s': %llu shreds, %.3f ms simulated, %llu instructions, "
-              "%llu TLB misses, %llu exceptions handled\n",
-              Kernel.c_str(),
+  std::printf("ran '%s' on the %s backend: %llu shreds, %.3f ms simulated, "
+              "%llu instructions, %llu TLB misses, %llu exceptions handled\n",
+              Kernel.c_str(), gma::backendName(S->Device.Backend),
               static_cast<unsigned long long>(S->ShredsSpawned),
               S->totalNs() / 1e6,
               static_cast<unsigned long long>(S->Device.Instructions),
