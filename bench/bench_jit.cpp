@@ -22,6 +22,9 @@
 
 #include "BenchCommon.h"
 
+#include "isa/Encoding.h"
+#include "xopt/Cost.h"
+
 #include <chrono>
 #include <vector>
 
@@ -103,6 +106,48 @@ int main() {
                      "bench_jit: FATAL: %s functional counters diverge "
                      "between backends (differential contract broken)\n",
                      Name.c_str());
+        return 1;
+      }
+    }
+
+    // XCost envelope: the measured issue-cycle counter of every run —
+    // the same value on both backends, checked above — must fall inside
+    // NumShreds * [min, max] of the static analysis under this
+    // workload's real parameter envelope (DESIGN.md §15).
+    {
+      WorkloadInstance W = instantiate(Make);
+      const fatbin::CodeSection *Sec =
+          W.RT->loadedSection(W.Workload->name());
+      if (!Sec) {
+        std::fprintf(stderr, "bench_jit: FATAL: %s kernel not loaded\n",
+                     Name.c_str());
+        return 1;
+      }
+      auto Prog = isa::decodeProgram(Sec->Code);
+      if (!Prog) {
+        std::fprintf(stderr, "bench_jit: FATAL: %s: %s\n", Name.c_str(),
+                     Prog.message().c_str());
+        return 1;
+      }
+      xopt::VerifySpec Spec;
+      Spec.NumScalarParams =
+          static_cast<unsigned>(Sec->ScalarParams.size());
+      Spec.NumSurfaceSlots =
+          static_cast<int32_t>(Sec->SurfaceParams.size());
+      for (unsigned P = 0; P < Spec.NumScalarParams; ++P) {
+        auto Hull = W.Workload->scalarParamHull(P);
+        Spec.ParamRanges[P] = xopt::Range{Hull.first, Hull.second};
+      }
+      xopt::CostReport CR = xopt::analyzeCost(*Prog, Spec, Name);
+      double Shreds = static_cast<double>(Cycle.Device.ShredsExecuted);
+      if (!CR.bounded() ||
+          Cycle.Device.IssueCycles < Shreds * CR.minCycles() ||
+          Cycle.Device.IssueCycles > Shreds * CR.maxCycles()) {
+        std::fprintf(stderr,
+                     "bench_jit: FATAL: %s issue cycles %.1f outside the "
+                     "static envelope [%.1f, %.1f] x %.0f shreds\n",
+                     Name.c_str(), Cycle.Device.IssueCycles,
+                     CR.minCycles(), CR.maxCycles(), Shreds);
         return 1;
       }
     }

@@ -77,6 +77,15 @@ public:
   /// called before dispatching regions that name those kernels.
   Error loadBinary(const fatbin::FatBinary &Binary);
 
+  /// The fat-binary section of a loaded kernel (nullptr when not
+  /// loaded). Exposes the ABI metadata — scalar/surface parameter names
+  /// in slot order — that static analyses (XCost admission, XVerify)
+  /// need at dispatch time.
+  const fatbin::CodeSection *loadedSection(const std::string &Name) const {
+    auto It = Loaded.find(Name);
+    return It == Loaded.end() ? nullptr : &It->second.Section;
+  }
+
   //===--------------------------------------------------------------------===//
   // Clock & configuration
   //===--------------------------------------------------------------------===//

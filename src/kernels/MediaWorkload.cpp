@@ -56,6 +56,38 @@ Error MediaWorkload::compile(chi::ProgramBuilder &PB) {
       .takeError();
 }
 
+std::vector<std::string> MediaWorkload::scalarParamNames() const {
+  std::vector<std::string> Scalars = {"y0", "rows", "x0", "cols"};
+  for (const std::string &P : extraScalarParams())
+    Scalars.push_back(P);
+  return Scalars;
+}
+
+std::pair<int32_t, int32_t> MediaWorkload::scalarParamHull(unsigned Index) const {
+  std::vector<std::string> Scalars = scalarParamNames();
+  assert(Index < Scalars.size() && "scalar slot out of range");
+  const std::string &W = Scalars[Index];
+  int32_t Lo = INT32_MAX, Hi = INT32_MIN;
+  for (uint64_t S = 0, E = totalStrips(); S < E; ++S) {
+    uint32_t Frame, Row0, Rows, Col0, Cols;
+    stripLocation(S, Frame, Row0, Rows, Col0, Cols);
+    int32_t V;
+    if (W == "y0")
+      V = static_cast<int32_t>(OutGeo.absRow(Row0, Frame));
+    else if (W == "rows")
+      V = static_cast<int32_t>(Rows);
+    else if (W == "x0")
+      V = static_cast<int32_t>(OutGeo.PadX + Col0);
+    else if (W == "cols")
+      V = static_cast<int32_t>(Cols);
+    else
+      V = extraParamValue(W, S);
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  return {Lo, Hi};
+}
+
 Expected<chi::RegionHandle> MediaWorkload::dispatchDevice(chi::Runtime &RT,
                                                           uint64_t S0,
                                                           uint64_t S1,

@@ -84,6 +84,15 @@ public:
   /// Compiles the accelerator kernel into \p PB (once per fat binary).
   Error compile(chi::ProgramBuilder &PB);
 
+  /// Scalar parameter names in the kernel's ABI slot order (the standard
+  /// y0/rows/x0/cols followed by extraScalarParams()). Mirrors compile().
+  std::vector<std::string> scalarParamNames() const;
+
+  /// [min, max] hull of scalar parameter slot \p Index over every strip of
+  /// a full run — the value envelope XCost/XVerify static analyses should
+  /// assume for this workload's dispatches (exochi-lint --registry).
+  std::pair<int32_t, int32_t> scalarParamHull(unsigned Index) const;
+
   /// Allocates surfaces, generates input content, publishes it to shared
   /// memory, and allocates descriptors. Requires compile()d binary to be
   /// loaded into \p RT already (or loaded afterwards, before dispatch).

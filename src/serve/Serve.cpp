@@ -37,6 +37,8 @@ const char *serve::rejectReasonName(RejectReason R) {
     return "draining";
   case RejectReason::LoadShed:
     return "load-shed";
+  case RejectReason::CostOverDeadline:
+    return "cost-over-deadline";
   }
   exochiUnreachable("bad RejectReason");
 }

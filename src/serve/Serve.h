@@ -60,6 +60,10 @@ enum class RejectReason : uint8_t {
   ZeroBudget,  ///< a zero-cycle deadline budget cannot run anything
   Draining,    ///< the server is draining; admission is closed
   LoadShed,    ///< evicted from the queue for a higher-priority arrival
+  /// XCost admission: the static lower bound on the job's execution
+  /// already exceeds its deadline budget, so dispatching it could only
+  /// end in a deadline preemption (ServerConfig::CostAdmission).
+  CostOverDeadline,
 };
 
 /// Display name of \p R (e.g. "queue-full").
@@ -132,6 +136,9 @@ struct ServeStats {
   uint64_t RejectedClientQuota = 0;
   uint64_t RejectedZeroBudget = 0;
   uint64_t RejectedDraining = 0;
+  /// Rejected because the XCost static lower bound exceeded the deadline
+  /// budget (ServerConfig::CostAdmission).
+  uint64_t RejectedCostOverDeadline = 0;
   uint64_t BreakerTrips = 0;    ///< EU transitions into Open
   uint64_t BreakerProbes = 0;   ///< EU transitions into HalfOpen
   uint64_t BreakerReadmits = 0; ///< HalfOpen probes that closed again

@@ -6,7 +6,9 @@
 
 #include "serve/Server.h"
 
+#include "isa/Encoding.h"
 #include "support/Format.h"
+#include "xopt/Cost.h"
 
 using namespace exochi;
 using namespace exochi::serve;
@@ -53,6 +55,9 @@ void Server::reject(JobRecord &R, RejectReason Reason) {
   case RejectReason::LoadShed:
     ++Stats.Shed;
     break;
+  case RejectReason::CostOverDeadline:
+    ++Stats.RejectedCostOverDeadline;
+    break;
   case RejectReason::None:
     break;
   }
@@ -75,6 +80,11 @@ Server::SubmitResult Server::submit(JobSpec Spec) {
     // A zero-cycle budget cannot run even one epoch: answer now instead
     // of queueing work guaranteed to die at its first boundary.
     reject(R, RejectReason::ZeroBudget);
+  } else if (Config.CostAdmission && costExceedsBudget(Spec)) {
+    // XCost admission: the static lower bound already blows the budget,
+    // so the only possible outcome is a deadline preemption. Answer at
+    // admission instead of dispatching doomed work.
+    reject(R, RejectReason::CostOverDeadline);
   } else {
     JobQueue::Admission A = Queue.tryAdmit(R.Id, R.Pri, R.ClientId);
     if (A.Admitted) {
@@ -93,6 +103,84 @@ Server::SubmitResult Server::submit(JobSpec Spec) {
   Jobs.push_back(R);
   Specs.push_back(std::move(Spec));
   return Res;
+}
+
+bool Server::costExceedsBudget(const JobSpec &Spec) {
+  int64_t Budget = Dog.effectiveBudgetCycles(Spec);
+  if (Budget <= 0)
+    return false; // no deadline (zero budgets were rejected earlier)
+  const chi::RegionSpec &Region = Spec.Region;
+  if (Region.NumThreads == 0)
+    return false;
+  const fatbin::CodeSection *Sec = RT.loadedSection(Region.KernelName);
+  if (!Sec)
+    return false; // unknown kernel: let the dispatch fail with its error
+
+  // Build the dispatch-sharpened spec the analyzer sees: parameter
+  // ranges from the clause bindings, surface geometry from the live
+  // descriptors — the same facts exochi-run --lint hands XVerify.
+  xopt::VerifySpec VS;
+  VS.NumScalarParams = static_cast<unsigned>(Sec->ScalarParams.size());
+  VS.NumSurfaceSlots = static_cast<int32_t>(Sec->SurfaceParams.size());
+  std::vector<int64_t> Key;
+  Key.push_back(static_cast<int64_t>(Region.NumThreads));
+  for (unsigned P = 0; P < VS.NumScalarParams; ++P) {
+    const std::string &Name = Sec->ScalarParams[P];
+    if (auto It = Region.Firstprivate.find(Name);
+        It != Region.Firstprivate.end()) {
+      VS.ParamRanges[P] = xopt::Range::point(It->second);
+    } else if (auto It = Region.Private.find(Name);
+               It != Region.Private.end()) {
+      int32_t Lo = INT32_MAX, Hi = INT32_MIN;
+      for (unsigned T = 0; T < Region.NumThreads; ++T) {
+        int32_t V = It->second(T);
+        Lo = std::min(Lo, V);
+        Hi = std::max(Hi, V);
+      }
+      VS.ParamRanges[P] = xopt::Range::of(Lo, Hi);
+    }
+    if (auto It = VS.ParamRanges.find(P); It != VS.ParamRanges.end()) {
+      Key.push_back(It->second.Lo);
+      Key.push_back(It->second.Hi);
+    } else {
+      Key.push_back(xopt::Range::NegInf);
+      Key.push_back(xopt::Range::PosInf);
+    }
+  }
+  for (size_t Slot = 0; Slot < Sec->SurfaceParams.size(); ++Slot) {
+    if (auto It = Region.SharedDescs.find(Sec->SurfaceParams[Slot]);
+        It != Region.SharedDescs.end())
+      if (const chi::Descriptor *D = RT.descriptor(It->second)) {
+        VS.Surfaces[static_cast<int32_t>(Slot)] = {
+            static_cast<int64_t>(D->Width), static_cast<int64_t>(D->Height)};
+        Key.push_back(D->Width);
+        Key.push_back(D->Height);
+        continue;
+      }
+    Key.push_back(-1);
+    Key.push_back(-1);
+  }
+
+  double MinPerShred;
+  auto CacheKey = std::make_pair(Region.KernelName, std::move(Key));
+  if (auto It = CostCache.find(CacheKey); It != CostCache.end()) {
+    MinPerShred = It->second;
+  } else {
+    auto Prog = isa::decodeProgram(Sec->Code);
+    if (!Prog)
+      return false; // undecodable: the dispatch path owns that error
+    xopt::CostReport CR =
+        xopt::analyzeCost(*Prog, VS, Region.KernelName);
+    MinPerShred = CR.minCycles();
+    CostCache.emplace(std::move(CacheKey), MinPerShred);
+  }
+
+  // Pigeonhole lower bound on elapsed device cycles: issue slots
+  // serialize per EU, so some EU issues >= ceil(N/EUs) shreds' minimum.
+  uint64_t Eus = std::max(RT.platform().config().Gma.NumEus, 1u);
+  uint64_t PerEu = (Region.NumThreads + Eus - 1) / Eus;
+  return static_cast<double>(PerEu) * MinPerShred >
+         static_cast<double>(Budget);
 }
 
 void Server::applyQuarantine() {
@@ -291,7 +379,8 @@ std::string Server::statsJson() const {
       "\"deadline_preempted\": %llu, \"drained\": %llu, \"failed\": %llu, "
       "\"shed\": %llu, \"rejected_queue_full\": %llu, "
       "\"rejected_client_quota\": %llu, \"rejected_zero_budget\": %llu, "
-      "\"rejected_draining\": %llu, \"breaker_trips\": %llu, "
+      "\"rejected_draining\": %llu, \"rejected_cost_over_deadline\": %llu, "
+      "\"breaker_trips\": %llu, "
       "\"breaker_probes\": %llu, \"breaker_readmits\": %llu, "
       "\"coalesced_batches\": %llu, \"coalesced_jobs\": %llu, "
       "\"fault_signals\": %llu}",
@@ -310,6 +399,7 @@ std::string Server::statsJson() const {
       static_cast<unsigned long long>(Stats.RejectedClientQuota),
       static_cast<unsigned long long>(Stats.RejectedZeroBudget),
       static_cast<unsigned long long>(Stats.RejectedDraining),
+      static_cast<unsigned long long>(Stats.RejectedCostOverDeadline),
       static_cast<unsigned long long>(Stats.BreakerTrips),
       static_cast<unsigned long long>(Stats.BreakerProbes),
       static_cast<unsigned long long>(Stats.BreakerReadmits),

@@ -21,7 +21,9 @@
 #include "serve/JobQueue.h"
 #include "serve/Watchdog.h"
 
+#include <map>
 #include <optional>
+#include <utility>
 
 namespace exochi {
 namespace serve {
@@ -30,6 +32,13 @@ struct ServerConfig {
   JobQueueConfig Queue;
   WatchdogConfig Watchdog;
   BreakerConfig Breaker;
+  /// Reject a job at admission (RejectReason::CostOverDeadline) when the
+  /// XCost static analyzer proves its minimum execution already exceeds
+  /// the job's deadline budget — turning reactive watchdog preemption
+  /// into up-front admission control (DESIGN.md §15). Off by default:
+  /// enabling it changes which terminal state doomed jobs reach
+  /// (Rejected instead of DeadlinePreempted).
+  bool CostAdmission = false;
 };
 
 class Server {
@@ -118,6 +127,9 @@ private:
   bool coalescable(JobId A, JobId B) const;
   /// Applies breaker state to the device's quarantine flags.
   void applyQuarantine();
+  /// XCost admission check: true when the static lower bound on \p Spec's
+  /// elapsed device cycles provably exceeds its effective deadline budget.
+  bool costExceedsBudget(const JobSpec &Spec);
 
   chi::Runtime &RT;
   ServerConfig Config;
@@ -129,6 +141,10 @@ private:
   std::vector<JobSpec> Specs;  ///< parallel to Jobs (specs of queued work)
   ServeStats Stats;
   bool Draining = false;
+  /// XCost admission cache: kernel name + dispatch-shape fingerprint ->
+  /// static per-shred minimum cycles (analyzeCost is pure in the spec,
+  /// so repeated same-shape submissions pay for one analysis).
+  std::map<std::pair<std::string, std::vector<int64_t>>, double> CostCache;
 };
 
 } // namespace serve

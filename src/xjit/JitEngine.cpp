@@ -33,6 +33,7 @@
 #include "fault/FaultInjector.h"
 #include "isa/Decoded.h"
 #include "support/Format.h"
+#include "xopt/Cost.h"
 #include "xopt/Range.h"
 #include "xopt/Verify.h"
 
@@ -1430,10 +1431,22 @@ struct JitEngine::Impl {
     // length and issue cost of the all-Act::Next suffix it heads.
     // Branches into the middle of a run stay correct — each member
     // carries its own (shorter) suffix.
+    //
+    // Gate on XCost's structural verdict (value-independent: every
+    // register unknown at entry): a kernel whose CFG is irreducible or
+    // whose waits cannot be matched to an in-kernel xmit keeps
+    // single-step dispatch, where the park/wake bookkeeping of the
+    // cooperative scheduler is easiest to audit. Finite bounds are NOT
+    // required — the Table 2 kernels all have parameter-dependent trip
+    // counts and must stay fused.
+    xopt::VerifySpec CostSpec;
+    CostSpec.NumScalarParams = isa::NumVRegs;
+    const bool Fusable =
+        xopt::analyzeCost(K.Code, CostSpec, K.Name).structureOk();
     for (size_t Pc = T.Ops.size(); Pc-- > 0;) {
       FastOp &Op = T.Ops[Pc];
       Op.BlockIssue = Op.IssueCycles;
-      if (!Op.I || !blockableOp(*Op.I, Op.Fn))
+      if (!Fusable || !Op.I || !blockableOp(*Op.I, Op.Fn))
         continue;
       if (Pc + 1 < T.Ops.size()) {
         const FastOp &Next = T.Ops[Pc + 1];

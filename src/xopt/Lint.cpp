@@ -114,10 +114,26 @@ LintReport xopt::lintKernel(const std::vector<Instruction> &Code,
       }
     }
   }
-  for (uint32_t Idx = 0; Idx < Code.size(); ++Idx)
-    if (!Reachable[Idx])
+  // Unreachable code, grouped into maximal blocks so a skipped region
+  // reads as one finding instead of one note per instruction.
+  for (uint32_t Idx = 0; Idx < Code.size();) {
+    if (Reachable[Idx]) {
+      ++Idx;
+      continue;
+    }
+    uint32_t End = Idx;
+    while (End + 1 < Code.size() && !Reachable[End + 1])
+      ++End;
+    if (End == Idx)
       Report.note(Idx, formatString("instruction is unreachable: %s",
                                     disassemble(Code[Idx]).c_str()));
+    else
+      Report.note(Idx,
+                  formatString("unreachable block: instructions %u..%u can "
+                               "never execute",
+                               Idx, End));
+    Idx = End + 1;
+  }
   if (FallOff)
     Report.note(NoInstr,
                 "control can fall off the end of the kernel (implicit halt)");
@@ -181,6 +197,23 @@ LintReport xopt::lintKernel(const std::vector<Instruction> &Code,
                   formatString("may read uninitialized %s: %s", Loc.c_str(),
                                disassemble(Code[Idx]).c_str()));
     }
+  }
+
+  // Dead stores to registers: an unpredicated, side-effect-free
+  // instruction none of whose results is ever read afterwards. (A value
+  // only feeding itself around a loop stays live through its own use, so
+  // genuine accumulators are not flagged.)
+  std::vector<LocSet> Live = liveOut(Code);
+  for (uint32_t Idx = 0; Idx < Code.size(); ++Idx) {
+    if (!Reachable[Idx])
+      continue;
+    const Instruction &I = Code[Idx];
+    if (UD[Idx].HasSideEffects || I.PredReg != NoPred)
+      continue;
+    if (UD[Idx].Def.none() || (UD[Idx].Def & Live[Idx]).any())
+      continue;
+    Report.note(Idx, formatString("dead store: result of `%s` is never read",
+                                  disassemble(I).c_str()));
   }
 
   // Unused scalar parameters.

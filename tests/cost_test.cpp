@@ -1,0 +1,475 @@
+//===- tests/cost_test.cpp - XCost static cycle-bound analyzer tests ----------===//
+//
+// The envelope contract (DESIGN.md §15): for any dispatch, the measured
+// functional IssueCycles counter — identical on both backends — must fall
+// inside NumShreds * [minCycles, maxCycles] of the static report, and the
+// ten Table 2 production kernels must always get finite bounds under their
+// real dispatch envelopes. Loop-structure tests double as Cfg coverage
+// for self-loop, nested, and irreducible graphs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "xopt/Cost.h"
+
+#include "chi/ProgramBuilder.h"
+#include "chi/Runtime.h"
+#include "exo/ExoPlatform.h"
+#include "isa/Encoding.h"
+#include "kernels/Workloads.h"
+#include "support/File.h"
+#include "xasm/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace exochi;
+using namespace exochi::xopt;
+
+namespace {
+
+std::vector<isa::Instruction> assembleOrDie(const char *Asm) {
+  auto K = xasm::assembleKernel(Asm, xasm::SymbolBindings());
+  EXPECT_TRUE(static_cast<bool>(K)) << K.message();
+  return K->Code;
+}
+
+CostReport analyze(const char *Asm, VerifySpec Spec = VerifySpec()) {
+  return analyzeCost(assembleOrDie(Asm), Spec, "t");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Straight-line cost: exact sums of the per-opcode charging rule.
+//===----------------------------------------------------------------------===//
+
+TEST(CostStraightLineTest, ExactSumOfIssueCosts) {
+  // mov 0.5 + add 1 + mul 2 + halt 1 = 4.5, exactly.
+  CostReport R = analyze("  mov.1.dw vr1 = 5\n"
+                         "  add.1.dw vr2 = vr1, 1\n"
+                         "  mul.1.dw vr3 = vr2, vr2\n"
+                         "  halt\n");
+  ASSERT_TRUE(R.bounded());
+  EXPECT_TRUE(R.structureOk());
+  EXPECT_DOUBLE_EQ(R.minCycles(), 4.5);
+  EXPECT_DOUBLE_EQ(R.maxCycles(), 4.5);
+  EXPECT_TRUE(R.Loops.empty());
+}
+
+TEST(CostStraightLineTest, WideOpsChargeDouble) {
+  // A 16-lane ALU op costs twice its 8-lane form: add.16 = 2, halt 1.
+  CostReport R = analyze("  add.16.dw [vr0..vr15] = [vr16..vr31], 1\n"
+                         "  halt\n");
+  ASSERT_TRUE(R.bounded());
+  EXPECT_DOUBLE_EQ(R.minCycles(), 3.0);
+  EXPECT_DOUBLE_EQ(R.maxCycles(), 3.0);
+}
+
+TEST(CostStraightLineTest, PredicatedOffStillCharges) {
+  // The cycle model charges issue slots for predicated-off instructions,
+  // so predication must not change the static bounds.
+  CostReport Plain = analyze("  add.1.dw vr1 = vr1, 1\n  halt\n");
+  CostReport Pred = analyze("  (p1) add.1.dw vr1 = vr1, 1\n  halt\n");
+  EXPECT_DOUBLE_EQ(Plain.minCycles(), Pred.minCycles());
+  EXPECT_DOUBLE_EQ(Plain.maxCycles(), Pred.maxCycles());
+}
+
+TEST(CostStraightLineTest, EmptyKernelIsZero) {
+  CostReport R = analyzeCost({}, VerifySpec(), "empty");
+  EXPECT_TRUE(R.bounded());
+  EXPECT_DOUBLE_EQ(R.minCycles(), 0.0);
+  EXPECT_DOUBLE_EQ(R.maxCycles(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-bound inference.
+//===----------------------------------------------------------------------===//
+
+TEST(CostLoopTest, CountedLoopIsExact) {
+  // mov 0.5 + 10 * (add 1 + cmp 1 + br 1) + halt 1 = 31.5.
+  CostReport R = analyze("  mov.1.dw vr1 = 0\n"
+                         "loop:\n"
+                         "  add.1.dw vr1 = vr1, 1\n"
+                         "  cmp.lt.1.dw p1 = vr1, 10\n"
+                         "  br p1, loop\n"
+                         "  halt\n");
+  ASSERT_TRUE(R.bounded());
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_EQ(R.Loops[0].TripLo, 10);
+  EXPECT_EQ(R.Loops[0].TripHi, 10);
+  EXPECT_DOUBLE_EQ(R.minCycles(), 31.5);
+  EXPECT_DOUBLE_EQ(R.maxCycles(), 31.5);
+}
+
+TEST(CostLoopTest, DecrementingLoopIsExact) {
+  // vr1 counts 8 -> 0; the body runs 8 times.
+  CostReport R = analyze("  mov.1.dw vr1 = 8\n"
+                         "loop:\n"
+                         "  sub.1.dw vr1 = vr1, 1\n"
+                         "  cmp.gt.1.dw p1 = vr1, 0\n"
+                         "  br p1, loop\n"
+                         "  halt\n");
+  ASSERT_TRUE(R.bounded());
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_EQ(R.Loops[0].TripLo, 8);
+  EXPECT_EQ(R.Loops[0].TripHi, 8);
+}
+
+TEST(CostLoopTest, ZeroTripBypassLowersTheMinimum) {
+  // An unknown parameter may branch around the loop entirely: the lower
+  // bound takes the bypass path, the upper bound the 100-trip loop.
+  VerifySpec Spec;
+  Spec.NumScalarParams = 1;
+  CostReport R = analyze("  cmp.ge.1.dw p1 = vr0, 5\n"
+                         "  br p1, end\n"
+                         "loop:\n"
+                         "  add.1.dw vr1 = vr1, 1\n"
+                         "  cmp.lt.1.dw p2 = vr1, 100\n"
+                         "  br p2, loop\n"
+                         "end:\n"
+                         "  halt\n",
+                         Spec);
+  ASSERT_TRUE(R.bounded());
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_EQ(R.Loops[0].TripLo, 100);
+  EXPECT_EQ(R.Loops[0].TripHi, 100);
+  // Bypass: cmp 1 + br 1 + halt 1. Loop path adds 100 * (add 1 + cmp 1
+  // + br 1).
+  EXPECT_DOUBLE_EQ(R.minCycles(), 3.0);
+  EXPECT_DOUBLE_EQ(R.maxCycles(), 303.0);
+}
+
+TEST(CostLoopTest, SidDependentTripsUseTheSidRange) {
+  // The limit is this shred's id: trip bounds follow [SidLo, SidHi].
+  VerifySpec Spec;
+  Spec.SidHi = 4;
+  CostReport R = analyze("  sid vr1\n"
+                         "  mov.1.dw vr2 = 0\n"
+                         "loop:\n"
+                         "  add.1.dw vr2 = vr2, 1\n"
+                         "  cmp.lt.1.dw p1 = vr2, vr1\n"
+                         "  br p1, loop\n"
+                         "  halt\n",
+                         Spec);
+  ASSERT_TRUE(R.bounded());
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_EQ(R.Loops[0].TripLo, 1);
+  EXPECT_EQ(R.Loops[0].TripHi, 4);
+}
+
+TEST(CostLoopTest, ParamRangeSharpensTheBound) {
+  // Unconstrained parameter limit: unbounded. With a declared range the
+  // same kernel gets finite trips — the exochi-run --lint sharpening
+  // model applied to cost.
+  const char *Asm = "  mov.1.dw vr1 = 0\n"
+                    "loop:\n"
+                    "  add.1.dw vr1 = vr1, 1\n"
+                    "  cmp.lt.1.dw p1 = vr1, vr0\n"
+                    "  br p1, loop\n"
+                    "  halt\n";
+  VerifySpec Unknown;
+  Unknown.NumScalarParams = 1;
+  CostReport RU = analyze(Asm, Unknown);
+  EXPECT_FALSE(RU.bounded());
+  EXPECT_TRUE(RU.structureOk()); // shape fine, only the trip is open
+  EXPECT_GE(RU.Diags.count(Severity::Warning), 1u);
+
+  VerifySpec Ranged = Unknown;
+  Ranged.ParamRanges[0] = Range{1, 20};
+  CostReport RR = analyze(Asm, Ranged);
+  ASSERT_TRUE(RR.bounded());
+  ASSERT_EQ(RR.Loops.size(), 1u);
+  EXPECT_EQ(RR.Loops[0].TripLo, 1);
+  EXPECT_EQ(RR.Loops[0].TripHi, 20);
+}
+
+TEST(CostLoopTest, NestedLoopsMultiply) {
+  CostReport R = analyze("  mov.1.dw vr1 = 0\n"
+                         "outer:\n"
+                         "  mov.1.dw vr2 = 0\n"
+                         "inner:\n"
+                         "  add.1.dw vr2 = vr2, 1\n"
+                         "  cmp.lt.1.dw p1 = vr2, 3\n"
+                         "  br p1, inner\n"
+                         "  add.1.dw vr1 = vr1, 1\n"
+                         "  cmp.lt.1.dw p2 = vr1, 4\n"
+                         "  br p2, outer\n"
+                         "  halt\n");
+  ASSERT_TRUE(R.bounded());
+  ASSERT_EQ(R.Loops.size(), 2u); // innermost first
+  EXPECT_EQ(R.Loops[0].TripLo, 3);
+  EXPECT_EQ(R.Loops[0].TripHi, 3);
+  EXPECT_EQ(R.Loops[1].TripLo, 4);
+  EXPECT_EQ(R.Loops[1].TripHi, 4);
+  // mov 0.5 + 4 * (mov 0.5 + 3*(1+1+1) + add 1 + cmp 1 + br 1) + halt 1.
+  EXPECT_DOUBLE_EQ(R.minCycles(), 51.5);
+  EXPECT_DOUBLE_EQ(R.maxCycles(), 51.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Structure verdicts: self-loops, irreducible graphs, stalls, spawn.
+//===----------------------------------------------------------------------===//
+
+TEST(CostStructureTest, SelfSpinIsUnboundedButReducible) {
+  CostReport R = analyze("spin:\n"
+                         "  jmp spin\n");
+  EXPECT_FALSE(R.bounded());
+  EXPECT_TRUE(R.Reducible);
+  ASSERT_EQ(R.Loops.size(), 1u);
+  EXPECT_EQ(R.Loops[0].BodySize, 1u); // single-node self-loop
+  EXPECT_FALSE(R.Loops[0].bounded());
+  EXPECT_GE(R.Diags.count(Severity::Warning), 1u);
+}
+
+TEST(CostStructureTest, IrreducibleGraphIsDetected) {
+  // The entry can jump into the middle of the loop, so the retreating
+  // edge's target does not dominate its source.
+  CostReport R = analyze("  cmp.eq.1.dw p1 = vr1, 0\n"
+                         "  br p1, mid\n"
+                         "top:\n"
+                         "  add.1.dw vr2 = vr2, 1\n"
+                         "mid:\n"
+                         "  add.1.dw vr2 = vr2, 1\n"
+                         "  cmp.lt.1.dw p2 = vr2, 10\n"
+                         "  br p2, top\n"
+                         "  halt\n");
+  EXPECT_FALSE(R.Reducible);
+  EXPECT_FALSE(R.bounded());
+  EXPECT_FALSE(R.structureOk());
+  EXPECT_GE(R.Diags.count(Severity::Warning), 1u);
+}
+
+TEST(CostStructureTest, UnprovenWaitForcesUnbounded) {
+  CostReport R = analyze("  wait vr1\n"
+                         "  halt\n");
+  EXPECT_FALSE(R.StallsProven);
+  EXPECT_FALSE(R.bounded());
+  EXPECT_FALSE(R.structureOk());
+  EXPECT_GE(R.Diags.count(Severity::Warning), 1u);
+}
+
+TEST(CostStructureTest, MatchedXmitProvesTheWait) {
+  CostReport R = analyze("  xmit vr2, vr1 = vr3\n"
+                         "  wait vr1\n"
+                         "  halt\n");
+  EXPECT_TRUE(R.StallsProven);
+  EXPECT_TRUE(R.bounded());
+  EXPECT_TRUE(R.structureOk());
+}
+
+TEST(CostStructureTest, SpawnIsFlagged) {
+  CostReport R = analyze("  spawn 0\n"
+                         "  halt\n");
+  EXPECT_TRUE(R.SpawnsChildren);
+  EXPECT_TRUE(R.bounded()); // per-shred bound itself is still finite
+}
+
+//===----------------------------------------------------------------------===//
+// Device differential: the measured functional IssueCycles counter must
+// land exactly inside the static envelope (here min == max, so exactly
+// *on* it), scaled by the shred count.
+//===----------------------------------------------------------------------===//
+
+TEST(CostEnvelopeTest, DeviceIssueCyclesMatchExactStaticBound) {
+  const char *Asm = "  mov.1.dw vr1 = 0\n"
+                    "loop:\n"
+                    "  add.1.dw vr1 = vr1, 1\n"
+                    "  cmp.lt.1.dw p1 = vr1, 10\n"
+                    "  br p1, loop\n"
+                    "  halt\n";
+  CostReport R = analyze(Asm);
+  ASSERT_TRUE(R.bounded());
+  ASSERT_DOUBLE_EQ(R.minCycles(), R.maxCycles());
+
+  exo::ExoPlatform P;
+  auto K = xasm::assembleKernel(Asm, xasm::SymbolBindings());
+  ASSERT_TRUE(static_cast<bool>(K)) << K.message();
+  gma::KernelImage Img;
+  Img.Code = K->Code;
+  uint32_t Kid = P.device().registerKernel(std::move(Img));
+  constexpr unsigned Shreds = 3;
+  for (unsigned S = 0; S < Shreds; ++S) {
+    gma::ShredDescriptor D;
+    D.KernelId = Kid;
+    P.device().enqueueShred(std::move(D));
+  }
+  auto Exit = P.device().run(0.0);
+  ASSERT_TRUE(static_cast<bool>(Exit)) << Exit.message();
+  EXPECT_DOUBLE_EQ(P.device().stats().IssueCycles, Shreds * R.minCycles());
+}
+
+//===----------------------------------------------------------------------===//
+// Table 2: every production kernel gets finite bounds under its real
+// dispatch envelope, and the measured counters of full runs — at
+// SimThreads 1 and 4, on both backends — fall inside the envelope.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using kernels::MediaWorkload;
+
+struct WorkloadRig {
+  explicit WorkloadRig(std::unique_ptr<MediaWorkload> WL)
+      : Workload(std::move(WL)), RT(Platform) {
+    chi::ProgramBuilder PB;
+    cantFail(Workload->compile(PB));
+    Binary = PB.take();
+    cantFail(RT.loadBinary(Binary));
+    cantFail(Workload->setup(RT));
+  }
+
+  std::unique_ptr<MediaWorkload> Workload;
+  exo::ExoPlatform Platform;
+  chi::Runtime RT;
+  fatbin::FatBinary Binary;
+};
+
+std::unique_ptr<MediaWorkload> makeSmallWorkload(int Index) {
+  using namespace kernels;
+  switch (Index) {
+  case 0:
+    return createLinearFilter(64, 32);
+  case 1:
+    return createSepiaTone(64, 32);
+  case 2:
+    return createFGT(64, 32);
+  case 3:
+    return createBicubic(64, 32, 3);
+  case 4:
+    return createKalman(64, 32, 3);
+  case 5:
+    return createFMD(64, 32, 12);
+  case 6:
+    return createAlphaBlend(64, 32, 3);
+  case 7:
+    return createBOB(64, 32, 4);
+  case 8:
+    return createADVDI(64, 32, 4);
+  default:
+    return createProcAmp(64, 32, 3);
+  }
+}
+
+std::string kernelCaseName(const ::testing::TestParamInfo<int> &Info) {
+  static const char *Names[] = {"LinearFilter", "SepiaTone", "FGT",
+                                "Bicubic",      "Kalman",    "FMD",
+                                "AlphaBlend",   "BOB",       "ADVDI",
+                                "ProcAmp"};
+  return Names[Info.param];
+}
+
+/// The workload's static cost report under its real dispatch envelope:
+/// every scalar parameter's range is the hull of the values the workload
+/// actually passes.
+CostReport workloadReport(const WorkloadRig &Rig) {
+  const MediaWorkload &WL = *Rig.Workload;
+  const fatbin::CodeSection *Sec = Rig.Binary.findByName(WL.name());
+  EXPECT_NE(Sec, nullptr);
+  auto Prog = isa::decodeProgram(Sec->Code);
+  EXPECT_TRUE(static_cast<bool>(Prog)) << Prog.message();
+  VerifySpec Spec;
+  Spec.NumScalarParams = static_cast<unsigned>(Sec->ScalarParams.size());
+  Spec.NumSurfaceSlots = static_cast<int32_t>(Sec->SurfaceParams.size());
+  for (unsigned P = 0; P < Spec.NumScalarParams; ++P) {
+    auto Hull = Rig.Workload->scalarParamHull(P);
+    Spec.ParamRanges[P] = Range{Hull.first, Hull.second};
+  }
+  return analyzeCost(*Prog, Spec, WL.name());
+}
+
+} // namespace
+
+class CostTable2Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostTable2Test, MeasuredCyclesFallInsideTheStaticEnvelope) {
+  WorkloadRig Rig(makeSmallWorkload(GetParam()));
+  CostReport R = workloadReport(Rig);
+  ASSERT_TRUE(R.bounded()) << R.Diags.warnings().size() << " warnings";
+  ASSERT_TRUE(R.structureOk());
+  ASSERT_GT(R.minCycles(), 0.0);
+
+  MediaWorkload &WL = *Rig.Workload;
+  for (int64_t SimThreads : {1, 4}) {
+    Rig.RT.setFeature(chi::Feature::SimThreads, SimThreads);
+    for (int64_t Backend : {0, 1}) {
+      Rig.RT.setFeature(chi::Feature::Backend, Backend);
+      auto H = WL.dispatchDevice(Rig.RT, 0, WL.totalStrips());
+      ASSERT_TRUE(static_cast<bool>(H)) << H.message();
+      const chi::RegionStats *St = Rig.RT.regionStats(*H);
+      ASSERT_NE(St, nullptr);
+      const double Shreds =
+          static_cast<double>(St->Device.ShredsExecuted);
+      EXPECT_EQ(St->Device.ShredsExecuted, WL.totalStrips());
+      EXPECT_GE(St->Device.IssueCycles, Shreds * R.minCycles())
+          << WL.name() << " simthreads=" << SimThreads
+          << " backend=" << Backend;
+      EXPECT_LE(St->Device.IssueCycles, Shreds * R.maxCycles())
+          << WL.name() << " simthreads=" << SimThreads
+          << " backend=" << Backend;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, CostTable2Test, ::testing::Range(0, 10),
+                         kernelCaseName);
+
+// The production registry stays clean of the new lint findings: no dead
+// stores, no unreachable blocks in any Table 2 kernel at paper scale.
+TEST(CostTable2Test, RegistryKernelsHaveNoDeadStoreOrUnreachableNotes) {
+  chi::ProgramBuilder PB;
+  auto Workloads = kernels::createTable2Workloads(0.25);
+  for (const auto &W : Workloads) {
+    cantFail(W->compile(PB));
+    const LintReport *R = PB.lintReport(W->name());
+    ASSERT_NE(R, nullptr) << W->name();
+    for (const LintDiag &D : R->Diags) {
+      EXPECT_EQ(D.Msg.find("dead store"), std::string::npos)
+          << W->name() << ": " << D.Msg;
+      EXPECT_EQ(D.Msg.find("unreachable"), std::string::npos)
+          << W->name() << ": " << D.Msg;
+    }
+  }
+}
+
+// Paper-scale registry bounds stay finite too (what exochi-lint
+// --registry enforces in CI, asserted here without the process hop).
+TEST(CostTable2Test, RegistryKernelsAtPaperScaleAreBounded) {
+  chi::ProgramBuilder PB;
+  auto Workloads = kernels::createTable2Workloads(0.25);
+  for (const auto &W : Workloads) {
+    cantFail(W->compile(PB));
+    const fatbin::CodeSection *Sec = PB.binary().findByName(W->name());
+    ASSERT_NE(Sec, nullptr) << W->name();
+    auto Prog = isa::decodeProgram(Sec->Code);
+    ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.message();
+    VerifySpec Spec;
+    Spec.NumScalarParams = static_cast<unsigned>(Sec->ScalarParams.size());
+    Spec.NumSurfaceSlots = static_cast<int32_t>(Sec->SurfaceParams.size());
+    for (unsigned P = 0; P < Spec.NumScalarParams; ++P) {
+      auto Hull = W->scalarParamHull(P);
+      Spec.ParamRanges[P] = Range{Hull.first, Hull.second};
+    }
+    CostReport R = analyzeCost(*Prog, Spec, W->name());
+    EXPECT_TRUE(R.bounded()) << W->name();
+    EXPECT_TRUE(R.structureOk()) << W->name();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// docs/ISA.md embeds the generated cost table verbatim.
+//===----------------------------------------------------------------------===//
+
+TEST(CostDocsTest, IsaDocEmbedsTheGeneratedTable) {
+  auto Bytes = readFileBytes(std::string(EXOCHI_SOURCE_DIR) + "/docs/ISA.md");
+  ASSERT_TRUE(static_cast<bool>(Bytes)) << Bytes.message();
+  std::string Doc(Bytes->begin(), Bytes->end());
+  const std::string Begin = "<!-- BEGIN GENERATED: xopt::costTableMarkdown -->\n";
+  const std::string End = "<!-- END GENERATED: xopt::costTableMarkdown -->";
+  size_t B = Doc.find(Begin);
+  ASSERT_NE(B, std::string::npos) << "missing BEGIN marker in docs/ISA.md";
+  size_t E = Doc.find(End, B);
+  ASSERT_NE(E, std::string::npos) << "missing END marker in docs/ISA.md";
+  EXPECT_EQ(Doc.substr(B + Begin.size(), E - B - Begin.size()),
+            costTableMarkdown())
+      << "docs/ISA.md cost table is stale; regenerate with "
+         "`exochi-lint --cost-table`";
+}

@@ -560,6 +560,57 @@ TEST(ServerTest, DeadlinePreemptedJobIsTerminalAndCounted) {
   EXPECT_EQ(Srv.stats().Completed, 0u);
 }
 
+// With XCost admission on, the same doomed job never reaches the device:
+// the static lower bound on the vecadd dispatch (8 shreds over 8 EUs at
+// 8.5 issue cycles each) already exceeds a 4-cycle budget, so admission
+// answers with a machine-readable cost-over-deadline rejection instead
+// of dispatching and preempting.
+TEST(ServerTest, CostAdmissionRejectsProvablyOverDeadlineJob) {
+  ServeRig R;
+  ServerConfig SC;
+  SC.CostAdmission = true;
+  Server Srv(R.RT, SC);
+  Server::SubmitResult Res =
+      Srv.submit(R.makeJob(0, Priority::Normal, /*DeadlineCycles=*/4));
+  EXPECT_FALSE(Res.Admitted);
+  EXPECT_EQ(Res.Reason, RejectReason::CostOverDeadline);
+  const JobRecord *J = Srv.job(Res.Id);
+  ASSERT_NE(J, nullptr);
+  EXPECT_EQ(J->State, JobState::Rejected);
+  EXPECT_TRUE(J->terminal());
+  EXPECT_EQ(J->ShredsPreempted, 0u); // never dispatched
+  EXPECT_EQ(Srv.stats().RejectedCostOverDeadline, 1u);
+  EXPECT_EQ(Srv.stats().DeadlinePreempted, 0u);
+  EXPECT_NE(Srv.statsJson().find("\"rejected_cost_over_deadline\": 1"),
+            std::string::npos)
+      << Srv.statsJson();
+  EXPECT_STREQ(rejectReasonName(RejectReason::CostOverDeadline),
+               "cost-over-deadline");
+}
+
+// A feasible budget sails through the same gate and completes: the
+// admission check only fires on *provable* overruns, so it can never
+// reject a job the watchdog would have let finish.
+TEST(ServerTest, CostAdmissionPassesFeasibleBudgets) {
+  ServeRig R;
+  ServerConfig SC;
+  SC.CostAdmission = true;
+  Server Srv(R.RT, SC);
+  Server::SubmitResult Res =
+      Srv.submit(R.makeJob(0, Priority::Normal, /*DeadlineCycles=*/100000));
+  ASSERT_TRUE(Res.Admitted);
+  Srv.runAll();
+  EXPECT_EQ(Srv.job(Res.Id)->State, JobState::Completed);
+  EXPECT_EQ(Srv.stats().RejectedCostOverDeadline, 0u);
+  R.verifyResult();
+
+  // Unlimited budgets (server default) are never cost-gated.
+  Server::SubmitResult Free = Srv.submit(R.makeJob());
+  EXPECT_TRUE(Free.Admitted);
+  Srv.runAll();
+  EXPECT_EQ(Srv.job(Free.Id)->State, JobState::Completed);
+}
+
 // Under sustained EuHardFail injection the breaker trips, quarantines
 // the failing EUs for subsequent jobs, and the server still answers
 // every job (host lane underneath if every EU is out).

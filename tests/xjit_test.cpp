@@ -16,6 +16,7 @@
 #include "kernels/Workloads.h"
 #include "mem/AddressSpace.h"
 #include "xasm/Assembler.h"
+#include "xopt/Cost.h"
 
 #include <gtest/gtest.h>
 
@@ -174,6 +175,33 @@ TEST(XjitEngineTest, VecAddMatchesCycleBackendBitForBit) {
   EXPECT_EQ(Fast.BytesLoaded, Cycle.BytesLoaded);
   EXPECT_EQ(Fast.BytesStored, Cycle.BytesStored);
   EXPECT_EQ(Fast.IssueCycles, Cycle.IssueCycles);
+}
+
+// The XCost envelope contract on the fast lane: the functional
+// IssueCycles counter — bit-identical across backends — must fall inside
+// NumShreds * [min, max] of the static report. vecadd is loop-free, so
+// the envelope collapses to a point and the check is exact.
+TEST(XjitEngineTest, IssueCyclesFallInsideTheStaticCostEnvelope) {
+  EngineRig R;
+  VecAdd W = buildVecAdd(R);
+  const KernelImage *K = R.Device.kernel(W.Kid);
+  ASSERT_NE(K, nullptr);
+  xopt::VerifySpec Spec;
+  Spec.NumScalarParams = 1;
+  Spec.NumSurfaceSlots = 3;
+  Spec.ParamRanges[0] = xopt::Range{0, VecN / 8 - 1};
+  xopt::CostReport Report = xopt::analyzeCost(K->Code, Spec, "vecadd");
+  ASSERT_TRUE(Report.bounded());
+  ASSERT_TRUE(Report.structureOk());
+
+  const double Shreds = static_cast<double>(W.Shreds.size());
+  auto Res = R.runFast(W.Kid, std::move(W.Shreds));
+  ASSERT_TRUE(static_cast<bool>(Res)) << Res.message();
+  EXPECT_GE(Res->Stats.IssueCycles, Shreds * Report.minCycles());
+  EXPECT_LE(Res->Stats.IssueCycles, Shreds * Report.maxCycles());
+  // Loop-free kernel: the envelope is a point, so the bound is exact.
+  EXPECT_DOUBLE_EQ(Report.minCycles(), Report.maxCycles());
+  EXPECT_DOUBLE_EQ(Res->Stats.IssueCycles, Shreds * Report.minCycles());
 }
 
 TEST(XjitEngineTest, ForceCheckedProducesIdenticalOutput) {

@@ -2,13 +2,19 @@
 //
 // Part of the EXOCHI reproduction project.
 //
-// Runs the full static verification stack (register-hygiene lint plus the
-// XVerify race/sync/bounds pass, DESIGN.md §10) over every XGMA kernel of
-// the given fat binaries, and — with --registry — over the production
-// kernel library (the ten Table 2 media workloads). CI gates on the exit
-// status: 0 when every kernel is clean of warnings and errors.
+// Runs the full static verification stack (register-hygiene lint, the
+// XVerify race/sync/bounds pass, and — with --cost — the XCost cycle-bound
+// analyzer, DESIGN.md §10/§15) over every XGMA kernel of the given fat
+// binaries, and — with --registry — over the production kernel library
+// (the ten Table 2 media workloads), where the XCost pass always runs with
+// parameter ranges sharpened to each workload's real dispatch envelope so
+// CI fails if any production kernel loses its finite cycle bounds. What
+// the peephole optimizer would rewrite is reported as notes.
 //
-//   exochi-lint [file.xfb ...] [--registry] [--notes]
+//   exochi-lint [file.xfb ...] [--registry] [--notes] [--cost] [--cost-table]
+//
+// CI gates on the exit status: 0 when every kernel is clean of warnings
+// and errors (an Unbounded XCost verdict is a warning).
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +22,9 @@
 #include "isa/Encoding.h"
 #include "kernels/MediaWorkload.h"
 #include "support/File.h"
+#include "support/Format.h"
+#include "xopt/Cost.h"
+#include "xopt/Peephole.h"
 #include "xopt/Verify.h"
 
 #include <cstdio>
@@ -59,26 +68,73 @@ void printReport(const xopt::LintReport &R, bool ShowNotes, Totals &T) {
     std::printf("%s: clean\n", R.Kernel.c_str());
 }
 
+/// What the peephole optimizer would change, as notes: missed
+/// strength-reduction / algebraic / dead-code opportunities are hygiene
+/// findings even when the build keeps the unoptimized form.
+void appendPeepholeNotes(xopt::LintReport &R,
+                         const std::vector<isa::Instruction> &Code) {
+  std::vector<isa::Instruction> Copy = Code;
+  xopt::OptStats S = xopt::optimizeKernel(Copy);
+  auto Note = [&R](uint64_t N, const char *What) {
+    if (N)
+      R.note(xopt::NoInstr,
+             formatString("peephole: %llu %s", (unsigned long long)N, What));
+  };
+  Note(S.StrengthReduced, "multiply(s) reducible to shift/move");
+  Note(S.AlgebraicSimplified, "algebraic identity(ies) simplifiable");
+  Note(S.DeadRemoved, "dead instruction(s) removable");
+  Note(S.IdentityMovesRemoved, "identity move(s) removable");
+}
+
+/// Runs XCost and folds its verdicts into \p R. \p Print adds the
+/// human-readable bounds line.
+void runCost(xopt::LintReport &R, const std::vector<isa::Instruction> &Code,
+             const xopt::VerifySpec &Spec, const std::string &Name,
+             bool Print) {
+  xopt::CostReport CR = xopt::analyzeCost(Code, Spec, Name);
+  if (Print) {
+    if (CR.bounded())
+      std::printf("%s: cost [%.1f, %.1f] cycles/shred, %zu loop(s)\n",
+                  Name.c_str(), CR.minCycles(), CR.maxCycles(),
+                  CR.Loops.size());
+    else
+      std::printf("%s: cost [%.1f, unbounded] cycles/shred, %zu loop(s)\n",
+                  Name.c_str(), CR.minCycles(), CR.Loops.size());
+  }
+  R.append(std::move(CR.Diags));
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::vector<std::string> Inputs;
-  bool Registry = false, ShowNotes = false;
+  bool Registry = false, ShowNotes = false, Cost = false;
   for (int K = 1; K < Argc; ++K) {
     std::string A = Argv[K];
     if (A == "--registry")
       Registry = true;
     else if (A == "--notes")
       ShowNotes = true;
-    else if (A == "--help" || A == "-h" || (!A.empty() && A[0] == '-')) {
+    else if (A == "--cost")
+      Cost = true;
+    else if (A == "--cost-table") {
+      std::printf("%s", xopt::costTableMarkdown().c_str());
+      return 0;
+    } else if (A == "--help" || A == "-h" || (!A.empty() && A[0] == '-')) {
       std::fprintf(stderr,
                    "usage: exochi-lint [file.xfb ...] [--registry] "
-                   "[--notes]\n"
+                   "[--notes] [--cost] [--cost-table]\n"
                    "  verifies every XGMA kernel; exit 1 when any kernel "
                    "has warnings or errors\n"
-                   "  --registry  also verify the built-in Table 2 kernel "
-                   "library\n"
-                   "  --notes     print informational notes as well\n");
+                   "  --registry    also verify the built-in Table 2 kernel "
+                   "library (XCost bounds\n"
+                   "                always enforced there, sharpened by each "
+                   "workload's dispatch envelope)\n"
+                   "  --notes       print informational notes as well\n"
+                   "  --cost        run the XCost static cycle-bound "
+                   "analyzer and print per-kernel bounds\n"
+                   "  --cost-table  print the per-opcode issue-cost table "
+                   "(markdown) and exit\n");
       return A == "--help" || A == "-h" ? 0 : 2;
     } else {
       Inputs.push_back(A);
@@ -119,13 +175,20 @@ int main(int Argc, char **Argv) {
       Spec.NumScalarParams = static_cast<unsigned>(S.ScalarParams.size());
       Spec.NumSurfaceSlots = static_cast<int32_t>(S.SurfaceParams.size());
       R.append(xopt::verifyKernel(*Prog, Spec, S.Name));
+      appendPeepholeNotes(R, *Prog);
+      if (Cost)
+        runCost(R, *Prog, Spec, S.Name, /*Print=*/true);
       printReport(R, ShowNotes, T);
     }
   }
 
   if (Registry) {
     // The production kernel library: compiling through ProgramBuilder
-    // runs lint + verify exactly as application builds do.
+    // runs lint + verify exactly as application builds do. On top of
+    // that, XCost always runs here, with each scalar parameter's range
+    // sharpened to the hull of the values the workload actually
+    // dispatches — the envelope under which the finite-bounds guarantee
+    // must hold.
     chi::ProgramBuilder PB;
     auto Workloads = kernels::createTable2Workloads(0.25);
     for (const auto &W : Workloads) {
@@ -140,7 +203,34 @@ int main(int Argc, char **Argv) {
                      W->name().c_str());
         return 2;
       }
-      printReport(*R, ShowNotes, T);
+      const fatbin::CodeSection *Sec = nullptr;
+      for (const fatbin::CodeSection &S : PB.binary().sections())
+        if (S.Name == W->name())
+          Sec = &S;
+      if (!Sec) {
+        std::fprintf(stderr, "exochi-lint: %s: no code section\n",
+                     W->name().c_str());
+        return 2;
+      }
+      auto Prog = isa::decodeProgram(Sec->Code);
+      if (!Prog) {
+        std::fprintf(stderr, "exochi-lint: %s: %s\n", W->name().c_str(),
+                     Prog.message().c_str());
+        return 2;
+      }
+      xopt::LintReport Full = *R;
+      appendPeepholeNotes(Full, *Prog);
+      xopt::VerifySpec Spec;
+      Spec.NumScalarParams =
+          static_cast<unsigned>(Sec->ScalarParams.size());
+      Spec.NumSurfaceSlots =
+          static_cast<int32_t>(Sec->SurfaceParams.size());
+      for (unsigned P = 0; P < Spec.NumScalarParams; ++P) {
+        auto Hull = W->scalarParamHull(P);
+        Spec.ParamRanges[P] = xopt::Range{Hull.first, Hull.second};
+      }
+      runCost(Full, *Prog, Spec, W->name(), /*Print=*/Cost);
+      printReport(Full, ShowNotes, T);
     }
   }
 

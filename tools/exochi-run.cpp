@@ -87,6 +87,7 @@ int main(int Argc, char **Argv) {
   int64_t ServeJobs = 0;      ///< --serve: number of ExoServe jobs (0 = off)
   int64_t ServeClients = 4;   ///< --clients: synthetic client count
   int64_t DeadlineCycles = -1; ///< --deadline: per-job budget (-1 = none)
+  bool CostAdmission = false; ///< --cost-admission: XCost admission gate
   int64_t DrainAfter = -1;    ///< --drain-after: jobs to run before drain
   int64_t ListenPort = -1;    ///< --listen: TCP port (0 = ephemeral, -1 = off)
   std::string ListenUnix;     ///< --listen-unix: unix socket path
@@ -143,6 +144,8 @@ int main(int Argc, char **Argv) {
       ServeClients = parseCount("--clients", Val, 1);
     else if (matchValueOpt("--deadline", Val))
       DeadlineCycles = parseCount("--deadline", Val, 0);
+    else if (A == "--cost-admission")
+      CostAdmission = true;
     else if (matchValueOpt("--drain-after", Val))
       DrainAfter = parseCount("--drain-after", Val, 0);
     else if (matchValueOpt("--listen", Val)) {
@@ -248,7 +251,7 @@ int main(int Argc, char **Argv) {
                    "       [--inject <kind:rate,...|all:rate>] "
                    "[--inject-seed N] [--max-retries K]\n"
                    "       [--serve N] [--clients M] [--deadline CYCLES] "
-                   "[--drain-after K] [--stats-out FILE]\n"
+                   "[--cost-admission] [--drain-after K] [--stats-out FILE]\n"
                    "       [--listen PORT] [--listen-unix PATH] "
                    "[--coalesce-window N]\n"
                    "  --backend fast: run verified kernels on the XJIT "
@@ -263,7 +266,11 @@ int main(int Argc, char **Argv) {
                    "             round-robin over --clients M); --deadline "
                    "sets each job's\n"
                    "             cycle budget; --drain-after K drains "
-                   "gracefully after K jobs\n"
+                   "gracefully after K jobs;\n"
+                   "             --cost-admission rejects jobs whose XCost "
+                   "static lower bound\n"
+                   "             already exceeds the deadline "
+                   "(cost-over-deadline, not preempted)\n"
                    "  --listen PORT: serve the loaded kernels over the "
                    "ExoNet wire protocol on\n"
                    "                 127.0.0.1:PORT (0 = ephemeral; the "
@@ -378,6 +385,7 @@ int main(int Argc, char **Argv) {
     // clients. Kernels, surfaces, and geometry all come from the wire;
     // the process exits after a client-issued Drain.
     net::NetServerConfig NC;
+    NC.Serve.CostAdmission = CostAdmission;
     NC.CoalesceWindow = static_cast<unsigned>(CoalesceWindow);
     NC.ExitOnDrain = true;
     net::NetServer Server(RT, NC, Inj.armed() ? &Inj : nullptr);
@@ -449,8 +457,9 @@ int main(int Argc, char **Argv) {
     // ExoServe mode: the same dispatch becomes N jobs with mixed
     // priorities from a round-robin of synthetic clients, submitted up
     // front so the admission queue, quotas, and load shedding engage.
-    serve::Server Srv(RT, serve::ServerConfig(),
-                      Inj.armed() ? &Inj : nullptr);
+    serve::ServerConfig SC;
+    SC.CostAdmission = CostAdmission;
+    serve::Server Srv(RT, SC, Inj.armed() ? &Inj : nullptr);
     for (int64_t J = 0; J < ServeJobs; ++J) {
       serve::JobSpec JS;
       JS.ClientId = static_cast<uint32_t>(J % ServeClients);
@@ -473,10 +482,10 @@ int main(int Argc, char **Argv) {
                 static_cast<long long>(ServeClients),
                 static_cast<unsigned long long>(SS.Completed),
                 static_cast<unsigned long long>(SS.DeadlinePreempted),
-                static_cast<unsigned long long>(SS.RejectedQueueFull +
-                                                SS.RejectedClientQuota +
-                                                SS.RejectedZeroBudget +
-                                                SS.RejectedDraining),
+                static_cast<unsigned long long>(
+                    SS.RejectedQueueFull + SS.RejectedClientQuota +
+                    SS.RejectedZeroBudget + SS.RejectedDraining +
+                    SS.RejectedCostOverDeadline),
                 static_cast<unsigned long long>(SS.Shed),
                 static_cast<unsigned long long>(SS.Failed));
     std::printf("serve-stats: %s\n", Srv.statsJson().c_str());

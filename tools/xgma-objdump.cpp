@@ -7,7 +7,7 @@
 // Inspects fat binaries: section listing, re-assemblable disassembly,
 // embedded source, and static lint.
 //
-//   xgma-objdump file.xfb [--disasm] [--source] [--lint]
+//   xgma-objdump file.xfb [--disasm] [--source] [--lint] [--cost]
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +15,7 @@
 #include "isa/Encoding.h"
 #include "support/File.h"
 #include "xasm/Printer.h"
+#include "xopt/Cost.h"
 #include "xopt/Lint.h"
 #include "xopt/Verify.h"
 
@@ -25,7 +26,7 @@ using namespace exochi;
 
 int main(int Argc, char **Argv) {
   std::string Input;
-  bool Disasm = false, Source = false, Lint = false;
+  bool Disasm = false, Source = false, Lint = false, Cost = false;
   for (int K = 1; K < Argc; ++K) {
     std::string A = Argv[K];
     if (A == "--disasm")
@@ -34,10 +35,12 @@ int main(int Argc, char **Argv) {
       Source = true;
     else if (A == "--lint")
       Lint = true;
+    else if (A == "--cost")
+      Cost = true;
     else if (A == "--help" || A == "-h" || (!A.empty() && A[0] == '-')) {
       std::fprintf(stderr,
                    "usage: xgma-objdump <file.xfb> [--disasm] [--source] "
-                   "[--lint]\n");
+                   "[--lint] [--cost]\n");
       return A == "--help" || A == "-h" ? 0 : 2;
     } else {
       Input = A;
@@ -109,6 +112,36 @@ int main(int Argc, char **Argv) {
                     D.render(R.Kernel).c_str());
       if (R.Diags.empty())
         std::printf("  lint: clean\n");
+    }
+    if (Cost) {
+      // XCost static cycle bounds, reconstructed from the section's ABI
+      // metadata (parameter ranges unknown: the shape-only verdict).
+      xopt::VerifySpec Spec;
+      Spec.NumScalarParams = static_cast<unsigned>(S.ScalarParams.size());
+      Spec.NumSurfaceSlots = static_cast<int32_t>(S.SurfaceParams.size());
+      xopt::CostReport CR = xopt::analyzeCost(*Prog, Spec, S.Name);
+      if (CR.bounded())
+        std::printf("  cost: [%.1f, %.1f] cycles/shred\n", CR.minCycles(),
+                    CR.maxCycles());
+      else
+        std::printf("  cost: [%.1f, unbounded] cycles/shred\n",
+                    CR.minCycles());
+      for (const xopt::LoopBound &L : CR.Loops) {
+        if (L.bounded())
+          std::printf("  loop @%u: %u insn body, trips [%lld, %lld]\n",
+                      L.Header, L.BodySize,
+                      static_cast<long long>(L.TripLo),
+                      static_cast<long long>(L.TripHi));
+        else
+          std::printf("  loop @%u: %u insn body, trips [%lld, unbounded]\n",
+                      L.Header, L.BodySize,
+                      static_cast<long long>(L.TripLo));
+      }
+      for (const xopt::LintDiag &D : CR.Diags.Diags)
+        std::printf("  %s: %s\n", xopt::severityName(D.Sev),
+                    D.render(CR.Diags.Kernel.empty() ? S.Name
+                                                     : CR.Diags.Kernel)
+                        .c_str());
     }
     std::printf("\n");
   }
