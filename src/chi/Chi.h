@@ -32,6 +32,7 @@
 #include "gma/Gma.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace exochi {
 namespace chi {
@@ -127,6 +128,20 @@ struct ChiStats {
   uint64_t Offlined = 0;       ///< EUs taken out of rotation
 };
 
+/// One ExoCluster lane's share of a region (a device shard, or the IA32
+/// host steal lane). Single-device and fast-lane dispatches report one
+/// row for device 0.
+struct ShardStat {
+  unsigned Lane = 0; ///< device index; numDevices() for the host lane
+  bool HostLane = false;
+  uint64_t Shreds = 0; ///< shreds this lane executed
+  uint64_t Stolen = 0; ///< of those, acquired through work stealing
+  TimeNs FinishNs = 0; ///< lane clock when it went idle
+  double IssueCycles = 0;
+
+  bool operator==(const ShardStat &O) const = default;
+};
+
 /// Statistics of one executed parallel region / task-queue wave.
 struct RegionStats {
   TimeNs SubmitNs = 0;      ///< when the master encountered the construct
@@ -139,7 +154,12 @@ struct RegionStats {
   /// The region hit its RegionSpec::DeadlineNs budget and was preempted
   /// at an epoch boundary (Device.ShredsPreempted counts the casualties).
   bool DeadlinePreempted = false;
+  /// Fleet aggregate (equals the single device's stats when NumDevices
+  /// is 1 or the region ran on the fast lane).
   gma::GmaRunStats Device;
+  /// Per-lane breakdown of the dispatch (one row per participating
+  /// cluster lane; exactly one row for non-cluster dispatches).
+  std::vector<ShardStat> Shards;
 
   TimeNs totalNs() const { return EndNs - SubmitNs; }
 };

@@ -51,14 +51,26 @@ Error Runtime::loadBinary(const fatbin::FatBinary &Binary) {
     // free of Error-severity findings. Ineligible kernels silently stay
     // on the cycle backend whatever Feature::Backend says.
     LK.FastEligible = xjit::JitEngine::supports(*Prog);
-    if (LK.FastEligible) {
+    // ExoCluster shardability gate: a kernel free of cross-shred
+    // synchronization (xmit/wait/spawn) never observes which device a
+    // sibling runs on, so any partition of the shred range yields the
+    // same surfaces. The same Error-free lint/XVerify requirement as the
+    // fast lane proves the per-shred accesses are also in bounds.
+    bool HasSync = false;
+    for (const isa::Instruction &I : *Prog)
+      HasSync = HasSync || I.Op == isa::Opcode::Xmit ||
+                I.Op == isa::Opcode::Wait || I.Op == isa::Opcode::Spawn;
+    LK.Shardable = !HasSync;
+    if (LK.FastEligible || LK.Shardable) {
       unsigned NumParams = static_cast<unsigned>(S.ScalarParams.size());
       xopt::LintReport Rep = xopt::lintKernel(*Prog, NumParams, S.Name);
       xopt::VerifySpec Spec;
       Spec.NumScalarParams = NumParams;
       Spec.NumSurfaceSlots = static_cast<int32_t>(S.SurfaceParams.size());
       Rep.append(xopt::verifyKernel(*Prog, Spec, S.Name));
-      LK.FastEligible = Rep.count(xopt::Severity::Error) == 0;
+      bool Clean = Rep.count(xopt::Severity::Error) == 0;
+      LK.FastEligible = LK.FastEligible && Clean;
+      LK.Shardable = LK.Shardable && Clean;
     }
     gma::KernelImage Img;
     Img.Code = std::move(*Prog);
@@ -338,6 +350,12 @@ Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
   int64_t BackendSel = feature(Feature::Backend);
   bool UseFast =
       BackendSel != 0 && LK.FastEligible && !Device.hasExecutionHooks();
+  // ExoCluster: shard the team across the device fleet when the platform
+  // has one. A tracer is fine (each device records its own spans under
+  // its process id); a debugger step hook pins execution to a single
+  // serial device, and single-shred teams have nothing to shard.
+  bool UseCluster = !UseFast && Platform.numDevices() > 1 && LK.Shardable &&
+                    !Device.hasStepHook() && Spec.NumThreads > 1;
   if (UseFast) {
     if (!Jit)
       Jit = std::make_unique<xjit::JitEngine>(
@@ -353,6 +371,29 @@ Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
       return Res.takeError();
     Stats.DeadlinePreempted = (Res->Exit == gma::RunExit::DeadlinePreempted);
     Stats.Device = std::move(Res->Stats);
+  } else if (UseCluster) {
+    cluster::ClusterScheduler Sched(Platform, ClusterCfg);
+    auto Res = Sched.run(std::move(Descs), DeviceStart,
+                         Spec.DeadlineNs > 0 ? DeviceStart + Spec.DeadlineNs
+                                             : 0);
+    if (!Res)
+      return Res.takeError();
+    Stats.DeadlinePreempted = (Res->Exit == gma::RunExit::DeadlinePreempted);
+    Stats.Device = std::move(Res->Total);
+    for (const cluster::LaneStats &L : Res->Lanes) {
+      // Idle lanes (typically the host lane when nothing was worth
+      // stealing) are omitted: a shard row means "executed shreds here".
+      if (L.Shreds == 0)
+        continue;
+      ShardStat S;
+      S.Lane = L.Lane;
+      S.HostLane = L.HostLane;
+      S.Shreds = L.Shreds;
+      S.Stolen = L.Stolen;
+      S.FinishNs = L.FinishNs;
+      S.IssueCycles = L.IssueCycles;
+      Stats.Shards.push_back(S);
+    }
   } else {
     for (gma::ShredDescriptor &D : Descs)
       Device.enqueueShred(std::move(D));
@@ -364,6 +405,16 @@ Expected<RegionHandle> Runtime::dispatch(const RegionSpec &Spec) {
       return Exit.takeError();
     Stats.DeadlinePreempted = (*Exit == gma::RunExit::DeadlinePreempted);
     Stats.Device = Device.stats();
+  }
+  // Non-cluster dispatches report one shard row for device 0 so stats
+  // consumers see a uniform per-lane shape at any device count.
+  if (Stats.Shards.empty()) {
+    ShardStat S;
+    S.Lane = 0;
+    S.Shreds = Stats.Device.ShredsExecuted;
+    S.FinishNs = Stats.Device.FinishNs;
+    S.IssueCycles = Stats.Device.IssueCycles;
+    Stats.Shards.push_back(S);
   }
   Stats.DeviceFinishNs = Stats.Device.FinishNs;
 

@@ -26,6 +26,7 @@
 #define EXOCHI_CHI_RUNTIME_H
 
 #include "chi/Chi.h"
+#include "cluster/Cluster.h"
 #include "exo/ExoPlatform.h"
 #include "fatbin/FatBinary.h"
 
@@ -101,6 +102,14 @@ public:
   /// overlap the rest with execution).
   void setIntelligentFlush(bool On) { IntelligentFlush = On; }
   bool intelligentFlush() const { return IntelligentFlush; }
+
+  /// ExoCluster policy for multi-device dispatches (stealing on/off, the
+  /// steal seed, chunk size, host-lane participation). Only consulted
+  /// when the platform has more than one device and the kernel is
+  /// shardable; a different seed or steal setting changes the schedule
+  /// but never the surface outputs of race-free kernels.
+  void setClusterConfig(const cluster::ClusterConfig &C) { ClusterCfg = C; }
+  const cluster::ClusterConfig &clusterConfig() const { return ClusterCfg; }
 
   //===--------------------------------------------------------------------===//
   // Table 1: CHI APIs for programming an exo-sequencer
@@ -182,6 +191,7 @@ private:
   exo::ExoPlatform &Platform;
   MemoryModel Model;
   bool IntelligentFlush = true;
+  cluster::ClusterConfig ClusterCfg;
 
   /// Kernel name -> {device kernel id, fat-binary section}.
   struct LoadedKernel {
@@ -191,6 +201,11 @@ private:
     /// representable on the fast lane (no spawn) and free of
     /// Error-severity lint/XVerify findings under the dispatch ABI.
     bool FastEligible = false;
+    /// True when the kernel may shard across an ExoCluster fleet: free
+    /// of cross-shred synchronization (xmit/wait/spawn) and of
+    /// Error-severity lint/XVerify findings — i.e. statically race-free
+    /// per shred, so any device partition produces identical surfaces.
+    bool Shardable = false;
   };
   std::map<std::string, LoadedKernel> Loaded;
 

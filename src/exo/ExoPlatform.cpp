@@ -6,15 +6,30 @@
 
 #include "exo/ExoPlatform.h"
 
+#include <algorithm>
+
 using namespace exochi;
 using namespace exochi::exo;
 
 ExoPlatform::ExoPlatform(const PlatformConfig &Config)
-    : Config(Config), Bus(Config.Bus), AS(PM), Device(Config.Gma, PM, Bus),
-      Cpu(Config.Cpu, Bus), Proxy(AS, Config.Proxy) {
-  // Install the MISP exoskeleton: exo-sequencer faults and exceptions are
-  // signalled to the IA32 sequencer for proxy execution.
-  Device.setProxyHandler(&Proxy);
+    : Config(Config), Bus(Config.Bus), AS(PM), Cpu(Config.Cpu, Bus),
+      Proxy(AS, Config.Proxy) {
+  // The fleet shares one kernel table (device-global state); each device
+  // keeps its own EUs, caches, TLB, and — beyond device 0, which
+  // arbitrates the primary bus exactly as a single-device platform
+  // would — its own memory bus.
+  unsigned N = std::max(1u, Config.NumDevices);
+  auto Kernels = std::make_shared<gma::KernelTable>();
+  for (unsigned D = 0; D < N; ++D) {
+    mem::MemoryBus *DevBus = &Bus;
+    if (D > 0)
+      DevBus = &ExtraBuses.emplace_back(Config.Bus);
+    Devices.push_back(
+        std::make_unique<gma::GmaDevice>(Config.Gma, PM, *DevBus, Kernels, D));
+    // Install the MISP exoskeleton: exo-sequencer faults and exceptions
+    // are signalled to the IA32 sequencer for proxy execution.
+    Devices.back()->setProxyHandler(&Proxy);
+  }
 }
 
 SharedBuffer ExoPlatform::allocateShared(uint64_t Bytes, std::string Name) {

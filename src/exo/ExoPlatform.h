@@ -27,7 +27,10 @@
 #include "mem/MemoryBus.h"
 #include "mem/PhysicalMemory.h"
 
+#include <deque>
+#include <memory>
 #include <string>
+#include <vector>
 
 namespace exochi {
 namespace exo {
@@ -38,6 +41,10 @@ struct PlatformConfig {
   cpu::CpuConfig Cpu;
   mem::MemoryBusParams Bus;
   ProxyParams Proxy;
+  /// GMA device instances behind the ExoCluster scheduler. Each device
+  /// gets its own memory bus (capacity genuinely scales with the fleet);
+  /// all share one physical memory, kernel table, and proxy handler.
+  unsigned NumDevices = 1;
 };
 
 /// A named buffer in the shared virtual address space.
@@ -59,7 +66,11 @@ public:
   mem::PhysicalMemory &physicalMemory() { return PM; }
   mem::Ia32AddressSpace &addressSpace() { return AS; }
   mem::MemoryBus &bus() { return Bus; }
-  gma::GmaDevice &device() { return Device; }
+  /// The primary device (device 0). Single-device callers keep working
+  /// unchanged; cluster-aware callers iterate device(I).
+  gma::GmaDevice &device() { return *Devices.front(); }
+  gma::GmaDevice &device(unsigned I) { return *Devices[I]; }
+  unsigned numDevices() const { return static_cast<unsigned>(Devices.size()); }
   cpu::CpuModel &cpuModel() { return Cpu; }
   ExoProxyHandler &proxy() { return Proxy; }
   const PlatformConfig &config() const { return Config; }
@@ -67,13 +78,17 @@ public:
   /// Host worker threads used to simulate the device for subsequent runs
   /// (0 = one per hardware core, 1 = serial). Purely a wall-clock knob:
   /// simulation results are bit-identical for every value.
-  void setSimThreads(unsigned N) { Device.setSimThreads(N); }
+  void setSimThreads(unsigned N) {
+    for (auto &D : Devices)
+      D->setSimThreads(N);
+  }
 
   /// Installs a FaultLab injector at every probe site across the stack
   /// (device refill/resolve phases + proxy ATR/CEH paths). Pass nullptr
   /// to disarm. The injector must outlive the runs it is armed for.
   void armFaultInjection(fault::FaultInjector *Inj) {
-    Device.setFaultInjector(Inj);
+    for (auto &D : Devices)
+      D->setFaultInjector(Inj);
     Proxy.setFaultInjector(Inj);
   }
 
@@ -81,7 +96,8 @@ public:
   /// CEH-timeout retries and device shred re-dispatches.
   void setMaxRetries(unsigned K) {
     Proxy.setMaxRetries(K);
-    Device.setMaxRedispatch(K);
+    for (auto &D : Devices)
+      D->setMaxRedispatch(K);
   }
 
   /// Allocates \p Bytes of demand-paged shared virtual memory. Both the
@@ -105,7 +121,14 @@ private:
   mem::MemoryBus Bus;
   mem::Ia32AddressSpace AS;
   mem::VirtualAllocator Allocator;
-  gma::GmaDevice Device;
+  /// Buses of devices 1..N-1: each device arbitrates its own bus so
+  /// cluster capacity genuinely scales (device 0 keeps the primary Bus,
+  /// preserving single-device timing bit-for-bit). A deque keeps
+  /// references stable as it grows.
+  std::deque<mem::MemoryBus> ExtraBuses;
+  /// The GMA fleet; Devices[0] always exists and shares one kernel table
+  /// with the rest.
+  std::vector<std::unique_ptr<gma::GmaDevice>> Devices;
   cpu::CpuModel Cpu;
   ExoProxyHandler Proxy;
 };

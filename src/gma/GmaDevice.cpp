@@ -311,10 +311,15 @@ int64_t signExtend(int64_t V, ElemType Ty) {
 //===----------------------------------------------------------------------===//
 
 GmaDevice::GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
-                     mem::MemoryBus &Bus)
+                     mem::MemoryBus &Bus,
+                     std::shared_ptr<KernelTable> SharedKernels,
+                     unsigned DeviceIndex)
     : Config(Config), PM(PM), Bus(Bus),
       Cache(Config.CacheBytes, Config.CacheLineBytes, Config.CacheWays),
-      DeviceTlb(Config.TlbEntriesPerEu * Config.NumEus) {
+      DeviceTlb(Config.TlbEntriesPerEu * Config.NumEus),
+      Kernels(SharedKernels ? std::move(SharedKernels)
+                            : std::make_shared<KernelTable>()),
+      DeviceIndex_(DeviceIndex) {
   for (unsigned K = 0; K < Config.NumEus; ++K)
     Eus.push_back(std::make_unique<Eu>(K, Config.ThreadsPerEu));
 }
@@ -322,19 +327,14 @@ GmaDevice::GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
 GmaDevice::~GmaDevice() = default;
 
 uint32_t GmaDevice::registerKernel(KernelImage Image) {
-  // Pre-decode once per registration: the interpreter executes from the
-  // operand-resolved form instead of re-deriving lane/register mappings
-  // and issue costs on every step.
-  if (!Image.Decoded)
-    Image.Decoded = isa::decodeKernel(Image.Code);
-  Kernels.push_back(std::move(Image));
-  return static_cast<uint32_t>(Kernels.size());
+  // Pre-decode once per registration (done inside the table): the
+  // interpreter executes from the operand-resolved form instead of
+  // re-deriving lane/register mappings and issue costs on every step.
+  return Kernels->add(std::move(Image));
 }
 
 const KernelImage *GmaDevice::kernel(uint32_t KernelId) const {
-  if (KernelId == 0 || KernelId > Kernels.size())
-    return nullptr;
-  return &Kernels[KernelId - 1];
+  return Kernels->get(KernelId);
 }
 
 uint32_t GmaDevice::enqueueShred(ShredDescriptor Desc) {
@@ -343,7 +343,7 @@ uint32_t GmaDevice::enqueueShred(ShredDescriptor Desc) {
   return NextShredId + static_cast<uint32_t>(Queue.size()) - 1;
 }
 
-void GmaDevice::resetStats() {
+void GmaDevice::resetStats(bool RewindFaults) {
   Stats = GmaRunStats();
   SamplerFreeAt = 0;
   for (auto &E : Eus) {
@@ -356,8 +356,10 @@ void GmaDevice::resetStats() {
     // decides when a misbehaving EU rejoins the rotation.
   }
   // Run setup rewinds the injector's per-site occurrence counters and
-  // fired log so back-to-back jobs replay the same fault schedule.
-  if (Injector)
+  // fired log so back-to-back jobs replay the same fault schedule. A
+  // cluster's per-chunk resets skip the rewind: the injector is shared
+  // across the fleet and rewound once per region by the scheduler.
+  if (RewindFaults && Injector)
     Injector->reset();
 }
 
@@ -1296,12 +1298,16 @@ Error GmaDevice::resolveOne(const PendingOp &Op) {
     return Error::success();
 
   // EuHardFail probe: a blocking shared-resource interaction is where a
-  // wedged EU manifests. Keyed by EU index so a given EU fails at the
-  // same (deterministic) occurrence for every SimThreads value.
+  // wedged EU manifests. Keyed by the cluster-wide EU index (device ×
+  // NumEus + EU) so a given EU fails at the same (deterministic)
+  // occurrence for every SimThreads value, and distinct devices in a
+  // cluster draw from distinct fault sites. Device 0 keys are unchanged
+  // from the single-device scheme.
   if (injectionArmed() &&
       (Op.K == PendingOp::Kind::Memory || Op.K == PendingOp::Kind::Sampler ||
        Op.K == PendingOp::Kind::Exception) &&
-      Injector->shouldInject(fault::FaultKind::EuHardFail, E.Index)) {
+      Injector->shouldInject(fault::FaultKind::EuHardFail,
+                             DeviceIndex_ * Config.NumEus + E.Index)) {
     ++Stats.FaultsInjected;
     return offlineEu(E);
   }
@@ -1426,6 +1432,7 @@ Error GmaDevice::resolveOne(const PendingOp &Op) {
     ++Stats.ShredsExecuted;
     if (Tracer) {
       ShredSpan Span;
+      Span.Device = DeviceIndex_;
       Span.Eu = E.Index;
       Span.Slot = Ctx.Slot;
       Span.ShredId = Ctx.ShredId;
@@ -1481,6 +1488,7 @@ void GmaDevice::preemptAll(TimeNs Now) {
       ++Stats.ShredsPreempted;
       if (Tracer) {
         ShredSpan Span;
+        Span.Device = DeviceIndex_;
         Span.Eu = E->Index;
         Span.Slot = C.Slot;
         Span.ShredId = C.ShredId;

@@ -37,6 +37,7 @@
 #define EXOCHI_GMA_GMADEVICE_H
 
 #include "gma/Gma.h"
+#include "gma/KernelTable.h"
 #include "gma/Trace.h"
 #include "isa/Decoded.h"
 #include "mem/CacheModel.h"
@@ -56,16 +57,6 @@ class FaultInjector;
 }
 
 namespace gma {
-
-/// A kernel registered with the device: decoded code ready to dispatch.
-struct KernelImage {
-  std::vector<isa::Instruction> Code;
-  std::string Name;
-  /// Operand-resolved form, filled in at registration (shared across
-  /// devices through the process-wide decode cache). Both the cycle
-  /// interpreter and the XJIT fast lane execute from it.
-  std::shared_ptr<const isa::DecodedKernel> Decoded;
-};
 
 /// Action a debugger step hook may request after each instruction.
 enum class StepAction : uint8_t {
@@ -90,8 +81,16 @@ enum class RunExit : uint8_t {
 /// SimThreads setting; the public API is not itself thread-safe.
 class GmaDevice {
 public:
+  /// \p SharedKernels shares one device-global kernel table across a
+  /// cluster of instances (a private table is created when null), and
+  /// \p DeviceIndex identifies this instance inside the cluster (0 for a
+  /// single device) — it qualifies fault-injection site keys and trace
+  /// spans so per-device schedules stay distinguishable yet
+  /// deterministic.
   GmaDevice(const GmaConfig &Config, mem::PhysicalMemory &PM,
-            mem::MemoryBus &Bus);
+            mem::MemoryBus &Bus,
+            std::shared_ptr<KernelTable> SharedKernels = nullptr,
+            unsigned DeviceIndex = 0);
   ~GmaDevice();
 
   GmaDevice(const GmaDevice &) = delete;
@@ -179,6 +178,17 @@ public:
     return static_cast<bool>(Hook_) || Tracer != nullptr;
   }
 
+  /// True when a debugger step hook specifically is installed. A tracer
+  /// merely observes spans (cluster sharding supports it per device); a
+  /// step hook pins execution to one serial in-line device.
+  bool hasStepHook() const { return static_cast<bool>(Hook_); }
+
+  /// This instance's position in its cluster (0 for a single device).
+  unsigned deviceIndex() const { return DeviceIndex_; }
+
+  /// The device-global kernel table this instance executes from.
+  const std::shared_ptr<KernelTable> &kernelTable() const { return Kernels; }
+
   /// The installed FaultLab injector (nullptr when none): shared with the
   /// fast lane so both backends probe one fault schedule.
   fault::FaultInjector *faultInjector() const { return Injector; }
@@ -203,7 +213,11 @@ public:
   const GmaRunStats &stats() const { return Stats; }
 
   /// Clears statistics and the finish clock, keeping kernels registered.
-  void resetStats();
+  /// \p RewindFaults also rewinds the installed fault injector so
+  /// back-to-back runs replay the same fault schedule; a cluster passes
+  /// false for its per-chunk resets (the injector is shared across the
+  /// fleet and rewound once per region by the scheduler).
+  void resetStats(bool RewindFaults = true);
 
   /// Invalidates every EU TLB (e.g. after the host changes mappings).
   void invalidateTlbs();
@@ -327,10 +341,13 @@ private:
   TraceRecorder *Tracer = nullptr;
   fault::FaultInjector *Injector = nullptr;
 
-  /// Registered kernels, indexed by id - 1. A deque keeps KernelImage
-  /// references stable across registration (resident contexts cache
-  /// pointers into it) while kernel() stays O(1).
-  std::deque<KernelImage> Kernels;
+  /// Device-global kernel table (shared across a cluster; private when
+  /// constructed stand-alone).
+  std::shared_ptr<KernelTable> Kernels;
+
+  /// Position inside the owning cluster (0 stand-alone). Qualifies
+  /// fault-injection EU site keys and trace spans.
+  unsigned DeviceIndex_ = 0;
 
   std::deque<ShredDescriptor> Queue;
   uint32_t NextShredId = 1;

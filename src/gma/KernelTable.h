@@ -1,0 +1,75 @@
+//===- gma/KernelTable.h - Device-global kernel registry -------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel table is device-global state: every GmaDevice in an
+/// ExoCluster executes the same registered kernels, and the decoded form
+/// (isa::DecodedKernel) is expensive enough to share rather than duplicate
+/// per instance. GmaDevice keeps its per-instance core (EUs, TLB, cache,
+/// stats, queue) and holds a shared_ptr to one of these; a single-device
+/// platform simply owns a private table, so the split costs nothing when
+/// N = 1.
+///
+/// The table is append-only and single-writer: registration happens on
+/// the host thread before any device runs, and the simulated devices of a
+/// cluster are advanced serially, so no locking is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_GMA_KERNELTABLE_H
+#define EXOCHI_GMA_KERNELTABLE_H
+
+#include "isa/Decoded.h"
+
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace exochi {
+namespace gma {
+
+/// A kernel registered with a device (or a cluster of them): decoded code
+/// ready to dispatch.
+struct KernelImage {
+  std::vector<isa::Instruction> Code;
+  std::string Name;
+  /// Operand-resolved form, filled in at registration (shared across
+  /// devices through the process-wide decode cache). Both the cycle
+  /// interpreter and the XJIT fast lane execute from it.
+  std::shared_ptr<const isa::DecodedKernel> Decoded;
+};
+
+/// Append-only registry of kernels, indexed by id - 1. A deque keeps
+/// KernelImage references stable across registration (resident contexts
+/// cache pointers into it) while get() stays O(1).
+class KernelTable {
+public:
+  /// Registers \p Image (pre-decoding it once if needed) and returns its
+  /// kernel id. Ids are 1-based; 0 is "no kernel".
+  uint32_t add(KernelImage Image) {
+    if (!Image.Decoded)
+      Image.Decoded = isa::decodeKernel(Image.Code);
+    Kernels.push_back(std::move(Image));
+    return static_cast<uint32_t>(Kernels.size());
+  }
+
+  /// Looks up a registered kernel; nullptr when unknown.
+  const KernelImage *get(uint32_t KernelId) const {
+    if (KernelId == 0 || KernelId > Kernels.size())
+      return nullptr;
+    return &Kernels[KernelId - 1];
+  }
+
+  size_t size() const { return Kernels.size(); }
+
+private:
+  std::deque<KernelImage> Kernels;
+};
+
+} // namespace gma
+} // namespace exochi
+
+#endif // EXOCHI_GMA_KERNELTABLE_H

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <map>
+#include <tuple>
 
 using namespace exochi;
 using namespace exochi::gma;
@@ -65,19 +66,31 @@ std::string TraceRecorder::toChromeJson() const {
   std::string Out = "{\"traceEvents\":[\n";
   bool First = true;
 
-  // Name the rows.
-  std::map<std::pair<unsigned, unsigned>, bool> Rows;
-  for (const ShredSpan &S : Spans)
-    Rows[{S.Eu, S.Slot}] = true;
-  for (const auto &[Row, Unused] : Rows) {
+  // Name the processes (one per cluster device) and the rows.
+  std::map<unsigned, bool> Devices;
+  std::map<std::tuple<unsigned, unsigned, unsigned>, bool> Rows;
+  for (const ShredSpan &S : Spans) {
+    Devices[S.Device] = true;
+    Rows[{S.Device, S.Eu, S.Slot}] = true;
+  }
+  for (const auto &[Dev, Unused] : Devices) {
     (void)Unused;
     if (!First)
       Out += ",\n";
     First = false;
-    Out += formatString("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+    Out += formatString("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                        "\"args\":{\"name\":\"GMA device %u\"}}",
+                        Dev, Dev);
+  }
+  for (const auto &[Row, Unused] : Rows) {
+    (void)Unused;
+    auto [Dev, EuIdx, Slot] = Row;
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += formatString("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
                         "\"tid\":%u,\"args\":{\"name\":\"EU%u ctx%u\"}}",
-                        Row.first * Stride + Row.second, Row.first,
-                        Row.second);
+                        Dev, EuIdx * Stride + Slot, EuIdx, Slot);
   }
 
   for (const ShredSpan &S : Spans) {
@@ -86,9 +99,10 @@ std::string TraceRecorder::toChromeJson() const {
     First = false;
     Out += formatString(
         "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-        "\"pid\":0,\"tid\":%u,\"args\":{\"shred\":%u}}",
+        "\"pid\":%u,\"tid\":%u,\"args\":{\"shred\":%u}}",
         jsonEscape(S.Kernel).c_str(), S.StartNs / 1000.0,
-        (S.EndNs - S.StartNs) / 1000.0, S.Eu * Stride + S.Slot, S.ShredId);
+        (S.EndNs - S.StartNs) / 1000.0, S.Device, S.Eu * Stride + S.Slot,
+        S.ShredId);
   }
   Out += "\n]}\n";
   return Out;
@@ -98,18 +112,21 @@ double TraceRecorder::occupancy() const {
   if (Spans.empty())
     return 0.0;
   mem::TimeNs Lo = Spans.front().StartNs, Hi = Spans.front().EndNs;
-  std::map<std::pair<unsigned, unsigned>, mem::TimeNs> Busy;
+  unsigned NumDevices = 1;
+  std::map<std::tuple<unsigned, unsigned, unsigned>, mem::TimeNs> Busy;
   for (const ShredSpan &S : Spans) {
     Lo = std::min(Lo, S.StartNs);
     Hi = std::max(Hi, S.EndNs);
-    Busy[{S.Eu, S.Slot}] += S.EndNs - S.StartNs;
+    NumDevices = std::max(NumDevices, S.Device + 1);
+    Busy[{S.Device, S.Eu, S.Slot}] += S.EndNs - S.StartNs;
   }
   if (Hi <= Lo || Busy.empty())
     return 0.0;
-  // The divisor is every hardware context the device has, not just the
+  // The divisor is every hardware context the fleet has, not just the
   // ones that happened to run a shred: contexts that sat idle are lost
-  // capacity and must drag the ratio down.
-  double Contexts = static_cast<double>(NumEus_) * ThreadsPerEu_;
+  // capacity and must drag the ratio down. (The per-device geometry is
+  // scaled by the number of devices the spans actually mention.)
+  double Contexts = static_cast<double>(NumEus_) * ThreadsPerEu_ * NumDevices;
   if (Contexts == 0)
     Contexts = static_cast<double>(Busy.size());
   double Total = 0;

@@ -26,6 +26,7 @@ namespace gma {
 
 /// One shred's residency on a hardware thread context.
 struct ShredSpan {
+  unsigned Device = 0; ///< cluster device index (Chrome-trace process id)
   unsigned Eu = 0;
   unsigned Slot = 0; ///< thread context within the EU
   uint32_t ShredId = 0;

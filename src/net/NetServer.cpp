@@ -15,6 +15,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+// A peer's close() arrives as readable-EOF (POLLIN), which a parked
+// connection masks out; POLLRDHUP is the event that still fires. Glibc
+// exposes it under _GNU_SOURCE (implied by g++); elsewhere fall back to
+// 0, degrading to the POLLHUP/POLLERR paths.
+#ifndef POLLRDHUP
+#define POLLRDHUP 0
+#endif
+
 using namespace exochi;
 using namespace exochi::net;
 
@@ -446,6 +454,20 @@ void NetServer::sweepResults() {
     R.StartNs = J->StartNs;
     R.EndNs = J->EndNs;
     R.Error = J->Error;
+    // Wire v2: per-lane rows of the dispatch that ran this job (empty
+    // for jobs that never dispatched).
+    if (J->Region)
+      if (const chi::RegionStats *RS = RT.regionStats(J->Region))
+        for (const chi::ShardStat &S : RS->Shards) {
+          if (S.Shreds == 0)
+            continue;
+          wire::ResultMsg::Shard Row;
+          Row.Lane = S.Lane;
+          Row.HostLane = S.HostLane ? 1 : 0;
+          Row.Shreds = S.Shreds;
+          Row.Stolen = S.Stolen;
+          R.Shards.push_back(Row);
+        }
     if (Conn *C = connById(It->second.ClientId); C && !C->Closing)
       queueFrame(*C, wire::encode(R));
     else
@@ -481,7 +503,15 @@ void NetServer::run() {
         Ev |= POLLIN;
       if (C.OutOff < C.Out.size())
         Ev |= POLLOUT;
-      if (Ev) {
+      // A parked connection (backpressure) is not read, but it must
+      // still be polled for peer death: a close() lands as readable-EOF
+      // (plain POLLIN, masked out here on purpose), so ask for POLLRDHUP
+      // — with POLLHUP/POLLERR always reported regardless of the mask —
+      // so a client that dies while parked is noticed and reaped instead
+      // of holding its queue slot and quota forever.
+      if (Ev || C.Deferred) {
+        if (C.Deferred)
+          Ev |= POLLRDHUP;
         P.push_back({C.Sock.fd(), Ev, 0});
         Polled.push_back(&C);
       }
@@ -509,23 +539,49 @@ void NetServer::run() {
       short Re = P[Idx++].revents;
       if (Re & POLLOUT)
         flushOut(*C);
-      if (Re & (POLLIN | POLLHUP | POLLERR))
-        serviceRead(*C);
+      if (Re & (POLLIN | POLLHUP | POLLERR | POLLRDHUP)) {
+        if (C->Deferred && !(Re & POLLIN)) {
+          // The peer vanished while its Submit was parked: there is
+          // nothing to read (the socket is unread by design), so close
+          // directly and let the reap path release its jobs.
+          C->Closing = true;
+          C->Deferred.reset();
+        } else {
+          serviceRead(*C);
+        }
+      }
     }
 
     runAutonomous();
     pumpAll(); // completed work freed quota: retry parked submits
 
     // Reap connections that are closing and fully flushed (or dead).
+    bool Reaped = false;
     for (auto It = Conns.begin(); It != Conns.end();) {
       bool Flushed = It->OutOff >= It->Out.size();
       if (It->Closing && Flushed) {
         ++Net.Closed;
+        // Release everything the client still held server-side: its
+        // queued jobs (and with them its admission quota — the slot a
+        // parked peer was waiting on), plus its held-job markers so the
+        // autonomous scheduler's held-count bookkeeping stays exact.
+        Srv.cancelClient(It->ClientId);
+        for (const auto &[Id, PJ] : Pending)
+          if (PJ.ClientId == It->ClientId)
+            Held.erase(Id);
         ById.erase(It->ClientId);
         It = Conns.erase(It);
+        Reaped = true;
       } else {
         ++It;
       }
+    }
+    if (Reaped) {
+      // Cancelled jobs just reached a terminal state; sweep them out of
+      // Pending (their results are dropped — the client is gone) and
+      // retry parked submits now that the freed quota re-arms them.
+      sweepResults();
+      pumpAll();
     }
 
     // Exit-on-drain waits for every client to say goodbye so a drainer

@@ -316,6 +316,13 @@ std::vector<uint8_t> wire::encode(const ResultMsg &M) {
   W.f64(M.StartNs);
   W.f64(M.EndNs);
   W.str(M.Error);
+  W.u32(static_cast<uint32_t>(M.Shards.size()));
+  for (const ResultMsg::Shard &S : M.Shards) {
+    W.u32(S.Lane);
+    W.u8(S.HostLane);
+    W.u64(S.Shreds);
+    W.u64(S.Stolen);
+  }
   return frame(MsgType::Result, W.take());
 }
 
@@ -487,6 +494,17 @@ Expected<ResultMsg> wire::decodeResult(const std::vector<uint8_t> &Body) {
   M.StartNs = R.f64();
   M.EndNs = R.f64();
   M.Error = R.str();
+  uint32_t NumShards = R.count(MaxShardRows);
+  for (uint32_t K = 0; R.ok() && K < NumShards; ++K) {
+    ResultMsg::Shard S;
+    S.Lane = R.u32();
+    S.HostLane = R.u8();
+    if (R.ok() && S.HostLane > 1)
+      R.fail(formatString("shard host byte %u out of range", S.HostLane));
+    S.Shreds = R.u64();
+    S.Stolen = R.u64();
+    M.Shards.push_back(S);
+  }
   return finish(R, std::move(M), "result");
 }
 

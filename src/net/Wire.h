@@ -44,8 +44,9 @@ namespace wire {
 /// The four magic bytes opening every frame ("XNET").
 constexpr uint8_t Magic[4] = {'X', 'N', 'E', 'T'};
 /// Protocol version spoken by this build. A server answers a mismatched
-/// Hello with an Error frame and closes.
-constexpr uint16_t Version = 1;
+/// Hello with an Error frame and closes. v2 appended the per-shard rows
+/// to Result frames (ExoCluster).
+constexpr uint16_t Version = 2;
 /// Frame header size: magic + version + type + body length.
 constexpr size_t HeaderBytes = 12;
 /// Hard cap on a frame body. Oversized lengths are rejected at the
@@ -58,6 +59,8 @@ constexpr uint32_t MaxStringBytes = 4096;
 constexpr uint32_t MaxSurfaceDataBytes = 8u << 20;
 /// Cap on list element counts (params, surfaces) inside one message.
 constexpr uint32_t MaxListElems = 1024;
+/// Cap on per-shard rows inside one Result frame (devices + host lane).
+constexpr uint32_t MaxShardRows = 256;
 
 /// Frame types. Client-to-server types start at 1, server-to-client at
 /// 64; an endpoint receiving a frame from the wrong half treats it as
@@ -306,6 +309,18 @@ struct ResultMsg {
   uint64_t ShredsPreempted = 0;
   double SubmitNs = 0, StartNs = 0, EndNs = 0;
   std::string Error;
+  /// One row per cluster lane that executed shreds of the dispatch that
+  /// ran this job (wire v2; empty for rejected/failed jobs). Lane is the
+  /// device index, or numDevices() with HostLane set for the IA32 lane.
+  struct Shard {
+    uint32_t Lane = 0;
+    uint8_t HostLane = 0;
+    uint64_t Shreds = 0;
+    uint64_t Stolen = 0;
+
+    bool operator==(const Shard &) const = default;
+  };
+  std::vector<Shard> Shards;
 };
 
 struct SurfaceDataMsg {

@@ -17,6 +17,15 @@ Breaker::Breaker(unsigned NumEus, BreakerConfig Config)
     E.NextCooldown = Config.CooldownJobs;
 }
 
+void Breaker::reset() {
+  for (EuState &E : Eus) {
+    E = EuState();
+    E.NextCooldown = Config.CooldownJobs;
+  }
+  PendingFails.clear();
+  Counters = Stats();
+}
+
 void Breaker::noteFault(const fault::FaultSite &Site) {
   if (Site.Kind != fault::FaultKind::EuHardFail)
     return;

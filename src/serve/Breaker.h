@@ -58,6 +58,13 @@ public:
   /// merged with EuHardFail signals seen since the previous call.
   void onJobEnd(const std::vector<unsigned> &OfflinedEus);
 
+  /// Returns every EU to a fresh Closed state: cooldowns, the doubling
+  /// counters, pending fail signals, and the trip statistics all clear.
+  /// Symmetric with FaultInjector::reset() — a Server reset that rewinds
+  /// the fault schedule must also rewind the breaker, or the second run
+  /// starts mid-cooldown and trips at different jobs than the first.
+  void reset();
+
   State state(unsigned Eu) const { return Eus[Eu].St; }
   /// Open EUs are quarantined; a HalfOpen EU is readmitted as a probe.
   bool quarantined(unsigned Eu) const { return Eus[Eu].St == State::Open; }

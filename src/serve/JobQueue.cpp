@@ -92,6 +92,22 @@ std::vector<JobId> JobQueue::collectBatch(Priority Pri, size_t MaxN,
   return Out;
 }
 
+std::vector<JobId> JobQueue::removeClient(uint32_t ClientId) {
+  std::vector<JobId> Out;
+  for (unsigned P = NumPriorities; P-- > 0;) {
+    std::deque<Entry> &Q = ByPriority[P];
+    for (size_t K = 0; K < Q.size();) {
+      if (Q[K].ClientId == ClientId) {
+        Out.push_back(Q[K].Id);
+        remove(P, K);
+      } else {
+        ++K;
+      }
+    }
+  }
+  return Out;
+}
+
 std::vector<JobId> JobQueue::drainAll() {
   std::vector<JobId> Out;
   Out.reserve(Count);

@@ -73,6 +73,11 @@ public:
   /// Removes every queued job (a cancelling drain), in pop order.
   std::vector<JobId> drainAll();
 
+  /// Removes every queued job owned by \p ClientId (a disconnect), in
+  /// pop order, releasing its quota. The ExoNet server calls this when a
+  /// connection dies so a parked client's slots never leak.
+  std::vector<JobId> removeClient(uint32_t ClientId);
+
   size_t size() const { return Count; }
   bool empty() const { return Count == 0; }
   size_t clientLoad(uint32_t ClientId) const {

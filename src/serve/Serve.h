@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace exochi {
 namespace serve {
@@ -122,6 +123,18 @@ struct JobRecord {
   }
 };
 
+/// Per-cluster-lane serving totals (ExoCluster): jobs and shreds a lane
+/// participated in across every dispatch this server ran.
+struct ShardRow {
+  unsigned Lane = 0; ///< device index; numDevices() for the host lane
+  bool HostLane = false;
+  uint64_t Jobs = 0;   ///< dispatches this lane executed shreds for
+  uint64_t Shreds = 0; ///< shreds the lane executed in total
+  uint64_t Stolen = 0; ///< of those, acquired through work stealing
+
+  bool operator==(const ShardRow &) const = default;
+};
+
 /// Aggregate ExoServe counters. Field-wise comparable: the chaos soak
 /// asserts bit-identical ServeStats per seed across SimThreads values.
 struct ServeStats {
@@ -149,6 +162,12 @@ struct ServeStats {
   /// Jobs whose dispatch actually ran on the XJIT fast lane (requires
   /// Feature::Backend set to fast AND the kernel to be fast-eligible).
   uint64_t FastLaneJobs = 0;
+  /// Queued jobs cancelled because their client disconnected (ExoNet
+  /// calls Server::cancelClient from its connection-reap path).
+  uint64_t CancelledDisconnect = 0;
+  /// Per-lane serving totals, one row per cluster lane that executed at
+  /// least one shred (sorted by lane index).
+  std::vector<ShardRow> Shards;
   /// Injector fires observed while serving, by fault kind (FaultLab
   /// signal plumbing through FaultInjector::setObserver).
   uint64_t FaultSignals[fault::NumFaultKinds] = {};

@@ -10,6 +10,8 @@
 #include "support/Format.h"
 #include "xopt/Cost.h"
 
+#include <algorithm>
+
 using namespace exochi;
 using namespace exochi::serve;
 
@@ -17,7 +19,12 @@ Server::Server(chi::Runtime &RT, ServerConfig Config,
                fault::FaultInjector *Inj)
     : RT(RT), Config(Config), Inj(Inj), Queue(Config.Queue),
       Dog(RT.platform().config().Gma, Config.Watchdog),
-      Brk(RT.platform().config().Gma.NumEus, Config.Breaker) {
+      // One breaker unit per EU across the whole fleet: unit
+      // device × NumEus + EU, matching the device-qualified EuHardFail
+      // site keys, so each shard trips and heals independently.
+      Brk(RT.platform().config().Gma.NumEus * RT.platform().numDevices(),
+          Config.Breaker),
+      ShardDrained(RT.platform().numDevices(), false) {
   if (Inj)
     Inj->setObserver([this](const fault::FaultSite &Site) {
       ++Stats.FaultSignals[static_cast<unsigned>(Site.Kind)];
@@ -109,12 +116,17 @@ bool Server::costExceedsBudget(const JobSpec &Spec) {
   int64_t Budget = Dog.effectiveBudgetCycles(Spec);
   if (Budget <= 0)
     return false; // no deadline (zero budgets were rejected earlier)
+  return pigeonholeExceeds(Spec.Region.NumThreads, minPerShredCycles(Spec),
+                           Budget);
+}
+
+double Server::minPerShredCycles(const JobSpec &Spec) {
   const chi::RegionSpec &Region = Spec.Region;
   if (Region.NumThreads == 0)
-    return false;
+    return 0.0;
   const fatbin::CodeSection *Sec = RT.loadedSection(Region.KernelName);
   if (!Sec)
-    return false; // unknown kernel: let the dispatch fail with its error
+    return 0.0; // unknown kernel: let the dispatch fail with its error
 
   // Build the dispatch-sharpened spec the analyzer sees: parameter
   // ranges from the clause bindings, surface geometry from the live
@@ -168,32 +180,109 @@ bool Server::costExceedsBudget(const JobSpec &Spec) {
   } else {
     auto Prog = isa::decodeProgram(Sec->Code);
     if (!Prog)
-      return false; // undecodable: the dispatch path owns that error
+      return 0.0; // undecodable: the dispatch path owns that error
     xopt::CostReport CR =
         xopt::analyzeCost(*Prog, VS, Region.KernelName);
     MinPerShred = CR.minCycles();
     CostCache.emplace(std::move(CacheKey), MinPerShred);
   }
+  return MinPerShred;
+}
 
+bool Server::pigeonholeExceeds(uint64_t Threads, double MinPerShred,
+                               int64_t BudgetCycles) const {
+  if (Threads == 0 || MinPerShred <= 0.0 || BudgetCycles <= 0)
+    return false;
   // Pigeonhole lower bound on elapsed device cycles: issue slots
   // serialize per EU, so some EU issues >= ceil(N/EUs) shreds' minimum.
-  uint64_t Eus = std::max(RT.platform().config().Gma.NumEus, 1u);
-  uint64_t PerEu = (Region.NumThreads + Eus - 1) / Eus;
+  // EUs are counted fleet-wide — with ExoCluster sharding the work may
+  // spread across every device, so the single-device bound would not be
+  // a lower bound any more; the fleet bound stays sound (merely looser
+  // for kernels that cannot shard).
+  uint64_t Eus = std::max(RT.platform().config().Gma.NumEus, 1u) *
+                 std::max(RT.platform().numDevices(), 1u);
+  uint64_t PerEu = (Threads + Eus - 1) / Eus;
   return static_cast<double>(PerEu) * MinPerShred >
-         static_cast<double>(Budget);
+         static_cast<double>(BudgetCycles);
 }
 
 void Server::applyQuarantine() {
-  gma::GmaDevice &Device = RT.platform().device();
-  for (unsigned K = 0; K < Brk.numEus(); ++K)
-    Device.setEuQuarantine(K, Brk.quarantined(K));
+  // Breaker units map to (device, EU) across the fleet; a shard drain
+  // quarantines the whole device on top of whatever the breaker says.
+  unsigned NumEus = RT.platform().config().Gma.NumEus;
+  for (unsigned K = 0; K < Brk.numEus(); ++K) {
+    unsigned Dev = K / NumEus;
+    RT.platform().device(Dev).setEuQuarantine(
+        K % NumEus, Brk.quarantined(K) || shardDrained(Dev));
+  }
+}
+
+void Server::setShardDrain(unsigned Device, bool On) {
+  if (Device < ShardDrained.size())
+    ShardDrained[Device] = On;
+}
+
+unsigned Server::cancelClient(uint32_t Client) {
+  unsigned N = 0;
+  for (JobId Id : Queue.removeClient(Client)) {
+    JobRecord &R = record(Id);
+    R.State = JobState::Drained;
+    R.EndNs = RT.now();
+    ++Stats.CancelledDisconnect;
+    ++N;
+  }
+  return N;
+}
+
+void Server::reset() {
+  // Cancel whatever is still queued (the records stay inspectable, but
+  // the counters below start from zero, as after construction).
+  for (JobId Id : Queue.drainAll())
+    record(Id).State = JobState::Drained;
+  Stats = ServeStats();
+  Brk.reset();
+  Draining = false;
+  // Lift the breaker's quarantine on every device; shard drains are
+  // operator policy and survive a reset.
+  applyQuarantine();
+}
+
+void Server::accumulateShards(const chi::RegionStats &RS) {
+  for (const chi::ShardStat &S : RS.Shards) {
+    if (S.Shreds == 0)
+      continue;
+    auto It = std::find_if(Stats.Shards.begin(), Stats.Shards.end(),
+                           [&](const ShardRow &R) { return R.Lane == S.Lane; });
+    if (It == Stats.Shards.end()) {
+      ShardRow Row;
+      Row.Lane = S.Lane;
+      Row.HostLane = S.HostLane;
+      It = Stats.Shards.insert(
+          std::upper_bound(Stats.Shards.begin(), Stats.Shards.end(), Row,
+                           [](const ShardRow &A, const ShardRow &B) {
+                             return A.Lane < B.Lane;
+                           }),
+          Row);
+    }
+    ++It->Jobs;
+    It->Shreds += S.Shreds;
+    It->Stolen += S.Stolen;
+  }
 }
 
 void Server::runJob(JobRecord &R) { runBatch({R.Id}); }
 
 bool Server::coalescable(JobId A, JobId B) const {
   const JobSpec &SA = Specs[A - 1], &SB = Specs[B - 1];
-  if (SA.Pri != SB.Pri || SA.DeadlineCycles != SB.DeadlineCycles)
+  if (SA.Pri != SB.Pri)
+    return false;
+  // Budget *class* must match (both bounded or both unbounded): a merged
+  // batch runs under the tightest member budget, so mixing a bounded job
+  // into an unbounded batch would silently impose a deadline on jobs
+  // that never asked for one. Different finite budgets may merge — the
+  // batch inherits the minimum (see runBatch).
+  if ((Dog.effectiveBudgetCycles(SA) > 0) !=
+      (Dog.effectiveBudgetCycles(SB) > 0))
     return false;
   const chi::RegionSpec &RA = SA.Region, &RB = SB.Region;
   if (RA.KernelName != RB.KernelName || RA.MasterNowait || RB.MasterNowait)
@@ -262,7 +351,19 @@ void Server::runBatch(const std::vector<JobId> &Members) {
     Stats.CoalescedJobs += Members.size() - 1;
   }
 
-  Dog.armRegion(Region, Dog.effectiveBudgetCycles(HeadSpec));
+  // A merged batch runs as ONE dispatch, so it must finish under the
+  // *tightest* member budget — arming with the head's budget would let a
+  // loose head carry a tight member past its own deadline. (PR 8 bug:
+  // the merge key compared raw DeadlineCycles, hiding this; with
+  // server-default budgets in play the head was not necessarily the
+  // tightest member.)
+  int64_t Budget = Dog.effectiveBudgetCycles(HeadSpec);
+  for (JobId Id : Members) {
+    int64_t B = Dog.effectiveBudgetCycles(Specs[Id - 1]);
+    if (B > 0 && (Budget <= 0 || B < Budget))
+      Budget = B;
+  }
+  Dog.armRegion(Region, Budget);
 
   auto H = RT.dispatch(Region);
   if (!H) {
@@ -293,6 +394,7 @@ void Server::runBatch(const std::vector<JobId> &Members) {
         ++Stats.Completed;
       R.EndNs = RT.now();
     }
+    accumulateShards(*RS);
     Brk.onJobEnd(RS->Device.OfflinedEus);
   }
 
@@ -318,8 +420,33 @@ std::vector<JobId> Server::runNextBatch(unsigned MaxBatch,
   std::vector<JobId> Members{*HeadId};
   if (MaxBatch > 1) {
     JobId Head = *HeadId;
+    // Cost-merge guard (CostAdmission): every member passed the XCost
+    // gate *alone*, but the merged batch runs the concatenated shred
+    // count under the tightest member budget. Refuse a candidate when
+    // the merged pigeonhole bound would provably blow that budget —
+    // otherwise coalescing turns individually-admitted jobs into a
+    // guaranteed batch-wide deadline preemption.
+    uint64_t MergedThreads = Specs[Head - 1].Region.NumThreads;
+    int64_t Tightest = Dog.effectiveBudgetCycles(Specs[Head - 1]);
+    double MergedMin =
+        Config.CostAdmission ? minPerShredCycles(Specs[Head - 1]) : 0.0;
     auto Match = [&](JobId Id) {
-      return (!Eligible || Eligible(Id)) && coalescable(Head, Id);
+      if ((Eligible && !Eligible(Id)) || !coalescable(Head, Id))
+        return false;
+      if (Config.CostAdmission) {
+        const JobSpec &S = Specs[Id - 1];
+        int64_t B = Dog.effectiveBudgetCycles(S);
+        int64_t NewTightest =
+            (B > 0 && (Tightest <= 0 || B < Tightest)) ? B : Tightest;
+        double NewMin = std::max(MergedMin, minPerShredCycles(S));
+        uint64_t NewThreads = MergedThreads + S.Region.NumThreads;
+        if (pigeonholeExceeds(NewThreads, NewMin, NewTightest))
+          return false;
+        MergedThreads = NewThreads;
+        Tightest = NewTightest;
+        MergedMin = NewMin;
+      }
+      return true;
     };
     for (JobId Id :
          Queue.collectBatch(record(Head).Pri, MaxBatch - 1, Match))
@@ -373,6 +500,18 @@ std::string Server::statsJson() const {
   uint64_t FaultSignals = 0;
   for (uint64_t N : Stats.FaultSignals)
     FaultSignals += N;
+  std::string Shards;
+  for (const ShardRow &S : Stats.Shards) {
+    if (!Shards.empty())
+      Shards += ", ";
+    Shards += formatString(
+        "{\"lane\": %u, \"host\": %s, \"jobs\": %llu, \"shreds\": %llu, "
+        "\"stolen\": %llu}",
+        S.Lane, S.HostLane ? "true" : "false",
+        static_cast<unsigned long long>(S.Jobs),
+        static_cast<unsigned long long>(S.Shreds),
+        static_cast<unsigned long long>(S.Stolen));
+  }
   return formatString(
       "{\"backend\": \"%s\", \"fast_lane_jobs\": %llu, "
       "\"submitted\": %llu, \"admitted\": %llu, \"completed\": %llu, "
@@ -383,6 +522,7 @@ std::string Server::statsJson() const {
       "\"breaker_trips\": %llu, "
       "\"breaker_probes\": %llu, \"breaker_readmits\": %llu, "
       "\"coalesced_batches\": %llu, \"coalesced_jobs\": %llu, "
+      "\"cancelled_disconnect\": %llu, \"shards\": [%s], "
       "\"fault_signals\": %llu}",
       gma::backendName(RT.feature(chi::Feature::Backend) != 0
                            ? gma::BackendKind::Fast
@@ -405,5 +545,7 @@ std::string Server::statsJson() const {
       static_cast<unsigned long long>(Stats.BreakerReadmits),
       static_cast<unsigned long long>(Stats.CoalescedBatches),
       static_cast<unsigned long long>(Stats.CoalescedJobs),
+      static_cast<unsigned long long>(Stats.CancelledDisconnect),
+      Shards.c_str(),
       static_cast<unsigned long long>(FaultSignals));
 }

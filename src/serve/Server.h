@@ -105,6 +105,31 @@ public:
 
   bool draining() const { return Draining; }
 
+  /// Per-shard drain (ExoCluster): takes every EU of device \p Device
+  /// out of the dispatch rotation (on top of any breaker quarantine)
+  /// without closing admission — jobs keep flowing to the remaining
+  /// shards. Lifting it readmits the device on the next dispatch.
+  void setShardDrain(unsigned Device, bool On);
+  bool shardDrained(unsigned Device) const {
+    return Device < ShardDrained.size() && ShardDrained[Device];
+  }
+
+  /// Client disconnect: cancels every queued job owned by \p Client
+  /// (state Drained, counted in ServeStats::CancelledDisconnect),
+  /// releasing its quota so backpressure re-arms on live clients.
+  /// Returns the number of jobs cancelled.
+  unsigned cancelClient(uint32_t Client);
+
+  /// Returns the server to its post-construction scheduling state:
+  /// clears the served statistics, resets the circuit breaker (all EUs
+  /// Closed, cooldowns and doubling counters rewound — symmetric with
+  /// the FaultInjector::reset() wired into GmaDevice::resetStats), lifts
+  /// the breaker's quarantine, cancels any still-queued jobs, and
+  /// reopens admission. Job records stay inspectable; shard drains are
+  /// policy and survive. After reset, an identical submission sequence
+  /// replays identical breaker trips.
+  void reset();
+
   const ServeStats &stats() const { return Stats; }
   const Breaker &breaker() const { return Brk; }
   const JobQueue &queue() const { return Queue; }
@@ -130,6 +155,16 @@ private:
   /// XCost admission check: true when the static lower bound on \p Spec's
   /// elapsed device cycles provably exceeds its effective deadline budget.
   bool costExceedsBudget(const JobSpec &Spec);
+  /// The cached XCost static minimum cycles per shred of \p Spec's
+  /// dispatch shape (0 when the kernel is unknown or undecodable).
+  double minPerShredCycles(const JobSpec &Spec);
+  /// Pigeonhole lower bound on elapsed device cycles for \p Threads
+  /// shreds at \p MinPerShred each vs. \p BudgetCycles (true = provably
+  /// over budget).
+  bool pigeonholeExceeds(uint64_t Threads, double MinPerShred,
+                         int64_t BudgetCycles) const;
+  /// Folds one dispatch's per-lane rows into ServeStats::Shards.
+  void accumulateShards(const chi::RegionStats &RS);
 
   chi::Runtime &RT;
   ServerConfig Config;
@@ -141,6 +176,8 @@ private:
   std::vector<JobSpec> Specs;  ///< parallel to Jobs (specs of queued work)
   ServeStats Stats;
   bool Draining = false;
+  /// Per-device shard drain flags (ExoCluster), indexed by device.
+  std::vector<bool> ShardDrained;
   /// XCost admission cache: kernel name + dispatch-shape fingerprint ->
   /// static per-shred minimum cycles (analyzeCost is pure in the spec,
   /// so repeated same-shape submissions pay for one analysis).

@@ -840,3 +840,116 @@ TEST(ServeNamesTest, EnumsRenderStably) {
                "deadline-preempted");
   EXPECT_STREQ(jobStateName(JobState::Drained), "drained");
 }
+
+//===----------------------------------------------------------------------===//
+// Mixed-deadline coalescing (PR regression: merge key vs budget)
+//===----------------------------------------------------------------------===//
+
+// Jobs with *different finite* budgets may merge; the batch must run
+// under the tightest member budget, not the head's. A loose head job
+// merged with a 10-cycle member must see the whole batch preempted —
+// inheriting the head's billion-cycle budget instead would let the
+// tight member silently overrun its deadline.
+TEST(ServeCoalesceTest, MergedBatchInheritsTightestDeadline) {
+  ServeRig R;
+  Server Srv(R.RT);
+  ASSERT_TRUE(
+      Srv.submit(R.makeJob(0, Priority::Normal, 1'000'000'000)).Admitted);
+  ASSERT_TRUE(Srv.submit(R.makeJob(0, Priority::Normal, 10)).Admitted);
+  std::vector<JobId> Ran = Srv.runNextBatch(2);
+  ASSERT_EQ(Ran.size(), 2u) << "same budget class: the jobs must merge";
+  for (JobId Id : Ran) {
+    const JobRecord *J = Srv.job(Id);
+    ASSERT_NE(J, nullptr);
+    EXPECT_EQ(J->BatchSize, 2u);
+    EXPECT_EQ(J->State, JobState::DeadlinePreempted)
+        << "job " << Id << ": the batch must run under the 10-cycle "
+        << "member budget, not the loose head budget";
+  }
+}
+
+// Sanity for the other direction: a loose budget alone is genuinely
+// loose (the preemption above came from inheritance, not the head).
+TEST(ServeCoalesceTest, LooseBudgetAloneCompletes) {
+  ServeRig R;
+  Server Srv(R.RT);
+  ASSERT_TRUE(
+      Srv.submit(R.makeJob(0, Priority::Normal, 1'000'000'000)).Admitted);
+  ASSERT_TRUE(Srv.runNext().has_value());
+  EXPECT_EQ(Srv.jobs().front().State, JobState::Completed);
+  R.verifyResult();
+}
+
+// Budget *class* is the merge key: a bounded job must never drag a
+// deadline onto an unbounded one (and vice versa), so the two run as
+// separate singleton batches.
+TEST(ServeCoalesceTest, BoundedAndUnboundedJobsDoNotMerge) {
+  ServeRig R;
+  Server Srv(R.RT);
+  ASSERT_TRUE(Srv.submit(R.makeJob(0, Priority::Normal, 100)).Admitted);
+  ASSERT_TRUE(Srv.submit(R.makeJob(0, Priority::Normal, -1)).Admitted);
+  std::vector<JobId> First = Srv.runNextBatch(2);
+  EXPECT_EQ(First.size(), 1u) << "budget classes differ: no merge";
+  std::vector<JobId> Second = Srv.runNextBatch(2);
+  EXPECT_EQ(Second.size(), 1u);
+  for (const JobRecord &J : Srv.jobs()) {
+    EXPECT_EQ(J.BatchSize, 1u);
+    EXPECT_TRUE(J.terminal());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Breaker reset symmetry with the fault injector
+//===----------------------------------------------------------------------===//
+
+// Server::reset() + FaultInjector::reset() must restore *both* halves
+// of the protection state (breaker windows and fault schedule), so a
+// second identical run replays the exact per-job trip/probe/readmit
+// trace — the property operators rely on when bisecting a production
+// trip sequence offline.
+TEST(ServerTest, ResetReplaysIdenticalBreakerTrips) {
+  ServeRig R;
+  fault::FaultInjector Inj =
+      cantFail(fault::FaultInjector::parse("eu-hard-fail:0.5", /*Seed=*/7));
+  R.Platform.armFaultInjection(&Inj);
+
+  ServerConfig SC;
+  SC.Breaker.TripThreshold = 1;
+  SC.Breaker.CooldownJobs = 2;
+  Server Srv(R.RT, SC, &Inj);
+
+  struct Snapshot {
+    uint64_t Trips, Probes, Readmits;
+    unsigned Quarantined;
+    bool operator==(const Snapshot &) const = default;
+  };
+  auto Pass = [&](std::vector<Snapshot> &Trace) {
+    for (int K = 0; K < 12; ++K) {
+      EXPECT_TRUE(Srv.submit(R.makeJob()).Admitted);
+      Srv.runAll();
+      unsigned Q = 0;
+      for (unsigned E = 0; E < Srv.breaker().numEus(); ++E)
+        Q += Srv.breaker().quarantined(E);
+      Trace.push_back({Srv.stats().BreakerTrips, Srv.stats().BreakerProbes,
+                       Srv.stats().BreakerReadmits, Q});
+    }
+  };
+
+  std::vector<Snapshot> First;
+  Pass(First);
+  ASSERT_GT(First.back().Trips, 0u) << "the scenario never tripped";
+
+  Srv.reset();
+  Inj.reset();
+  std::vector<Snapshot> Second;
+  Pass(Second);
+
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t K = 0; K < First.size(); ++K)
+    EXPECT_TRUE(First[K] == Second[K])
+        << "job " << K << ": trips " << First[K].Trips << " vs "
+        << Second[K].Trips << ", probes " << First[K].Probes << " vs "
+        << Second[K].Probes << ", readmits " << First[K].Readmits << " vs "
+        << Second[K].Readmits << ", quarantined " << First[K].Quarantined
+        << " vs " << Second[K].Quarantined;
+}

@@ -79,8 +79,8 @@ TEST(TraceTest, TidStrideFollowsDeviceGeometry) {
   T.setGeometry(/*NumEus=*/2, /*ThreadsPerEu=*/32);
   // EU0 ctx20 and EU1 ctx4 collide under a stride of 16 (both tid 20);
   // under the geometry stride of 32 they map to 20 and 36.
-  T.record({0, 20, 1, "k", 0.0, 10.0});
-  T.record({1, 4, 2, "k", 0.0, 10.0});
+  T.record({0, 0, 20, 1, "k", 0.0, 10.0});
+  T.record({0, 1, 4, 2, "k", 0.0, 10.0});
   std::string Json = T.toChromeJson();
   EXPECT_NE(Json.find("\"tid\":20"), std::string::npos) << Json;
   EXPECT_NE(Json.find("\"tid\":36"), std::string::npos) << Json;
@@ -88,8 +88,8 @@ TEST(TraceTest, TidStrideFollowsDeviceGeometry) {
   // Unknown geometry: the fallback stride derived from the spans (max
   // slot + 1 = 21) must still keep the two rows distinct.
   TraceRecorder U;
-  U.record({0, 20, 1, "k", 0.0, 10.0});
-  U.record({1, 4, 2, "k", 0.0, 10.0});
+  U.record({0, 0, 20, 1, "k", 0.0, 10.0});
+  U.record({0, 1, 4, 2, "k", 0.0, 10.0});
   std::string JU = U.toChromeJson();
   EXPECT_NE(JU.find("\"tid\":20"), std::string::npos) << JU;
   EXPECT_NE(JU.find("\"tid\":25"), std::string::npos) << JU;
@@ -99,7 +99,7 @@ TEST(TraceTest, TidStrideFollowsDeviceGeometry) {
 // and used to be spliced into the JSON verbatim.
 TEST(TraceTest, ChromeJsonEscapesKernelNames) {
   TraceRecorder T;
-  T.record({0, 0, 1, "evil\"k\\n\name\t\x01", 0.0, 5.0});
+  T.record({0, 0, 0, 1, "evil\"k\\n\name\t\x01", 0.0, 5.0});
   std::string Json = T.toChromeJson();
   EXPECT_NE(Json.find("evil\\\"k\\\\n\\name\\t\\u0001"), std::string::npos)
       << Json;
@@ -115,16 +115,16 @@ TEST(TraceTest, OccupancyCountsIdleContexts) {
   TraceRecorder T;
   T.setGeometry(/*NumEus=*/8, /*ThreadsPerEu=*/4);
   // One context busy for the whole window; the other 31 idle.
-  T.record({0, 0, 1, "k", 0.0, 100.0});
+  T.record({0, 0, 0, 1, "k", 0.0, 100.0});
   EXPECT_NEAR(T.occupancy(), 1.0 / 32.0, 1e-12);
 
   // Two contexts, one busy half the window.
-  T.record({3, 2, 2, "k", 0.0, 50.0});
+  T.record({0, 3, 2, 2, "k", 0.0, 50.0});
   EXPECT_NEAR(T.occupancy(), 1.5 / 32.0, 1e-12);
 
   // Without geometry the old spans-only fallback remains: busy rows only.
   TraceRecorder U;
-  U.record({0, 0, 1, "k", 0.0, 100.0});
+  U.record({0, 0, 0, 1, "k", 0.0, 100.0});
   EXPECT_NEAR(U.occupancy(), 1.0, 1e-12);
 }
 

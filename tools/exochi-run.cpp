@@ -93,6 +93,9 @@ int main(int Argc, char **Argv) {
   std::string ListenUnix;     ///< --listen-unix: unix socket path
   int64_t CoalesceWindow = 1; ///< --coalesce-window: max jobs per dispatch
   std::string StatsOut;       ///< --stats-out: stats JSON file
+  int64_t Devices = -1;  ///< --devices: GMA device count (-1 = EXOCHI_DEVICES/1)
+  int64_t Steal = -1;    ///< --steal: cluster work stealing (-1 = default on)
+  int64_t StealSeed = 0; ///< --steal-seed: steal tie-break seed
   std::vector<SurfaceArg> Surfaces;
   std::map<std::string, std::string> Params;
 
@@ -159,6 +162,18 @@ int main(int Argc, char **Argv) {
       ListenUnix = Val;
     else if (matchValueOpt("--coalesce-window", Val))
       CoalesceWindow = parseCount("--coalesce-window", Val, 1);
+    else if (matchValueOpt("--devices", Val))
+      Devices = parseCount("--devices", Val, 1);
+    else if (matchValueOpt("--steal", Val)) {
+      Steal = parseCount("--steal", Val, 0);
+      if (Steal > 1) {
+        std::fprintf(stderr, "exochi-run: bad --steal value '%s' (need 0 "
+                             "or 1)\n",
+                     Val.c_str());
+        return 2;
+      }
+    } else if (matchValueOpt("--steal-seed", Val))
+      StealSeed = parseCount("--steal-seed", Val, 0);
     else if (matchValueOpt("--stats-out", Val))
       StatsOut = Val;
     else if (A == "--sim-threads" || A.rfind("--sim-threads=", 0) == 0) {
@@ -254,6 +269,17 @@ int main(int Argc, char **Argv) {
                    "[--cost-admission] [--drain-after K] [--stats-out FILE]\n"
                    "       [--listen PORT] [--listen-unix PATH] "
                    "[--coalesce-window N]\n"
+                   "       [--devices N] [--steal 0|1] [--steal-seed N]\n"
+                   "  --devices N: simulate N GMA devices (ExoCluster); "
+                   "shardable parallel\n"
+                   "               regions split across them with "
+                   "cooperative work stealing\n"
+                   "               (EXOCHI_DEVICES env works too; flag "
+                   "wins; default 1);\n"
+                   "               --steal 0 disables stealing, "
+                   "--steal-seed varies victim\n"
+                   "               tie-breaks (surfaces stay bit-identical "
+                   "either way)\n"
                    "  --backend fast: run verified kernels on the XJIT "
                    "host-native lane\n"
                    "                  (EXOCHI_BACKEND env works too; flag "
@@ -341,8 +367,30 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  exo::ExoPlatform Platform;
+  // --devices wins over the EXOCHI_DEVICES env (same discipline as
+  // --backend / EXOCHI_BACKEND); both are validated, never defaulted.
+  if (Devices < 0)
+    if (const char *Env = std::getenv("EXOCHI_DEVICES")) {
+      auto N = parseInt(Env);
+      if (!N || *N < 1) {
+        std::fprintf(stderr,
+                     "exochi-run: bad EXOCHI_DEVICES value '%s' (need a "
+                     "positive device count)\n",
+                     Env);
+        return 2;
+      }
+      Devices = *N;
+    }
+  exo::PlatformConfig PC;
+  PC.NumDevices = Devices > 0 ? static_cast<unsigned>(Devices) : 1;
+  exo::ExoPlatform Platform(PC);
   chi::Runtime RT(Platform);
+  {
+    cluster::ClusterConfig CC;
+    CC.Steal = Steal != 0;
+    CC.StealSeed = static_cast<uint64_t>(StealSeed);
+    RT.setClusterConfig(CC);
+  }
   fault::FaultInjector Inj;
   if (!InjectSpec.empty()) {
     auto Parsed = fault::FaultInjector::parse(InjectSpec, InjectSeed);
@@ -374,7 +422,8 @@ int main(int Argc, char **Argv) {
   }
   gma::TraceRecorder Tracer;
   if (!TracePath.empty())
-    Platform.device().setTracer(&Tracer);
+    for (unsigned D = 0; D < Platform.numDevices(); ++D)
+      Platform.device(D).setTracer(&Tracer);
   if (Error E = RT.loadBinary(*FB)) {
     std::fprintf(stderr, "exochi-run: %s\n", E.message().c_str());
     return 1;
