@@ -70,11 +70,13 @@ inline int benchSimThreads() {
 }
 
 /// Tail-latency summary of one sample set (any unit; the caller picks).
+/// P999 needs ~1000 samples to be meaningful; below that it degrades
+/// toward the max, which is still the honest tail answer.
 struct Percentiles {
-  double P50 = 0, P95 = 0, P99 = 0;
+  double P50 = 0, P95 = 0, P99 = 0, P999 = 0;
 };
 
-/// p50/p95/p99 of \p Samples by linear interpolation between order
+/// p50/p95/p99/p999 of \p Samples by linear interpolation between order
 /// statistics (the common "linear" quantile definition). Shared by the
 /// serve and net harnesses so their tail numbers are comparable.
 inline Percentiles latencyPercentiles(std::vector<double> Samples) {
@@ -92,6 +94,7 @@ inline Percentiles latencyPercentiles(std::vector<double> Samples) {
   P.P50 = At(0.50);
   P.P95 = At(0.95);
   P.P99 = At(0.99);
+  P.P999 = At(0.999);
   return P;
 }
 

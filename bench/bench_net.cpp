@@ -52,7 +52,8 @@ struct ServerRig {
   std::thread Loop;
   uint16_t Port = 0;
 
-  explicit ServerRig(unsigned Window) : RT(Platform) {
+  explicit ServerRig(unsigned Window, net::NetFault *Fault = nullptr)
+      : RT(Platform) {
     if (int N = benchSimThreads(); N >= 0)
       Platform.setSimThreads(static_cast<unsigned>(N));
     chi::ProgramBuilder PB;
@@ -69,6 +70,7 @@ struct ServerRig {
     cantFail(RT.loadBinary(PB.take()));
     net::NetServerConfig NC;
     NC.CoalesceWindow = Window;
+    NC.Fault = Fault;
     // Let the per-client quotas bind before global capacity so overload
     // is absorbed by backpressure (deferred reads), not rejections.
     NC.Serve.Queue.Capacity = 64;
@@ -201,6 +203,120 @@ TrialResult runTrial(unsigned Window, unsigned Conns, unsigned Jobs,
   return R;
 }
 
+/// One connection of the NetChaos fault sweep: closed loop with retries
+/// armed. Retries > 0 makes the client exclusive to one thread, so
+/// submit/readResult alternate instead of the sender/reader split.
+void runChaosConn(uint16_t Port, unsigned Jobs, uint64_t Session,
+                  ConnOut *Out, uint64_t *Resubmits) {
+  net::NetClientConfig CC;
+  CC.CallTimeoutSec = 0.25;
+  CC.Retries = 10;
+  CC.BackoffBaseMs = 1;
+  CC.BackoffCapMs = 16;
+  CC.SessionId = Session;
+  CC.Name = "bench_net";
+  net::NetClient C =
+      cantFail(net::NetClient::connectTcp("127.0.0.1", Port, CC));
+  for (const char *Name : {"A", "B", "C"}) {
+    wire::SurfaceMsg S;
+    S.Name = Name;
+    S.Width = 64;
+    S.Height = 1;
+    S.Fill = Name[0] == 'C' ? wire::SurfaceFill::Zero : wire::SurfaceFill::Seq;
+    cantFail(C.surface(S));
+  }
+  wire::SubmitMsg M;
+  M.Shreds = 8;
+  M.Kernel = "vecadd";
+  M.Params = {{"i", wire::ParamKind::Shred, 0}};
+  M.Bind = {"A", "B", "C"};
+  Out->FirstSend = Clock::now();
+  Out->LastDone = Out->FirstSend;
+  for (unsigned J = 0; J < Jobs; ++J) {
+    M.Tag = J;
+    auto T0 = Clock::now();
+    cantFail(C.submit(M));
+    auto R = C.readResult();
+    if (!R) {
+      std::fprintf(stderr, "bench_net: %s\n", R.message().c_str());
+      std::abort();
+    }
+    auto T1 = Clock::now();
+    Out->LatencyMs.push_back(
+        std::chrono::duration<double, std::milli>(T1 - T0).count());
+    Out->LastDone = T1;
+    if (static_cast<serve::JobState>(R->State) == serve::JobState::Completed)
+      ++Out->Completed;
+    else
+      ++Out->Other;
+  }
+  *Resubmits = C.clientStats().Resubmits;
+  (void)C.bye();
+}
+
+struct FaultTrial {
+  double GoodputPerSec = 0; ///< completed jobs/sec wall clock
+  Percentiles LatMs;
+  uint64_t Completed = 0, Other = 0;
+  uint64_t Resubmits = 0, DedupReplays = 0, FaultsInjected = 0;
+  double RetryAmplification = 1.0; ///< submits sent / jobs asked
+};
+
+/// One fault-sweep point: every NetChaos kind armed at \p Rate against
+/// Result frames (stall shortened to 2 ms so the schedule, not the
+/// stall constant, dominates). Rate < 0 runs with no injector attached
+/// (the clean baseline); Rate == 0 attaches a disarmed injector, which
+/// must cost one branch per frame — the overhead row.
+FaultTrial runFaultTrial(double Rate, unsigned Conns, unsigned Jobs,
+                         uint64_t Seed) {
+  net::NetFault F(Seed);
+  if (Rate > 0)
+    for (unsigned K = 0; K < net::NumNetFaultKinds; ++K) {
+      F.setRate(static_cast<net::NetFaultKind>(K), Rate);
+      F.setOnly(static_cast<net::NetFaultKind>(K), wire::MsgType::Result);
+    }
+  F.setStallMs(2.0);
+  ServerRig S(1, Rate < 0 ? nullptr : &F);
+  std::vector<ConnOut> Outs(Conns);
+  std::vector<uint64_t> Resub(Conns, 0);
+  std::vector<std::thread> Threads;
+  for (unsigned K = 0; K < Conns; ++K)
+    Threads.emplace_back(runChaosConn, S.Port, Jobs, 100 + K, &Outs[K],
+                         &Resub[K]);
+  for (std::thread &T : Threads)
+    T.join();
+  S.shutdown();
+
+  FaultTrial T;
+  std::vector<double> Pool;
+  Clock::time_point First = Outs[0].FirstSend, Last = Outs[0].LastDone;
+  for (unsigned K = 0; K < Conns; ++K) {
+    First = std::min(First, Outs[K].FirstSend);
+    Last = std::max(Last, Outs[K].LastDone);
+    Pool.insert(Pool.end(), Outs[K].LatencyMs.begin(),
+                Outs[K].LatencyMs.end());
+    T.Completed += Outs[K].Completed;
+    T.Other += Outs[K].Other;
+    T.Resubmits += Resub[K];
+  }
+  double Sec = std::chrono::duration<double>(Last - First).count();
+  T.GoodputPerSec = Sec > 0 ? static_cast<double>(T.Completed) / Sec : 0;
+  T.LatMs = latencyPercentiles(std::move(Pool));
+  uint64_t Asked = static_cast<uint64_t>(Conns) * Jobs;
+  T.RetryAmplification =
+      Asked ? 1.0 + static_cast<double>(T.Resubmits) / Asked : 1.0;
+  T.DedupReplays = S.Server->netStats().DedupReplays;
+  T.FaultsInjected = S.Server->netStats().FaultsInjected;
+  return T;
+}
+
+void printFaultRow(const char *Label, double Rate, const FaultTrial &T) {
+  std::printf("%-14s %8.3f %10.0f %9llu %9.3f %8.2f %8.2f %8.2f\n", Label,
+              Rate < 0 ? 0.0 : Rate, T.GoodputPerSec,
+              static_cast<unsigned long long>(T.Completed),
+              T.RetryAmplification, T.LatMs.P50, T.LatMs.P99, T.LatMs.P999);
+}
+
 void printRow(const char *Label, double RateTarget, const TrialResult &R) {
   std::printf("%-14s %10.0f %10.0f %9llu %8llu %8.2f %8.2f %8.2f\n", Label,
               RateTarget, R.JobsPerSec,
@@ -312,6 +428,46 @@ int main(int Argc, char **Argv) {
               Gain, static_cast<unsigned long long>(W8.CoalescedJobs),
               static_cast<unsigned long long>(W8.CoalescedBatches));
 
+  // --- NetChaos fault schedule: goodput + tails under wire faults. ----
+  // Closed loop with retries armed; every fault kind at the given rate
+  // against Result frames. "clean" has no injector; "disarmed" attaches
+  // a zero-rate injector, whose cost must be one branch per frame.
+  std::printf("\n=== NetChaos fault sweep (closed loop, %u conns, "
+              "%u jobs/conn, retries on) ===\n",
+              Conns, Jobs);
+  std::printf("%-14s %8s %10s %9s %9s %8s %8s %8s\n", "config", "rate",
+              "goodput/s", "completed", "retry-amp", "p50ms", "p99ms",
+              "p999ms");
+  struct FaultPoint {
+    const char *Label;
+    double Rate;
+    FaultTrial T;
+  };
+  FaultPoint FaultSweep[] = {
+      {"clean", -1.0, {}},
+      {"disarmed", 0.0, {}},
+      {"fault-1pct", 0.01, {}},
+      {"fault-5pct", 0.05, {}},
+  };
+  for (FaultPoint &P : FaultSweep) {
+    P.T = runFaultTrial(P.Rate, Conns, Jobs, 0x9e37);
+    printFaultRow(P.Label, P.Rate, P.T);
+  }
+  double DisarmedOverheadPct =
+      FaultSweep[0].T.GoodputPerSec > 0
+          ? (1.0 - FaultSweep[1].T.GoodputPerSec /
+                       FaultSweep[0].T.GoodputPerSec) *
+                100.0
+          : 0.0;
+  std::printf("disarmed injector overhead: %.2f%% of clean goodput "
+              "(guarantee: < 1%%)\n",
+              DisarmedOverheadPct);
+  if (DisarmedOverheadPct >= 1.0)
+    std::fprintf(stderr,
+                 "bench_net: WARNING: disarmed NetFault overhead %.2f%% "
+                 "exceeds the 1%% guarantee\n",
+                 DisarmedOverheadPct);
+
   const char *JsonPath = std::getenv("EXOCHI_BENCH_JSON");
   if (!JsonPath || !*JsonPath)
     JsonPath = "BENCH_net.json";
@@ -327,13 +483,13 @@ int main(int Argc, char **Argv) {
                  "\"jobs_per_sec\": %.1f, \"completed\": %llu, "
                  "\"other\": %llu, \"coalesced_batches\": %llu, "
                  "\"coalesced_jobs\": %llu, \"latency_ms\": {\"p50\": %.3f, "
-                 "\"p95\": %.3f, \"p99\": %.3f}}%s\n",
+                 "\"p95\": %.3f, \"p99\": %.3f, \"p999\": %.3f}}%s\n",
                  Name, Target, R.JobsPerSec,
                  static_cast<unsigned long long>(R.Completed),
                  static_cast<unsigned long long>(R.Other),
                  static_cast<unsigned long long>(R.CoalescedBatches),
                  static_cast<unsigned long long>(R.CoalescedJobs), R.LatMs.P50,
-                 R.LatMs.P95, R.LatMs.P99, Trail);
+                 R.LatMs.P95, R.LatMs.P99, R.LatMs.P999, Trail);
   };
   std::fprintf(F,
                "{\n  \"bench\": \"net\",\n  \"scale\": %g,\n"
@@ -346,7 +502,30 @@ int main(int Argc, char **Argv) {
   std::fprintf(F, "  ],\n  \"coalesce\": [\n");
   EmitTrial("window-1", Overload, W1, ",");
   EmitTrial("window-8", Overload, W8, "");
-  std::fprintf(F, "  ],\n  \"coalesce_speedup\": %.3f\n}\n", Gain);
+  std::fprintf(F, "  ],\n  \"faults\": [\n");
+  for (size_t K = 0; K < 4; ++K) {
+    const FaultPoint &P = FaultSweep[K];
+    std::fprintf(F,
+                 "    {\"config\": \"%s\", \"fault_rate\": %.3f, "
+                 "\"goodput_per_sec\": %.1f, \"completed\": %llu, "
+                 "\"other\": %llu, \"retry_amplification\": %.4f, "
+                 "\"resubmits\": %llu, \"dedup_replays\": %llu, "
+                 "\"faults_injected\": %llu, \"latency_ms\": "
+                 "{\"p50\": %.3f, \"p99\": %.3f, \"p999\": %.3f}}%s\n",
+                 P.Label, P.Rate < 0 ? 0.0 : P.Rate, P.T.GoodputPerSec,
+                 static_cast<unsigned long long>(P.T.Completed),
+                 static_cast<unsigned long long>(P.T.Other),
+                 P.T.RetryAmplification,
+                 static_cast<unsigned long long>(P.T.Resubmits),
+                 static_cast<unsigned long long>(P.T.DedupReplays),
+                 static_cast<unsigned long long>(P.T.FaultsInjected),
+                 P.T.LatMs.P50, P.T.LatMs.P99, P.T.LatMs.P999,
+                 K + 1 < 4 ? "," : "");
+  }
+  std::fprintf(F,
+               "  ],\n  \"disarmed_overhead_pct\": %.3f,\n"
+               "  \"coalesce_speedup\": %.3f\n}\n",
+               DisarmedOverheadPct, Gain);
   std::fclose(F);
   std::printf("wrote %s\n", JsonPath);
   return 0;

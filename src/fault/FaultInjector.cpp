@@ -6,10 +6,8 @@
 
 #include "fault/FaultInjector.h"
 
+#include "fault/Seeded.h"
 #include "support/Format.h"
-#include "support/Random.h"
-
-#include <cstdlib>
 
 using namespace exochi;
 using namespace exochi::fault;
@@ -45,11 +43,10 @@ bool FaultInjector::shouldInject(FaultKind K, uint64_t Key) {
 
   uint64_t Occ = Occurrences[{static_cast<uint8_t>(K), Key}]++;
 
-  // The decision hashes (seed, kind, key, occurrence) through SplitMix64:
-  // independent of probe interleaving, host threads, or wall clock.
-  Rng R(Seed_ ^ ((static_cast<uint64_t>(K) + 1) * 0x9e3779b97f4a7c15ull) ^
-        (Key * 0xbf58476d1ce4e5b9ull) ^ (Occ * 0x94d049bb133111ebull));
-  if (R.nextDouble() >= Rate)
+  // The decision hashes (seed, kind, key, occurrence) through SplitMix64
+  // (fault::seededFires): independent of probe interleaving, host
+  // threads, or wall clock.
+  if (!seededFires(Seed_, static_cast<uint64_t>(K), Key, Occ, Rate))
     return false;
 
   Fired.push_back({K, Key, Occ});
@@ -61,45 +58,12 @@ bool FaultInjector::shouldInject(FaultKind K, uint64_t Key) {
 Expected<FaultInjector> FaultInjector::parse(const std::string &Spec,
                                              uint64_t Seed) {
   FaultInjector Inj(Seed);
-  size_t Pos = 0;
-  while (Pos < Spec.size()) {
-    size_t Comma = Spec.find(',', Pos);
-    if (Comma == std::string::npos)
-      Comma = Spec.size();
-    std::string Item = Spec.substr(Pos, Comma - Pos);
-    Pos = Comma + 1;
-    if (Item.empty())
-      continue;
-
-    size_t Colon = Item.find(':');
-    if (Colon == std::string::npos)
-      return Error::make(formatString(
-          "fault spec '%s': expected kind:rate", Item.c_str()));
-    std::string Name = Item.substr(0, Colon);
-    std::string RateStr = Item.substr(Colon + 1);
-    char *End = nullptr;
-    double Rate = std::strtod(RateStr.c_str(), &End);
-    if (End == RateStr.c_str() || *End != '\0' || Rate < 0 || Rate > 1)
-      return Error::make(formatString(
-          "fault spec '%s': rate must be in [0, 1]", Item.c_str()));
-
-    if (Name == "all") {
-      for (unsigned K = 0; K < NumFaultKinds; ++K)
-        Inj.setRate(static_cast<FaultKind>(K), Rate);
-      continue;
-    }
-    bool Known = false;
-    for (unsigned K = 0; K < NumFaultKinds; ++K)
-      if (Name == faultKindName(static_cast<FaultKind>(K))) {
-        Inj.setRate(static_cast<FaultKind>(K), Rate);
-        Known = true;
-        break;
-      }
-    if (!Known)
-      return Error::make(formatString(
-          "fault spec: unknown kind '%s' (want atr-transient, atr-fatal, "
-          "ceh-timeout, eu-hard-fail, mailbox-drop, mailbox-dup, or all)",
-          Name.c_str()));
-  }
+  if (Error E = parseRateSpec(
+          Spec, NumFaultKinds,
+          [](unsigned K) { return faultKindName(static_cast<FaultKind>(K)); },
+          [&](unsigned K, double Rate) {
+            Inj.setRate(static_cast<FaultKind>(K), Rate);
+          }))
+    return E;
   return Inj;
 }

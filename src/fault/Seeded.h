@@ -1,0 +1,104 @@
+//===- fault/Seeded.h - Shared seeded-schedule plumbing --------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seeded decision core shared by every deterministic injector in
+/// the stack (FaultLab's device faults, NetChaos's wire faults): a pure
+/// hash of (seed, kind, site key, occurrence) drives each fire decision,
+/// and a common `kind:rate` spec grammar configures the rates. Keeping
+/// both here means a FaultLab seed and a NetChaos seed with the same
+/// probe sequence fire the same schedule — one replay story for the
+/// whole stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EXOCHI_FAULT_SEEDED_H
+#define EXOCHI_FAULT_SEEDED_H
+
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace exochi {
+namespace fault {
+
+/// One seeded injection decision: true when kind \p KindIdx fires at
+/// site \p Key on its \p Occ'th probe under \p Rate. Pure in its
+/// arguments — independent of probe interleaving, host threads, and
+/// wall clock — which is what makes every injector schedule replayable.
+inline bool seededFires(uint64_t Seed, uint64_t KindIdx, uint64_t Key,
+                        uint64_t Occ, double Rate) {
+  if (Rate <= 0)
+    return false;
+  Rng R(Seed ^ ((KindIdx + 1) * 0x9e3779b97f4a7c15ull) ^
+        (Key * 0xbf58476d1ce4e5b9ull) ^ (Occ * 0x94d049bb133111ebull));
+  return R.nextDouble() < Rate;
+}
+
+/// Parses a comma-separated `kind:rate` spec (`all:rate` sets every
+/// kind) against \p NumKinds kinds named by \p Name, calling
+/// \p Set(kindIdx, rate) for each assignment. Shared grammar for
+/// --inject (FaultLab) and --net-inject (NetChaos).
+template <typename NameFn, typename SetFn>
+Error parseRateSpec(const std::string &Spec, unsigned NumKinds, NameFn Name,
+                    SetFn Set) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Item = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Item.empty())
+      continue;
+
+    size_t Colon = Item.find(':');
+    if (Colon == std::string::npos)
+      return Error::make(
+          formatString("fault spec '%s': expected kind:rate", Item.c_str()));
+    std::string Kind = Item.substr(0, Colon);
+    std::string RateStr = Item.substr(Colon + 1);
+    char *End = nullptr;
+    double Rate = std::strtod(RateStr.c_str(), &End);
+    if (End == RateStr.c_str() || *End != '\0' || Rate < 0 || Rate > 1)
+      return Error::make(formatString(
+          "fault spec '%s': rate must be in [0, 1]", Item.c_str()));
+
+    if (Kind == "all") {
+      for (unsigned K = 0; K < NumKinds; ++K)
+        Set(K, Rate);
+      continue;
+    }
+    bool Known = false;
+    for (unsigned K = 0; K < NumKinds; ++K)
+      if (Kind == Name(K)) {
+        Set(K, Rate);
+        Known = true;
+        break;
+      }
+    if (!Known) {
+      std::string Valid;
+      for (unsigned K = 0; K < NumKinds; ++K) {
+        if (K)
+          Valid += ", ";
+        Valid += Name(K);
+      }
+      return Error::make(
+          formatString("fault spec: unknown kind '%s' (want %s, or all)",
+                       Kind.c_str(), Valid.c_str()));
+    }
+  }
+  return Error::success();
+}
+
+} // namespace fault
+} // namespace exochi
+
+#endif // EXOCHI_FAULT_SEEDED_H

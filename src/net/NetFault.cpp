@@ -1,0 +1,84 @@
+//===- net/NetFault.cpp ------------------------------------------------------===//
+//
+// Part of the EXOCHI reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetFault.h"
+
+#include "fault/Seeded.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace exochi;
+using namespace exochi::net;
+
+const char *net::netFaultKindName(NetFaultKind K) {
+  switch (K) {
+  case NetFaultKind::Drop:
+    return "drop";
+  case NetFaultKind::Truncate:
+    return "truncate";
+  case NetFaultKind::Stall:
+    return "stall";
+  case NetFaultKind::Dup:
+    return "dup";
+  case NetFaultKind::Disconnect:
+    return "disconnect";
+  }
+  exochiUnreachable("bad NetFaultKind");
+}
+
+std::string NetFaultSite::str() const {
+  return formatString("%s@0x%llx#%llu", netFaultKindName(Kind),
+                      static_cast<unsigned long long>(Key),
+                      static_cast<unsigned long long>(Occurrence));
+}
+
+std::optional<NetFaultKind> NetFault::decide(uint64_t StreamKey,
+                                             wire::MsgType T) {
+  if (!armed())
+    return std::nullopt; // the disarmed fast path: one branch
+
+  uint64_t Key = (StreamKey << 8) | (static_cast<uint64_t>(T) & 0xff);
+  std::optional<NetFaultKind> Hit;
+  for (unsigned K = 0; K < NumNetFaultKinds; ++K) {
+    double Rate = Rates[K];
+    if (Rate <= 0)
+      continue; // disarmed kind: no counter churn
+    if (Only[K] && Only[K] != static_cast<uint16_t>(T))
+      continue;
+    // Every armed kind advances its occurrence stream on every frame,
+    // fired or not: the per-kind schedules stay independent of which
+    // kind wins, so changing one rate never reshuffles another kind.
+    uint64_t Occ = Occurrences[{static_cast<uint8_t>(K), Key}]++;
+    if (Hit || (MaxFires && Fired.size() >= MaxFires))
+      continue;
+    if (fault::seededFires(Seed_, K, Key, Occ, Rate)) {
+      Hit = static_cast<NetFaultKind>(K);
+      Fired.push_back({*Hit, Key, Occ});
+    }
+  }
+  return Hit;
+}
+
+std::vector<NetFaultSite> NetFault::firedSorted() const {
+  std::vector<NetFaultSite> S = Fired;
+  std::sort(S.begin(), S.end());
+  return S;
+}
+
+Expected<NetFault> NetFault::parse(const std::string &Spec, uint64_t Seed) {
+  NetFault Inj(Seed);
+  if (Error E = fault::parseRateSpec(
+          Spec, NumNetFaultKinds,
+          [](unsigned K) {
+            return netFaultKindName(static_cast<NetFaultKind>(K));
+          },
+          [&](unsigned K, double Rate) {
+            Inj.setRate(static_cast<NetFaultKind>(K), Rate);
+          }))
+    return E;
+  return Inj;
+}

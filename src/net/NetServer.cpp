@@ -8,6 +8,7 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
@@ -84,9 +85,9 @@ void NetServer::stop() {
   }
 }
 
-NetServer::Conn *NetServer::connById(uint32_t ClientId) {
-  auto It = ById.find(ClientId);
-  return It == ById.end() ? nullptr : It->second;
+NetServer::Session *NetServer::sessionByClient(uint32_t ClientId) {
+  auto It = ByClient.find(ClientId);
+  return It == ByClient.end() ? nullptr : It->second;
 }
 
 bool NetServer::wantRead(const Conn &C) {
@@ -120,21 +121,87 @@ void NetServer::flushOut(Conn &C) {
     C.Closing = true;
     C.Out.clear();
     C.OutOff = 0;
+    C.Delayed.clear();
     return;
   }
   C.Out.clear();
   C.OutOff = 0;
 }
 
-void NetServer::queueFrame(Conn &C, std::vector<uint8_t> Frame) {
-  ++Net.FramesOut;
+void NetServer::enqueueBytes(Conn &C, std::vector<uint8_t> Frame) {
+  if (!C.Delayed.empty()) {
+    // Frames never overtake a stalled predecessor: queue behind it and
+    // release together, preserving per-connection frame order.
+    C.Delayed.push_back({std::move(Frame), C.Delayed.back().ReleaseAt});
+    return;
+  }
   C.Out.insert(C.Out.end(), Frame.begin(), Frame.end());
   flushOut(C);
 }
 
+void NetServer::releaseDelayed(Conn &C) {
+  if (C.Delayed.empty())
+    return;
+  auto Now = std::chrono::steady_clock::now();
+  bool Moved = false;
+  while (!C.Delayed.empty() && C.Delayed.front().ReleaseAt <= Now) {
+    DelayedFrame &F = C.Delayed.front();
+    C.Out.insert(C.Out.end(), F.Bytes.begin(), F.Bytes.end());
+    C.Delayed.pop_front();
+    Moved = true;
+  }
+  if (Moved)
+    flushOut(C);
+}
+
+void NetServer::queueFrame(Conn &C, wire::MsgType T,
+                           std::vector<uint8_t> Frame) {
+  ++Net.FramesOut;
+  NetFault *FI = Config.Fault;
+  // The server-side NetChaos probe site: one branch when disarmed.
+  if (FI && FI->armed() && C.Sess) {
+    uint64_t Stream = C.Sess->WireId ? C.Sess->WireId : C.Sess->ClientId;
+    if (auto K = FI->decide(Stream, T)) {
+      ++Net.FaultsInjected;
+      switch (*K) {
+      case NetFaultKind::Drop:
+        return; // the frame is never sent
+      case NetFaultKind::Truncate:
+        // Send a prefix, then close: the peer sees a partial frame +
+        // EOF — a transport error, never parser poison.
+        Frame.resize(Frame.size() / 2);
+        enqueueBytes(C, std::move(Frame));
+        C.Closing = true;
+        return;
+      case NetFaultKind::Stall: {
+        auto Release =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(
+                static_cast<long>(FI->stallMs() * 1000.0));
+        if (!C.Delayed.empty() && C.Delayed.back().ReleaseAt > Release)
+          Release = C.Delayed.back().ReleaseAt;
+        C.Delayed.push_back({std::move(Frame), Release});
+        return;
+      }
+      case NetFaultKind::Dup:
+        ++Net.FramesOut;
+        enqueueBytes(C, Frame);
+        enqueueBytes(C, std::move(Frame));
+        return;
+      case NetFaultKind::Disconnect:
+        // The frame is delivered, then the connection force-closes.
+        enqueueBytes(C, std::move(Frame));
+        C.Closing = true;
+        return;
+      }
+    }
+  }
+  enqueueBytes(C, std::move(Frame));
+}
+
 void NetServer::protocolError(Conn &C, const std::string &Reason) {
   ++Net.Malformed;
-  queueFrame(C, wire::encode(wire::ErrorMsg{Reason}));
+  queueFrame(C, wire::MsgType::Error, wire::encode(wire::ErrorMsg{Reason}));
   C.Closing = true;
 }
 
@@ -157,17 +224,18 @@ void NetServer::fillSurface(const SurfaceRec &Rec, const wire::SurfaceMsg &M) {
 }
 
 Error NetServer::ensureSurface(Conn &C, const wire::SurfaceMsg &M) {
-  auto It = C.Surfaces.find(M.Name);
-  if (It == C.Surfaces.end()) {
+  Session &S = *C.Sess;
+  auto It = S.Surfaces.find(M.Name);
+  if (It == S.Surfaces.end()) {
     exo::SharedBuffer Buf = RT.platform().allocateShared(
         static_cast<uint64_t>(M.Width) * M.Height * 4,
-        formatString("net:c%u:%s", C.ClientId, M.Name.c_str()));
+        formatString("net:c%u:%s", S.ClientId, M.Name.c_str()));
     auto Desc = RT.allocDesc(chi::TargetIsa::X3000, Buf.Base,
                              static_cast<chi::SurfaceMode>(M.Mode), M.Width,
                              M.Height);
     if (!Desc)
       return Desc.takeError();
-    It = C.Surfaces
+    It = S.Surfaces
              .emplace(M.Name,
                       SurfaceRec{*Desc, Buf.Base, M.Width, M.Height, M.Mode})
              .first;
@@ -181,24 +249,119 @@ Error NetServer::ensureSurface(Conn &C, const wire::SurfaceMsg &M) {
   return Error::success();
 }
 
+void NetServer::cacheResult(Session &S, const wire::ResultMsg &R) {
+  S.InFlight.erase(R.Tag);
+  if (S.Cache.count(R.Tag))
+    return; // exactly one terminal answer per tag
+  if (Config.DedupCacheCap == 0)
+    return;
+  while (S.Cache.size() >= Config.DedupCacheCap) {
+    // FIFO eviction: the bound is the exactly-once window — a retry of
+    // an evicted tag re-executes as a fresh job (DESIGN.md §17).
+    S.Cache.erase(S.CacheOrder.front());
+    S.CacheOrder.pop_front();
+    ++Net.DedupEvictions;
+  }
+  S.Cache[R.Tag] = R;
+  S.CacheOrder.push_back(R.Tag);
+}
+
+void NetServer::handleHello(Conn &C, const wire::HelloMsg &M) {
+  if (M.WireVersion != wire::Version) {
+    protocolError(C, formatString("wire version %u not supported (want %u)",
+                                  M.WireVersion, wire::Version));
+    return;
+  }
+  if (C.SaidHello) {
+    // A duplicated handshake frame (wire-level dup): re-welcome with
+    // the same identity, change nothing.
+    queueFrame(C, wire::MsgType::Welcome,
+               wire::encode(
+                   wire::WelcomeMsg{wire::Version, C.Sess->ClientId, 0}));
+    return;
+  }
+  bool Resumable = (M.Flags & wire::HelloResumable) != 0;
+  if (M.SessionId != 0 && !Resumable) {
+    protocolError(C, "session id requires the resumable flag");
+    return;
+  }
+  if (Resumable) {
+    if (auto It = ByWireId.find(M.SessionId); It != ByWireId.end()) {
+      Session &S = *It->second;
+      if (Conn *Old = S.Attached; Old && Old != &C) {
+        // The stale attachment loses: a client only re-hellos when it
+        // believes its old connection is dead. Its unsent frames are
+        // dropped — retries replay them from the dedup cache.
+        Old->Sess = nullptr;
+        Old->Closing = true;
+        Old->Deferred.reset();
+        Old->Delayed.clear();
+      }
+      S.Attached = &C;
+      C.Sess = &S;
+      C.SaidHello = true;
+      ++Net.SessionsResumed;
+      queueFrame(C, wire::MsgType::Welcome,
+                 wire::encode(wire::WelcomeMsg{wire::Version, S.ClientId, 1}));
+      return;
+    }
+  }
+  Sessions.emplace_back();
+  Session &S = Sessions.back();
+  S.WireId = M.SessionId;
+  S.ClientId = NextClientId++;
+  S.Resumable = Resumable;
+  S.Attached = &C;
+  ByClient[S.ClientId] = &S;
+  if (Resumable)
+    ByWireId[S.WireId] = &S;
+  C.Sess = &S;
+  C.SaidHello = true;
+  queueFrame(C, wire::MsgType::Welcome,
+             wire::encode(wire::WelcomeMsg{wire::Version, S.ClientId, 0}));
+}
+
 void NetServer::handleSubmit(Conn &C, const std::vector<uint8_t> &Body) {
   auto M = wire::decodeSubmit(Body);
   if (!M) {
     protocolError(C, "bad submit: " + M.message());
     return;
   }
+  Session &S = *C.Sess;
+  if (M->Attempt > 0)
+    ++Net.RetrySubmits;
+
+  // Exactly-once: one terminal answer per (session, tag). A tag whose
+  // answer is cached is replayed — regardless of Attempt, which also
+  // absorbs wire-level duplicates of the first send — without ever
+  // reaching Srv.submit: a replay never re-counts against the quota
+  // and never joins a batch.
+  if (auto It = S.Cache.find(M->Tag); It != S.Cache.end()) {
+    wire::ResultMsg R = It->second;
+    R.Replayed = 1;
+    ++Net.DedupReplays;
+    queueFrame(C, wire::MsgType::Result, wire::encode(R));
+    return;
+  }
+  if (S.InFlight.count(M->Tag)) {
+    // The original was admitted and is still running; its Result will
+    // route to whatever connection the session has when it lands.
+    ++Net.InFlightRebinds;
+    return;
+  }
 
   // Pre-admission failures (upload/bind problems) are answered with a
   // Failed Result carrying the reason and JobId 0 — the job never
   // existed server-side, but the client still gets a terminal answer
-  // for its tag.
+  // for its tag, and the answer is cached like any other.
   auto failNow = [&](const std::string &Why) {
     wire::ResultMsg R;
     R.Tag = M->Tag;
     R.JobId = 0;
     R.State = static_cast<uint8_t>(serve::JobState::Failed);
     R.Error = Why;
-    queueFrame(C, wire::encode(R));
+    cacheResult(S, R);
+    queueFrame(C, wire::MsgType::Result, wire::encode(R));
   };
 
   for (const wire::SurfaceMsg &U : M->Uploads)
@@ -208,14 +371,15 @@ void NetServer::handleSubmit(Conn &C, const std::vector<uint8_t> &Body) {
     }
 
   serve::JobSpec Spec;
-  Spec.ClientId = C.ClientId;
+  Spec.ClientId = S.ClientId;
   Spec.Pri = static_cast<serve::Priority>(M->Pri);
   Spec.DeadlineCycles = M->DeadlineCycles;
+  Spec.ExpiresAtUnixNs = M->ExpiresAtUnixNs;
   Spec.Region.KernelName = M->Kernel;
   Spec.Region.NumThreads = M->Shreds;
   for (const std::string &Name : M->Bind) {
-    auto It = C.Surfaces.find(Name);
-    if (It == C.Surfaces.end()) {
+    auto It = S.Surfaces.find(Name);
+    if (It == S.Surfaces.end()) {
       failNow(formatString("unknown surface '%s'", Name.c_str()));
       return;
     }
@@ -243,7 +407,8 @@ void NetServer::handleSubmit(Conn &C, const std::vector<uint8_t> &Body) {
 
   serve::Server::SubmitResult Res = Srv.submit(std::move(Spec));
   bool Hold = (M->Flags & wire::SubmitHold) != 0;
-  Pending[Res.Id] = PendingJob{C.ClientId, M->Tag, Hold && Res.Admitted};
+  Pending[Res.Id] = PendingJob{S.ClientId, M->Tag, Hold && Res.Admitted};
+  S.InFlight.insert(M->Tag);
   if (Res.Admitted && Hold)
     Held.insert(Res.Id);
   // Rejections (and shed victims) are terminal already; the sweep
@@ -266,13 +431,7 @@ void NetServer::handleFrame(Conn &C, const wire::Frame &F) {
       protocolError(C, "bad hello: " + M.message());
       return;
     }
-    if (M->WireVersion != wire::Version) {
-      protocolError(C, formatString("wire version %u not supported (want %u)",
-                                    M->WireVersion, wire::Version));
-      return;
-    }
-    C.SaidHello = true;
-    queueFrame(C, wire::encode(wire::WelcomeMsg{wire::Version, C.ClientId}));
+    handleHello(C, *M);
     return;
   }
   case wire::MsgType::Surface: {
@@ -302,7 +461,7 @@ void NetServer::handleFrame(Conn &C, const wire::Frame &F) {
     auto Mine = [&](serve::JobId Id) {
       auto It = Pending.find(Id);
       return Held.count(Id) && It != Pending.end() &&
-             It->second.ClientId == C.ClientId;
+             It->second.ClientId == C.Sess->ClientId;
     };
     while (Budget > 0) {
       std::vector<serve::JobId> Ran =
@@ -326,11 +485,13 @@ void NetServer::handleFrame(Conn &C, const wire::Frame &F) {
     Held.clear();
     Drained = true;
     sweepResults();
-    queueFrame(C, wire::encode(wire::DrainDoneMsg{D.toJson()}));
+    queueFrame(C, wire::MsgType::DrainDone,
+               wire::encode(wire::DrainDoneMsg{D.toJson()}));
     return;
   }
   case wire::MsgType::StatsReq: {
-    queueFrame(C, wire::encode(wire::StatsJsonMsg{statsJson()}));
+    queueFrame(C, wire::MsgType::StatsJson,
+               wire::encode(wire::StatsJsonMsg{statsJson()}));
     return;
   }
   case wire::MsgType::Fetch: {
@@ -339,8 +500,8 @@ void NetServer::handleFrame(Conn &C, const wire::Frame &F) {
       protocolError(C, "bad fetch: " + M.message());
       return;
     }
-    auto It = C.Surfaces.find(M->Name);
-    if (It == C.Surfaces.end()) {
+    auto It = C.Sess->Surfaces.find(M->Name);
+    if (It == C.Sess->Surfaces.end()) {
       protocolError(C, formatString("unknown surface '%s'", M->Name.c_str()));
       return;
     }
@@ -351,10 +512,12 @@ void NetServer::handleFrame(Conn &C, const wire::Frame &F) {
     Out.Height = Rec.H;
     Out.Data.resize(static_cast<size_t>(Rec.W) * Rec.H * 4);
     RT.platform().read(Rec.Base, Out.Data.data(), Out.Data.size());
-    queueFrame(C, wire::encode(Out));
+    queueFrame(C, wire::MsgType::SurfaceData, wire::encode(Out));
     return;
   }
   case wire::MsgType::Bye:
+    // A clean goodbye destroys even a resumable session at reap time.
+    C.SaidBye = true;
     C.Closing = true;
     return;
   default:
@@ -386,7 +549,7 @@ void NetServer::pumpFrames(Conn &C) {
       // Retry the parked Submit only once the quota has room again;
       // everything behind it keeps waiting so frame order holds.
       if (Config.Backpressure && !Srv.draining() &&
-          !Srv.acceptingFrom(C.ClientId))
+          !Srv.acceptingFrom(C.Sess->ClientId))
         return;
       F = std::move(*C.Deferred);
       C.Deferred.reset();
@@ -394,7 +557,7 @@ void NetServer::pumpFrames(Conn &C) {
       F = std::move(*N);
       if (F.Type == wire::MsgType::Submit && Config.Backpressure &&
           C.SaidHello && !Srv.draining() &&
-          !Srv.acceptingFrom(C.ClientId)) {
+          !Srv.acceptingFrom(C.Sess->ClientId)) {
         C.Deferred = std::move(F);
         return;
       }
@@ -428,8 +591,6 @@ void NetServer::acceptClients(Socket &Listener) {
     Conns.emplace_back();
     Conn &C = Conns.back();
     C.Sock = std::move(*S);
-    C.ClientId = NextClientId++;
-    ById[C.ClientId] = &C;
     if (Conns.size() > Config.MaxConns)
       protocolError(C, "server full");
   }
@@ -468,10 +629,17 @@ void NetServer::sweepResults() {
           Row.Stolen = S.Stolen;
           R.Shards.push_back(Row);
         }
-    if (Conn *C = connById(It->second.ClientId); C && !C->Closing)
-      queueFrame(*C, wire::encode(R));
-    else
+    if (Session *S = sessionByClient(It->second.ClientId)) {
+      cacheResult(*S, R);
+      if (Conn *C = S->Attached; C && !C->Closing)
+        queueFrame(*C, wire::MsgType::Result, wire::encode(R));
+      else if (S->Resumable)
+        ++Net.ResultsCachedDetached; // a reconnect's retry replays it
+      else
+        ++Net.ResultsDropped;
+    } else {
       ++Net.ResultsDropped;
+    }
     It = Pending.erase(It);
   }
 }
@@ -487,6 +655,42 @@ void NetServer::runAutonomous() {
       Srv.runNextBatch(Config.CoalesceWindow, NotHeld);
   if (!Ran.empty())
     sweepResults();
+}
+
+void NetServer::destroySession(Session *S) {
+  // Release everything the session still held server-side: its queued
+  // jobs (and with them its admission quota — the slot a parked peer
+  // was waiting on), plus its held-job markers so the autonomous
+  // scheduler's held-count bookkeeping stays exact.
+  Srv.cancelClient(S->ClientId);
+  for (const auto &[Id, PJ] : Pending)
+    if (PJ.ClientId == S->ClientId)
+      Held.erase(Id);
+  ByClient.erase(S->ClientId);
+  if (S->WireId)
+    ByWireId.erase(S->WireId);
+  for (auto It = Sessions.begin(); It != Sessions.end(); ++It)
+    if (&*It == S) {
+      Sessions.erase(It);
+      return;
+    }
+}
+
+void NetServer::evictDetached() {
+  for (;;) {
+    size_t NDetached = 0;
+    Session *Oldest = nullptr;
+    for (Session &S : Sessions)
+      if (S.Resumable && !S.Attached) {
+        ++NDetached;
+        if (!Oldest || S.DetachSeq < Oldest->DetachSeq)
+          Oldest = &S;
+      }
+    if (NDetached <= Config.MaxDetachedSessions || !Oldest)
+      return;
+    ++Net.SessionsEvicted;
+    destroySession(Oldest);
+  }
 }
 
 void NetServer::run() {
@@ -519,6 +723,18 @@ void NetServer::run() {
 
     bool Runnable = Srv.queue().size() > Held.size();
     int Timeout = Runnable ? 0 : 50;
+    // Stalled frames cap the wait so their release is not late.
+    if (Timeout > 0) {
+      auto Now = std::chrono::steady_clock::now();
+      for (Conn &C : Conns)
+        if (!C.Delayed.empty()) {
+          auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        C.Delayed.front().ReleaseAt - Now)
+                        .count();
+          int Wait = Ms < 0 ? 0 : static_cast<int>(Ms) + 1;
+          Timeout = std::min(Timeout, Wait);
+        }
+    }
     int N = ::poll(P.data(), P.size(), Timeout);
     if (N < 0 && errno != EINTR)
       break;
@@ -552,26 +768,34 @@ void NetServer::run() {
       }
     }
 
+    for (Conn &C : Conns)
+      releaseDelayed(C);
     runAutonomous();
     pumpAll(); // completed work freed quota: retry parked submits
 
     // Reap connections that are closing and fully flushed (or dead).
     bool Reaped = false;
     for (auto It = Conns.begin(); It != Conns.end();) {
-      bool Flushed = It->OutOff >= It->Out.size();
+      bool Flushed = It->OutOff >= It->Out.size() && It->Delayed.empty();
       if (It->Closing && Flushed) {
         ++Net.Closed;
-        // Release everything the client still held server-side: its
-        // queued jobs (and with them its admission quota — the slot a
-        // parked peer was waiting on), plus its held-job markers so the
-        // autonomous scheduler's held-count bookkeeping stays exact.
-        Srv.cancelClient(It->ClientId);
-        for (const auto &[Id, PJ] : Pending)
-          if (PJ.ClientId == It->ClientId)
-            Held.erase(Id);
-        ById.erase(It->ClientId);
+        Session *S = It->Sess;
+        if (S && S->Attached == &*It)
+          S->Attached = nullptr;
+        It->Sess = nullptr;
+        bool SaidBye = It->SaidBye;
         It = Conns.erase(It);
-        Reaped = true;
+        if (S) {
+          if (!S->Resumable || SaidBye) {
+            destroySession(S);
+            Reaped = true;
+          } else {
+            // Detach: jobs keep running, results land in the dedup
+            // cache for the reconnect. Bound the detached set.
+            S->DetachSeq = ++DetachCounter;
+            evictDetached();
+          }
+        }
       } else {
         ++It;
       }
@@ -597,7 +821,11 @@ std::string NetServer::statsJson() const {
       "{\"serve\": %s, \"net\": {\"accepted\": %llu, \"closed\": %llu, "
       "\"frames_in\": %llu, \"frames_out\": %llu, \"bytes_in\": %llu, "
       "\"bytes_out\": %llu, \"malformed\": %llu, "
-      "\"backpressure_stalls\": %llu, \"results_dropped\": %llu}}",
+      "\"backpressure_stalls\": %llu, \"results_dropped\": %llu, "
+      "\"retry_submits\": %llu, \"dedup_replays\": %llu, "
+      "\"dedup_evictions\": %llu, \"inflight_rebinds\": %llu, "
+      "\"sessions_resumed\": %llu, \"sessions_evicted\": %llu, "
+      "\"results_cached_detached\": %llu, \"faults_injected\": %llu}}",
       Srv.statsJson().c_str(), static_cast<unsigned long long>(Net.Accepted),
       static_cast<unsigned long long>(Net.Closed),
       static_cast<unsigned long long>(Net.FramesIn),
@@ -606,5 +834,13 @@ std::string NetServer::statsJson() const {
       static_cast<unsigned long long>(Net.BytesOut),
       static_cast<unsigned long long>(Net.Malformed),
       static_cast<unsigned long long>(Net.BackpressureStalls),
-      static_cast<unsigned long long>(Net.ResultsDropped));
+      static_cast<unsigned long long>(Net.ResultsDropped),
+      static_cast<unsigned long long>(Net.RetrySubmits),
+      static_cast<unsigned long long>(Net.DedupReplays),
+      static_cast<unsigned long long>(Net.DedupEvictions),
+      static_cast<unsigned long long>(Net.InFlightRebinds),
+      static_cast<unsigned long long>(Net.SessionsResumed),
+      static_cast<unsigned long long>(Net.SessionsEvicted),
+      static_cast<unsigned long long>(Net.ResultsCachedDetached),
+      static_cast<unsigned long long>(Net.FaultsInjected));
 }

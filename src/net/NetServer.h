@@ -13,7 +13,7 @@
 ///
 /// Responsibilities:
 ///  - accept multiple clients, each with a server-assigned identity
-///    that becomes the ExoServe ClientId (quotas are per connection);
+///    that becomes the ExoServe ClientId (quotas are per session);
 ///  - translate Submit frames into serve::Server::submit calls and
 ///    stream every job's terminal answer (including machine-readable
 ///    rejection reasons) back as Result frames;
@@ -26,6 +26,19 @@
 ///    same-kernel jobs queued together are merged into one multi-shred
 ///    dispatch (serve::Server::runNextBatch) and their results
 ///    demultiplexed per client;
+///  - exactly-once answers (DESIGN.md §17): every terminal answer is
+///    cached per (session, tag) in a bounded FIFO dedup cache, so a
+///    retried Submit whose original already completed is answered from
+///    the cache (Replayed = 1) without ever re-entering admission — it
+///    cannot re-count against the quota or join a batch. A retry whose
+///    original is still in flight simply rebinds the answer to the new
+///    connection. Resumable sessions (wire::HelloResumable) survive an
+///    abrupt disconnect: their jobs keep running, results land in the
+///    cache, and a reconnect with the same session id picks them up;
+///  - NetChaos (net/NetFault.h): an armed injector perturbs every
+///    outbound frame — drop / truncate+close / stall / duplicate /
+///    disconnect — on a seeded deterministic schedule. Disarmed, the
+///    probe is one branch per frame;
 ///  - reject malformed frames with a reason and close the offending
 ///    connection — never crash, never hang, never poison other
 ///    clients.
@@ -35,11 +48,14 @@
 #ifndef EXOCHI_NET_NETSERVER_H
 #define EXOCHI_NET_NETSERVER_H
 
+#include "net/NetFault.h"
 #include "net/Socket.h"
 #include "net/Wire.h"
 #include "serve/Server.h"
 
 #include <atomic>
+#include <chrono>
+#include <deque>
 #include <list>
 #include <map>
 #include <optional>
@@ -63,6 +79,19 @@ struct NetServerConfig {
   bool ExitOnDrain = false;
   size_t ReadChunkBytes = 64 * 1024;
   size_t MaxConns = 64;
+  /// Terminal answers remembered per session for retry replay. FIFO
+  /// eviction: an evicted tag's retry is indistinguishable from a new
+  /// job and re-executes — the cache bound is also the exactly-once
+  /// window (DESIGN.md §17).
+  size_t DedupCacheCap = 256;
+  /// Resumable sessions allowed to linger with no connection. Beyond
+  /// this the oldest detached session is destroyed (jobs cancelled,
+  /// cache freed) so crashed-and-gone clients cannot pin the server.
+  size_t MaxDetachedSessions = 8;
+  /// Optional seeded wire-fault injector (NetChaos), owned by the
+  /// caller. Probed once per outbound frame; null or disarmed costs
+  /// one branch.
+  NetFault *Fault = nullptr;
 };
 
 /// Transport-level counters (the serve-level ones live in ServeStats).
@@ -75,7 +104,16 @@ struct NetStats {
   uint64_t BytesOut = 0;
   uint64_t Malformed = 0;      ///< connections killed by bad frames
   uint64_t BackpressureStalls = 0; ///< poll rounds a client went unread
-  uint64_t ResultsDropped = 0; ///< results whose client had vanished
+  uint64_t ResultsDropped = 0; ///< results whose session had vanished
+  // Exactly-once / NetChaos counters (PR 10).
+  uint64_t RetrySubmits = 0;   ///< Submit frames with Attempt > 0
+  uint64_t DedupReplays = 0;   ///< retries answered from the cache
+  uint64_t DedupEvictions = 0; ///< cached answers evicted (FIFO bound)
+  uint64_t InFlightRebinds = 0; ///< retries whose original still runs
+  uint64_t SessionsResumed = 0; ///< Hello reattached to a live session
+  uint64_t SessionsEvicted = 0; ///< detached sessions destroyed (bound)
+  uint64_t ResultsCachedDetached = 0; ///< results held for a reconnect
+  uint64_t FaultsInjected = 0; ///< outbound frames perturbed by NetChaos
 };
 
 class NetServer {
@@ -118,20 +156,49 @@ private:
     uint8_t Mode = 2;
   };
 
+  struct Conn;
+
+  /// The client-visible identity: quota, surfaces, and exactly-once
+  /// state all hang off the session, not the socket, so a resumable
+  /// session survives its connection.
+  struct Session {
+    uint64_t WireId = 0;   ///< client-chosen id (0 = anonymous)
+    uint32_t ClientId = 0; ///< the ExoServe admission identity
+    bool Resumable = false;
+    Conn *Attached = nullptr; ///< null while detached
+    uint64_t DetachSeq = 0; ///< eviction order among detached sessions
+    std::map<std::string, SurfaceRec> Surfaces;
+    /// tag -> terminal answer, FIFO-bounded by DedupCacheCap.
+    std::map<uint64_t, wire::ResultMsg> Cache;
+    std::deque<uint64_t> CacheOrder;
+    /// Tags submitted but not yet terminal: a retry of one of these
+    /// must not re-admit.
+    std::set<uint64_t> InFlight;
+  };
+
+  /// A frame held back by a Stall fault (and everything queued behind
+  /// it — per-connection frame order is never reordered by a stall).
+  struct DelayedFrame {
+    std::vector<uint8_t> Bytes;
+    std::chrono::steady_clock::time_point ReleaseAt;
+  };
+
   struct Conn {
     Socket Sock;
-    uint32_t ClientId = 0;
+    Session *Sess = nullptr; ///< set by the Hello handshake
     wire::FrameParser In;
     std::vector<uint8_t> Out;
     size_t OutOff = 0;
     bool SaidHello = false;
+    bool SaidBye = false; ///< clean goodbye: destroy even a resumable session
     bool Closing = false; ///< flush Out, then close
     /// A Submit frame parked because the client's admission quota is
     /// exhausted (backpressure). Later frames wait behind it in the
     /// parser so per-connection order is preserved; while it is parked
     /// the socket goes unread and TCP pushes back on the sender.
     std::optional<wire::Frame> Deferred;
-    std::map<std::string, SurfaceRec> Surfaces;
+    /// Frames held back by Stall faults, in send order.
+    std::deque<DelayedFrame> Delayed;
   };
 
   struct PendingJob {
@@ -148,25 +215,39 @@ private:
   void pumpFrames(Conn &C);
   void pumpAll();
   void handleFrame(Conn &C, const wire::Frame &F);
+  void handleHello(Conn &C, const wire::HelloMsg &M);
   void handleSubmit(Conn &C, const std::vector<uint8_t> &Body);
-  /// Declare-or-update a per-client surface.
+  /// Declare-or-update a per-session surface.
   Error ensureSurface(Conn &C, const wire::SurfaceMsg &M);
   void fillSurface(const SurfaceRec &Rec, const wire::SurfaceMsg &M);
 
   /// Appends a frame to the connection's outgoing buffer and tries an
-  /// opportunistic non-blocking flush.
-  void queueFrame(Conn &C, std::vector<uint8_t> Frame);
+  /// opportunistic non-blocking flush. The NetChaos probe site: an
+  /// armed injector may drop, truncate, stall, duplicate, or
+  /// disconnect-after this frame.
+  void queueFrame(Conn &C, wire::MsgType T, std::vector<uint8_t> Frame);
+  /// The post-fault enqueue path (also used to release stalled frames).
+  void enqueueBytes(Conn &C, std::vector<uint8_t> Frame);
+  /// Moves Delayed frames whose release time has passed into Out.
+  void releaseDelayed(Conn &C);
   void flushOut(Conn &C);
   /// Sends a protocol Error frame and marks the connection closing.
   void protocolError(Conn &C, const std::string &Reason);
 
+  /// Remembers \p R as the one terminal answer for its tag (FIFO
+  /// eviction at DedupCacheCap) and clears the tag's in-flight mark.
+  void cacheResult(Session &S, const wire::ResultMsg &R);
   /// Streams Result frames for every pending job that reached a
   /// terminal state (called after every submit / run / drain step).
   void sweepResults();
   /// Runs at most one autonomous (non-held) batch.
   void runAutonomous();
   bool wantRead(const Conn &C);
-  Conn *connById(uint32_t ClientId);
+  Session *sessionByClient(uint32_t ClientId);
+  /// Cancels the session's jobs and erases it everywhere.
+  void destroySession(Session *S);
+  /// Destroys the oldest detached sessions beyond MaxDetachedSessions.
+  void evictDetached();
 
   chi::Runtime &RT;
   NetServerConfig Config;
@@ -174,11 +255,14 @@ private:
   std::vector<Socket> Listeners;
   std::string UnixPath; ///< unlinked on destruction
   std::list<Conn> Conns;
-  std::map<uint32_t, Conn *> ById;
+  std::list<Session> Sessions;
+  std::map<uint64_t, Session *> ByWireId; ///< resumable sessions only
+  std::map<uint32_t, Session *> ByClient;
   std::map<serve::JobId, PendingJob> Pending;
   std::set<serve::JobId> Held;
   NetStats Net;
   uint32_t NextClientId = 1;
+  uint64_t DetachCounter = 0;
   bool Drained = false;
   std::atomic<bool> Running{false};
   int WakeR = -1, WakeW = -1; ///< self-pipe: stop() wakes poll()

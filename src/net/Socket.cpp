@@ -28,7 +28,23 @@ Error errnoError(const char *What) {
   return Error::make(formatString("%s: %s", What, std::strerror(errno)));
 }
 
+/// The stable prefix isTimeoutError() keys on.
+constexpr const char *TimeoutPrefix = "socket timeout: ";
+
+struct timeval timevalFor(double Seconds) {
+  struct timeval Tv;
+  Tv.tv_sec = static_cast<time_t>(Seconds);
+  Tv.tv_usec = static_cast<suseconds_t>(
+      std::lround((Seconds - std::floor(Seconds)) * 1e6));
+  return Tv;
+}
+
 } // namespace
+
+bool net::isTimeoutError(const Error &E) {
+  const std::string &M = E.message();
+  return M.compare(0, std::strlen(TimeoutPrefix), TimeoutPrefix) == 0;
+}
 
 void Socket::close() {
   if (Fd >= 0) {
@@ -51,12 +67,16 @@ Error Socket::setNonBlocking(bool On) {
 }
 
 Error Socket::setTimeout(double Seconds) {
-  struct timeval Tv;
-  Tv.tv_sec = static_cast<time_t>(Seconds);
-  Tv.tv_usec = static_cast<suseconds_t>(
-      std::lround((Seconds - std::floor(Seconds)) * 1e6));
+  struct timeval Tv = timevalFor(Seconds);
   if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)) < 0)
     return errnoError("setsockopt(SO_RCVTIMEO)");
+  if (::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) < 0)
+    return errnoError("setsockopt(SO_SNDTIMEO)");
+  return Error::success();
+}
+
+Error Socket::setSendTimeout(double Seconds) {
+  struct timeval Tv = timevalFor(Seconds);
   if (::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv)) < 0)
     return errnoError("setsockopt(SO_SNDTIMEO)");
   return Error::success();
@@ -69,6 +89,10 @@ Error Socket::sendAll(const uint8_t *Data, size_t N) {
     if (W < 0) {
       if (errno == EINTR)
         continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return Error::make(formatString(
+            "%ssend stalled %zu/%zu bytes (SO_SNDTIMEO expired)",
+            TimeoutPrefix, Off, N));
       return errnoError("send");
     }
     if (W == 0)

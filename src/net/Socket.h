@@ -53,8 +53,15 @@ public:
   /// then fail instead of hanging — the client library's no-hang
   /// backstop.
   Error setTimeout(double Seconds);
+  /// Arms only SO_SNDTIMEO (0 disables), leaving the receive timeout
+  /// alone. A server streaming Results to a stalled peer must not hang
+  /// in sendAll, but its reads are poll-driven and need no deadline.
+  Error setSendTimeout(double Seconds);
 
   /// Writes all of \p Data (blocking; retries on EINTR / partial send).
+  /// With SO_SNDTIMEO armed, a peer that stops draining makes this fail
+  /// with a timeout error — recognizable via isTimeoutError() — instead
+  /// of blocking forever.
   Error sendAll(const uint8_t *Data, size_t N);
   Error sendAll(const std::vector<uint8_t> &Data) {
     return sendAll(Data.data(), Data.size());
@@ -84,6 +91,13 @@ Expected<Socket> unixConnect(const std::string &Path);
 
 /// accept() returning an owned socket (nullopt on transient failure).
 Expected<Socket> acceptOne(Socket &Listener);
+
+/// True when \p E is a socket-timeout failure (an armed SO_SNDTIMEO /
+/// SO_RCVTIMEO expired). Error carries only a message, so the timeout
+/// "type" is a stable prefix this predicate owns; retry layers use it
+/// to tell a slow peer (transport fault, retryable) from a protocol
+/// violation (never retryable).
+bool isTimeoutError(const Error &E);
 
 } // namespace net
 } // namespace exochi

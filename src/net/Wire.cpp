@@ -243,6 +243,8 @@ std::vector<uint8_t> wire::encode(const HelloMsg &M) {
   Writer W;
   W.u16(M.WireVersion);
   W.str(M.ClientName);
+  W.u64(M.SessionId);
+  W.u8(M.Flags);
   return frame(MsgType::Hello, W.take());
 }
 
@@ -250,6 +252,7 @@ std::vector<uint8_t> wire::encode(const WelcomeMsg &M) {
   Writer W;
   W.u16(M.WireVersion);
   W.u32(M.ClientId);
+  W.u8(M.Resumed);
   return frame(MsgType::Welcome, W.take());
 }
 
@@ -264,6 +267,8 @@ std::vector<uint8_t> wire::encode(const SubmitMsg &M) {
   W.u64(M.Tag);
   W.u8(M.Pri);
   W.u8(M.Flags);
+  W.u32(M.Attempt);
+  W.i64(M.ExpiresAtUnixNs);
   W.i64(M.DeadlineCycles);
   W.u32(M.Shreds);
   W.str(M.Kernel);
@@ -310,6 +315,7 @@ std::vector<uint8_t> wire::encode(const ResultMsg &M) {
   W.u32(M.JobId);
   W.u8(M.State);
   W.u8(M.Reason);
+  W.u8(M.Replayed);
   W.u32(M.BatchSize);
   W.u64(M.ShredsPreempted);
   W.f64(M.SubmitNs);
@@ -403,6 +409,12 @@ Expected<HelloMsg> wire::decodeHello(const std::vector<uint8_t> &Body) {
   HelloMsg M;
   M.WireVersion = R.u16();
   M.ClientName = R.str();
+  M.SessionId = R.u64();
+  M.Flags = R.u8();
+  if (R.ok() && (M.Flags & ~HelloResumable) != 0)
+    R.fail(formatString("hello flags byte 0x%02x has unknown bits", M.Flags));
+  if (R.ok() && (M.Flags & HelloResumable) && M.SessionId == 0)
+    R.fail("resumable hello with a zero session id");
   return finish(R, std::move(M), "hello");
 }
 
@@ -411,6 +423,9 @@ Expected<WelcomeMsg> wire::decodeWelcome(const std::vector<uint8_t> &Body) {
   WelcomeMsg M;
   M.WireVersion = R.u16();
   M.ClientId = R.u32();
+  M.Resumed = R.u8();
+  if (R.ok() && M.Resumed > 1)
+    R.fail(formatString("welcome resumed byte %u out of range", M.Resumed));
   return finish(R, std::move(M), "welcome");
 }
 
@@ -426,6 +441,8 @@ Expected<SubmitMsg> wire::decodeSubmit(const std::vector<uint8_t> &Body) {
   M.Tag = R.u64();
   M.Pri = R.u8();
   M.Flags = R.u8();
+  M.Attempt = R.u32();
+  M.ExpiresAtUnixNs = R.i64();
   M.DeadlineCycles = R.i64();
   M.Shreds = R.u32();
   M.Kernel = R.str();
@@ -433,6 +450,8 @@ Expected<SubmitMsg> wire::decodeSubmit(const std::vector<uint8_t> &Body) {
     R.fail(formatString("priority byte %u out of range", M.Pri));
   if (R.ok() && M.Shreds == 0)
     R.fail("job with zero shreds");
+  if (R.ok() && M.ExpiresAtUnixNs < 0)
+    R.fail("negative absolute deadline");
   uint32_t NumParams = R.count();
   for (uint32_t K = 0; R.ok() && K < NumParams; ++K) {
     ParamArg P;
@@ -488,6 +507,9 @@ Expected<ResultMsg> wire::decodeResult(const std::vector<uint8_t> &Body) {
   M.JobId = R.u32();
   M.State = R.u8();
   M.Reason = R.u8();
+  M.Replayed = R.u8();
+  if (R.ok() && M.Replayed > 1)
+    R.fail(formatString("result replayed byte %u out of range", M.Replayed));
   M.BatchSize = R.u32();
   M.ShredsPreempted = R.u64();
   M.SubmitNs = R.f64();

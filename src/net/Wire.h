@@ -45,8 +45,11 @@ namespace wire {
 constexpr uint8_t Magic[4] = {'X', 'N', 'E', 'T'};
 /// Protocol version spoken by this build. A server answers a mismatched
 /// Hello with an Error frame and closes. v2 appended the per-shard rows
-/// to Result frames (ExoCluster).
-constexpr uint16_t Version = 2;
+/// to Result frames (ExoCluster); v3 added the NetChaos exactly-once
+/// fields: the Hello session id + resumable flag, the Welcome resumed
+/// acknowledgement, the Submit {Attempt, ExpiresAtUnixNs} idempotency /
+/// deadline pair, and the Result replayed marker.
+constexpr uint16_t Version = 3;
 /// Frame header size: magic + version + type + body length.
 constexpr size_t HeaderBytes = 12;
 /// Hard cap on a frame body. Oversized lengths are rejected at the
@@ -214,14 +217,37 @@ private:
 // Messages
 //===----------------------------------------------------------------------===//
 
+/// Hello flags.
+enum HelloFlags : uint8_t {
+  /// The client may reconnect and resume this session: on an abrupt
+  /// disconnect the server keeps the session (surfaces, in-flight jobs,
+  /// dedup cache) detached instead of cancelling it, until the client
+  /// reattaches with the same SessionId or the detached-session bound
+  /// evicts it. Without this flag, disconnect semantics are the
+  /// pre-NetChaos ones: queued jobs are cancelled, results dropped.
+  HelloResumable = 1u << 0,
+};
+
 struct HelloMsg {
   uint16_t WireVersion = Version;
   std::string ClientName;
+  /// Client-session UUID (wire v3): a client-chosen 64-bit identity.
+  /// Reconnecting with the same id reattaches to the server-side
+  /// session; 0 means "fresh session, never resumable".
+  uint64_t SessionId = 0;
+  uint8_t Flags = 0;
 };
 
+/// The HelloAck: acknowledges the handshake with the server-assigned
+/// identity and whether an existing session was resumed.
 struct WelcomeMsg {
   uint16_t WireVersion = Version;
   uint32_t ClientId = 0;
+  /// 1 when the Hello's SessionId matched a live/detached session and
+  /// this connection reattached to it (wire v3). The client's surfaces
+  /// and in-flight jobs survived; 0 means a fresh session (after an
+  /// eviction the client must re-declare surfaces).
+  uint8_t Resumed = 0;
 };
 
 /// How a declared surface is initialized.
@@ -269,6 +295,17 @@ struct SubmitMsg {
   uint64_t Tag = 0; ///< client-chosen correlation id, echoed in Result
   uint8_t Pri = 1;  ///< serve::Priority value (0 low, 1 normal, 2 high)
   uint8_t Flags = 0;
+  /// Retry ordinal (wire v3): 0 for the first transmission, +1 per
+  /// client resend. Together with the session id, Tag is the
+  /// idempotency key — a Submit whose (session, tag) already has a
+  /// terminal answer is replayed from the dedup cache, never
+  /// re-dispatched.
+  uint32_t Attempt = 0;
+  /// Absolute wall-clock deadline in unix nanoseconds (wire v3; 0 =
+  /// none). Carried unchanged across retries and re-validated at
+  /// admission: a stale retry is rejected with DeadlineExpired instead
+  /// of dispatched doomed.
+  int64_t ExpiresAtUnixNs = 0;
   int64_t DeadlineCycles = -1;
   uint32_t Shreds = 1;
   std::string Kernel;
@@ -305,6 +342,10 @@ struct ResultMsg {
   uint32_t JobId = 0;
   uint8_t State = 0;
   uint8_t Reason = 0;
+  /// 1 when this Result was answered from the per-session dedup cache
+  /// (a retried Submit whose original already finished) instead of a
+  /// fresh dispatch (wire v3).
+  uint8_t Replayed = 0;
   uint32_t BatchSize = 1; ///< jobs merged into the dispatch that ran this
   uint64_t ShredsPreempted = 0;
   double SubmitNs = 0, StartNs = 0, EndNs = 0;

@@ -39,6 +39,8 @@ const char *serve::rejectReasonName(RejectReason R) {
     return "load-shed";
   case RejectReason::CostOverDeadline:
     return "cost-over-deadline";
+  case RejectReason::DeadlineExpired:
+    return "deadline-expired";
   }
   exochiUnreachable("bad RejectReason");
 }

@@ -65,6 +65,11 @@ enum class RejectReason : uint8_t {
   /// already exceeds its deadline budget, so dispatching it could only
   /// end in a deadline preemption (ServerConfig::CostAdmission).
   CostOverDeadline,
+  /// The job's absolute wall-clock deadline (JobSpec::ExpiresAtUnixNs,
+  /// carried end-to-end in the wire Submit frame) had already passed at
+  /// admission. NetChaos retries re-validate here so a stale retry is
+  /// answered instead of dispatched doomed.
+  DeadlineExpired,
 };
 
 /// Display name of \p R (e.g. "queue-full").
@@ -99,6 +104,14 @@ struct JobSpec {
   /// Deadline budget in device cycles: < 0 = server default, 0 = reject
   /// at admission (ZeroBudget), > 0 = preempt past this many cycles.
   int64_t DeadlineCycles = -1;
+  /// Absolute wall-clock expiry in unix nanoseconds (0 = none). A submit
+  /// arriving at or after this instant is rejected with DeadlineExpired —
+  /// the wire-level deadline a retried request carries unchanged, so a
+  /// stale retry dies at admission instead of dispatching. Checked
+  /// against ServerConfig::WallClock, NOT the simulated clock: this is
+  /// the one intentionally wall-clock-coupled admission input (leave it
+  /// 0 in deterministic replay workloads).
+  int64_t ExpiresAtUnixNs = 0;
 };
 
 /// The server's record of one submitted job.
@@ -152,6 +165,9 @@ struct ServeStats {
   /// Rejected because the XCost static lower bound exceeded the deadline
   /// budget (ServerConfig::CostAdmission).
   uint64_t RejectedCostOverDeadline = 0;
+  /// Rejected because the job's absolute wall-clock deadline had already
+  /// passed at admission (JobSpec::ExpiresAtUnixNs — stale retries).
+  uint64_t RejectedDeadlineExpired = 0;
   uint64_t BreakerTrips = 0;    ///< EU transitions into Open
   uint64_t BreakerProbes = 0;   ///< EU transitions into HalfOpen
   uint64_t BreakerReadmits = 0; ///< HalfOpen probes that closed again

@@ -11,6 +11,7 @@
 #include "xopt/Cost.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace exochi;
 using namespace exochi::serve;
@@ -65,9 +66,20 @@ void Server::reject(JobRecord &R, RejectReason Reason) {
   case RejectReason::CostOverDeadline:
     ++Stats.RejectedCostOverDeadline;
     break;
+  case RejectReason::DeadlineExpired:
+    ++Stats.RejectedDeadlineExpired;
+    break;
   case RejectReason::None:
     break;
   }
+}
+
+int64_t Server::wallNow() const {
+  if (Config.WallClock)
+    return Config.WallClock();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 Server::SubmitResult Server::submit(JobSpec Spec) {
@@ -81,7 +93,12 @@ Server::SubmitResult Server::submit(JobSpec Spec) {
   SubmitResult Res;
   Res.Id = R.Id;
 
-  if (Draining) {
+  if (Spec.ExpiresAtUnixNs > 0 && wallNow() >= Spec.ExpiresAtUnixNs) {
+    // The caller's absolute deadline has already passed: whatever we
+    // computed now could not be delivered in time. Stale retries land
+    // here instead of re-dispatching (NetChaos exactly-once semantics).
+    reject(R, RejectReason::DeadlineExpired);
+  } else if (Draining) {
     reject(R, RejectReason::Draining);
   } else if (Dog.effectiveBudgetCycles(Spec) == 0) {
     // A zero-cycle budget cannot run even one epoch: answer now instead
@@ -519,6 +536,7 @@ std::string Server::statsJson() const {
       "\"shed\": %llu, \"rejected_queue_full\": %llu, "
       "\"rejected_client_quota\": %llu, \"rejected_zero_budget\": %llu, "
       "\"rejected_draining\": %llu, \"rejected_cost_over_deadline\": %llu, "
+      "\"rejected_deadline_expired\": %llu, "
       "\"breaker_trips\": %llu, "
       "\"breaker_probes\": %llu, \"breaker_readmits\": %llu, "
       "\"coalesced_batches\": %llu, \"coalesced_jobs\": %llu, "
@@ -540,6 +558,7 @@ std::string Server::statsJson() const {
       static_cast<unsigned long long>(Stats.RejectedZeroBudget),
       static_cast<unsigned long long>(Stats.RejectedDraining),
       static_cast<unsigned long long>(Stats.RejectedCostOverDeadline),
+      static_cast<unsigned long long>(Stats.RejectedDeadlineExpired),
       static_cast<unsigned long long>(Stats.BreakerTrips),
       static_cast<unsigned long long>(Stats.BreakerProbes),
       static_cast<unsigned long long>(Stats.BreakerReadmits),

@@ -21,6 +21,7 @@
 #include "serve/JobQueue.h"
 #include "serve/Watchdog.h"
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <utility>
@@ -39,6 +40,10 @@ struct ServerConfig {
   /// enabling it changes which terminal state doomed jobs reach
   /// (Rejected instead of DeadlinePreempted).
   bool CostAdmission = false;
+  /// Wall clock used to validate JobSpec::ExpiresAtUnixNs at admission
+  /// (unix nanoseconds). Null = the real system clock; tests inject a
+  /// fake so deadline-expiry behavior stays deterministic.
+  std::function<int64_t()> WallClock;
 };
 
 class Server {
@@ -165,6 +170,8 @@ private:
                          int64_t BudgetCycles) const;
   /// Folds one dispatch's per-lane rows into ServeStats::Shards.
   void accumulateShards(const chi::RegionStats &RS);
+  /// ServerConfig::WallClock or the real system clock (unix ns).
+  int64_t wallNow() const;
 
   chi::Runtime &RT;
   ServerConfig Config;

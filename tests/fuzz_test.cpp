@@ -209,12 +209,16 @@ namespace {
 
 namespace wire = net::wire;
 
-/// A representative valid Submit frame (header + body) to mutate.
+/// A representative valid Submit frame (header + body) to mutate,
+/// with the wire-v3 idempotency/deadline fields populated so mutations
+/// exercise their decode paths too.
 std::vector<uint8_t> sampleSubmitFrame() {
   wire::SubmitMsg M;
   M.Tag = 17;
   M.Pri = 1;
   M.Flags = wire::SubmitHold;
+  M.Attempt = 2;
+  M.ExpiresAtUnixNs = 1'700'000'000'000'000'000;
   M.Shreds = 8;
   M.Kernel = "vecadd";
   M.Params = {{"i", wire::ParamKind::Shred, 0},
@@ -226,6 +230,30 @@ std::vector<uint8_t> sampleSubmitFrame() {
   Up.Fill = wire::SurfaceFill::Data;
   Up.Data.assign(16, 0x7f);
   M.Uploads = {Up};
+  return wire::encode(M);
+}
+
+/// A valid resumable Hello frame (wire v3: session id + flags).
+std::vector<uint8_t> sampleHelloFrame() {
+  wire::HelloMsg M;
+  M.ClientName = "fuzz";
+  M.SessionId = 0xfeedfacecafeull;
+  M.Flags = wire::HelloResumable;
+  return wire::encode(M);
+}
+
+/// A valid Result frame with the v3 replayed marker and shard rows.
+std::vector<uint8_t> sampleResultFrame() {
+  wire::ResultMsg M;
+  M.Tag = 17;
+  M.JobId = 9;
+  M.State = 2; // Completed
+  M.Replayed = 1;
+  M.BatchSize = 2;
+  M.SubmitNs = 1.5;
+  M.StartNs = 2.5;
+  M.EndNs = 3.5;
+  M.Shards = {{0, 0, 8, 2}, {1, 1, 4, 0}};
   return wire::encode(M);
 }
 
@@ -246,6 +274,9 @@ void feedAndDrain(const std::vector<uint8_t> &Bytes) {
       break;
     case wire::MsgType::Hello:
       (void)wire::decodeHello(F->Body);
+      break;
+    case wire::MsgType::Welcome:
+      (void)wire::decodeWelcome(F->Body);
       break;
     case wire::MsgType::Result:
       (void)wire::decodeResult(F->Body);
@@ -270,11 +301,13 @@ TEST_P(WireFuzzTest, RandomBytesNeverCrashTheParser) {
   }
 }
 
-TEST_P(WireFuzzTest, MutatedSubmitFramesDecodeOrReject) {
-  auto Base = sampleSubmitFrame();
+TEST_P(WireFuzzTest, MutatedFramesDecodeOrReject) {
+  const std::vector<uint8_t> Bases[] = {sampleSubmitFrame(),
+                                        sampleHelloFrame(),
+                                        sampleResultFrame()};
   Rng R(GetParam() * 131 + 3);
   for (unsigned Trial = 0; Trial < 300; ++Trial) {
-    auto Mutated = Base;
+    auto Mutated = Bases[Trial % 3];
     switch (R.nextBelow(3)) {
     case 0: // bit flips (past the magic, so frames still parse)
       for (unsigned F = 0; F < 4; ++F)
@@ -294,13 +327,17 @@ TEST_P(WireFuzzTest, MutatedSubmitFramesDecodeOrReject) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Range<uint64_t>(0, 6));
 
-// Truncating a valid two-frame stream at every prefix length either
+// Truncating a valid multi-frame stream at every prefix length either
 // yields a strict prefix of the full frame sequence (need-more) or a
 // poisoned parser with a reason — never a bogus frame, never a crash.
+// The stream covers the wire-v3 frames end to end: a resumable Hello,
+// a Submit with Attempt + absolute deadline, a replayed Result, a Run.
 TEST(WireFuzzTest, EveryTruncationIsNeedMoreOrError) {
-  std::vector<uint8_t> Stream = sampleSubmitFrame();
-  auto Second = wire::encode(wire::RunMsg{2});
-  Stream.insert(Stream.end(), Second.begin(), Second.end());
+  std::vector<uint8_t> Stream = sampleHelloFrame();
+  for (const auto &F :
+       {sampleSubmitFrame(), sampleResultFrame(),
+        wire::encode(wire::RunMsg{2})})
+    Stream.insert(Stream.end(), F.begin(), F.end());
 
   // Frame boundaries of the intact stream, for prefix comparison.
   std::vector<size_t> Boundaries;
@@ -313,7 +350,7 @@ TEST(WireFuzzTest, EveryTruncationIsNeedMoreOrError) {
       while (P.next())
         Boundaries.push_back(Fed);
     }
-    ASSERT_EQ(Boundaries.size(), 2u);
+    ASSERT_EQ(Boundaries.size(), 4u);
   }
 
   for (size_t Cut = 0; Cut < Stream.size(); ++Cut) {
@@ -328,6 +365,63 @@ TEST(WireFuzzTest, EveryTruncationIsNeedMoreOrError) {
     for (size_t B : Boundaries)
       Want += B <= Cut;
     EXPECT_EQ(Yielded, Want) << "cut=" << Cut;
+  }
+}
+
+// The wire-v3 fields carry semantic constraints beyond structure:
+// unknown hello flag bits, a resumable hello without a session id, an
+// out-of-range resumed/replayed byte, and a negative absolute deadline
+// are all rejected with a reason (encode() is deliberately unvalidated
+// so these can be constructed directly).
+TEST(WireFuzzTest, V3SemanticViolationsRejectWithReason) {
+  auto bodyOf = [](const std::vector<uint8_t> &FrameBytes) {
+    wire::FrameParser P;
+    P.feed(FrameBytes);
+    auto F = P.next();
+    EXPECT_TRUE(F.has_value());
+    return F ? F->Body : std::vector<uint8_t>();
+  };
+  {
+    wire::HelloMsg M;
+    M.ClientName = "x";
+    M.SessionId = 1;
+    M.Flags = 0x82; // unknown high bit
+    auto D = wire::decodeHello(bodyOf(wire::encode(M)));
+    ASSERT_FALSE(static_cast<bool>(D));
+    EXPECT_NE(D.message().find("unknown bits"), std::string::npos);
+  }
+  {
+    wire::HelloMsg M;
+    M.ClientName = "x";
+    M.SessionId = 0;
+    M.Flags = wire::HelloResumable;
+    auto D = wire::decodeHello(bodyOf(wire::encode(M)));
+    ASSERT_FALSE(static_cast<bool>(D));
+    EXPECT_NE(D.message().find("zero session id"), std::string::npos);
+  }
+  {
+    wire::WelcomeMsg M;
+    M.ClientId = 1;
+    M.Resumed = 2;
+    auto D = wire::decodeWelcome(bodyOf(wire::encode(M)));
+    ASSERT_FALSE(static_cast<bool>(D));
+    EXPECT_NE(D.message().find("out of range"), std::string::npos);
+  }
+  {
+    wire::SubmitMsg M;
+    M.Kernel = "k";
+    M.ExpiresAtUnixNs = -1;
+    auto D = wire::decodeSubmit(bodyOf(wire::encode(M)));
+    ASSERT_FALSE(static_cast<bool>(D));
+    EXPECT_NE(D.message().find("negative absolute deadline"),
+              std::string::npos);
+  }
+  {
+    wire::ResultMsg M;
+    M.Replayed = 7;
+    auto D = wire::decodeResult(bodyOf(wire::encode(M)));
+    ASSERT_FALSE(static_cast<bool>(D));
+    EXPECT_NE(D.message().find("out of range"), std::string::npos);
   }
 }
 

@@ -93,8 +93,9 @@ bool parseParamSpec(const std::string &Spec, wire::ParamArg &Out) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Host = "127.0.0.1", UnixPath, Kernel;
-  int64_t Port = -1, Jobs = 1, Shreds = 1, Pri = 1, Deadline = -1;
+  std::string Host = "127.0.0.1", UnixPath, Kernel, NetInject;
+  int64_t Port = -1, Jobs = 1, Shreds = 1, Pri = 1, Deadline = -1,
+          Retries = 0, SessionId = 0, NetInjectSeed = 1;
   double TimeoutSec = 120.0;
   bool Hold = false, RunHeld = false, Stats = false, Drain = false,
        DrainCancel = false;
@@ -152,15 +153,24 @@ int main(int Argc, char **Argv) {
       Pri = parseCount("--pri", Val, 0, 2);
     else if (matchValueOpt("--deadline", Val))
       Deadline = parseCount("--deadline", Val, 0, INT64_MAX);
-    else if (matchValueOpt("--timeout", Val)) {
+    else if (matchValueOpt("--timeout", Val) ||
+             matchValueOpt("--call-timeout", Val)) {
       char *End = nullptr;
       TimeoutSec = std::strtod(Val.c_str(), &End);
       if (End == Val.c_str() || *End != '\0' || TimeoutSec <= 0) {
-        std::fprintf(stderr, "exochi-client: bad --timeout value '%s'\n",
+        std::fprintf(stderr, "exochi-client: bad timeout value '%s'\n",
                      Val.c_str());
         return 2;
       }
-    } else if (A == "--surface") {
+    } else if (matchValueOpt("--retries", Val))
+      Retries = parseCount("--retries", Val, 0, 1000);
+    else if (matchValueOpt("--session", Val))
+      SessionId = parseCount("--session", Val, 1, INT64_MAX);
+    else if (matchValueOpt("--net-inject", Val))
+      NetInject = Val;
+    else if (matchValueOpt("--net-inject-seed", Val))
+      NetInjectSeed = parseCount("--net-inject-seed", Val, 0, INT64_MAX);
+    else if (A == "--surface") {
       wire::SurfaceMsg S;
       if (!parseSurfaceSpec(Next(), S)) {
         std::fprintf(stderr,
@@ -191,13 +201,15 @@ int main(int Argc, char **Argv) {
     else if (A == "--help" || A == "-h") {
       std::fprintf(stderr,
                    "usage: exochi-client (--port P | --unix PATH) [--host IP]"
-                   " [--timeout SEC]\n"
+                   " [--call-timeout SEC]\n"
                    "       --kernel NAME [--jobs N] [--shreds N] [--pri 0|1|2]"
                    " [--deadline CYCLES]\n"
                    "       [--surface n=WxH[:zero|seq]] "
                    "[--param n=<int>|shred|shred+K]\n"
                    "       [--hold] [--run-held] [--fetch NAME] [--stats] "
-                   "[--drain | --drain-cancel]\n");
+                   "[--drain | --drain-cancel]\n"
+                   "       [--retries N] [--session ID] "
+                   "[--net-inject kind:rate,...] [--net-inject-seed N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "exochi-client: unknown option '%s'\n", A.c_str());
@@ -210,11 +222,27 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  auto Client =
-      Port >= 0
-          ? NetClient::connectTcp(Host, static_cast<uint16_t>(Port),
-                                  TimeoutSec, "exochi-client")
-          : NetClient::connectUnix(UnixPath, TimeoutSec, "exochi-client");
+  NetFault Fault(static_cast<uint64_t>(NetInjectSeed));
+  if (!NetInject.empty()) {
+    auto F = NetFault::parse(NetInject, static_cast<uint64_t>(NetInjectSeed));
+    if (!F) {
+      std::fprintf(stderr, "exochi-client: bad --net-inject: %s\n",
+                   F.message().c_str());
+      return 2;
+    }
+    Fault = std::move(*F);
+  }
+
+  NetClientConfig Cfg;
+  Cfg.CallTimeoutSec = TimeoutSec;
+  Cfg.Retries = static_cast<unsigned>(Retries);
+  Cfg.SessionId = static_cast<uint64_t>(SessionId);
+  Cfg.Name = "exochi-client";
+  Cfg.Fault = Fault.armed() ? &Fault : nullptr;
+  auto Client = Port >= 0
+                    ? NetClient::connectTcp(Host, static_cast<uint16_t>(Port),
+                                            Cfg)
+                    : NetClient::connectUnix(UnixPath, Cfg);
   if (!Client) {
     std::fprintf(stderr, "exochi-client: %s\n", Client.message().c_str());
     return 1;
@@ -254,6 +282,74 @@ int main(int Argc, char **Argv) {
       return 1;
     }
 
+  int Failures = 0;
+  bool ResultsRead = false;
+  auto ReadResults = [&]() -> bool {
+    for (int64_t J = 0; J < Outstanding; ++J) {
+      auto R = Client->readResult();
+      if (!R) {
+        std::fprintf(stderr, "exochi-client: %s\n", R.message().c_str());
+        return false;
+      }
+      const char *State =
+          serve::jobStateName(static_cast<serve::JobState>(R->State));
+      std::printf("job tag=%llu id=%u: %s",
+                  static_cast<unsigned long long>(R->Tag), R->JobId, State);
+      if (R->Reason)
+        std::printf(" (%s)", serve::rejectReasonName(
+                                 static_cast<serve::RejectReason>(R->Reason)));
+      if (R->BatchSize > 1)
+        std::printf(" [coalesced x%u]", R->BatchSize);
+      if (!R->Error.empty())
+        std::printf(" error: %s", R->Error.c_str());
+      std::printf("\n");
+      if (static_cast<serve::JobState>(R->State) !=
+          serve::JobState::Completed)
+        ++Failures;
+    }
+    ResultsRead = true;
+    return true;
+  };
+
+  auto CollectOutputs = [&]() -> bool {
+    if (!ReadResults())
+      return false;
+    for (const std::string &Name : Fetches) {
+      auto D = Client->fetch(Name);
+      if (!D) {
+        std::fprintf(stderr, "exochi-client: %s\n", D.message().c_str());
+        return false;
+      }
+      std::printf("%s[0..7] =", Name.c_str());
+      for (size_t K = 0; K < 8 && K * 4 + 3 < D->Data.size(); ++K) {
+        uint32_t V = static_cast<uint32_t>(D->Data[K * 4]) |
+                     static_cast<uint32_t>(D->Data[K * 4 + 1]) << 8 |
+                     static_cast<uint32_t>(D->Data[K * 4 + 2]) << 16 |
+                     static_cast<uint32_t>(D->Data[K * 4 + 3]) << 24;
+        std::printf(" %d", static_cast<int32_t>(V));
+      }
+      std::printf("\n");
+    }
+    if (Stats) {
+      auto S = Client->stats();
+      if (!S) {
+        std::fprintf(stderr, "exochi-client: %s\n", S.message().c_str());
+        return false;
+      }
+      std::printf("stats: %s\n", S->c_str());
+    }
+    return true;
+  };
+
+  // Jobs still held at this point only produce results once the drain
+  // runs (or cancels) them; everything else has its results in flight
+  // now, and results/fetches/stats must be collected *before* a --drain
+  // — an exit-on-drain server shuts down once the drained connection
+  // closes, so a reply lost to wire faults is only recoverable (retry,
+  // dedup-cache replay) while the server is still alive.
+  if (!(Hold && !RunHeld) && !CollectOutputs())
+    return 1;
+
   std::string DrainJson;
   if (Drain) {
     auto J = Client->drain(DrainCancel);
@@ -264,56 +360,20 @@ int main(int Argc, char **Argv) {
     DrainJson = *J;
   }
 
-  int Failures = 0;
-  for (int64_t J = 0; J < Outstanding; ++J) {
-    auto R = Client->readResult();
-    if (!R) {
-      std::fprintf(stderr, "exochi-client: %s\n", R.message().c_str());
-      return 1;
-    }
-    const char *State =
-        serve::jobStateName(static_cast<serve::JobState>(R->State));
-    std::printf("job tag=%llu id=%u: %s",
-                static_cast<unsigned long long>(R->Tag), R->JobId, State);
-    if (R->Reason)
-      std::printf(" (%s)", serve::rejectReasonName(
-                               static_cast<serve::RejectReason>(R->Reason)));
-    if (R->BatchSize > 1)
-      std::printf(" [coalesced x%u]", R->BatchSize);
-    if (!R->Error.empty())
-      std::printf(" error: %s", R->Error.c_str());
-    std::printf("\n");
-    if (static_cast<serve::JobState>(R->State) != serve::JobState::Completed)
-      ++Failures;
-  }
-
-  for (const std::string &Name : Fetches) {
-    auto D = Client->fetch(Name);
-    if (!D) {
-      std::fprintf(stderr, "exochi-client: %s\n", D.message().c_str());
-      return 1;
-    }
-    std::printf("%s[0..7] =", Name.c_str());
-    for (size_t K = 0; K < 8 && K * 4 + 3 < D->Data.size(); ++K) {
-      uint32_t V = static_cast<uint32_t>(D->Data[K * 4]) |
-                   static_cast<uint32_t>(D->Data[K * 4 + 1]) << 8 |
-                   static_cast<uint32_t>(D->Data[K * 4 + 2]) << 16 |
-                   static_cast<uint32_t>(D->Data[K * 4 + 3]) << 24;
-      std::printf(" %d", static_cast<int32_t>(V));
-    }
-    std::printf("\n");
-  }
-
-  if (Stats) {
-    auto S = Client->stats();
-    if (!S) {
-      std::fprintf(stderr, "exochi-client: %s\n", S.message().c_str());
-      return 1;
-    }
-    std::printf("stats: %s\n", S->c_str());
-  }
+  if (!ResultsRead && !CollectOutputs())
+    return 1;
   if (!DrainJson.empty())
     std::printf("drain-summary: %s\n", DrainJson.c_str());
+
+  if (Retries || Fault.armed()) {
+    const NetClientStats &CS = Client->clientStats();
+    std::printf("net-chaos: reconnects=%llu resubmits=%llu "
+                "dup-results-suppressed=%llu faults-fired=%zu\n",
+                static_cast<unsigned long long>(CS.Reconnects),
+                static_cast<unsigned long long>(CS.Resubmits),
+                static_cast<unsigned long long>(CS.DupResultsSuppressed),
+                Fault.fired().size());
+  }
 
   (void)Client->bye();
   return Failures ? 1 : 0;

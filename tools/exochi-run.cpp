@@ -96,6 +96,8 @@ int main(int Argc, char **Argv) {
   int64_t Devices = -1;  ///< --devices: GMA device count (-1 = EXOCHI_DEVICES/1)
   int64_t Steal = -1;    ///< --steal: cluster work stealing (-1 = default on)
   int64_t StealSeed = 0; ///< --steal-seed: steal tie-break seed
+  std::string NetInject;      ///< --net-inject: NetChaos wire-fault spec
+  int64_t NetInjectSeed = 1;  ///< --net-inject-seed
   std::vector<SurfaceArg> Surfaces;
   std::map<std::string, std::string> Params;
 
@@ -160,6 +162,10 @@ int main(int Argc, char **Argv) {
       }
     } else if (matchValueOpt("--listen-unix", Val))
       ListenUnix = Val;
+    else if (matchValueOpt("--net-inject", Val))
+      NetInject = Val;
+    else if (matchValueOpt("--net-inject-seed", Val))
+      NetInjectSeed = parseCount("--net-inject-seed", Val, 0);
     else if (matchValueOpt("--coalesce-window", Val))
       CoalesceWindow = parseCount("--coalesce-window", Val, 1);
     else if (matchValueOpt("--devices", Val))
@@ -268,7 +274,8 @@ int main(int Argc, char **Argv) {
                    "       [--serve N] [--clients M] [--deadline CYCLES] "
                    "[--cost-admission] [--drain-after K] [--stats-out FILE]\n"
                    "       [--listen PORT] [--listen-unix PATH] "
-                   "[--coalesce-window N]\n"
+                   "[--coalesce-window N] [--net-inject kind:rate,...] "
+                   "[--net-inject-seed N]\n"
                    "       [--devices N] [--steal 0|1] [--steal-seed N]\n"
                    "  --devices N: simulate N GMA devices (ExoCluster); "
                    "shardable parallel\n"
@@ -302,7 +309,13 @@ int main(int Argc, char **Argv) {
                    "                 127.0.0.1:PORT (0 = ephemeral; the "
                    "bound port is printed);\n"
                    "                 --coalesce-window N merges up to N "
-                   "compatible jobs per dispatch\n");
+                   "compatible jobs per dispatch\n"
+                   "  --net-inject kind:rate,... (listen mode): NetChaos "
+                   "wire-fault injection on\n"
+                   "                 outbound frames; kinds: drop, truncate, "
+                   "stall, dup, disconnect,\n"
+                   "                 all; --net-inject-seed N replays the "
+                   "same fault schedule\n");
       return 0;
     } else if (!A.empty() && A[0] == '-') {
       std::fprintf(stderr, "exochi-run: unknown option '%s'\n", A.c_str());
@@ -433,10 +446,22 @@ int main(int Argc, char **Argv) {
     // ExoNet mode: serve the loaded fat binary's kernels to socket
     // clients. Kernels, surfaces, and geometry all come from the wire;
     // the process exits after a client-issued Drain.
+    net::NetFault NetInj(static_cast<uint64_t>(NetInjectSeed));
+    if (!NetInject.empty()) {
+      auto Parsed = net::NetFault::parse(NetInject,
+                                         static_cast<uint64_t>(NetInjectSeed));
+      if (!Parsed) {
+        std::fprintf(stderr, "exochi-run: bad --net-inject: %s\n",
+                     Parsed.message().c_str());
+        return 2;
+      }
+      NetInj = std::move(*Parsed);
+    }
     net::NetServerConfig NC;
     NC.Serve.CostAdmission = CostAdmission;
     NC.CoalesceWindow = static_cast<unsigned>(CoalesceWindow);
     NC.ExitOnDrain = true;
+    NC.Fault = NetInj.armed() ? &NetInj : nullptr;
     net::NetServer Server(RT, NC, Inj.armed() ? &Inj : nullptr);
     if (ListenPort >= 0) {
       auto Port = Server.listenTcp(static_cast<uint16_t>(ListenPort));
@@ -457,6 +482,10 @@ int main(int Argc, char **Argv) {
     Server.run();
     std::string Json = Server.statsJson();
     std::printf("net-stats: %s\n", Json.c_str());
+    if (NetInj.armed())
+      std::printf("net-chaos: %zu wire faults fired (seed %llu)\n",
+                  NetInj.fired().size(),
+                  static_cast<unsigned long long>(NetInj.seed()));
     if (!StatsOut.empty()) {
       if (Error E = writeFileBytes(
               StatsOut, std::vector<uint8_t>(Json.begin(), Json.end()))) {
